@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks of the building blocks behind the end-to-end
+//! numbers: SQL point queries (what one traversal hop costs in the RDBMS),
+//! Gremlin parsing and planning, overlay id decoding, and single-hop
+//! traversals on each backend. These are the ablation-level measurements
+//! that explain *why* the figure-level results come out the way they do.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use db2graph_core::ids::IdDef;
+use db2graph_core::Db2Graph;
+use gremlin::ElementId;
+use linkbench::{generate, materialize, overlay_config, LinkBenchConfig};
+use reldb::Value;
+
+fn bench_reldb(c: &mut Criterion) {
+    let data = generate(&LinkBenchConfig::small().with_vertices(5_000));
+    let (db, _) = materialize(&data).unwrap();
+    let table = format!("nodes_{}", data.nodes[0].label);
+    let prepared = db.prepare(&format!("SELECT * FROM {table} WHERE id = ?")).unwrap();
+
+    c.bench_function("reldb/point_query_prepared", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % 5_000;
+            db.execute_prepared(&prepared, &[Value::Bigint(i)]).unwrap()
+        })
+    });
+    c.bench_function("reldb/point_query_parse_each_time", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % 5_000;
+            db.execute(&format!("SELECT * FROM {table} WHERE id = {i}")).unwrap()
+        })
+    });
+    let link_table = format!("links_{}", data.links[0].label);
+    c.bench_function("reldb/in_list_probe_20", |b| {
+        b.iter(|| {
+            db.execute(&format!(
+                "SELECT id2 FROM {link_table} WHERE id1 IN (0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19)"
+            ))
+            .unwrap()
+        })
+    });
+    let hot = data.links[0].id1;
+    c.bench_function("reldb/count_aggregate", |b| {
+        b.iter(|| {
+            db.execute(&format!("SELECT COUNT(*) FROM {link_table} WHERE id1 = {hot}")).unwrap()
+        })
+    });
+}
+
+fn bench_gremlin_frontend(c: &mut Criterion) {
+    let script = "g.V(1).outE('et3').has('visibility', 1).count()";
+    c.bench_function("gremlin/parse", |b| {
+        b.iter(|| gremlin::parser::parse(script).unwrap())
+    });
+    let data = generate(&LinkBenchConfig::small().with_vertices(1_000));
+    let (db, _) = materialize(&data).unwrap();
+    let graph = Db2Graph::open(db, &overlay_config()).unwrap();
+    c.bench_function("gremlin/parse_compile_optimize", |b| {
+        b.iter(|| graph.plan(script).unwrap())
+    });
+}
+
+fn bench_ids(c: &mut Criterion) {
+    let def = IdDef::parse("'patient'::patientID").unwrap();
+    let id = ElementId::Str("patient::12345".into());
+    c.bench_function("ids/decode_prefixed", |b| b.iter(|| def.decode(&id)));
+    c.bench_function("ids/encode_prefixed", |b| {
+        b.iter(|| def.encode(&[Value::Bigint(12345)]).unwrap())
+    });
+}
+
+fn bench_hop(c: &mut Criterion) {
+    let data = generate(&LinkBenchConfig::small().with_vertices(5_000));
+    let (db, _) = materialize(&data).unwrap();
+    let graph = Db2Graph::open(db, &overlay_config()).unwrap();
+    let link = &data.links[0];
+    let hop = format!("g.V({}).out('{}')", link.id1, link.label);
+    c.bench_function("db2graph/one_hop", |b| {
+        b.iter(|| graph.run(&hop).unwrap())
+    });
+    let count = format!("g.V({}).outE('{}').count()", link.id1, link.label);
+    c.bench_function("db2graph/count_links", |b| {
+        b.iter(|| graph.run(&count).unwrap())
+    });
+
+    // Same hop on the baseline stores.
+    let (vertices, edges) = linkbench::to_elements(&data);
+    let mut nl = gstore::NativeLoader::new();
+    for v in &vertices {
+        nl.add_vertex(v.clone());
+    }
+    for e in &edges {
+        nl.add_edge(e.clone());
+    }
+    let native = Arc::new(nl.build(vertices.len() + edges.len()));
+    native.open();
+    let mut jl = gstore::JanusLoader::new();
+    for v in vertices {
+        jl.add_vertex(v);
+    }
+    for e in edges {
+        jl.add_edge(e);
+    }
+    let janus = jl.build();
+
+    c.bench_function("native/one_hop_cached", |b| {
+        let runner = gremlin::ScriptRunner::new(native.as_ref());
+        b.iter_batched(
+            || hop.clone(),
+            |q| runner.run(&q).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("janus/one_hop", |b| {
+        let runner = gremlin::ScriptRunner::new(&janus);
+        b.iter_batched(
+            || hop.clone(),
+            |q| runner.run(&q).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_reldb, bench_gremlin_frontend, bench_ids, bench_hop);
+criterion_main!(benches);

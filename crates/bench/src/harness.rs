@@ -1,0 +1,360 @@
+//! Shared benchmark harness: builds all three systems over the same
+//! LinkBench dataset and runs timed query workloads against them.
+//!
+//! Scaling knobs come from environment variables so the same binaries run
+//! on laptops and CI:
+//!
+//! * `LB_SMALL` — vertex count of the small dataset (default 20 000;
+//!   stands in for LinkBench-10M),
+//! * `LB_LARGE` — vertex count of the large dataset (default 200 000;
+//!   stands in for LinkBench-100M),
+//! * `LB_ITERS` — queries measured per point (default 400),
+//! * `LB_THREADS` — concurrent clients for the throughput figure
+//!   (default 16; the paper used 50 on a 32-core server).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use db2graph_core::{Db2Graph, StrategyConfig};
+use gremlin::strategy::{IdentityRemoval, StrategyRegistry};
+use gremlin::{GraphBackend, ScriptRunner};
+use gstore::{export_graph, load_janus, load_native, open_native, JanusLikeDb, NativeGraphDb};
+use linkbench::{generate, materialize, overlay_config, GraphData, LinkBenchConfig, QueryKind, QueryStream};
+use reldb::Database;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Benchmark scale parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    pub small_vertices: u64,
+    pub large_vertices: u64,
+    pub iters: usize,
+    pub threads: usize,
+}
+
+impl Scale {
+    pub fn from_env() -> Scale {
+        // The paper ran 50 clients on a 32-core server (~1.5 clients per
+        // core). Default to 2x the available cores so the concurrency
+        // contrast can actually materialize on this machine.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Scale {
+            small_vertices: env_usize("LB_SMALL", 20_000) as u64,
+            large_vertices: env_usize("LB_LARGE", 200_000) as u64,
+            iters: env_usize("LB_ITERS", 400),
+            threads: env_usize("LB_THREADS", (2 * cores).max(2)),
+        }
+    }
+
+    /// Number of physical cores backing the run (for result caveats).
+    pub fn cores() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Which dataset a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    Small,
+    Large,
+}
+
+impl Dataset {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Small => "LB-small",
+            Dataset::Large => "LB-large",
+        }
+    }
+}
+
+/// The three systems of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    Db2Graph,
+    Native,
+    Janus,
+}
+
+impl SystemKind {
+    pub const ALL: [SystemKind; 3] = [SystemKind::Db2Graph, SystemKind::Native, SystemKind::Janus];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Db2Graph => "Db2 Graph",
+            SystemKind::Native => "GDB-X (native sim)",
+            SystemKind::Janus => "JanusGraph (sim)",
+        }
+    }
+}
+
+/// Everything needed to benchmark one dataset across all systems.
+pub struct BenchEnv {
+    pub dataset: Dataset,
+    pub data: GraphData,
+    pub db: Arc<Database>,
+    pub graph: Arc<Db2Graph>,
+    pub native: Arc<NativeGraphDb>,
+    pub janus: Arc<JanusLikeDb>,
+    /// Per-system load/open reports (Table 3).
+    pub reports: Vec<gstore::LoadReport>,
+    /// Shared strategy registry for the baseline runners (the generic
+    /// pushdown rewrites every mature provider has).
+    registry: StrategyRegistry,
+}
+
+/// Build a dataset, materialize it relationally, open Db2 Graph over it,
+/// and export + load both baselines — timing every phase.
+pub fn build_env(dataset: Dataset, scale: Scale) -> BenchEnv {
+    let n = match dataset {
+        Dataset::Small => scale.small_vertices,
+        Dataset::Large => scale.large_vertices,
+    };
+    let cfg = match dataset {
+        Dataset::Small => LinkBenchConfig::small().with_vertices(n),
+        Dataset::Large => LinkBenchConfig::large().with_vertices(n),
+    };
+    let data = generate(&cfg);
+    let (db, _load) = materialize(&data).expect("materialize linkbench");
+
+    // Db2 Graph: no load at all; "open graph" is topology resolution.
+    let open_start = Instant::now();
+    let graph = Db2Graph::open(db.clone(), &overlay_config()).expect("open overlay");
+    let db2_open = open_start.elapsed();
+    let db2_bytes: usize = db
+        .table_names()
+        .iter()
+        .filter_map(|t| db.get_table(t))
+        .map(|t| t.approx_bytes())
+        .sum();
+
+    // Baselines: export from the RDBMS, then load, then open.
+    let backend = backend_of(&graph);
+    let (exported, export_time) = export_graph(backend).expect("export");
+
+    // Cache budget: the small dataset fits entirely in the native store's
+    // cache (GDB-X's sweet spot); the large one does not (Figure 5's
+    // crossover). Record count = vertices + edges.
+    let records = exported.vertices.len() + exported.edges.len();
+    let cache_capacity = match dataset {
+        Dataset::Small => records * 2,
+        Dataset::Large => records / 12,
+    };
+    let (native, native_load) = load_native(&exported, cache_capacity);
+    let native_open = open_native(&native);
+    // On the large dataset the paper's GDB-X data (327 GB) exceeded memory:
+    // every cache miss became a storage read. The small dataset fit
+    // entirely in cache (no penalty). See DESIGN.md §2.
+    if dataset == Dataset::Large {
+        native.set_miss_penalty(std::time::Duration::from_micros(
+            env_usize("LB_NATIVE_MISS_US", 15) as u64,
+        ));
+    }
+    let native = Arc::new(native);
+
+    let (janus, janus_load) = load_janus(&exported);
+    // The Janus-like store pays a per-KV-operation overhead modelling the
+    // real system's layered storage stack; on the large dataset its data
+    // no longer fit the page cache either, so the per-op cost grows.
+    let janus_op_us = match dataset {
+        Dataset::Small => env_usize("LB_JANUS_OP_US", 25),
+        Dataset::Large => env_usize("LB_JANUS_OP_US_LARGE", 60),
+    };
+    janus.set_op_overhead(std::time::Duration::from_micros(janus_op_us as u64));
+    let janus_open_start = Instant::now();
+    let _ = janus.kv().len(); // opening a KV store is trivial
+    let janus_open = janus_open_start.elapsed();
+    let janus = Arc::new(janus);
+
+    let reports = vec![
+        gstore::LoadReport {
+            system: "Db2 Graph".into(),
+            export: Duration::ZERO,
+            load: Duration::ZERO,
+            open: db2_open,
+            storage_bytes: db2_bytes,
+        },
+        gstore::LoadReport {
+            system: "GDB-X (native sim)".into(),
+            export: export_time,
+            load: native_load,
+            open: native_open,
+            storage_bytes: native.storage_bytes(),
+        },
+        gstore::LoadReport {
+            system: "JanusGraph (sim)".into(),
+            export: export_time,
+            load: janus_load,
+            open: janus_open,
+            storage_bytes: janus.storage_bytes(),
+        },
+    ];
+
+    let mut registry = StrategyRegistry::new();
+    registry.add(Arc::new(IdentityRemoval));
+    for s in StrategyConfig::default().build() {
+        registry.add(s);
+    }
+
+    BenchEnv { dataset, data, db, graph, native, janus, reports, registry }
+}
+
+/// Borrow the overlay backend out of a Db2Graph (for export).
+fn backend_of(graph: &Arc<Db2Graph>) -> &dyn GraphBackend {
+    // Db2Graph executes through its backend; for export we reuse the same
+    // code path by running a full V()/E() fetch through a runner-less
+    // accessor. Db2Graph doesn't expose the backend directly, so export
+    // goes through Gremlin.
+    struct Shim(Arc<Db2Graph>);
+    impl GraphBackend for Shim {
+        fn graph_elements(
+            &self,
+            kind: gremlin::ElementKind,
+            filter: &gremlin::ElementFilter,
+        ) -> gremlin::GResult<gremlin::BackendOutput> {
+            let q = match kind {
+                gremlin::ElementKind::Vertices => "g.V()",
+                gremlin::ElementKind::Edges => "g.E()",
+            };
+            let _ = filter;
+            let values = self
+                .0
+                .run(q)
+                .map_err(|e| gremlin::GremlinError::Backend(e.to_string()))?;
+            let elements: Vec<gremlin::Element> =
+                values.iter().filter_map(|v| v.as_element()).collect();
+            Ok(gremlin::BackendOutput::Elements(elements))
+        }
+        fn adjacent(
+            &self,
+            _s: &[gremlin::Element],
+            _d: gremlin::Direction,
+            _l: &[String],
+            _t: gremlin::ElementKind,
+            _f: &gremlin::ElementFilter,
+        ) -> gremlin::GResult<Vec<Vec<gremlin::Element>>> {
+            Err(gremlin::GremlinError::Unsupported("export shim".into()))
+        }
+        fn edge_endpoints(
+            &self,
+            _e: &[gremlin::Edge],
+            _end: gremlin::EdgeEnd,
+            _c: &[Option<gremlin::ElementId>],
+            _f: &gremlin::ElementFilter,
+        ) -> gremlin::GResult<Vec<Vec<gremlin::Element>>> {
+            Err(gremlin::GremlinError::Unsupported("export shim".into()))
+        }
+    }
+    // Leak one shim per env build (bounded; lives for the bench process).
+    Box::leak(Box::new(Shim(graph.clone())))
+}
+
+impl BenchEnv {
+    /// Execute one Gremlin query on a system; returns the result count.
+    pub fn run_query(&self, sys: SystemKind, query: &str) -> usize {
+        match sys {
+            SystemKind::Db2Graph => self.graph.run(query).expect("db2graph query").len(),
+            SystemKind::Native => ScriptRunner::new(self.native.as_ref())
+                .with_strategies(self.registry.clone())
+                .run(query)
+                .expect("native query")
+                .len(),
+            SystemKind::Janus => ScriptRunner::new(self.janus.as_ref())
+                .with_strategies(self.registry.clone())
+                .run(query)
+                .expect("janus query")
+                .len(),
+        }
+    }
+
+    /// Average latency of `iters` queries of one kind on one system.
+    pub fn measure_latency(&self, sys: SystemKind, kind: QueryKind, iters: usize) -> Duration {
+        let mut stream = QueryStream::new(&self.data, kind, 0x10 + kind as u64);
+        // Warmup.
+        for q in stream.batch(iters / 10 + 1) {
+            self.run_query(sys, &q);
+        }
+        let queries = stream.batch(iters);
+        let start = Instant::now();
+        for q in &queries {
+            self.run_query(sys, q);
+        }
+        start.elapsed() / iters as u32
+    }
+
+    /// Throughput (queries/sec) with `threads` concurrent clients running
+    /// `iters` queries each.
+    pub fn measure_throughput(
+        &self,
+        sys: SystemKind,
+        kind: QueryKind,
+        threads: usize,
+        iters: usize,
+    ) -> f64 {
+        let total = threads * iters;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let env = &*self;
+                scope.spawn(move || {
+                    let mut stream = QueryStream::new(&env.data, kind, 1000 + t as u64);
+                    for _ in 0..iters {
+                        let q = stream.next_query();
+                        env.run_query(sys, &q);
+                    }
+                });
+            }
+        });
+        total as f64 / start.elapsed().as_secs_f64()
+    }
+}
+
+/// Pretty duration for table output.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Pretty byte count.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1} KB", b as f64 / (1 << 10) as f64)
+    }
+}
+
+/// Print an aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{:w$}", h, w = widths[i])).collect();
+    println!("{}", line.join(" | "));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join(" | "));
+    }
+}

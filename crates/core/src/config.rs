@@ -1,0 +1,237 @@
+//! The overlay configuration file format (Section 5 of the paper).
+//!
+//! The JSON schema matches the paper's example verbatim: a `v_tables` array
+//! and an `e_tables` array, each entry naming a table (or view) and
+//! describing how its columns define the property-graph required fields
+//! (`id`, `label`, and for edges `src_v`/`dst_v`) and properties.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GraphError, GraphResult};
+
+/// A full graph overlay configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct OverlayConfig {
+    #[serde(default)]
+    pub v_tables: Vec<VTableConfig>,
+    #[serde(default)]
+    pub e_tables: Vec<ETableConfig>,
+}
+
+/// Configuration of one vertex table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VTableConfig {
+    pub table_name: String,
+    /// Whether the id is prefixed with a unique table identifier
+    /// (`'patient'::patientID`). Enables the prefixed-id runtime
+    /// optimization.
+    #[serde(default)]
+    pub prefixed_id: bool,
+    /// Id definition string, e.g. `"'patient'::patientID"` or `"diseaseID"`.
+    pub id: String,
+    /// Whether all vertices from this table share one constant label.
+    #[serde(default)]
+    pub fix_label: bool,
+    /// Label definition: a constant `"'patient'"` when `fix_label`, else a
+    /// column name.
+    pub label: String,
+    /// Property columns. `None` means "all columns not used by required
+    /// fields" (the paper's default).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub properties: Option<Vec<String>>,
+}
+
+/// Configuration of one edge table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ETableConfig {
+    pub table_name: String,
+    /// Vertex table all source vertices come from, when known. Enables the
+    /// src/dst table runtime optimization (Section 6.3).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub src_v_table: Option<String>,
+    /// Source vertex id definition; must match the id definition of the
+    /// source vertex table when `src_v_table` is set.
+    pub src_v: String,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dst_v_table: Option<String>,
+    pub dst_v: String,
+    /// Explicit prefixed edge id (like vertex prefixed ids).
+    #[serde(default)]
+    pub prefixed_edge_id: bool,
+    /// Use the implicit `src_v::label::dst_v` edge id.
+    #[serde(default)]
+    pub implicit_edge_id: bool,
+    /// Explicit id definition (required unless `implicit_edge_id`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub id: Option<String>,
+    #[serde(default)]
+    pub fix_label: bool,
+    pub label: String,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub properties: Option<Vec<String>>,
+}
+
+impl OverlayConfig {
+    /// Parse a configuration from JSON text.
+    pub fn from_json(text: &str) -> GraphResult<OverlayConfig> {
+        serde_json::from_str(text)
+            .map_err(|e| GraphError::Config(format!("invalid overlay JSON: {e}")))
+    }
+
+    /// Serialize to pretty JSON (what AutoOverlay writes out).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("overlay config serializes")
+    }
+
+    /// Structural sanity checks that do not need the database catalog.
+    pub fn validate_shape(&self) -> GraphResult<()> {
+        if self.v_tables.is_empty() {
+            return Err(GraphError::Config("overlay has no vertex tables".into()));
+        }
+        for v in &self.v_tables {
+            if v.table_name.is_empty() {
+                return Err(GraphError::Config("vertex table with empty name".into()));
+            }
+            if v.fix_label && !(v.label.starts_with('\'') && v.label.ends_with('\'')) {
+                return Err(GraphError::Config(format!(
+                    "vertex table '{}': fix_label requires a quoted constant label",
+                    v.table_name
+                )));
+            }
+        }
+        for e in &self.e_tables {
+            if e.implicit_edge_id && e.id.is_some() {
+                return Err(GraphError::Config(format!(
+                    "edge table '{}': implicit_edge_id and explicit id are mutually exclusive",
+                    e.table_name
+                )));
+            }
+            if !e.implicit_edge_id && e.id.is_none() {
+                return Err(GraphError::Config(format!(
+                    "edge table '{}': needs either implicit_edge_id or an id definition",
+                    e.table_name
+                )));
+            }
+            if e.fix_label && !(e.label.starts_with('\'') && e.label.ends_with('\'')) {
+                return Err(GraphError::Config(format!(
+                    "edge table '{}': fix_label requires a quoted constant label",
+                    e.table_name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse a label definition: `Some(constant)` when quoted, else `None`
+/// (meaning: it's a column name).
+pub fn parse_label_constant(label: &str) -> Option<String> {
+    label
+        .strip_prefix('\'')
+        .and_then(|s| s.strip_suffix('\''))
+        .map(str::to_string)
+}
+
+/// The paper's Section 5 example configuration (healthcare overlay), used
+/// by tests, examples, and documentation.
+pub fn healthcare_example_json() -> &'static str {
+    r#"{
+  "v_tables": [
+    {
+      "table_name": "Patient",
+      "prefixed_id": true,
+      "id": "'patient'::patientID",
+      "fix_label": true,
+      "label": "'patient'",
+      "properties": ["patientID", "name", "address", "subscriptionID"]
+    },
+    {
+      "table_name": "Disease",
+      "id": "diseaseID",
+      "fix_label": true,
+      "label": "'disease'",
+      "properties": ["diseaseID", "conceptCode", "conceptName"]
+    }
+  ],
+  "e_tables": [
+    {
+      "table_name": "DiseaseOntology",
+      "src_v_table": "Disease",
+      "src_v": "sourceID",
+      "dst_v_table": "Disease",
+      "dst_v": "targetID",
+      "prefixed_edge_id": true,
+      "id": "'ontology'::sourceID::targetID",
+      "label": "type"
+    },
+    {
+      "table_name": "HasDisease",
+      "src_v_table": "Patient",
+      "src_v": "'patient'::patientID",
+      "dst_v_table": "Disease",
+      "dst_v": "diseaseID",
+      "implicit_edge_id": true,
+      "fix_label": true,
+      "label": "'hasDisease'"
+    }
+  ]
+}"#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_parses() {
+        let cfg = OverlayConfig::from_json(healthcare_example_json()).unwrap();
+        cfg.validate_shape().unwrap();
+        assert_eq!(cfg.v_tables.len(), 2);
+        assert_eq!(cfg.e_tables.len(), 2);
+        let patient = &cfg.v_tables[0];
+        assert!(patient.prefixed_id);
+        assert_eq!(patient.id, "'patient'::patientID");
+        assert!(patient.fix_label);
+        let ontology = &cfg.e_tables[0];
+        assert!(!ontology.fix_label);
+        assert_eq!(ontology.label, "type");
+        assert!(ontology.prefixed_edge_id);
+        let hd = &cfg.e_tables[1];
+        assert!(hd.implicit_edge_id);
+        assert!(hd.properties.is_none()); // defaults to remaining columns
+    }
+
+    #[test]
+    fn roundtrip_json() {
+        let cfg = OverlayConfig::from_json(healthcare_example_json()).unwrap();
+        let text = cfg.to_json();
+        let cfg2 = OverlayConfig::from_json(&text).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn shape_validation_catches_mistakes() {
+        let mut cfg = OverlayConfig::from_json(healthcare_example_json()).unwrap();
+        cfg.e_tables[1].id = Some("'x'::a".into());
+        assert!(cfg.validate_shape().is_err()); // implicit + explicit id
+
+        let mut cfg = OverlayConfig::from_json(healthcare_example_json()).unwrap();
+        cfg.e_tables[0].id = None;
+        assert!(cfg.validate_shape().is_err()); // no id at all
+
+        let mut cfg = OverlayConfig::from_json(healthcare_example_json()).unwrap();
+        cfg.v_tables[0].label = "patient".into(); // fix_label without quotes
+        assert!(cfg.validate_shape().is_err());
+
+        let cfg = OverlayConfig::default();
+        assert!(cfg.validate_shape().is_err()); // no vertex tables
+
+        assert!(OverlayConfig::from_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn label_constant_parsing() {
+        assert_eq!(parse_label_constant("'patient'"), Some("patient".into()));
+        assert_eq!(parse_label_constant("type"), None);
+    }
+}

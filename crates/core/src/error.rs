@@ -1,0 +1,72 @@
+//! Errors for the graph overlay layer.
+
+use std::fmt;
+
+use gremlin::GremlinError;
+use reldb::DbError;
+
+/// Errors raised by Db2 Graph: configuration problems, SQL-layer failures,
+/// or Gremlin-layer failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The overlay configuration is invalid (bad id definition, missing
+    /// table/column, inconsistent src/dst definitions, ...).
+    Config(String),
+    /// An error from the relational engine.
+    Db(DbError),
+    /// An error from the Gremlin layer.
+    Gremlin(GremlinError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Config(m) => write!(f, "overlay config error: {m}"),
+            GraphError::Db(e) => write!(f, "{e}"),
+            GraphError::Gremlin(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<DbError> for GraphError {
+    fn from(e: DbError) -> Self {
+        GraphError::Db(e)
+    }
+}
+
+impl From<GremlinError> for GraphError {
+    fn from(e: GremlinError) -> Self {
+        GraphError::Gremlin(e)
+    }
+}
+
+/// Result alias for the crate.
+pub type GraphResult<T> = Result<T, GraphError>;
+
+/// Convert a graph error into a Gremlin backend error (used inside the
+/// `GraphBackend` implementation, whose trait returns `GResult`).
+pub fn to_gremlin(e: GraphError) -> GremlinError {
+    match e {
+        GraphError::Gremlin(g) => g,
+        other => GremlinError::Backend(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: GraphError = DbError::Catalog("x".into()).into();
+        assert!(matches!(e, GraphError::Db(_)));
+        let e: GraphError = GremlinError::Parse("y".into()).into();
+        assert!(matches!(e, GraphError::Gremlin(_)));
+        let g = to_gremlin(GraphError::Config("bad".into()));
+        assert!(matches!(g, GremlinError::Backend(_)));
+        let g = to_gremlin(GraphError::Gremlin(GremlinError::Parse("p".into())));
+        assert!(matches!(g, GremlinError::Parse(_)));
+    }
+}

@@ -1,0 +1,247 @@
+//! The `Db2Graph` entry point: open a graph over a database, run Gremlin,
+//! and register the `graphQuery` polymorphic table function.
+
+use std::sync::Arc;
+
+use gremlin::exec::ExecOptions;
+use gremlin::strategy::{IdentityRemoval, StrategyRegistry};
+use gremlin::structure::{Element, GValue};
+use gremlin::ScriptRunner;
+use reldb::{DataType, Database, DbError, DbResult, RowSet, TableFunction, Value};
+
+use crate::config::OverlayConfig;
+use crate::error::{GraphError, GraphResult};
+use crate::graph_structure::{to_value, Db2GraphBackend};
+use crate::sql_dialect::SqlDialect;
+use crate::stats::OverlayStatsSnapshot;
+use crate::strategies::StrategyConfig;
+use crate::topology::Topology;
+
+/// Options controlling a graph's optimizer and executor.
+#[derive(Debug, Clone, Default)]
+pub struct GraphOptions {
+    pub strategies: StrategyConfig,
+    pub exec: ExecOptions,
+}
+
+/// A property graph overlaid on a relational database.
+///
+/// The analogue of the paper's
+/// `g = Db2Graph.open('config.properties').traversal()`: opening resolves
+/// the overlay topology against the catalog; afterwards every Gremlin query
+/// executes as SQL against the *live* tables — updates made through SQL are
+/// immediately visible to graph queries, because there is no second copy of
+/// the data.
+pub struct Db2Graph {
+    db: Arc<Database>,
+    backend: Arc<Db2GraphBackend>,
+    registry: StrategyRegistry,
+    options: GraphOptions,
+}
+
+impl Db2Graph {
+    /// Open a graph with default options (all optimized strategies on).
+    pub fn open(db: Arc<Database>, config: &OverlayConfig) -> GraphResult<Arc<Db2Graph>> {
+        Self::open_with_options(db, config, GraphOptions::default())
+    }
+
+    /// Open a graph from a JSON overlay configuration string.
+    pub fn open_json(db: Arc<Database>, config_json: &str) -> GraphResult<Arc<Db2Graph>> {
+        let config = OverlayConfig::from_json(config_json)?;
+        Self::open(db, &config)
+    }
+
+    /// Open with explicit optimizer/executor options.
+    pub fn open_with_options(
+        db: Arc<Database>,
+        config: &OverlayConfig,
+        options: GraphOptions,
+    ) -> GraphResult<Arc<Db2Graph>> {
+        let topo = Arc::new(Topology::resolve(&db, config)?);
+        let backend = Arc::new(Db2GraphBackend::new(db.clone(), topo));
+        let mut registry = StrategyRegistry::new();
+        registry.add(Arc::new(IdentityRemoval));
+        for s in options.strategies.build() {
+            registry.add(s);
+        }
+        Ok(Arc::new(Db2Graph { db, backend, registry, options }))
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The resolved overlay topology.
+    pub fn topology(&self) -> &Topology {
+        self.backend.topology()
+    }
+
+    /// The SQL Dialect module (template cache, index advisor).
+    pub fn dialect(&self) -> &SqlDialect {
+        self.backend.dialect()
+    }
+
+    /// Overlay execution counters.
+    pub fn stats(&self) -> OverlayStatsSnapshot {
+        self.backend.stats().snapshot()
+    }
+
+    /// Run a Gremlin script; returns the final statement's results.
+    pub fn run(&self, gremlin: &str) -> GraphResult<Vec<GValue>> {
+        let runner = ScriptRunner::new(self.backend.as_ref())
+            .with_strategies(self.registry.clone())
+            .with_options(self.options.exec.clone());
+        runner.run(gremlin).map_err(GraphError::Gremlin)
+    }
+
+    /// The optimized step plan for a single-statement script.
+    pub fn plan(&self, gremlin: &str) -> GraphResult<gremlin::Traversal> {
+        let runner = ScriptRunner::new(self.backend.as_ref())
+            .with_strategies(self.registry.clone())
+            .with_options(self.options.exec.clone());
+        runner.plan(gremlin).map_err(GraphError::Gremlin)
+    }
+
+    /// Plan description string (EXPLAIN for graph queries).
+    pub fn explain(&self, gremlin: &str) -> GraphResult<String> {
+        Ok(self.plan(gremlin)?.describe())
+    }
+
+    /// Run a Gremlin script and shape the results into rows for the given
+    /// declared columns — the conversion behind the `graphQuery` table
+    /// function (Section 4). Shaping rules:
+    ///
+    /// * map results (`valueMap`, `select('a','b')`) become rows by column
+    ///   name;
+    /// * element results become rows from their properties (plus `id` and
+    ///   `label` pseudo-columns);
+    /// * scalar results are chunked into rows of the declared width, in
+    ///   stream order (so `values('a','b')` with two declared columns
+    ///   yields one row per element);
+    /// * a single list result (from `cap`/`fold`) is unwrapped first.
+    pub fn query_rows(&self, gremlin: &str, columns: &[(String, DataType)]) -> GraphResult<RowSet> {
+        let mut results = self.run(gremlin)?;
+        if results.len() == 1 {
+            if let GValue::List(items) = &results[0] {
+                results = items.clone();
+            }
+        }
+        let names: Vec<String> = columns.iter().map(|(n, _)| n.clone()).collect();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let all_maps = !results.is_empty()
+            && results.iter().all(|v| matches!(v, GValue::Map(_)));
+        let all_elements = !results.is_empty()
+            && results
+                .iter()
+                .all(|v| matches!(v, GValue::Vertex(_) | GValue::Edge(_)));
+        if all_maps {
+            for v in &results {
+                let GValue::Map(m) = v else { unreachable!() };
+                let row: Vec<Value> = names
+                    .iter()
+                    .map(|n| {
+                        m.iter()
+                            .find(|(k, _)| k.eq_ignore_ascii_case(n))
+                            .and_then(|(_, v)| to_value(v))
+                            .unwrap_or(Value::Null)
+                    })
+                    .collect();
+                rows.push(row);
+            }
+        } else if all_elements {
+            for v in &results {
+                let e = v.as_element().expect("checked");
+                let row: Vec<Value> = names
+                    .iter()
+                    .map(|n| {
+                        gremlin::backend::element_property(&e, n)
+                            .and_then(|v| to_value(&v))
+                            .unwrap_or(Value::Null)
+                    })
+                    .collect();
+                rows.push(row);
+            }
+        } else {
+            // Scalars chunked into rows of the declared width.
+            let width = columns.len().max(1);
+            if !results.is_empty() && results.len() % width != 0 {
+                return Err(GraphError::Config(format!(
+                    "graphQuery returned {} values, not divisible into rows of {} declared columns",
+                    results.len(),
+                    width
+                )));
+            }
+            for chunk in results.chunks(width) {
+                let row: Vec<Value> = chunk
+                    .iter()
+                    .map(|v| to_value(v).unwrap_or(Value::Null))
+                    .collect();
+                rows.push(row);
+            }
+        }
+        Ok(RowSet::with_rows(names, rows))
+    }
+
+    /// Register this graph's `graphQuery` table function in its database
+    /// under the given name (conventionally `graphQuery`), enabling the
+    /// Section 4 synergy pattern:
+    ///
+    /// ```sql
+    /// SELECT ... FROM T, TABLE(graphQuery('gremlin', '<script>'))
+    ///   AS P (col1 BIGINT, col2 BIGINT) WHERE ...
+    /// ```
+    pub fn register_graph_query(self: &Arc<Self>, name: &str) {
+        let graph = Arc::clone(self);
+        self.db.register_function(name, Arc::new(GraphQueryFunction { graph }));
+    }
+
+    /// Convert a list of elements into their ids (convenience for callers).
+    pub fn element_ids(values: &[GValue]) -> Vec<GValue> {
+        values
+            .iter()
+            .map(|v| match v {
+                GValue::Vertex(vx) => gremlin::structure::id_value(&vx.id),
+                GValue::Edge(e) => gremlin::structure::id_value(&e.id),
+                other => other.clone(),
+            })
+            .collect()
+    }
+}
+
+/// The `graphQuery` polymorphic table function.
+struct GraphQueryFunction {
+    graph: Arc<Db2Graph>,
+}
+
+impl TableFunction for GraphQueryFunction {
+    fn eval(&self, args: &[Value], columns: &[(String, DataType)]) -> DbResult<RowSet> {
+        // Accept graphQuery('gremlin', '<script>') and graphQuery('<script>').
+        let script = match args {
+            [lang, script] => {
+                let l = lang.as_str()?;
+                if !l.eq_ignore_ascii_case("gremlin") {
+                    return Err(DbError::Unsupported(format!(
+                        "graphQuery language '{l}' (only 'gremlin' is supported)"
+                    )));
+                }
+                script.as_str()?
+            }
+            [script] => script.as_str()?,
+            _ => {
+                return Err(DbError::Execution(
+                    "graphQuery expects (language, script) or (script)".into(),
+                ))
+            }
+        };
+        self.graph
+            .query_rows(script, columns)
+            .map_err(|e| DbError::Execution(e.to_string()))
+    }
+}
+
+/// Helper used in docs and tests: true when a Gremlin result set consists
+/// of elements only.
+pub fn all_elements(values: &[GValue]) -> bool {
+    values.iter().all(|v| v.as_element().map(|_: Element| true).unwrap_or(false))
+}

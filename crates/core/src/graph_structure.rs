@@ -1,0 +1,1247 @@
+//! The Graph Structure module: the overlay implementation of the graph
+//! structure API.
+//!
+//! Every graph operation here turns into SQL against the overlaid tables,
+//! generated through the SQL Dialect module. The data-dependent runtime
+//! optimizations of Section 6.3 are all implemented:
+//!
+//! 1. **Using source/destination vertex tables** — adjacency queries skip
+//!    edge tables whose `src_v_table`/`dst_v_table` cannot match the source
+//!    vertices' table, and endpoint lookups go straight to the one declared
+//!    vertex table.
+//! 2. **When a vertex table is also an edge table** — `outV()`/`inV()`
+//!    construct the vertex from the edge itself (no SQL) when the endpoint
+//!    vertex table is the edge's own table and its properties are subsumed
+//!    by the edge's.
+//! 3. **Using property names in pushdown information** — tables lacking a
+//!    pushed-down predicate/projection property are eliminated.
+//! 4. **Using label values** — fixed-label tables not matching the query
+//!    labels are eliminated; column-label tables are always searched.
+//! 5. **Using prefixed id values** — a prefixed id pins the exact table,
+//!    and composite ids decompose into conjunctive column predicates.
+//! 6. **Using implicit edge id values** — `src::label::dst` ids are broken
+//!    apart, the embedded label eliminates tables, and the parts become
+//!    conjunctive predicates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gremlin::backend::{
+    AggOp, BackendOutput, Direction, EdgeEnd, ElementFilter, ElementKind, GraphBackend, Pred,
+    PropPred,
+};
+use gremlin::structure::{Edge, Element, ElementId, GValue, Vertex};
+use gremlin::GResult;
+use reldb::{Database, DataType, Row, RowSet, Value};
+
+use crate::error::{to_gremlin, GraphError, GraphResult};
+use crate::ids::{implicit_edge_id, split_implicit_edge_id, EdgeIdDef, IdDef};
+use crate::sql_dialect::{build_select, composite_in, ident, in_list, SqlDialect};
+use crate::stats::OverlayStats;
+use crate::topology::{EdgeTable, LabelDef, Topology, VertexTable};
+
+/// Convert a relational value into a Gremlin value.
+pub fn to_gvalue(v: &Value) -> GValue {
+    match v {
+        Value::Null => GValue::Null,
+        Value::Bigint(x) => GValue::Long(*x),
+        Value::Double(x) => GValue::Double(*x),
+        Value::Varchar(s) => GValue::Str(s.clone()),
+        Value::Boolean(b) => GValue::Bool(*b),
+    }
+}
+
+/// Convert a Gremlin value into a relational value (scalar kinds only).
+pub fn to_value(v: &GValue) -> Option<Value> {
+    match v {
+        GValue::Null => Some(Value::Null),
+        GValue::Long(x) => Some(Value::Bigint(*x)),
+        GValue::Double(x) => Some(Value::Double(*x)),
+        GValue::Str(s) => Some(Value::Varchar(s.clone())),
+        GValue::Bool(b) => Some(Value::Boolean(*b)),
+        _ => None,
+    }
+}
+
+/// Coerce an id text fragment to a column's type; view columns (unknown
+/// type) use a numeric-looking heuristic.
+fn coerce_id_text(text: &str, ty: Option<DataType>) -> GraphResult<Value> {
+    match ty {
+        Some(t) => IdDef::coerce(text, t),
+        None => {
+            if !text.is_empty()
+                && text.chars().enumerate().all(|(i, c)| c.is_ascii_digit() || (i == 0 && c == '-'))
+            {
+                Ok(Value::Bigint(text.parse().unwrap_or(0)))
+            } else {
+                Ok(Value::Varchar(text.to_string()))
+            }
+        }
+    }
+}
+
+/// The overlay backend: executes graph operations as SQL.
+pub struct Db2GraphBackend {
+    pub(crate) topo: Arc<Topology>,
+    pub(crate) dialect: SqlDialect,
+    pub(crate) stats: OverlayStats,
+}
+
+impl Db2GraphBackend {
+    pub fn new(db: Arc<Database>, topo: Arc<Topology>) -> Db2GraphBackend {
+        let dialect = SqlDialect::new(db);
+        Db2GraphBackend { topo, dialect, stats: OverlayStats::default() }
+    }
+
+    pub fn stats(&self) -> &OverlayStats {
+        &self.stats
+    }
+
+    pub fn dialect(&self) -> &SqlDialect {
+        &self.dialect
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    // ---------------------------------------------------------- vertices
+
+    /// Columns to SELECT for vertices of `vt` under an optional projection.
+    fn vertex_columns(&self, vt: &VertexTable, projection: Option<&[String]>) -> (Vec<String>, Vec<String>) {
+        let mut cols: Vec<String> = vt.id.columns().iter().map(|c| c.to_string()).collect();
+        if let LabelDef::Column(c) = &vt.label {
+            if !cols.iter().any(|x| x.eq_ignore_ascii_case(c)) {
+                cols.push(c.clone());
+            }
+        }
+        let props: Vec<String> = match projection {
+            Some(keys) => vt
+                .properties
+                .iter()
+                .filter(|p| keys.iter().any(|k| k.eq_ignore_ascii_case(p)))
+                .cloned()
+                .collect(),
+            None => vt.properties.clone(),
+        };
+        for p in &props {
+            if !cols.iter().any(|x| x.eq_ignore_ascii_case(p)) {
+                cols.push(p.clone());
+            }
+        }
+        (cols, props)
+    }
+
+    /// Materialize a vertex from a result row.
+    fn vertex_from_row(&self, vt: &VertexTable, rs: &RowSet, row: &Row) -> GraphResult<Vertex> {
+        let id_vals: Vec<Value> = vt
+            .id
+            .columns()
+            .iter()
+            .map(|c| {
+                let i = rs.column_index(c).expect("id column selected");
+                row[i].clone()
+            })
+            .collect();
+        let id = vt.id.encode(&id_vals)?;
+        let label = match &vt.label {
+            LabelDef::Fixed(l) => l.clone(),
+            LabelDef::Column(c) => {
+                let i = rs.column_index(c).expect("label column selected");
+                row[i].to_string()
+            }
+        };
+        let mut v = Vertex::new(id, label);
+        for p in &vt.properties {
+            if let Some(i) = rs.column_index(p) {
+                if !row[i].is_null() {
+                    v.properties.insert(p.clone(), to_gvalue(&row[i]));
+                }
+            }
+        }
+        v.provenance = Some(vt.name.clone());
+        Ok(v)
+    }
+
+    /// Translate a property predicate into a SQL conjunct for a table that
+    /// has the column. Returns `None` when it cannot be pushed (the caller
+    /// must post-filter).
+    fn pred_to_sql(col: &str, pred: &Pred) -> Option<(String, Vec<Value>)> {
+        let conv = |g: &GValue| to_value(g);
+        Some(match pred {
+            Pred::Eq(v) => (format!("{} = ?", ident(col)), vec![conv(v)?]),
+            Pred::Neq(v) => (format!("{} <> ?", ident(col)), vec![conv(v)?]),
+            Pred::Gt(v) => (format!("{} > ?", ident(col)), vec![conv(v)?]),
+            Pred::Gte(v) => (format!("{} >= ?", ident(col)), vec![conv(v)?]),
+            Pred::Lt(v) => (format!("{} < ?", ident(col)), vec![conv(v)?]),
+            Pred::Lte(v) => (format!("{} <= ?", ident(col)), vec![conv(v)?]),
+            Pred::Within(vs) => {
+                let vals: Option<Vec<Value>> = vs.iter().map(conv).collect();
+                (in_list(col, vs.len()), vals?)
+            }
+            Pred::Between(lo, hi) => (
+                format!("({c} >= ? AND {c} < ?)", c = ident(col)),
+                vec![conv(lo)?, conv(hi)?],
+            ),
+            Pred::Exists => (format!("{} IS NOT NULL", ident(col)), Vec::new()),
+            Pred::Absent => (format!("{} IS NULL", ident(col)), Vec::new()),
+        })
+    }
+
+    /// Build id-based conjuncts for a vertex table from a set of element
+    /// ids. Returns `None` when no id can belong to this table (table is
+    /// eliminated).
+    fn id_conjunct_for(
+        def: &IdDef,
+        column_type: impl Fn(&str) -> Option<DataType>,
+        ids: &[ElementId],
+    ) -> GraphResult<Option<(String, Vec<Value>)>> {
+        let cols = def.columns();
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        for id in ids {
+            if let Some(parts) = def.decode(id) {
+                let mut key = Vec::with_capacity(parts.len());
+                let mut ok = true;
+                for (text, col) in parts.iter().zip(&cols) {
+                    match coerce_id_text(text, column_type(col)) {
+                        Ok(v) => key.push(v),
+                        Err(_) => {
+                            // Type mismatch (e.g. text fragment for a
+                            // BIGINT column): this id can't be here.
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    keys.push(key);
+                }
+            }
+        }
+        if keys.is_empty() {
+            return Ok(None);
+        }
+        if cols.len() == 1 {
+            let sql = in_list(cols[0], keys.len());
+            let params: Vec<Value> = keys.into_iter().map(|mut k| k.remove(0)).collect();
+            Ok(Some((sql, params)))
+        } else {
+            let sql = composite_in(&cols, keys.len());
+            let params: Vec<Value> = keys.into_iter().flatten().collect();
+            Ok(Some((sql, params)))
+        }
+    }
+
+    fn fetch_vertices(&self, filter: &ElementFilter) -> GraphResult<BackendOutput> {
+        self.stats.record_considered(self.topo.vertex_tables.len() as u64);
+        let mut outputs: Vec<Element> = Vec::new();
+        let mut values: Vec<GValue> = Vec::new();
+        let mut agg = AggCombiner::new(filter.aggregate);
+        let mut pruned = 0u64;
+
+        for vt in &self.topo.vertex_tables {
+            match self.query_vertex_table(vt, filter)? {
+                TableResult::Pruned => pruned += 1,
+                TableResult::Elements(es) => outputs.extend(es),
+                TableResult::Values(vs) => values.extend(vs),
+                TableResult::Agg(parts) => agg.add(parts),
+            }
+        }
+        self.stats.record_pruned(pruned);
+        if filter.aggregate.is_some() {
+            return Ok(agg.finish());
+        }
+        if filter.projection.is_some() {
+            return Ok(BackendOutput::Values(values));
+        }
+        Ok(BackendOutput::Elements(outputs))
+    }
+
+    fn query_vertex_table(
+        &self,
+        vt: &VertexTable,
+        filter: &ElementFilter,
+    ) -> GraphResult<TableResult> {
+        // --- Using Label Values: eliminate fixed-label mismatches.
+        if let (Some(labels), Some(fixed)) = (&filter.labels, vt.fixed_label()) {
+            if !labels.iter().any(|l| l == fixed) {
+                return Ok(TableResult::Pruned);
+            }
+        }
+        // --- Using Property Names: predicates and projections require the
+        // property to exist on this table.
+        for p in &filter.predicates {
+            if p.key != "label" && p.key != "id" && !vt.has_property(&p.key) {
+                // hasNot on a property the table doesn't have is trivially
+                // satisfied; anything else eliminates the table.
+                if !matches!(p.pred, Pred::Absent) {
+                    return Ok(TableResult::Pruned);
+                }
+            }
+        }
+        if let Some(keys) = &filter.projection {
+            if !keys.iter().any(|k| vt.has_property(k)) {
+                return Ok(TableResult::Pruned);
+            }
+        }
+
+        let mut conjuncts: Vec<String> = Vec::new();
+        let mut params: Vec<Value> = Vec::new();
+        let mut pattern_cols: Vec<String> = Vec::new();
+
+        // --- Using Prefixed Id Values: decode ids; prune on no match.
+        if let Some(ids) = &filter.ids {
+            match Self::id_conjunct_for(&vt.id, |c| vt.column_type(c), ids)? {
+                None => return Ok(TableResult::Pruned),
+                Some((sql, mut p)) => {
+                    conjuncts.push(sql);
+                    params.append(&mut p);
+                    pattern_cols.extend(vt.id.columns().iter().map(|c| c.to_string()));
+                }
+            }
+        }
+        // Label predicate on a label column.
+        if let Some(labels) = &filter.labels {
+            if let LabelDef::Column(c) = &vt.label {
+                conjuncts.push(in_list(c, labels.len()));
+                params.extend(labels.iter().map(|l| Value::Varchar(l.clone())));
+                pattern_cols.push(c.clone());
+            }
+        }
+        // Property predicates.
+        for p in &filter.predicates {
+            let col = match (p.key.as_str(), &vt.label) {
+                ("label", LabelDef::Column(c)) => c.clone(),
+                ("label", LabelDef::Fixed(fixed)) => {
+                    // Evaluate against the constant now.
+                    if !p.pred.test(Some(&GValue::Str(fixed.clone()))) {
+                        return Ok(TableResult::Pruned);
+                    }
+                    continue;
+                }
+                ("id", _) => {
+                    // hasId predicates that weren't folded into filter.ids:
+                    // post-filter below.
+                    continue;
+                }
+                _ => p.key.clone(),
+            };
+            if !vt.has_column(&col) {
+                // Only reachable for hasNot on an absent column: trivially
+                // true, nothing to push.
+                continue;
+            }
+            match Self::pred_to_sql(&col, &p.pred) {
+                Some((sql, mut ps)) => {
+                    conjuncts.push(sql);
+                    params.append(&mut ps);
+                    pattern_cols.push(col);
+                }
+                None => { /* post-filtered below */ }
+            }
+        }
+
+        // Aggregate pushdown.
+        if let Some(op) = filter.aggregate {
+            return self.run_aggregate(
+                &vt.name,
+                &conjuncts,
+                &params,
+                &pattern_cols,
+                op,
+                filter.projection.as_deref(),
+                |k| vt.has_property(k),
+                |k| vt.column_type(k),
+            );
+        }
+
+        let (cols, props) = self.vertex_columns(vt, filter.projection.as_deref());
+        let sql = build_select(&vt.name, &cols, &conjuncts, None);
+        pattern_cols.sort();
+        pattern_cols.dedup();
+        let rs = self
+            .dialect
+            .query(&self.stats, &sql, &params, Some((&vt.name, &pattern_cols)))
+            .map_err(GraphError::Db)?;
+
+        if let Some(keys) = &filter.projection {
+            // Projection pushdown: emit scalar values in requested order.
+            let mut out = Vec::new();
+            for row in &rs.rows {
+                for k in keys {
+                    if props.iter().any(|p| p.eq_ignore_ascii_case(k)) {
+                        if let Some(i) = rs.column_index(k) {
+                            if !row[i].is_null() {
+                                out.push(to_gvalue(&row[i]));
+                            }
+                        }
+                    }
+                }
+            }
+            return Ok(TableResult::Values(out));
+        }
+
+        let mut out = Vec::with_capacity(rs.rows.len());
+        for row in &rs.rows {
+            let v = self.vertex_from_row(vt, &rs, row)?;
+            let el = Element::Vertex(v);
+            // Residual check covers anything not pushed to SQL.
+            if filter.matches(&el) {
+                out.push(el);
+            }
+        }
+        Ok(TableResult::Elements(out))
+    }
+
+    // ------------------------------------------------------------- edges
+
+    fn edge_columns(&self, et: &EdgeTable, projection: Option<&[String]>) -> (Vec<String>, Vec<String>) {
+        let mut cols: Vec<String> = Vec::new();
+        let push = |c: &str, cols: &mut Vec<String>| {
+            if !cols.iter().any(|x| x.eq_ignore_ascii_case(c)) {
+                cols.push(c.to_string());
+            }
+        };
+        for c in et.src_v.columns() {
+            push(c, &mut cols);
+        }
+        for c in et.dst_v.columns() {
+            push(c, &mut cols);
+        }
+        if let EdgeIdDef::Explicit(def) = &et.id {
+            for c in def.columns() {
+                push(c, &mut cols);
+            }
+        }
+        if let LabelDef::Column(c) = &et.label {
+            push(c, &mut cols);
+        }
+        let props: Vec<String> = match projection {
+            Some(keys) => et
+                .properties
+                .iter()
+                .filter(|p| keys.iter().any(|k| k.eq_ignore_ascii_case(p)))
+                .cloned()
+                .collect(),
+            None => et.properties.clone(),
+        };
+        for p in &props {
+            push(p, &mut cols);
+        }
+        (cols, props)
+    }
+
+    fn edge_from_row(&self, et: &EdgeTable, rs: &RowSet, row: &Row) -> GraphResult<Edge> {
+        let get_vals = |def: &IdDef| -> Vec<Value> {
+            def.columns()
+                .iter()
+                .map(|c| {
+                    let i = rs.column_index(c).expect("endpoint column selected");
+                    row[i].clone()
+                })
+                .collect()
+        };
+        let src = et.src_v.encode(&get_vals(&et.src_v))?;
+        let dst = et.dst_v.encode(&get_vals(&et.dst_v))?;
+        let label = match &et.label {
+            LabelDef::Fixed(l) => l.clone(),
+            LabelDef::Column(c) => {
+                let i = rs.column_index(c).expect("label column selected");
+                row[i].to_string()
+            }
+        };
+        let id = match &et.id {
+            EdgeIdDef::Explicit(def) => def.encode(&get_vals(def))?,
+            EdgeIdDef::Implicit => implicit_edge_id(&src, &label, &dst),
+        };
+        let mut e = Edge::new(id, label, src, dst);
+        for p in &et.properties {
+            if let Some(i) = rs.column_index(p) {
+                if !row[i].is_null() {
+                    e.properties.insert(p.clone(), to_gvalue(&row[i]));
+                }
+            }
+        }
+        e.provenance = Some(et.name.clone());
+        Ok(e)
+    }
+
+    fn fetch_edges(&self, filter: &ElementFilter) -> GraphResult<BackendOutput> {
+        self.stats.record_considered(self.topo.edge_tables.len() as u64);
+        let mut outputs: Vec<Element> = Vec::new();
+        let mut values: Vec<GValue> = Vec::new();
+        let mut agg = AggCombiner::new(filter.aggregate);
+        let mut pruned = 0u64;
+        for et in &self.topo.edge_tables {
+            match self.query_edge_table(et, filter)? {
+                TableResult::Pruned => pruned += 1,
+                TableResult::Elements(es) => outputs.extend(es),
+                TableResult::Values(vs) => values.extend(vs),
+                TableResult::Agg(parts) => agg.add(parts),
+            }
+        }
+        self.stats.record_pruned(pruned);
+        if filter.aggregate.is_some() {
+            return Ok(agg.finish());
+        }
+        if filter.projection.is_some() {
+            return Ok(BackendOutput::Values(values));
+        }
+        Ok(BackendOutput::Elements(outputs))
+    }
+
+    fn query_edge_table(&self, et: &EdgeTable, filter: &ElementFilter) -> GraphResult<TableResult> {
+        if let (Some(labels), Some(fixed)) = (&filter.labels, et.fixed_label()) {
+            if !labels.iter().any(|l| l == fixed) {
+                return Ok(TableResult::Pruned);
+            }
+        }
+        for p in &filter.predicates {
+            if p.key != "label" && p.key != "id" && !et.has_property(&p.key) {
+                if !matches!(p.pred, Pred::Absent) {
+                    return Ok(TableResult::Pruned);
+                }
+            }
+        }
+        if let Some(keys) = &filter.projection {
+            if !keys.iter().any(|k| et.has_property(k)) {
+                return Ok(TableResult::Pruned);
+            }
+        }
+
+        let mut conjuncts: Vec<String> = Vec::new();
+        let mut params: Vec<Value> = Vec::new();
+        let mut pattern_cols: Vec<String> = Vec::new();
+        let mut post_filter_ids = false;
+
+        // --- Edge ids (explicit or implicit).
+        if let Some(ids) = &filter.ids {
+            match &et.id {
+                EdgeIdDef::Explicit(def) => {
+                    match Self::id_conjunct_for(def, |c| et.column_type(c), ids)? {
+                        None => return Ok(TableResult::Pruned),
+                        Some((sql, mut p)) => {
+                            conjuncts.push(sql);
+                            params.append(&mut p);
+                            pattern_cols.extend(def.columns().iter().map(|c| c.to_string()));
+                        }
+                    }
+                }
+                EdgeIdDef::Implicit => {
+                    if let Some(fixed) = et.fixed_label() {
+                        // --- Using Implicit Edge Id Values: label inside the
+                        // id eliminates tables; parts become predicates.
+                        let mut src_ids = Vec::new();
+                        let mut dst_ids = Vec::new();
+                        for id in ids {
+                            if let Some((s, d)) = split_implicit_edge_id(id, fixed) {
+                                src_ids.push(ElementId::Str(s));
+                                dst_ids.push(ElementId::Str(d));
+                            }
+                        }
+                        if src_ids.is_empty() {
+                            return Ok(TableResult::Pruned);
+                        }
+                        let src_c =
+                            Self::id_conjunct_for(&et.src_v, |c| et.column_type(c), &src_ids)?;
+                        let dst_c =
+                            Self::id_conjunct_for(&et.dst_v, |c| et.column_type(c), &dst_ids)?;
+                        match (src_c, dst_c) {
+                            (Some((s_sql, mut s_p)), Some((d_sql, mut d_p))) => {
+                                conjuncts.push(s_sql);
+                                params.append(&mut s_p);
+                                conjuncts.push(d_sql);
+                                params.append(&mut d_p);
+                                pattern_cols
+                                    .extend(et.src_v.columns().iter().map(|c| c.to_string()));
+                                pattern_cols
+                                    .extend(et.dst_v.columns().iter().map(|c| c.to_string()));
+                            }
+                            _ => return Ok(TableResult::Pruned),
+                        }
+                    } else {
+                        // Column label: cannot decompose without knowing the
+                        // label; fetch and post-filter by computed id.
+                        post_filter_ids = true;
+                    }
+                }
+            }
+        }
+
+        // --- src/dst id constraints (GraphStep::VertexStep mutation).
+        for (def, ids_opt, which) in [
+            (&et.src_v, &filter.src_ids, "src"),
+            (&et.dst_v, &filter.dst_ids, "dst"),
+        ] {
+            if let Some(ids) = ids_opt {
+                match Self::id_conjunct_for(def, |c| et.column_type(c), ids)? {
+                    None => return Ok(TableResult::Pruned),
+                    Some((sql, mut p)) => {
+                        conjuncts.push(sql);
+                        params.append(&mut p);
+                        pattern_cols.extend(def.columns().iter().map(|c| c.to_string()));
+                        let _ = which;
+                    }
+                }
+            }
+        }
+
+        if let Some(labels) = &filter.labels {
+            if let LabelDef::Column(c) = &et.label {
+                conjuncts.push(in_list(c, labels.len()));
+                params.extend(labels.iter().map(|l| Value::Varchar(l.clone())));
+                pattern_cols.push(c.clone());
+            }
+        }
+        for p in &filter.predicates {
+            let col = match (p.key.as_str(), &et.label) {
+                ("label", LabelDef::Column(c)) => c.clone(),
+                ("label", LabelDef::Fixed(fixed)) => {
+                    if !p.pred.test(Some(&GValue::Str(fixed.clone()))) {
+                        return Ok(TableResult::Pruned);
+                    }
+                    continue;
+                }
+                ("id", _) => continue,
+                _ => p.key.clone(),
+            };
+            if !et.has_column(&col) {
+                continue;
+            }
+            if let Some((sql, mut ps)) = Self::pred_to_sql(&col, &p.pred) {
+                conjuncts.push(sql);
+                params.append(&mut ps);
+                pattern_cols.push(col);
+            }
+        }
+
+        if let Some(op) = filter.aggregate {
+            if !post_filter_ids {
+                return self.run_aggregate(
+                    &et.name,
+                    &conjuncts,
+                    &params,
+                    &pattern_cols,
+                    op,
+                    filter.projection.as_deref(),
+                    |k| et.has_property(k),
+                    |k| et.column_type(k),
+                );
+            }
+        }
+
+        let (cols, props) = self.edge_columns(et, filter.projection.as_deref());
+        let sql = build_select(&et.name, &cols, &conjuncts, None);
+        pattern_cols.sort();
+        pattern_cols.dedup();
+        let rs = self
+            .dialect
+            .query(&self.stats, &sql, &params, Some((&et.name, &pattern_cols)))
+            .map_err(GraphError::Db)?;
+
+        let mut elements: Vec<Element> = Vec::with_capacity(rs.rows.len());
+        for row in &rs.rows {
+            let e = self.edge_from_row(et, &rs, row)?;
+            let el = Element::Edge(e);
+            if filter.matches(&el) {
+                elements.push(el);
+            } else if !post_filter_ids {
+                // filter.matches re-checks ids; when ids were pushed to SQL
+                // this should never reject.
+                continue;
+            }
+        }
+
+        if let Some(op) = filter.aggregate {
+            // Post-filtered aggregate fallback.
+            return Ok(TableResult::Agg(AggParts::from_count(op, elements.len() as i64)));
+        }
+        if let Some(keys) = &filter.projection {
+            let mut out = Vec::new();
+            for el in &elements {
+                for k in keys {
+                    if props.iter().any(|p| p.eq_ignore_ascii_case(k)) {
+                        if let Some(v) = el.properties().get(k) {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+            }
+            return Ok(TableResult::Values(out));
+        }
+        Ok(TableResult::Elements(elements))
+    }
+
+    /// Run an aggregate-pushdown query for one table.
+    #[allow(clippy::too_many_arguments)]
+    fn run_aggregate(
+        &self,
+        table: &str,
+        conjuncts: &[String],
+        params: &[Value],
+        pattern_cols: &[String],
+        op: AggOp,
+        projection: Option<&[String]>,
+        has_property: impl Fn(&str) -> bool,
+        column_type: impl Fn(&str) -> Option<DataType>,
+    ) -> GraphResult<TableResult> {
+        let mut pattern_cols = pattern_cols.to_vec();
+        pattern_cols.sort();
+        pattern_cols.dedup();
+        let pattern = Some((table, pattern_cols.as_slice()));
+        match (op, projection) {
+            (AggOp::Count, None) => {
+                let sql = build_select(table, &[], conjuncts, Some("COUNT(*)"));
+                let rs = self
+                    .dialect
+                    .query(&self.stats, &sql, params, pattern)
+                    .map_err(GraphError::Db)?;
+                let n = rs.scalar().and_then(|v| v.as_i64().ok()).unwrap_or(0);
+                Ok(TableResult::Agg(AggParts::from_count(op, n)))
+            }
+            (op, keys) => {
+                // Aggregate over projected property values: per key, issue
+                // the aggregate + count so mean combines across tables.
+                let keys: Vec<String> = keys
+                    .map(|ks| ks.iter().filter(|k| has_property(k)).cloned().collect())
+                    .unwrap_or_default();
+                if keys.is_empty() {
+                    // count() over elements.
+                    let sql = build_select(table, &[], conjuncts, Some("COUNT(*)"));
+                    let rs = self
+                        .dialect
+                        .query(&self.stats, &sql, params, pattern)
+                        .map_err(GraphError::Db)?;
+                    let n = rs.scalar().and_then(|v| v.as_i64().ok()).unwrap_or(0);
+                    return Ok(TableResult::Agg(AggParts::from_count(op, n)));
+                }
+                let mut parts = AggParts::empty(op);
+                for k in &keys {
+                    let func = match op {
+                        AggOp::Count => format!("COUNT({})", ident(k)),
+                        AggOp::Sum => format!("SUM({})", ident(k)),
+                        AggOp::Mean => format!("SUM({0}), COUNT({0})", ident(k)),
+                        AggOp::Min => format!("MIN({})", ident(k)),
+                        AggOp::Max => format!("MAX({})", ident(k)),
+                    };
+                    let sql = build_select(table, &[], conjuncts, Some(&func));
+                    let rs = self
+                        .dialect
+                        .query(&self.stats, &sql, params, pattern)
+                        .map_err(GraphError::Db)?;
+                    let row = rs.rows.first();
+                    let all_long = matches!(column_type(k), Some(DataType::Bigint));
+                    match op {
+                        AggOp::Count => {
+                            let n = row
+                                .and_then(|r| r.first())
+                                .and_then(|v| v.as_i64().ok())
+                                .unwrap_or(0);
+                            parts.count += n;
+                        }
+                        AggOp::Sum | AggOp::Mean => {
+                            if let Some(r) = row {
+                                if let Ok(s) = r[0].as_f64() {
+                                    parts.sum += s;
+                                    parts.saw_values = true;
+                                }
+                                if op == AggOp::Mean {
+                                    parts.count += r[1].as_i64().unwrap_or(0);
+                                } else {
+                                    parts.count += 1;
+                                }
+                                parts.all_long &= all_long;
+                            }
+                        }
+                        AggOp::Min | AggOp::Max => {
+                            if let Some(r) = row {
+                                if !r[0].is_null() {
+                                    let v = to_gvalue(&r[0]);
+                                    parts.merge_minmax(op, v);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(TableResult::Agg(parts))
+            }
+        }
+    }
+
+    // --------------------------------------------------- vertex lookups
+
+    /// Bulk-resolve vertices by id. `hint` (a vertex-table index) pins the
+    /// table directly — the src/dst vertex table optimization. Without a
+    /// hint, prefixed-id decoding eliminates tables.
+    pub(crate) fn lookup_vertices(
+        &self,
+        ids: &[ElementId],
+        hint: Option<usize>,
+        filter: &ElementFilter,
+    ) -> GraphResult<HashMap<ElementId, Vertex>> {
+        let mut out = HashMap::with_capacity(ids.len());
+        if ids.is_empty() {
+            return Ok(out);
+        }
+        let unique_ids: Vec<ElementId> = {
+            let mut seen = std::collections::HashSet::new();
+            ids.iter()
+                // An id constraint already on the filter (a pushed-down
+                // hasId) intersects with the requested endpoint ids.
+                .filter(|i| filter.ids.as_ref().map(|allowed| allowed.contains(i)).unwrap_or(true))
+                .filter(|i| seen.insert((*i).clone()))
+                .cloned()
+                .collect()
+        };
+        if unique_ids.is_empty() {
+            return Ok(out);
+        }
+        let candidates: Vec<usize> = match hint {
+            Some(i) => {
+                self.stats.record_considered(1);
+                vec![i]
+            }
+            None => {
+                self.stats.record_considered(self.topo.vertex_tables.len() as u64);
+                (0..self.topo.vertex_tables.len()).collect()
+            }
+        };
+        let mut pruned = 0u64;
+        for ti in candidates {
+            let vt = &self.topo.vertex_tables[ti];
+            let mut sub = filter.clone();
+            sub.ids = Some(unique_ids.clone());
+            sub.projection = None;
+            sub.aggregate = None;
+            match self.query_vertex_table(vt, &sub)? {
+                TableResult::Pruned => pruned += 1,
+                TableResult::Elements(es) => {
+                    for el in es {
+                        if let Element::Vertex(v) = el {
+                            out.insert(v.id.clone(), v);
+                        }
+                    }
+                }
+                _ => unreachable!("projection/aggregate cleared"),
+            }
+        }
+        self.stats.record_pruned(pruned);
+        Ok(out)
+    }
+
+    /// "When a vertex table is also an edge table": construct the endpoint
+    /// vertex directly from the edge when the vertex table *is* the edge's
+    /// table and the vertex's properties are subsumed by the edge's.
+    fn vertex_from_edge(&self, edge: &Edge, endpoint: &ElementId, vt_idx: usize) -> Option<Vertex> {
+        let vt = &self.topo.vertex_tables[vt_idx];
+        let et_name = edge.provenance.as_deref()?;
+        if !vt.name.eq_ignore_ascii_case(et_name) {
+            return None;
+        }
+        let label = vt.fixed_label()?;
+        // Vertex property columns must be subsumed by the edge's
+        // configured property columns.
+        let et_idx = self.topo.edge_table_index(et_name)?;
+        let et = &self.topo.edge_tables[et_idx];
+        if !vt.properties.iter().all(|p| et.properties.iter().any(|q| q.eq_ignore_ascii_case(p))) {
+            return None;
+        }
+        let mut v = Vertex::new(endpoint.clone(), label);
+        for p in &vt.properties {
+            if let Some(val) = edge.properties.get(p) {
+                v.properties.insert(p.clone(), val.clone());
+            }
+        }
+        v.provenance = Some(vt.name.clone());
+        self.stats.record_vertex_from_edge(1);
+        Some(v)
+    }
+}
+
+// ----------------------------------------------------------- aggregates
+
+/// Per-table aggregate pieces, combinable across tables.
+pub(crate) struct AggParts {
+    op: AggOp,
+    count: i64,
+    sum: f64,
+    all_long: bool,
+    saw_values: bool,
+    minmax: Option<GValue>,
+}
+
+impl AggParts {
+    fn empty(op: AggOp) -> AggParts {
+        AggParts { op, count: 0, sum: 0.0, all_long: true, saw_values: false, minmax: None }
+    }
+
+    fn from_count(op: AggOp, n: i64) -> AggParts {
+        let mut p = AggParts::empty(op);
+        p.count = n;
+        p
+    }
+
+    fn merge_minmax(&mut self, op: AggOp, v: GValue) {
+        self.saw_values = true;
+        self.minmax = Some(match self.minmax.take() {
+            None => v,
+            Some(cur) => {
+                let keep_new = match op {
+                    AggOp::Min => v.total_cmp(&cur).is_lt(),
+                    AggOp::Max => v.total_cmp(&cur).is_gt(),
+                    _ => false,
+                };
+                if keep_new {
+                    v
+                } else {
+                    cur
+                }
+            }
+        });
+    }
+}
+
+struct AggCombiner {
+    op: Option<AggOp>,
+    acc: Option<AggParts>,
+}
+
+impl AggCombiner {
+    fn new(op: Option<AggOp>) -> AggCombiner {
+        AggCombiner { op, acc: None }
+    }
+
+    fn add(&mut self, parts: AggParts) {
+        match &mut self.acc {
+            None => self.acc = Some(parts),
+            Some(acc) => {
+                acc.count += parts.count;
+                acc.sum += parts.sum;
+                acc.all_long &= parts.all_long;
+                acc.saw_values |= parts.saw_values;
+                if let Some(v) = parts.minmax {
+                    acc.merge_minmax(parts.op, v);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> BackendOutput {
+        let op = self.op.expect("combiner used only with aggregate");
+        let acc = match self.acc {
+            Some(a) => a,
+            None => AggParts::empty(op),
+        };
+        match op {
+            AggOp::Count => BackendOutput::Aggregate(GValue::Long(acc.count)),
+            AggOp::Sum => {
+                if !acc.saw_values {
+                    BackendOutput::Elements(Vec::new())
+                } else if acc.all_long {
+                    BackendOutput::Aggregate(GValue::Long(acc.sum as i64))
+                } else {
+                    BackendOutput::Aggregate(GValue::Double(acc.sum))
+                }
+            }
+            AggOp::Mean => {
+                if acc.count == 0 {
+                    BackendOutput::Elements(Vec::new())
+                } else {
+                    BackendOutput::Aggregate(GValue::Double(acc.sum / acc.count as f64))
+                }
+            }
+            AggOp::Min | AggOp::Max => match acc.minmax {
+                Some(v) => BackendOutput::Aggregate(v),
+                None => BackendOutput::Elements(Vec::new()),
+            },
+        }
+    }
+}
+
+enum TableResult {
+    Pruned,
+    Elements(Vec<Element>),
+    Values(Vec<GValue>),
+    Agg(AggParts),
+}
+
+// ------------------------------------------------------ GraphBackend impl
+
+impl GraphBackend for Db2GraphBackend {
+    fn graph_elements(&self, kind: ElementKind, filter: &ElementFilter) -> GResult<BackendOutput> {
+        let r = match kind {
+            ElementKind::Vertices => self.fetch_vertices(filter),
+            ElementKind::Edges => self.fetch_edges(filter),
+        };
+        r.map_err(to_gremlin)
+    }
+
+    fn adjacent(
+        &self,
+        sources: &[Element],
+        direction: Direction,
+        edge_labels: &[String],
+        to: ElementKind,
+        filter: &ElementFilter,
+    ) -> GResult<Vec<Vec<Element>>> {
+        self.adjacent_impl(sources, direction, edge_labels, to, filter)
+            .map_err(to_gremlin)
+    }
+
+    fn edge_endpoints(
+        &self,
+        edges: &[Edge],
+        end: EdgeEnd,
+        came_from: &[Option<ElementId>],
+        filter: &ElementFilter,
+    ) -> GResult<Vec<Vec<Element>>> {
+        self.edge_endpoints_impl(edges, end, came_from, filter).map_err(to_gremlin)
+    }
+
+    fn backend_name(&self) -> &str {
+        "db2graph"
+    }
+}
+
+impl Db2GraphBackend {
+    fn adjacent_impl(
+        &self,
+        sources: &[Element],
+        direction: Direction,
+        edge_labels: &[String],
+        to: ElementKind,
+        filter: &ElementFilter,
+    ) -> GraphResult<Vec<Vec<Element>>> {
+        let mut groups: Vec<Vec<Element>> = vec![Vec::new(); sources.len()];
+        if sources.is_empty() {
+            return Ok(groups);
+        }
+        // Map source vertex id -> positions (a vertex can appear several
+        // times in the frontier).
+        let mut src_positions: HashMap<ElementId, Vec<usize>> = HashMap::new();
+        for (i, s) in sources.iter().enumerate() {
+            src_positions.entry(s.id().clone()).or_default().push(i);
+        }
+        // Group source ids by their provenance vertex table (for the
+        // src/dst vertex table elimination).
+        let mut by_table: HashMap<Option<usize>, Vec<ElementId>> = HashMap::new();
+        for s in sources {
+            let vt_idx = s.provenance().and_then(|t| self.topo.vertex_table_index(t));
+            let entry = by_table.entry(vt_idx).or_default();
+            if !entry.contains(s.id()) {
+                entry.push(s.id().clone());
+            }
+        }
+
+        // Candidate edge tables by label.
+        let label_filter: Option<Vec<String>> =
+            if edge_labels.is_empty() { None } else { Some(edge_labels.to_vec()) };
+        let candidates: Vec<usize> = match &label_filter {
+            Some(labels) => self.topo.edge_tables_for_labels(labels),
+            None => (0..self.topo.edge_tables.len()).collect(),
+        };
+        self.stats.record_considered(self.topo.edge_tables.len() as u64);
+        self.stats
+            .record_pruned((self.topo.edge_tables.len() - candidates.len()) as u64);
+
+        // Edge-level filter for the SQL query (only when edges are the
+        // output; vertex filters apply after endpoint resolution).
+        let edge_filter_preds: Vec<PropPred> =
+            if to == ElementKind::Edges { filter.predicates.clone() } else { Vec::new() };
+
+        struct FoundEdge {
+            edge: Edge,
+            et_idx: usize,
+            via_out: bool,
+        }
+        let mut found: Vec<FoundEdge> = Vec::new();
+
+        for &ei in &candidates {
+            let et = &self.topo.edge_tables[ei];
+            for (vt_idx, ids) in &by_table {
+                let passes = |dir_out: bool| -> bool {
+                    // Source table link optimization: skip when the edge
+                    // table's declared endpoint table differs from the
+                    // sources' table.
+                    let declared = if dir_out { et.src_v_table } else { et.dst_v_table };
+                    match (declared, vt_idx) {
+                        (Some(d), Some(v)) => d == *v,
+                        _ => true,
+                    }
+                };
+                let mut dirs: Vec<bool> = Vec::new();
+                match direction {
+                    Direction::Out => dirs.push(true),
+                    Direction::In => dirs.push(false),
+                    Direction::Both => {
+                        dirs.push(true);
+                        dirs.push(false);
+                    }
+                }
+                for dir_out in dirs {
+                    if !passes(dir_out) {
+                        self.stats.record_pruned(1);
+                        continue;
+                    }
+                    let mut sub = ElementFilter {
+                        labels: label_filter.clone(),
+                        predicates: edge_filter_preds.clone(),
+                        ..Default::default()
+                    };
+                    // Endpoint constraints folded into the step's filter
+                    // (e.g. a getLink-style `filter(inV().id() == x)`)
+                    // combine with the frontier ids.
+                    if to == ElementKind::Edges {
+                        sub.src_ids = filter.src_ids.clone();
+                        sub.dst_ids = filter.dst_ids.clone();
+                    }
+                    let intersect = |slot: &mut Option<Vec<ElementId>>, new: &[ElementId]| match slot {
+                        None => *slot = Some(new.to_vec()),
+                        Some(existing) => existing.retain(|i| new.contains(i)),
+                    };
+                    if dir_out {
+                        intersect(&mut sub.src_ids, ids);
+                    } else {
+                        intersect(&mut sub.dst_ids, ids);
+                    }
+                    match self.query_edge_table(et, &sub)? {
+                        TableResult::Pruned => {}
+                        TableResult::Elements(es) => {
+                            for el in es {
+                                if let Element::Edge(e) = el {
+                                    found.push(FoundEdge { edge: e, et_idx: ei, via_out: dir_out });
+                                }
+                            }
+                        }
+                        _ => unreachable!("no projection/aggregate in sub-filter"),
+                    }
+                }
+            }
+        }
+
+        match to {
+            ElementKind::Edges => {
+                for f in found {
+                    let anchor = if f.via_out { &f.edge.src } else { &f.edge.dst };
+                    if let Some(positions) = src_positions.get(anchor) {
+                        for &p in positions {
+                            groups[p].push(Element::Edge(f.edge.clone()));
+                        }
+                    }
+                }
+            }
+            ElementKind::Vertices => {
+                // Resolve opposite endpoints, batched per edge table +
+                // direction (so the dst_v_table hint applies).
+                let mut need: HashMap<(usize, bool), Vec<ElementId>> = HashMap::new();
+                for f in &found {
+                    let target =
+                        if f.via_out { f.edge.dst.clone() } else { f.edge.src.clone() };
+                    let entry = need.entry((f.et_idx, f.via_out)).or_default();
+                    if !entry.contains(&target) {
+                        entry.push(target);
+                    }
+                }
+                let mut resolved: HashMap<ElementId, Vertex> = HashMap::new();
+                for ((et_idx, via_out), ids) in need {
+                    let et = &self.topo.edge_tables[et_idx];
+                    let hint = if via_out { et.dst_v_table } else { et.src_v_table };
+                    let m = self.lookup_vertices(&ids, hint, filter)?;
+                    resolved.extend(m);
+                }
+                for f in found {
+                    let (anchor, target) = if f.via_out {
+                        (&f.edge.src, &f.edge.dst)
+                    } else {
+                        (&f.edge.dst, &f.edge.src)
+                    };
+                    if let Some(v) = resolved.get(target) {
+                        if let Some(positions) = src_positions.get(anchor) {
+                            for &p in positions {
+                                groups[p].push(Element::Vertex(v.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(groups)
+    }
+
+    fn edge_endpoints_impl(
+        &self,
+        edges: &[Edge],
+        end: EdgeEnd,
+        came_from: &[Option<ElementId>],
+        filter: &ElementFilter,
+    ) -> GraphResult<Vec<Vec<Element>>> {
+        // Endpoint ids needed per edge.
+        let mut wanted: Vec<Vec<ElementId>> = Vec::with_capacity(edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            let ids = match end {
+                EdgeEnd::Out => vec![e.src.clone()],
+                EdgeEnd::In => vec![e.dst.clone()],
+                EdgeEnd::Both => vec![e.src.clone(), e.dst.clone()],
+                EdgeEnd::Other => {
+                    let from = came_from.get(i).and_then(|o| o.as_ref());
+                    match from {
+                        Some(f) if *f == e.src => vec![e.dst.clone()],
+                        Some(f) if *f == e.dst => vec![e.src.clone()],
+                        _ => vec![e.dst.clone()],
+                    }
+                }
+            };
+            wanted.push(ids);
+        }
+        // Try the vertex-from-edge shortcut; collect the rest per edge
+        // table endpoint hint.
+        let mut resolved: HashMap<ElementId, Vertex> = HashMap::new();
+        let mut need: HashMap<Option<usize>, Vec<ElementId>> = HashMap::new();
+        for (e, ids) in edges.iter().zip(&wanted) {
+            let et_idx = e.provenance.as_deref().and_then(|t| self.topo.edge_table_index(t));
+            for id in ids {
+                if resolved.contains_key(id) {
+                    continue;
+                }
+                let hint = et_idx.and_then(|ei| {
+                    let et = &self.topo.edge_tables[ei];
+                    if *id == e.src {
+                        et.src_v_table
+                    } else {
+                        et.dst_v_table
+                    }
+                });
+                if let Some(vt_idx) = hint {
+                    if let Some(v) = self.vertex_from_edge(e, id, vt_idx) {
+                        let el = Element::Vertex(v.clone());
+                        if filter.matches(&el) {
+                            resolved.insert(id.clone(), v);
+                        } else {
+                            // Filtered out: record absence via no entry.
+                        }
+                        continue;
+                    }
+                }
+                let entry = need.entry(hint).or_default();
+                if !entry.contains(id) {
+                    entry.push(id.clone());
+                }
+            }
+        }
+        for (hint, ids) in need {
+            let m = self.lookup_vertices(&ids, hint, filter)?;
+            resolved.extend(m);
+        }
+        let mut out = Vec::with_capacity(edges.len());
+        for ids in wanted {
+            let mut group = Vec::new();
+            for id in ids {
+                if let Some(v) = resolved.get(&id) {
+                    group.push(Element::Vertex(v.clone()));
+                }
+            }
+            out.push(group);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,100 @@
+//! Overlay-level execution counters.
+//!
+//! These make the paper's runtime optimizations *observable*: tests assert
+//! that label filters prune tables, that prefixed ids pin a single table,
+//! and that the vertex-table-is-edge-table shortcut avoids SQL entirely.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing overlay backend activity.
+#[derive(Debug, Default)]
+pub struct OverlayStats {
+    /// SQL queries issued to the relational engine.
+    sql_queries: AtomicU64,
+    /// Prepared-template cache hits in the SQL Dialect module.
+    template_hits: AtomicU64,
+    /// Tables considered by graph-level operations before pruning.
+    tables_considered: AtomicU64,
+    /// Tables eliminated by data-dependent optimizations (labels, prefixed
+    /// ids, property names, src/dst table links).
+    tables_pruned: AtomicU64,
+    /// Vertices constructed directly from edge rows without any SQL
+    /// (the "vertex table is also an edge table" optimization).
+    vertices_from_edges: AtomicU64,
+}
+
+/// A point-in-time copy of [`OverlayStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverlayStatsSnapshot {
+    pub sql_queries: u64,
+    pub template_hits: u64,
+    pub tables_considered: u64,
+    pub tables_pruned: u64,
+    pub vertices_from_edges: u64,
+}
+
+impl OverlayStats {
+    pub fn record_sql(&self) {
+        self.sql_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_template_hit(&self) {
+        self.template_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_considered(&self, n: u64) {
+        self.tables_considered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_pruned(&self, n: u64) {
+        self.tables_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_vertex_from_edge(&self, n: u64) {
+        self.vertices_from_edges.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> OverlayStatsSnapshot {
+        OverlayStatsSnapshot {
+            sql_queries: self.sql_queries.load(Ordering::Relaxed),
+            template_hits: self.template_hits.load(Ordering::Relaxed),
+            tables_considered: self.tables_considered.load(Ordering::Relaxed),
+            tables_pruned: self.tables_pruned.load(Ordering::Relaxed),
+            vertices_from_edges: self.vertices_from_edges.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl OverlayStatsSnapshot {
+    pub fn since(&self, earlier: &OverlayStatsSnapshot) -> OverlayStatsSnapshot {
+        OverlayStatsSnapshot {
+            sql_queries: self.sql_queries - earlier.sql_queries,
+            template_hits: self.template_hits - earlier.template_hits,
+            tables_considered: self.tables_considered - earlier.tables_considered,
+            tables_pruned: self.tables_pruned - earlier.tables_pruned,
+            vertices_from_edges: self.vertices_from_edges - earlier.vertices_from_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diffing() {
+        let s = OverlayStats::default();
+        s.record_sql();
+        s.record_considered(4);
+        s.record_pruned(3);
+        let a = s.snapshot();
+        s.record_sql();
+        s.record_template_hit();
+        s.record_vertex_from_edge(2);
+        let d = s.snapshot().since(&a);
+        assert_eq!(d.sql_queries, 1);
+        assert_eq!(d.template_hits, 1);
+        assert_eq!(d.vertices_from_edges, 2);
+        assert_eq!(d.tables_pruned, 0);
+    }
+}

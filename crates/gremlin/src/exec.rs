@@ -1,0 +1,657 @@
+//! The traversal interpreter.
+//!
+//! Executes a compiled [`Traversal`] against a [`GraphBackend`]. Traversers
+//! flow step to step in batches so that each GSA step makes *one* backend
+//! call for the whole frontier — which, for the SQL overlay backend, is what
+//! turns a traversal hop into a single `... WHERE src_v IN (...)` query
+//! instead of a query per vertex.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::backend::{
+    element_property, AggOp, BackendOutput, ElementKind, GraphBackend, Pred,
+};
+use crate::error::{GremlinError, GResult};
+use crate::step::{CompareOp, FilterSpec, OrderKey, Step, Traversal};
+use crate::structure::{Element, ElementId, GValue};
+
+/// Side-effect collections (`store`, `aggregate`, `cap`).
+#[derive(Debug, Clone, Default)]
+pub struct SideEffects {
+    map: HashMap<String, Vec<GValue>>,
+}
+
+impl SideEffects {
+    pub fn push(&mut self, key: &str, value: GValue) {
+        self.map.entry(key.to_string()).or_default().push(value);
+    }
+
+    pub fn get(&self, key: &str) -> &[GValue] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// One unit of traversal state.
+#[derive(Debug, Clone)]
+pub struct Traverser {
+    pub value: GValue,
+    /// Visited objects, populated only when the traversal needs paths.
+    pub path: Vec<GValue>,
+    /// `as(...)` labels.
+    pub labels: HashMap<String, GValue>,
+    /// Id of the vertex this traverser's current edge was reached from
+    /// (needed by `otherV()`).
+    pub prev_vertex: Option<ElementId>,
+}
+
+impl Traverser {
+    fn new(value: GValue, track_paths: bool) -> Traverser {
+        let path = if track_paths { vec![value.clone()] } else { Vec::new() };
+        Traverser { value, path, labels: HashMap::new(), prev_vertex: None }
+    }
+
+    fn advance(&self, value: GValue, track_paths: bool) -> Traverser {
+        let mut t = self.clone();
+        if track_paths {
+            t.path.push(value.clone());
+        }
+        t.value = value;
+        t
+    }
+}
+
+/// Execution limits and switches.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Track paths even when no step requires them.
+    pub always_track_paths: bool,
+    /// Hard cap on repeat() iterations to guard against unbounded loops.
+    pub max_repeat_iterations: u32,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { always_track_paths: false, max_repeat_iterations: 64 }
+    }
+}
+
+/// Interpreter over a graph backend.
+pub struct Executor<'a> {
+    backend: &'a dyn GraphBackend,
+    opts: ExecOptions,
+}
+
+struct Ctx {
+    side_effects: SideEffects,
+    track_paths: bool,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(backend: &'a dyn GraphBackend) -> Executor<'a> {
+        Executor { backend, opts: ExecOptions::default() }
+    }
+
+    pub fn with_options(backend: &'a dyn GraphBackend, opts: ExecOptions) -> Executor<'a> {
+        Executor { backend, opts }
+    }
+
+    /// Run a traversal from the graph source; returns final values and the
+    /// side-effect store.
+    pub fn run(&self, traversal: &Traversal) -> GResult<(Vec<GValue>, SideEffects)> {
+        let mut ctx = Ctx {
+            side_effects: SideEffects::default(),
+            track_paths: self.opts.always_track_paths || traversal.needs_paths(),
+        };
+        let out = self.run_steps(&traversal.steps, Vec::new(), &mut ctx)?;
+        Ok((out.into_iter().map(|t| t.value).collect(), ctx.side_effects))
+    }
+
+    fn run_steps(
+        &self,
+        steps: &[Step],
+        mut current: Vec<Traverser>,
+        ctx: &mut Ctx,
+    ) -> GResult<Vec<Traverser>> {
+        for step in steps {
+            current = self.run_step(step, current, ctx)?;
+        }
+        Ok(current)
+    }
+
+    fn run_step(&self, step: &Step, current: Vec<Traverser>, ctx: &mut Ctx) -> GResult<Vec<Traverser>> {
+        match step {
+            Step::Graph(g) => {
+                let output = self.backend.graph_elements(g.kind, &g.filter)?;
+                let values: Vec<GValue> = match output {
+                    BackendOutput::Elements(es) => {
+                        es.into_iter().map(GValue::from_element).collect()
+                    }
+                    BackendOutput::Values(vs) => vs,
+                    BackendOutput::Aggregate(v) => vec![v],
+                };
+                if current.is_empty() {
+                    Ok(values
+                        .into_iter()
+                        .map(|v| Traverser::new(v, ctx.track_paths))
+                        .collect())
+                } else {
+                    // Mid-traversal V(ids): flat-map per incoming traverser.
+                    let mut out = Vec::with_capacity(current.len() * values.len());
+                    for t in &current {
+                        for v in &values {
+                            out.push(t.advance(v.clone(), ctx.track_paths));
+                        }
+                    }
+                    Ok(out)
+                }
+            }
+            Step::Vertex(v) => {
+                let sources: Vec<Element> = current
+                    .iter()
+                    .map(|t| {
+                        t.value.as_element().ok_or_else(|| {
+                            GremlinError::Execution(format!(
+                                "vertex step applied to non-element {}",
+                                t.value
+                            ))
+                        })
+                    })
+                    .collect::<GResult<_>>()?;
+                let groups =
+                    self.backend.adjacent(&sources, v.direction, &v.edge_labels, v.to, &v.filter)?;
+                if groups.len() != sources.len() {
+                    return Err(GremlinError::Backend(format!(
+                        "backend returned {} adjacency groups for {} sources",
+                        groups.len(),
+                        sources.len()
+                    )));
+                }
+                let mut out = Vec::new();
+                for ((t, src), group) in current.iter().zip(&sources).zip(groups) {
+                    for e in group {
+                        let mut nt = t.advance(GValue::from_element(e), ctx.track_paths);
+                        if v.to == ElementKind::Edges {
+                            nt.prev_vertex = Some(src.id().clone());
+                        }
+                        out.push(nt);
+                    }
+                }
+                Ok(out)
+            }
+            Step::EdgeVertex(ev) => {
+                let mut edges = Vec::with_capacity(current.len());
+                let mut came_from = Vec::with_capacity(current.len());
+                for t in &current {
+                    match &t.value {
+                        GValue::Edge(e) => {
+                            edges.push(e.clone());
+                            came_from.push(t.prev_vertex.clone());
+                        }
+                        other => {
+                            return Err(GremlinError::Execution(format!(
+                                "edge-vertex step applied to non-edge {other}"
+                            )))
+                        }
+                    }
+                }
+                let groups = self.backend.edge_endpoints(&edges, ev.end, &came_from, &ev.filter)?;
+                if groups.len() != edges.len() {
+                    return Err(GremlinError::Backend(
+                        "backend returned wrong number of endpoint groups".into(),
+                    ));
+                }
+                let mut out = Vec::new();
+                for (t, group) in current.iter().zip(groups) {
+                    for e in group {
+                        out.push(t.advance(GValue::from_element(e), ctx.track_paths));
+                    }
+                }
+                Ok(out)
+            }
+            Step::Has(preds) => Ok(current
+                .into_iter()
+                .filter(|t| match t.value.as_element() {
+                    Some(e) => preds.iter().all(|p| {
+                        let v = element_property(&e, &p.key);
+                        p.pred.test(v.as_ref())
+                    }),
+                    None => false,
+                })
+                .collect()),
+            Step::Values(keys) => {
+                let mut out = Vec::new();
+                for t in &current {
+                    let Some(e) = t.value.as_element() else { continue };
+                    if keys.is_empty() {
+                        for v in e.properties().values() {
+                            if !matches!(v, GValue::Null) {
+                                out.push(t.advance(v.clone(), ctx.track_paths));
+                            }
+                        }
+                    } else {
+                        for k in keys {
+                            if let Some(v) = e.properties().get(k) {
+                                if !matches!(v, GValue::Null) {
+                                    out.push(t.advance(v.clone(), ctx.track_paths));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Step::ValueMap(keys) => Ok(current
+                .into_iter()
+                .filter_map(|t| {
+                    let e = t.value.as_element()?;
+                    let mut m = BTreeMap::new();
+                    let props = e.properties();
+                    if keys.is_empty() {
+                        for (k, v) in props {
+                            m.insert(k.clone(), v.clone());
+                        }
+                    } else {
+                        for k in keys {
+                            if let Some(v) = props.get(k) {
+                                m.insert(k.clone(), v.clone());
+                            }
+                        }
+                    }
+                    Some(t.advance(GValue::Map(m), ctx.track_paths))
+                })
+                .collect()),
+            Step::Properties(keys) => {
+                let mut out = Vec::new();
+                for t in &current {
+                    let Some(e) = t.value.as_element() else { continue };
+                    for (k, v) in e.properties() {
+                        if keys.is_empty() || keys.iter().any(|x| x == k) {
+                            let mut m = BTreeMap::new();
+                            m.insert("key".to_string(), GValue::Str(k.clone()));
+                            m.insert("value".to_string(), v.clone());
+                            out.push(t.advance(GValue::Map(m), ctx.track_paths));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Step::Id => Ok(current
+                .into_iter()
+                .filter_map(|t| {
+                    let e = t.value.as_element()?;
+                    Some(t.advance(crate::structure::id_value(e.id()), ctx.track_paths))
+                })
+                .collect()),
+            Step::Label => Ok(current
+                .into_iter()
+                .filter_map(|t| {
+                    let e = t.value.as_element()?;
+                    Some(t.advance(GValue::Str(e.label().to_string()), ctx.track_paths))
+                })
+                .collect()),
+            Step::Aggregate(op) => {
+                let v = compute_aggregate(*op, &current)?;
+                Ok(match v {
+                    Some(v) => vec![Traverser::new(v, ctx.track_paths)],
+                    None => Vec::new(),
+                })
+            }
+            Step::Dedup => {
+                let mut seen: HashSet<GValue> = HashSet::with_capacity(current.len());
+                Ok(current
+                    .into_iter()
+                    .filter(|t| seen.insert(t.value.dedup_key()))
+                    .collect())
+            }
+            Step::Limit(n) => {
+                let mut c = current;
+                c.truncate(*n as usize);
+                Ok(c)
+            }
+            Step::Range(lo, hi) => {
+                let lo = *lo as usize;
+                let hi = (*hi as usize).min(current.len());
+                if lo >= current.len() {
+                    return Ok(Vec::new());
+                }
+                Ok(current[lo..hi].to_vec())
+            }
+            Step::Order(keys) => {
+                let mut c = current;
+                c.sort_by(|a, b| {
+                    for (key, desc) in keys {
+                        let ka = order_value(key, &a.value);
+                        let kb = order_value(key, &b.value);
+                        let ord = ka.total_cmp(&kb);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(c)
+            }
+            Step::Repeat { body, times, until, emit } => {
+                self.run_repeat(body, *times, until.as_ref(), *emit, current, ctx)
+            }
+            Step::Store(key) | Step::AggregateSE(key) => {
+                for t in &current {
+                    ctx.side_effects.push(key, t.value.clone());
+                }
+                Ok(current)
+            }
+            Step::Cap(key) => {
+                let list = GValue::List(ctx.side_effects.get(key).to_vec());
+                Ok(vec![Traverser::new(list, ctx.track_paths)])
+            }
+            Step::Filter(spec) | Step::Where(spec) => {
+                let mut out = Vec::new();
+                for t in current {
+                    if self.filter_passes(spec, &t, ctx)? {
+                        out.push(t);
+                    }
+                }
+                Ok(out)
+            }
+            Step::Not(inner) => {
+                let mut out = Vec::new();
+                for t in current {
+                    let results = self.run_sub(inner, &t, ctx)?;
+                    if results.is_empty() {
+                        out.push(t);
+                    }
+                }
+                Ok(out)
+            }
+            Step::Is(pred) => Ok(current
+                .into_iter()
+                .filter(|t| pred.test(Some(&t.value)))
+                .collect()),
+            Step::Union(branches) => {
+                let mut out = Vec::new();
+                for t in &current {
+                    for b in branches {
+                        out.extend(self.run_sub_traversers(b, t, ctx)?);
+                    }
+                }
+                Ok(out)
+            }
+            Step::Coalesce(branches) => {
+                let mut out = Vec::new();
+                for t in &current {
+                    for b in branches {
+                        let results = self.run_sub_traversers(b, t, ctx)?;
+                        if !results.is_empty() {
+                            out.extend(results);
+                            break;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Step::Path => Ok(current
+                .into_iter()
+                .map(|t| {
+                    let p = GValue::Path(t.path.clone());
+                    t.advance(p, false)
+                })
+                .collect()),
+            Step::SimplePath => Ok(current
+                .into_iter()
+                .filter(|t| {
+                    let mut seen = HashSet::with_capacity(t.path.len());
+                    t.path.iter().all(|v| seen.insert(v.dedup_key()))
+                })
+                .collect()),
+            Step::As(label) => Ok(current
+                .into_iter()
+                .map(|mut t| {
+                    t.labels.insert(label.clone(), t.value.clone());
+                    t
+                })
+                .collect()),
+            Step::Select(keys) => {
+                let mut out = Vec::new();
+                for t in current {
+                    let v = if keys.len() == 1 {
+                        t.labels.get(&keys[0]).cloned()
+                    } else {
+                        let mut m = BTreeMap::new();
+                        for k in keys {
+                            if let Some(v) = t.labels.get(k) {
+                                m.insert(k.clone(), v.clone());
+                            }
+                        }
+                        if m.len() == keys.len() {
+                            Some(GValue::Map(m))
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some(v) = v {
+                        out.push(t.advance(v, ctx.track_paths));
+                    }
+                }
+                Ok(out)
+            }
+            Step::Constant(v) => Ok(current
+                .into_iter()
+                .map(|t| t.advance(v.clone(), ctx.track_paths))
+                .collect()),
+            Step::Group(key) | Step::GroupCount(key) => {
+                let counting = matches!(step, Step::GroupCount(_));
+                let mut m: BTreeMap<String, Vec<GValue>> = BTreeMap::new();
+                for t in &current {
+                    let k = match key {
+                        None => t.value.to_string(),
+                        Some(k) => match t.value.as_element() {
+                            Some(e) => match element_property(&e, k) {
+                                Some(v) => v.to_string(),
+                                None => continue, // no key -> not grouped
+                            },
+                            None => continue,
+                        },
+                    };
+                    m.entry(k).or_default().push(t.value.clone());
+                }
+                let out: BTreeMap<String, GValue> = m
+                    .into_iter()
+                    .map(|(k, vs)| {
+                        let v = if counting {
+                            GValue::Long(vs.len() as i64)
+                        } else {
+                            GValue::List(vs)
+                        };
+                        (k, v)
+                    })
+                    .collect();
+                Ok(vec![Traverser::new(GValue::Map(out), ctx.track_paths)])
+            }
+            Step::Fold => {
+                let list = GValue::List(current.iter().map(|t| t.value.clone()).collect());
+                Ok(vec![Traverser::new(list, ctx.track_paths)])
+            }
+            Step::Unfold => {
+                let mut out = Vec::new();
+                for t in current {
+                    match &t.value {
+                        GValue::List(items) => {
+                            for v in items {
+                                out.push(t.advance(v.clone(), ctx.track_paths));
+                            }
+                        }
+                        _ => out.push(t),
+                    }
+                }
+                Ok(out)
+            }
+            Step::Identity => Ok(current),
+        }
+    }
+
+    fn run_repeat(
+        &self,
+        body: &Traversal,
+        times: Option<u32>,
+        until: Option<&Traversal>,
+        emit: bool,
+        incoming: Vec<Traverser>,
+        ctx: &mut Ctx,
+    ) -> GResult<Vec<Traverser>> {
+        if times.is_none() && until.is_none() {
+            return Err(GremlinError::Unsupported(
+                "repeat() requires times() or until()".into(),
+            ));
+        }
+        let mut current = incoming;
+        let mut emitted: Vec<Traverser> = Vec::new();
+        let mut done: Vec<Traverser> = Vec::new();
+        let mut loops = 0u32;
+        loop {
+            if current.is_empty() {
+                break;
+            }
+            if let Some(t) = times {
+                if loops >= t {
+                    break;
+                }
+            }
+            if loops >= self.opts.max_repeat_iterations {
+                return Err(GremlinError::Execution(format!(
+                    "repeat() exceeded {} iterations",
+                    self.opts.max_repeat_iterations
+                )));
+            }
+            current = self.run_steps(&body.steps, current, ctx)?;
+            loops += 1;
+            if emit {
+                emitted.extend(current.iter().cloned());
+            }
+            if let Some(u) = until {
+                // Per-traverser do-while: traversers satisfying the
+                // until-condition exit the loop.
+                let mut staying = Vec::with_capacity(current.len());
+                for t in current {
+                    if !self.run_sub(u, &t, ctx)?.is_empty() {
+                        done.push(t);
+                    } else {
+                        staying.push(t);
+                    }
+                }
+                current = staying;
+            }
+        }
+        done.extend(current);
+        if emit {
+            Ok(emitted)
+        } else {
+            Ok(done)
+        }
+    }
+
+    /// Run a sub-traversal from one traverser; returns result values.
+    fn run_sub(&self, t: &Traversal, from: &Traverser, ctx: &mut Ctx) -> GResult<Vec<GValue>> {
+        Ok(self
+            .run_sub_traversers(t, from, ctx)?
+            .into_iter()
+            .map(|t| t.value)
+            .collect())
+    }
+
+    fn run_sub_traversers(
+        &self,
+        t: &Traversal,
+        from: &Traverser,
+        ctx: &mut Ctx,
+    ) -> GResult<Vec<Traverser>> {
+        self.run_steps(&t.steps, vec![from.clone()], ctx)
+    }
+
+    fn filter_passes(&self, spec: &FilterSpec, t: &Traverser, ctx: &mut Ctx) -> GResult<bool> {
+        let results = self.run_sub(&spec.traversal, t, ctx)?;
+        match &spec.compare {
+            None => Ok(!results.is_empty()),
+            Some((op, value)) => Ok(results.iter().any(|r| {
+                let Some(ord) = r.compare(value) else { return false };
+                match op {
+                    CompareOp::Eq => ord.is_eq(),
+                    CompareOp::Neq => ord.is_ne(),
+                    CompareOp::Gt => ord.is_gt(),
+                    CompareOp::Gte => ord.is_ge(),
+                    CompareOp::Lt => ord.is_lt(),
+                    CompareOp::Lte => ord.is_le(),
+                }
+            })),
+        }
+    }
+}
+
+fn order_value(key: &OrderKey, value: &GValue) -> GValue {
+    match key {
+        OrderKey::Value => value.clone(),
+        OrderKey::Property(k) => match value.as_element() {
+            Some(e) => element_property(&e, k).unwrap_or(GValue::Null),
+            None => GValue::Null,
+        },
+    }
+}
+
+fn compute_aggregate(op: AggOp, current: &[Traverser]) -> GResult<Option<GValue>> {
+    if op == AggOp::Count {
+        return Ok(Some(GValue::Long(current.len() as i64)));
+    }
+    let mut nums: Vec<f64> = Vec::with_capacity(current.len());
+    let mut all_long = true;
+    for t in current {
+        match &t.value {
+            GValue::Long(v) => nums.push(*v as f64),
+            GValue::Double(v) => {
+                all_long = false;
+                nums.push(*v);
+            }
+            other => {
+                return Err(GremlinError::Execution(format!(
+                    "numeric aggregate over non-numeric value {other}"
+                )))
+            }
+        }
+    }
+    if nums.is_empty() {
+        return Ok(None);
+    }
+    let v = match op {
+        AggOp::Sum => {
+            let s: f64 = nums.iter().sum();
+            if all_long {
+                GValue::Long(s as i64)
+            } else {
+                GValue::Double(s)
+            }
+        }
+        AggOp::Mean => GValue::Double(nums.iter().sum::<f64>() / nums.len() as f64),
+        AggOp::Min => {
+            let m = nums.iter().cloned().fold(f64::INFINITY, f64::min);
+            if all_long {
+                GValue::Long(m as i64)
+            } else {
+                GValue::Double(m)
+            }
+        }
+        AggOp::Max => {
+            let m = nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if all_long {
+                GValue::Long(m as i64)
+            } else {
+                GValue::Double(m)
+            }
+        }
+        AggOp::Count => unreachable!(),
+    };
+    Ok(Some(v))
+}
+
+/// Check a predicate against a value (re-exported for backend testing).
+pub fn pred_holds(p: &Pred, v: &GValue) -> bool {
+    p.test(Some(v))
+}

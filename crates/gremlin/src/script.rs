@@ -1,0 +1,248 @@
+//! Script-level execution: multi-statement Gremlin with variables.
+
+use crate::ast::Terminal;
+use crate::compile::{compile, VarEnv};
+use crate::error::{GremlinError, GResult};
+use crate::exec::{ExecOptions, Executor, SideEffects};
+use crate::backend::GraphBackend;
+use crate::strategy::StrategyRegistry;
+use crate::structure::GValue;
+
+/// Runs Gremlin scripts against a backend with a strategy registry applied
+/// at compile time — the role of TinkerPop's `GraphTraversalSource`.
+pub struct ScriptRunner<'a> {
+    backend: &'a dyn GraphBackend,
+    strategies: StrategyRegistry,
+    options: ExecOptions,
+}
+
+impl<'a> ScriptRunner<'a> {
+    pub fn new(backend: &'a dyn GraphBackend) -> ScriptRunner<'a> {
+        ScriptRunner { backend, strategies: StrategyRegistry::new(), options: ExecOptions::default() }
+    }
+
+    pub fn with_strategies(mut self, strategies: StrategyRegistry) -> Self {
+        self.strategies = strategies;
+        self
+    }
+
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    pub fn strategies(&self) -> &StrategyRegistry {
+        &self.strategies
+    }
+
+    /// Parse, compile, optimize, and execute a script. Returns the final
+    /// statement's results.
+    pub fn run(&self, script_text: &str) -> GResult<Vec<GValue>> {
+        self.run_with_side_effects(script_text).map(|(values, _)| values)
+    }
+
+    /// Like [`Self::run`] but also returns the final statement's
+    /// side-effect store.
+    pub fn run_with_side_effects(
+        &self,
+        script_text: &str,
+    ) -> GResult<(Vec<GValue>, SideEffects)> {
+        let script = crate::parser::parse(script_text)?;
+        let mut env = VarEnv::new();
+        let mut last: Option<(Vec<GValue>, SideEffects)> = None;
+        for stmt in &script.statements {
+            let mut traversal = compile(&stmt.traversal, &env)?;
+            self.strategies.apply_all(&mut traversal);
+            let executor = Executor::with_options(self.backend, self.options.clone());
+            let (values, side_effects) = executor.run(&traversal)?;
+            let result_value = match stmt.terminal {
+                Some(Terminal::Next) => values.first().cloned().unwrap_or(GValue::Null),
+                Some(Terminal::Iterate) => GValue::List(Vec::new()),
+                _ => GValue::List(values.clone()),
+            };
+            if let Some(name) = &stmt.assign {
+                env.insert(name.clone(), result_value);
+            }
+            let final_values = match stmt.terminal {
+                Some(Terminal::Next) => values.into_iter().take(1).collect(),
+                Some(Terminal::Iterate) => Vec::new(),
+                _ => values,
+            };
+            last = Some((final_values, side_effects));
+        }
+        last.ok_or_else(|| GremlinError::Parse("script produced no statements".into()))
+    }
+
+    /// Compile a single-statement script to its optimized plan without
+    /// executing it (used by tests and plan inspection).
+    pub fn plan(&self, script_text: &str) -> GResult<crate::step::Traversal> {
+        let script = crate::parser::parse(script_text)?;
+        let stmt = script
+            .statements
+            .first()
+            .ok_or_else(|| GremlinError::Parse("empty script".into()))?;
+        let mut traversal = compile(&stmt.traversal, &VarEnv::new())?;
+        self.strategies.apply_all(&mut traversal);
+        Ok(traversal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memgraph::MemGraph;
+    use crate::structure::{Edge, Vertex};
+
+    fn diamond() -> MemGraph {
+        // 1 -> 2 -> 4, 1 -> 3 -> 4 (label "to"), vertex property w.
+        let g = MemGraph::new();
+        for (id, w) in [(1i64, 1.0f64), (2, 2.0), (3, 3.0), (4, 4.0)] {
+            g.add_vertex(Vertex::new(id, "node").with_property("w", w));
+        }
+        g.add_edge(Edge::new(100i64, "to", 1i64, 2i64).with_property("len", 5i64));
+        g.add_edge(Edge::new(101i64, "to", 1i64, 3i64).with_property("len", 7i64));
+        g.add_edge(Edge::new(102i64, "to", 2i64, 4i64).with_property("len", 1i64));
+        g.add_edge(Edge::new(103i64, "to", 3i64, 4i64).with_property("len", 2i64));
+        g
+    }
+
+    #[test]
+    fn basic_traversal_pipeline() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        let out = r.run("g.V().count()").unwrap();
+        assert_eq!(out, vec![GValue::Long(4)]);
+        let out = r.run("g.V(1).out('to').values('w')").unwrap();
+        assert_eq!(out.len(), 2);
+        let out = r.run("g.V(1).out('to').out('to').dedup()").unwrap();
+        assert_eq!(out.len(), 1); // vertex 4 once
+        let out = r.run("g.V(1).outE('to').has('len', gt(5)).inV().id()").unwrap();
+        assert_eq!(out, vec![GValue::Long(3)]);
+    }
+
+    #[test]
+    fn aggregates_and_order() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        assert_eq!(r.run("g.V().values('w').sum()").unwrap(), vec![GValue::Double(10.0)]);
+        assert_eq!(r.run("g.V().values('w').mean()").unwrap(), vec![GValue::Double(2.5)]);
+        assert_eq!(r.run("g.E().values('len').max()").unwrap(), vec![GValue::Long(7)]);
+        let out = r.run("g.V().order().by('w', desc).limit(2).values('w')").unwrap();
+        assert_eq!(out, vec![GValue::Double(4.0), GValue::Double(3.0)]);
+    }
+
+    #[test]
+    fn repeat_times_and_store_cap() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        let out = r.run("g.V(1).repeat(out('to').dedup().store('x')).times(2).cap('x')").unwrap();
+        match &out[0] {
+            GValue::List(items) => assert_eq!(items.len(), 3), // 2,3 then 4
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_until() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        // Walk until reaching vertex 4.
+        let out = r.run("g.V(1).repeat(out('to')).until(hasId(4)).dedup().id()").unwrap();
+        assert_eq!(out, vec![GValue::Long(4)]);
+    }
+
+    #[test]
+    fn variables_across_statements() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        let out = r
+            .run("mids = g.V(1).out('to').id().fold().next(); g.V(mids).out('to').dedup().id()")
+            .unwrap();
+        assert_eq!(out, vec![GValue::Long(4)]);
+    }
+
+    #[test]
+    fn filter_comparison_and_where() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        // LinkBench getLink shape.
+        let out = r.run("g.V(1).outE('to').filter(inV().id() == 3)").unwrap();
+        assert_eq!(out.len(), 1);
+        let out = r.run("g.V().where(__.out('to').has('w', 4.0)).id()").unwrap();
+        assert_eq!(out, vec![GValue::Long(2), GValue::Long(3)]);
+        let out = r.run("g.V().not(out('to')).id()").unwrap();
+        assert_eq!(out, vec![GValue::Long(4)]);
+    }
+
+    #[test]
+    fn union_path_simple_path() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        let out = r.run("g.V(2).union(out('to'), in('to')).id()").unwrap();
+        assert_eq!(out, vec![GValue::Long(4), GValue::Long(1)]);
+        let out = r.run("g.V(1).out('to').out('to').path()").unwrap();
+        assert_eq!(out.len(), 2);
+        match &out[0] {
+            GValue::Path(p) => assert_eq!(p.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        // simplePath drops cyclic walks: 1->2->4 has no repeats, keeps 2.
+        let out = r.run("g.V(1).out('to').in('to').simplePath().id()").unwrap();
+        // From 1: out->2 in-> {1} dropped; out->3 in->{1} dropped => empty.
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn select_as_valuemap() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        let out = r.run("g.V(1).as('a').out('to').as('b').select('a').id()").unwrap();
+        assert_eq!(out, vec![GValue::Long(1), GValue::Long(1)]);
+        let out = r.run("g.V(1).valueMap('w')").unwrap();
+        match &out[0] {
+            GValue::Map(m) => assert_eq!(m.get("w"), Some(&GValue::Double(1.0))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn next_terminal_and_iterate() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        let out = r.run("g.V().order().by('w').id().next()").unwrap();
+        assert_eq!(out, vec![GValue::Long(1)]);
+        let out = r.run("g.V().store('all').iterate()").unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn is_and_constant_and_range() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        let out = r.run("g.V().values('w').is(gt(2.5))").unwrap();
+        assert_eq!(out.len(), 2);
+        let out = r.run("g.V().constant(9).dedup()").unwrap();
+        assert_eq!(out, vec![GValue::Long(9)]);
+        let out = r.run("g.V().order().by('w').range(1, 3).values('w')").unwrap();
+        assert_eq!(out, vec![GValue::Double(2.0), GValue::Double(3.0)]);
+    }
+
+    #[test]
+    fn error_paths() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        assert!(r.run("g.V().outV()").is_err()); // edge step on vertices
+        assert!(r.run("g.V().out().repeat(out())").is_err()); // repeat without times/until
+        assert!(r.run("g.V(unbound_var)").is_err());
+    }
+
+    #[test]
+    fn other_v_roundtrip() {
+        let g = diamond();
+        let r = ScriptRunner::new(&g);
+        // From vertex 2 through both incident edges, otherV gives 1 and 4.
+        let mut out = r.run("g.V(2).bothE('to').otherV().id()").unwrap();
+        out.sort();
+        assert_eq!(out, vec![GValue::Long(1), GValue::Long(4)]);
+    }
+}

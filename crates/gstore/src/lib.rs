@@ -1,0 +1,34 @@
+//! # gstore — baseline graph stores for the evaluation
+//!
+//! The paper's evaluation (Section 8) compares Db2 Graph against two
+//! standalone graph databases: **GDB-X**, an anonymous commercial native
+//! graph database, and **JanusGraph** backed by Berkeley DB. Neither is
+//! available here, so this crate implements architectural stand-ins that
+//! reproduce their qualitative behaviour (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! * [`native`] — index-free adjacency + bounded deserialized-record cache
+//!   behind a coarse lock (fast when the graph fits the cache, degrades
+//!   past it, poor concurrency scaling);
+//! * [`janus`] — one serialized adjacency blob per vertex on an ordered
+//!   [`kv`] store (every access deserializes a whole blob; uniformly the
+//!   slowest; largest load times);
+//! * [`loader`] — export-from-source + bulk load with per-phase timing
+//!   (Table 3) and storage accounting;
+//! * [`codec`] — the deliberately verbose record serialization both stores
+//!   pay for.
+//!
+//! Both stores implement `gremlin::GraphBackend`, so the same Gremlin
+//! engine and queries run on them unchanged — exactly how TinkerPop hosts
+//! multiple providers.
+
+pub mod codec;
+pub mod janus;
+pub mod kv;
+pub mod loader;
+pub mod native;
+
+pub use janus::{JanusLikeDb, JanusLoader};
+pub use kv::KvStore;
+pub use loader::{export_graph, load_janus, load_native, open_native, ExportedGraph, LoadReport};
+pub use native::{NativeGraphDb, NativeLoader};

@@ -1,0 +1,16 @@
+//! # linkbench — the evaluation workload
+//!
+//! A deterministic LinkBench-like benchmark (the paper evaluates on
+//! Facebook's LinkBench, Section 8): a power-law social graph with 10
+//! vertex and 10 edge types ([`gen`]), materialized into relational tables
+//! with the overlay that retrofits a graph view onto them ([`tables`]),
+//! plus the four query-only templates of Table 1 and their workload driver
+//! ([`queries`]).
+
+pub mod gen;
+pub mod queries;
+pub mod tables;
+
+pub use gen::{generate, DatasetStats, GraphData, LinkBenchConfig};
+pub use queries::{mixed_batch, QueryKind, QueryStream};
+pub use tables::{materialize, overlay_config, to_elements, NUM_TYPES};

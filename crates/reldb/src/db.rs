@@ -1,0 +1,789 @@
+//! The `Database` facade: catalog, statement execution, transactions.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{DbError, DbResult};
+use crate::func::TableFunction;
+use crate::index::IndexDef;
+use crate::prepared::Prepared;
+use crate::row::{Row, RowSet};
+use crate::schema::TableSchema;
+use crate::sql::ast::*;
+use crate::sql::eval::{eval, truth, ColRef, RowEnv};
+use crate::sql::exec::{execute_select, explain_select};
+use crate::sql::parser::{parse_script, parse_statement};
+use crate::sql::planner::{as_simple_pred, choose_access_path, split_conjuncts, AccessPath};
+use crate::stats::ExecStats;
+use crate::storage::Table;
+use crate::txn::{UndoLog, UndoOp};
+use crate::value::Value;
+
+/// A named view: a stored SELECT executed on reference.
+///
+/// Views are *non-materialized*: every reference re-runs the query against
+/// current table contents. This is the mechanism behind the paper's
+/// "surprising benefit" (Section 5) — derived edges defined as a view over
+/// two edge tables stay automatically consistent with the base data.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    pub name: String,
+    pub query: SelectStmt,
+}
+
+/// An embedded, thread-safe relational database.
+///
+/// Share it across threads with `Arc<Database>`; all methods take `&self`.
+pub struct Database {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    views: RwLock<BTreeMap<String, ViewDef>>,
+    functions: RwLock<BTreeMap<String, Arc<dyn TableFunction>>>,
+    active_txn: Mutex<Option<UndoLog>>,
+    enforce_foreign_keys: AtomicBool,
+    stats: ExecStats,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.table_names())
+            .field("views", &self.view_names())
+            .finish()
+    }
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database {
+            tables: RwLock::new(BTreeMap::new()),
+            views: RwLock::new(BTreeMap::new()),
+            functions: RwLock::new(BTreeMap::new()),
+            active_txn: Mutex::new(None),
+            enforce_foreign_keys: AtomicBool::new(true),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Toggle foreign-key enforcement (disable for bulk loads).
+    pub fn set_enforce_foreign_keys(&self, on: bool) {
+        self.enforce_foreign_keys.store(on, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------- catalog
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    pub fn get_table(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.read().get(&Self::key(name)).cloned()
+    }
+
+    pub fn get_view(&self, name: &str) -> Option<ViewDef> {
+        self.views.read().get(&Self::key(name)).cloned()
+    }
+
+    pub fn get_function(&self, name: &str) -> Option<Arc<dyn TableFunction>> {
+        self.functions.read().get(&Self::key(name)).cloned()
+    }
+
+    /// Register a polymorphic table function under a name.
+    pub fn register_function(&self, name: &str, f: Arc<dyn TableFunction>) {
+        self.functions.write().insert(Self::key(name), f);
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().values().map(|t| t.schema.name.clone()).collect()
+    }
+
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.read().values().map(|v| v.name.clone()).collect()
+    }
+
+    /// Schemas of all base tables — the catalog metadata AutoOverlay reads.
+    pub fn table_schemas(&self) -> Vec<TableSchema> {
+        self.tables.read().values().map(|t| t.schema.clone()).collect()
+    }
+
+    /// Output column names of a view (executed against current data with
+    /// LIMIT 0 semantics — we run the query and read the header).
+    pub fn view_columns(&self, name: &str) -> DbResult<Vec<String>> {
+        let view = self
+            .get_view(name)
+            .ok_or_else(|| DbError::Catalog(format!("view '{name}' not found")))?;
+        let mut q = view.query.clone();
+        q.limit = Some(0);
+        Ok(execute_select(self, &q)?.columns)
+    }
+
+    /// Create a table from a schema built in code.
+    pub fn create_table(&self, schema: TableSchema) -> DbResult<()> {
+        self.validate_foreign_keys(&schema)?;
+        let mut tables = self.tables.write();
+        let key = Self::key(&schema.name);
+        if tables.contains_key(&key) || self.views.read().contains_key(&key) {
+            return Err(DbError::Catalog(format!("'{}' already exists", schema.name)));
+        }
+        tables.insert(key, Arc::new(Table::new(schema)?));
+        Ok(())
+    }
+
+    fn validate_foreign_keys(&self, schema: &TableSchema) -> DbResult<()> {
+        for fk in &schema.foreign_keys {
+            if fk.ref_table.eq_ignore_ascii_case(&schema.name) {
+                continue; // self reference is checked against own columns
+            }
+            let target = self.get_table(&fk.ref_table).ok_or_else(|| {
+                DbError::Catalog(format!(
+                    "foreign key on '{}' references unknown table '{}'",
+                    schema.name, fk.ref_table
+                ))
+            })?;
+            for c in &fk.ref_columns {
+                target.schema.require_column(c)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- execution
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> DbResult<RowSet> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Parse and execute one SQL statement with `?` parameters.
+    pub fn execute_params(&self, sql: &str, params: &[Value]) -> DbResult<RowSet> {
+        let prepared = Prepared::new(sql)?;
+        self.execute_prepared(&prepared, params)
+    }
+
+    /// Execute every statement in a `;`-separated script; returns the last
+    /// statement's result.
+    pub fn execute_script(&self, sql: &str) -> DbResult<RowSet> {
+        let stmts = parse_script(sql)?;
+        let mut last = RowSet::default();
+        for stmt in &stmts {
+            last = self.execute_stmt(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Prepare a statement for repeated execution.
+    pub fn prepare(&self, sql: &str) -> DbResult<Prepared> {
+        Prepared::new(sql)
+    }
+
+    /// Execute a previously prepared statement.
+    pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> DbResult<RowSet> {
+        let bound = prepared.bind(params)?;
+        self.execute_stmt(&bound)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_stmt(&self, stmt: &Stmt) -> DbResult<RowSet> {
+        self.stats.record_statement();
+        match stmt {
+            Stmt::Select(q) => execute_select(self, q),
+            Stmt::Explain(q) => {
+                let lines = explain_select(self, q)?;
+                Ok(RowSet::with_rows(
+                    vec!["plan".into()],
+                    lines.into_iter().map(|l| vec![Value::Varchar(l)]).collect(),
+                ))
+            }
+            Stmt::CreateTable { schema, if_not_exists } => {
+                match self.create_table(schema.clone()) {
+                    Err(DbError::Catalog(_)) if *if_not_exists => {}
+                    other => other?,
+                }
+                Ok(count_result(0))
+            }
+            Stmt::CreateIndex { name, table, columns, unique } => {
+                let t = self.require_table(table)?;
+                t.create_index(IndexDef {
+                    name: name.clone(),
+                    columns: columns.clone(),
+                    unique: *unique,
+                })?;
+                Ok(count_result(0))
+            }
+            Stmt::CreateView { name, query, or_replace } => {
+                let key = Self::key(name);
+                if self.tables.read().contains_key(&key) {
+                    return Err(DbError::Catalog(format!("'{name}' is a table")));
+                }
+                let mut views = self.views.write();
+                if views.contains_key(&key) && !*or_replace {
+                    return Err(DbError::Catalog(format!("view '{name}' already exists")));
+                }
+                views.insert(key, ViewDef { name: name.clone(), query: (**query).clone() });
+                Ok(count_result(0))
+            }
+            Stmt::DropTable { name, if_exists } => {
+                let removed = self.tables.write().remove(&Self::key(name)).is_some();
+                if !removed && !*if_exists {
+                    return Err(DbError::Catalog(format!("table '{name}' not found")));
+                }
+                Ok(count_result(0))
+            }
+            Stmt::DropView { name } => {
+                if self.views.write().remove(&Self::key(name)).is_none() {
+                    return Err(DbError::Catalog(format!("view '{name}' not found")));
+                }
+                Ok(count_result(0))
+            }
+            Stmt::DropIndex { name } => {
+                let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+                for t in tables {
+                    if t.read().indexes().iter().any(|ix| ix.def.name.eq_ignore_ascii_case(name)) {
+                        t.drop_index(name)?;
+                        return Ok(count_result(0));
+                    }
+                }
+                Err(DbError::Catalog(format!("index '{name}' not found")))
+            }
+            Stmt::Insert { table, columns, values } => self.run_insert(table, columns, values),
+            Stmt::Update { table, sets, where_clause } => {
+                self.run_update(table, sets, where_clause.as_ref())
+            }
+            Stmt::Delete { table, where_clause } => self.run_delete(table, where_clause.as_ref()),
+            Stmt::Begin => {
+                let mut txn = self.active_txn.lock();
+                if txn.is_some() {
+                    return Err(DbError::Txn("transaction already in progress".into()));
+                }
+                *txn = Some(UndoLog::default());
+                Ok(count_result(0))
+            }
+            Stmt::Commit => {
+                let mut txn = self.active_txn.lock();
+                if txn.take().is_none() {
+                    return Err(DbError::Txn("no transaction in progress".into()));
+                }
+                Ok(count_result(0))
+            }
+            Stmt::Rollback => {
+                let log = {
+                    let mut txn = self.active_txn.lock();
+                    txn.take().ok_or_else(|| DbError::Txn("no transaction in progress".into()))?
+                };
+                self.apply_rollback(log)?;
+                Ok(count_result(0))
+            }
+        }
+    }
+
+    /// Render the execution plan of a SELECT.
+    pub fn explain(&self, sql: &str) -> DbResult<String> {
+        match parse_statement(sql)? {
+            Stmt::Select(q) | Stmt::Explain(q) => Ok(explain_select(self, &q)?.join("\n")),
+            _ => Err(DbError::Unsupported("EXPLAIN supports SELECT only".into())),
+        }
+    }
+
+    /// Run `f` inside a transaction: committed on `Ok`, rolled back on `Err`.
+    pub fn transaction<T>(&self, f: impl FnOnce(&Database) -> DbResult<T>) -> DbResult<T> {
+        {
+            let mut txn = self.active_txn.lock();
+            if txn.is_some() {
+                return Err(DbError::Txn("transaction already in progress".into()));
+            }
+            *txn = Some(UndoLog::default());
+        }
+        match f(self) {
+            Ok(v) => {
+                self.active_txn.lock().take();
+                Ok(v)
+            }
+            Err(e) => {
+                let log = self.active_txn.lock().take();
+                if let Some(log) = log {
+                    self.apply_rollback(log)?;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_rollback(&self, mut log: UndoLog) -> DbResult<()> {
+        for op in log.drain_reverse() {
+            match op {
+                UndoOp::Insert { table, rid } => {
+                    self.require_table(&table)?.delete(rid)?;
+                }
+                UndoOp::Delete { table, rid, row } => {
+                    self.require_table(&table)?.restore(rid, row)?;
+                }
+                UndoOp::Update { table, rid, old } => {
+                    self.require_table(&table)?.update(rid, old)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn record_undo(&self, op: UndoOp) {
+        if let Some(log) = self.active_txn.lock().as_mut() {
+            log.record(op);
+        }
+    }
+
+    fn require_table(&self, name: &str) -> DbResult<Arc<Table>> {
+        self.get_table(name)
+            .ok_or_else(|| DbError::Catalog(format!("table '{name}' not found")))
+    }
+
+    // ---------------------------------------------------------------- DML
+
+    fn run_insert(
+        &self,
+        table: &str,
+        columns: &Option<Vec<String>>,
+        values: &[Vec<Expr>],
+    ) -> DbResult<RowSet> {
+        let t = self.require_table(table)?;
+        let positions: Vec<usize> = match columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| t.schema.require_column(c))
+                .collect::<DbResult<_>>()?,
+            None => (0..t.schema.columns.len()).collect(),
+        };
+        let empty_cols: Vec<ColRef> = Vec::new();
+        let empty_row: Row = Vec::new();
+        let env = RowEnv { cols: &empty_cols, row: &empty_row };
+        let mut n = 0i64;
+        for exprs in values {
+            if exprs.len() != positions.len() {
+                return Err(DbError::Type(format!(
+                    "INSERT expects {} values per row, got {}",
+                    positions.len(),
+                    exprs.len()
+                )));
+            }
+            let mut row: Row = vec![Value::Null; t.schema.columns.len()];
+            for (pos, e) in positions.iter().zip(exprs) {
+                row[*pos] = eval(e, &env)?;
+            }
+            self.insert_row(&t, row)?;
+            n += 1;
+        }
+        Ok(count_result(n))
+    }
+
+    /// Insert a positional row directly (programmatic API used by loaders).
+    pub fn insert_row(&self, table: &Arc<Table>, row: Row) -> DbResult<usize> {
+        if self.enforce_foreign_keys.load(Ordering::Relaxed) {
+            self.check_foreign_keys(table, &row)?;
+        }
+        let rid = table.insert(row)?;
+        self.record_undo(UndoOp::Insert { table: table.schema.name.clone(), rid });
+        Ok(rid)
+    }
+
+    /// Convenience: insert by table name with values in schema order.
+    pub fn insert(&self, table: &str, row: Row) -> DbResult<usize> {
+        let t = self.require_table(table)?;
+        self.insert_row(&t, row)
+    }
+
+    fn check_foreign_keys(&self, table: &Arc<Table>, row: &Row) -> DbResult<()> {
+        for fk in &table.schema.foreign_keys {
+            let vals: Vec<Value> = fk
+                .columns
+                .iter()
+                .map(|c| table.schema.require_column(c).map(|i| row[i].clone()))
+                .collect::<DbResult<_>>()?;
+            if vals.iter().any(Value::is_null) {
+                continue;
+            }
+            let target = if fk.ref_table.eq_ignore_ascii_case(&table.schema.name) {
+                table.clone()
+            } else {
+                self.require_table(&fk.ref_table)?
+            };
+            let guard = target.read();
+            let found = if let Some(ix) = guard.find_index(&fk.ref_columns) {
+                !ix.lookup_eq(&vals).is_empty()
+            } else {
+                // No index on the referenced columns: scan.
+                let positions: Vec<usize> = fk
+                    .ref_columns
+                    .iter()
+                    .map(|c| target.schema.require_column(c))
+                    .collect::<DbResult<_>>()?;
+                guard.iter().any(|(_, r)| {
+                    positions.iter().zip(&vals).all(|(&p, v)| r[p].sql_eq(v) == Some(true))
+                })
+            };
+            if !found {
+                return Err(DbError::Constraint(format!(
+                    "foreign key violation: {}({}) -> {}({})",
+                    table.schema.name,
+                    fk.columns.join(","),
+                    fk.ref_table,
+                    fk.ref_columns.join(",")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Find `(row_id, row)` pairs matching a predicate, using an index
+    /// access path when one applies.
+    fn matching_rows(
+        &self,
+        t: &Arc<Table>,
+        where_clause: Option<&Expr>,
+    ) -> DbResult<Vec<(usize, Row)>> {
+        let binding = t.schema.name.clone();
+        let cols: Vec<ColRef> = t
+            .schema
+            .columns
+            .iter()
+            .map(|c| ColRef::new(Some(&binding), &c.name))
+            .collect();
+        let mut preds = Vec::new();
+        if let Some(w) = where_clause {
+            let has_column = |c: &str| t.schema.column_index(c).is_some();
+            for conj in split_conjuncts(w) {
+                if let Some(p) = as_simple_pred(conj, &binding, &has_column) {
+                    preds.push(p);
+                }
+            }
+        }
+        let guard = t.read();
+        let path = choose_access_path(&guard, &preds);
+        let candidates: Vec<(usize, Row)> = match &path {
+            AccessPath::FullScan => guard.iter().map(|(rid, r)| (rid, r.clone())).collect(),
+            AccessPath::IndexEq { index, key } => {
+                let ix = guard
+                    .indexes()
+                    .iter()
+                    .find(|i| i.def.name == *index)
+                    .ok_or_else(|| DbError::Execution("index vanished".into()))?;
+                ix.lookup_eq(key)
+                    .into_iter()
+                    .filter_map(|rid| guard.row(rid).map(|r| (rid, r.clone())))
+                    .collect()
+            }
+            AccessPath::IndexIn { index, keys } => {
+                let ix = guard
+                    .indexes()
+                    .iter()
+                    .find(|i| i.def.name == *index)
+                    .ok_or_else(|| DbError::Execution("index vanished".into()))?;
+                ix.lookup_in(keys)
+                    .into_iter()
+                    .filter_map(|rid| guard.row(rid).map(|r| (rid, r.clone())))
+                    .collect()
+            }
+            AccessPath::IndexRange { .. } => {
+                guard.iter().map(|(rid, r)| (rid, r.clone())).collect()
+            }
+        };
+        drop(guard);
+        let mut out = Vec::new();
+        for (rid, row) in candidates {
+            let keep = match where_clause {
+                None => true,
+                Some(w) => {
+                    let env = RowEnv { cols: &cols, row: &row };
+                    truth(&eval(w, &env)?) == Some(true)
+                }
+            };
+            if keep {
+                out.push((rid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_update(
+        &self,
+        table: &str,
+        sets: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+    ) -> DbResult<RowSet> {
+        let t = self.require_table(table)?;
+        let binding = t.schema.name.clone();
+        let cols: Vec<ColRef> = t
+            .schema
+            .columns
+            .iter()
+            .map(|c| ColRef::new(Some(&binding), &c.name))
+            .collect();
+        let set_positions: Vec<usize> = sets
+            .iter()
+            .map(|(c, _)| t.schema.require_column(c))
+            .collect::<DbResult<_>>()?;
+        let matches = self.matching_rows(&t, where_clause)?;
+        let mut n = 0i64;
+        for (rid, row) in matches {
+            let env = RowEnv { cols: &cols, row: &row };
+            let mut new_row = row.clone();
+            for (pos, (_, e)) in set_positions.iter().zip(sets) {
+                new_row[*pos] = eval(e, &env)?;
+            }
+            let old = t.update(rid, new_row)?;
+            self.record_undo(UndoOp::Update { table: t.schema.name.clone(), rid, old });
+            n += 1;
+        }
+        Ok(count_result(n))
+    }
+
+    fn run_delete(&self, table: &str, where_clause: Option<&Expr>) -> DbResult<RowSet> {
+        let t = self.require_table(table)?;
+        let matches = self.matching_rows(&t, where_clause)?;
+        let mut n = 0i64;
+        for (rid, _) in matches {
+            let row = t.delete(rid)?;
+            self.record_undo(UndoOp::Delete { table: t.schema.name.clone(), rid, row });
+            n += 1;
+        }
+        Ok(count_result(n))
+    }
+}
+
+fn count_result(n: i64) -> RowSet {
+    RowSet::with_rows(vec!["count".into()], vec![vec![Value::Bigint(n)]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, address VARCHAR, subscriptionID BIGINT);
+             CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, conceptName VARCHAR);
+             CREATE TABLE HasDisease (patientID BIGINT, diseaseID BIGINT, description VARCHAR,
+                FOREIGN KEY (patientID) REFERENCES Patient(patientID),
+                FOREIGN KEY (diseaseID) REFERENCES Disease(diseaseID));
+             INSERT INTO Patient VALUES (1, 'Alice', '12 Oak St', 100), (2, 'Bob', '9 Elm St', 101), (3, 'Carol', NULL, NULL);
+             INSERT INTO Disease VALUES (10, 'E11', 'type 2 diabetes'), (11, 'E10', 'type 1 diabetes'), (12, 'E08', 'diabetes');
+             INSERT INTO HasDisease VALUES (1, 10, 'diagnosed 2019'), (2, 11, NULL), (1, 11, NULL);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_with_filter_and_projection() {
+        let db = setup();
+        let rs = db.execute("SELECT name FROM Patient WHERE patientID = 1").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("Alice".into())));
+        let rs = db
+            .execute("SELECT patientID, name FROM Patient WHERE name LIKE '%o%' ORDER BY patientID")
+            .unwrap();
+        assert_eq!(rs.len(), 2); // Bob, Carol
+    }
+
+    #[test]
+    fn join_and_aggregate() {
+        let db = setup();
+        let rs = db
+            .execute(
+                "SELECT p.name, COUNT(*) AS n FROM Patient p JOIN HasDisease h ON p.patientID = h.patientID GROUP BY p.name ORDER BY n DESC",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.get(0, "name"), Some(&Value::Varchar("Alice".into())));
+        assert_eq!(rs.get(0, "n"), Some(&Value::Bigint(2)));
+    }
+
+    #[test]
+    fn aggregate_over_empty_input_yields_one_row() {
+        let db = setup();
+        let rs = db.execute("SELECT COUNT(*) FROM Patient WHERE patientID = 999").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(0)));
+        let rs = db.execute("SELECT SUM(subscriptionID) FROM Patient WHERE patientID = 999").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Null));
+    }
+
+    #[test]
+    fn foreign_keys_enforced_and_toggleable() {
+        let db = setup();
+        let err = db.execute("INSERT INTO HasDisease VALUES (99, 10, NULL)").unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)), "{err}");
+        db.set_enforce_foreign_keys(false);
+        db.execute("INSERT INTO HasDisease VALUES (99, 10, NULL)").unwrap();
+    }
+
+    #[test]
+    fn update_delete_and_counts() {
+        let db = setup();
+        let rs = db.execute("UPDATE Patient SET address = 'moved' WHERE patientID IN (1, 2)").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(2)));
+        let rs = db.execute("SELECT COUNT(*) FROM Patient WHERE address = 'moved'").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(2)));
+        let rs = db.execute("DELETE FROM HasDisease WHERE description IS NULL").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(2)));
+    }
+
+    #[test]
+    fn explicit_transaction_rollback_restores_state() {
+        let db = setup();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO Patient VALUES (4, 'Dan', NULL, NULL)").unwrap();
+        db.execute("UPDATE Patient SET name = 'Alicia' WHERE patientID = 1").unwrap();
+        db.execute("DELETE FROM HasDisease WHERE patientID = 2").unwrap();
+        db.execute("ROLLBACK").unwrap();
+        let rs = db.execute("SELECT COUNT(*) FROM Patient").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(3)));
+        let rs = db.execute("SELECT name FROM Patient WHERE patientID = 1").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("Alice".into())));
+        let rs = db.execute("SELECT COUNT(*) FROM HasDisease WHERE patientID = 2").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(1)));
+    }
+
+    #[test]
+    fn transaction_closure_rolls_back_on_error() {
+        let db = setup();
+        let res: DbResult<()> = db.transaction(|db| {
+            db.execute("INSERT INTO Patient VALUES (5, 'Eve', NULL, NULL)")?;
+            Err(DbError::Execution("boom".into()))
+        });
+        assert!(res.is_err());
+        let rs = db.execute("SELECT COUNT(*) FROM Patient WHERE patientID = 5").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(0)));
+        // And commits on success.
+        db.transaction(|db| db.execute("INSERT INTO Patient VALUES (5, 'Eve', NULL, NULL)"))
+            .unwrap();
+        let rs = db.execute("SELECT COUNT(*) FROM Patient WHERE patientID = 5").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(1)));
+    }
+
+    #[test]
+    fn views_reflect_updates_immediately() {
+        let db = setup();
+        db.execute(
+            "CREATE VIEW Diabetics AS SELECT p.patientID AS pid, p.name AS pname FROM Patient p JOIN HasDisease h ON p.patientID = h.patientID WHERE h.diseaseID = 10",
+        )
+        .unwrap();
+        let rs = db.execute("SELECT pname FROM Diabetics").unwrap();
+        assert_eq!(rs.len(), 1);
+        db.execute("INSERT INTO HasDisease VALUES (2, 10, NULL)").unwrap();
+        let rs = db.execute("SELECT pname FROM Diabetics ORDER BY pid").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.get(1, "pname"), Some(&Value::Varchar("Bob".into())));
+    }
+
+    #[test]
+    fn prepared_statement_roundtrip() {
+        let db = setup();
+        let p = db.prepare("SELECT name FROM Patient WHERE patientID = ?").unwrap();
+        let rs = db.execute_prepared(&p, &[Value::Bigint(2)]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("Bob".into())));
+        let rs = db.execute_prepared(&p, &[Value::Bigint(3)]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("Carol".into())));
+    }
+
+    #[test]
+    fn explain_shows_index_probe_vs_scan() {
+        let db = setup();
+        let plan = db.explain("SELECT * FROM Patient WHERE patientID = 1").unwrap();
+        assert!(plan.contains("INDEX-EQ"), "{plan}");
+        let plan = db.explain("SELECT * FROM Patient WHERE name = 'Alice'").unwrap();
+        assert!(plan.contains("SCAN"), "{plan}");
+        db.execute("CREATE INDEX ix_name ON Patient (name)").unwrap();
+        let plan = db.explain("SELECT * FROM Patient WHERE name = 'Alice'").unwrap();
+        assert!(plan.contains("INDEX-EQ"), "{plan}");
+    }
+
+    #[test]
+    fn table_function_in_sql() {
+        let db = setup();
+        db.register_function(
+            "pair_maker",
+            Arc::new(|args: &[Value], _cols: &[(String, DataType)]| -> DbResult<RowSet> {
+                let n = args[0].as_i64()?;
+                Ok(RowSet::with_rows(
+                    vec!["a".into(), "b".into()],
+                    (0..n).map(|i| vec![Value::Bigint(i), Value::Bigint(i * i)]).collect(),
+                ))
+            }),
+        );
+        let rs = db
+            .execute("SELECT b FROM TABLE(pair_maker(4)) AS t (a BIGINT, b BIGINT) WHERE a >= 2 ORDER BY a")
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Bigint(4)], vec![Value::Bigint(9)]]);
+    }
+
+    #[test]
+    fn comma_join_with_table_function_uses_hash_join() {
+        // The Section 4 pattern: base table comma-joined to a table function
+        // with the link predicate in WHERE.
+        let db = setup();
+        db.register_function(
+            "subs",
+            Arc::new(|_args: &[Value], _cols: &[(String, DataType)]| -> DbResult<RowSet> {
+                Ok(RowSet::with_rows(
+                    vec!["sid".into()],
+                    vec![vec![Value::Bigint(100)], vec![Value::Bigint(101)]],
+                ))
+            }),
+        );
+        let rs = db
+            .execute(
+                "SELECT p.name FROM Patient AS p, TABLE(subs()) AS s (sid BIGINT) WHERE p.subscriptionID = s.sid ORDER BY p.name",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.get(0, "name"), Some(&Value::Varchar("Alice".into())));
+    }
+
+    #[test]
+    fn subquery_distinct_limit() {
+        let db = setup();
+        let rs = db
+            .execute(
+                "SELECT DISTINCT diseaseID FROM (SELECT diseaseID FROM HasDisease) AS s ORDER BY diseaseID LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Bigint(10)]]);
+    }
+
+    #[test]
+    fn duplicate_table_and_missing_objects_error() {
+        let db = setup();
+        assert!(db.execute("CREATE TABLE Patient (x BIGINT)").is_err());
+        assert!(db.execute("SELECT * FROM NoSuch").is_err());
+        assert!(db.execute("DROP VIEW nothere").is_err());
+        assert!(db.execute("DROP TABLE nothere").is_err());
+        db.execute("DROP TABLE IF EXISTS nothere").unwrap();
+        db.execute("CREATE TABLE IF NOT EXISTS Patient (x BIGINT)").unwrap();
+    }
+
+    #[test]
+    fn left_outer_join() {
+        let db = setup();
+        let rs = db
+            .execute(
+                "SELECT p.name, h.diseaseID FROM Patient p LEFT JOIN HasDisease h ON p.patientID = h.patientID ORDER BY p.patientID, h.diseaseID",
+            )
+            .unwrap();
+        // Alice x2, Bob x1, Carol with NULL.
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.get(3, "name"), Some(&Value::Varchar("Carol".into())));
+        assert_eq!(rs.get(3, "diseaseID"), Some(&Value::Null));
+    }
+}

@@ -1,0 +1,51 @@
+//! Polymorphic table functions.
+//!
+//! A table function appears in a FROM clause as
+//! `TABLE(name(arg, ...)) AS alias (col type, ...)` and returns a row set.
+//! This is the extension point the paper uses for its `graphQuery` function
+//! (Section 4): the graph layer registers a function here so SQL queries can
+//! consume Gremlin results as an ordinary table.
+//!
+//! As in the SQL standard's polymorphic table functions, the declared output
+//! columns are passed to the function, so it can shape its result
+//! accordingly (e.g. `graphQuery` chunks a stream of Gremlin values into
+//! rows of the declared width).
+
+use crate::error::DbResult;
+use crate::row::RowSet;
+use crate::value::{DataType, Value};
+
+/// A function usable in `FROM TABLE(f(...))`.
+pub trait TableFunction: Send + Sync {
+    /// Evaluate for the given (already evaluated) arguments. `columns` is
+    /// the column list declared at the call site (`AS alias (col type, ...)`).
+    fn eval(&self, args: &[Value], columns: &[(String, DataType)]) -> DbResult<RowSet>;
+}
+
+/// Blanket impl so closures can be registered directly.
+impl<F> TableFunction for F
+where
+    F: Fn(&[Value], &[(String, DataType)]) -> DbResult<RowSet> + Send + Sync,
+{
+    fn eval(&self, args: &[Value], columns: &[(String, DataType)]) -> DbResult<RowSet> {
+        self(args, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_table_functions() {
+        let f = |args: &[Value], cols: &[(String, DataType)]| -> DbResult<RowSet> {
+            assert_eq!(cols.len(), 1);
+            Ok(RowSet::with_rows(vec![cols[0].0.clone()], vec![vec![args[0].clone()]]))
+        };
+        let rs =
+            TableFunction::eval(&f, &[Value::Bigint(3)], &[("n".to_string(), DataType::Bigint)])
+                .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(3)));
+        assert_eq!(rs.columns, vec!["n"]);
+    }
+}

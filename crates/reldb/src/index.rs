@@ -1,0 +1,185 @@
+//! Ordered secondary indexes.
+//!
+//! Indexes are ordered maps from composite key values to row ids. The planner
+//! uses them for the point and IN-list probes that dominate the SQL generated
+//! by the graph layer (`WHERE id = ?`, `WHERE src_v IN (...)`), which is also
+//! why the paper's SQL Dialect module *suggests* indexes for frequent query
+//! patterns — without them every traversal hop is a table scan.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::error::{DbError, DbResult};
+use crate::row::Row;
+use crate::value::Value;
+
+/// Identifier of a row slot within its table.
+pub type RowId = usize;
+
+/// User-visible definition of an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub unique: bool,
+}
+
+/// An ordered index over one or more columns of a table.
+///
+/// Keys are the indexed column values in declaration order. Non-unique
+/// indexes keep a postings list of row ids per key.
+#[derive(Debug)]
+pub struct Index {
+    pub def: IndexDef,
+    /// Positions of the indexed columns within the table schema.
+    pub col_positions: Vec<usize>,
+    map: BTreeMap<Vec<Value>, Vec<RowId>>,
+}
+
+impl Index {
+    pub fn new(def: IndexDef, col_positions: Vec<usize>) -> Self {
+        Index { def, col_positions, map: BTreeMap::new() }
+    }
+
+    fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.col_positions.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Insert a row's key. Errors on duplicates for unique indexes
+    /// (NULL-containing keys are exempt, matching SQL semantics).
+    pub fn insert(&mut self, row: &Row, rid: RowId) -> DbResult<()> {
+        let key = self.key_of(row);
+        let has_null = key.iter().any(Value::is_null);
+        let entry = self.map.entry(key).or_default();
+        if self.def.unique && !has_null && !entry.is_empty() {
+            return Err(DbError::Constraint(format!(
+                "duplicate key in unique index '{}'",
+                self.def.name
+            )));
+        }
+        entry.push(rid);
+        Ok(())
+    }
+
+    /// Remove a row's key posting.
+    pub fn remove(&mut self, row: &Row, rid: RowId) {
+        let key = self.key_of(row);
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.retain(|&r| r != rid);
+            if entry.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// All row ids whose key equals `key` exactly.
+    pub fn lookup_eq(&self, key: &[Value]) -> Vec<RowId> {
+        self.map.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Row ids matching any of the given keys (IN-list probe).
+    pub fn lookup_in(&self, keys: &[Vec<Value>]) -> Vec<RowId> {
+        let mut out = Vec::new();
+        for key in keys {
+            if let Some(rids) = self.map.get(key) {
+                out.extend_from_slice(rids);
+            }
+        }
+        out
+    }
+
+    /// Row ids whose *first* indexed column falls in the given bounds.
+    /// Only meaningful for prefix (single leading column) ranges.
+    pub fn lookup_range(&self, low: Bound<&Value>, high: Bound<&Value>) -> Vec<RowId> {
+        let lo: Bound<Vec<Value>> = match low {
+            Bound::Included(v) => Bound::Included(vec![v.clone()]),
+            // Exclusive lower bound on the first column must still admit
+            // composite keys sharing the bound value, so widen and re-filter.
+            Bound::Excluded(v) => Bound::Included(vec![v.clone()]),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (key, rids) in self.map.range((lo, Bound::Unbounded)) {
+            let first = &key[0];
+            match low {
+                Bound::Excluded(v) if first.total_cmp(v).is_le() => continue,
+                Bound::Included(v) if first.total_cmp(v).is_lt() => continue,
+                _ => {}
+            }
+            match high {
+                Bound::Included(v) if first.total_cmp(v).is_gt() => break,
+                Bound::Excluded(v) if first.total_cmp(v).is_ge() => break,
+                _ => {}
+            }
+            out.extend_from_slice(rids);
+        }
+        out
+    }
+
+    /// Number of distinct keys currently indexed.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(unique: bool) -> Index {
+        Index::new(
+            IndexDef { name: "i".into(), columns: vec!["a".into()], unique },
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let mut i = idx(false);
+        i.insert(&vec![Value::Bigint(1), Value::Varchar("x".into())], 10).unwrap();
+        i.insert(&vec![Value::Bigint(1), Value::Varchar("y".into())], 11).unwrap();
+        i.insert(&vec![Value::Bigint(2), Value::Varchar("z".into())], 12).unwrap();
+        assert_eq!(i.lookup_eq(&[Value::Bigint(1)]), vec![10, 11]);
+        i.remove(&vec![Value::Bigint(1), Value::Varchar("x".into())], 10);
+        assert_eq!(i.lookup_eq(&[Value::Bigint(1)]), vec![11]);
+        assert_eq!(i.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates_but_allows_nulls() {
+        let mut i = idx(true);
+        i.insert(&vec![Value::Bigint(1)], 0).unwrap();
+        assert!(i.insert(&vec![Value::Bigint(1)], 1).is_err());
+        i.insert(&vec![Value::Null], 2).unwrap();
+        i.insert(&vec![Value::Null], 3).unwrap();
+    }
+
+    #[test]
+    fn in_list_probe_collects_all_matches() {
+        let mut i = idx(false);
+        for rid in 0..5 {
+            i.insert(&vec![Value::Bigint(rid as i64)], rid).unwrap();
+        }
+        let keys = vec![vec![Value::Bigint(1)], vec![Value::Bigint(3)], vec![Value::Bigint(9)]];
+        assert_eq!(i.lookup_in(&keys), vec![1, 3]);
+    }
+
+    #[test]
+    fn range_probe_on_leading_column() {
+        let mut i = Index::new(
+            IndexDef { name: "c".into(), columns: vec!["a".into(), "b".into()], unique: false },
+            vec![0, 1],
+        );
+        for (a, b, rid) in [(1, 1, 0), (1, 2, 1), (2, 1, 2), (3, 1, 3)] {
+            i.insert(&vec![Value::Bigint(a), Value::Bigint(b)], rid).unwrap();
+        }
+        let got = i.lookup_range(Bound::Excluded(&Value::Bigint(1)), Bound::Included(&Value::Bigint(3)));
+        assert_eq!(got, vec![2, 3]);
+        let got = i.lookup_range(Bound::Unbounded, Bound::Excluded(&Value::Bigint(2)));
+        assert_eq!(got, vec![0, 1]);
+    }
+}

@@ -1,0 +1,411 @@
+//! Scalar expression evaluation.
+
+use crate::error::{DbError, DbResult};
+use crate::row::Row;
+use crate::sql::ast::{BinOp, Expr, UnaryOp};
+use crate::value::Value;
+
+/// A reference to a column within an intermediate relation: the binding
+/// qualifier (table alias) plus the column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl ColRef {
+    pub fn new(qualifier: Option<&str>, name: &str) -> Self {
+        ColRef { qualifier: qualifier.map(str::to_string), name: name.to_string() }
+    }
+}
+
+/// Resolve a column reference against a column list; returns its position.
+pub fn resolve_column(
+    cols: &[ColRef],
+    qualifier: &Option<String>,
+    name: &str,
+) -> DbResult<usize> {
+    let mut found: Option<usize> = None;
+    for (i, c) in cols.iter().enumerate() {
+        let name_matches = c.name.eq_ignore_ascii_case(name);
+        let qual_matches = match (qualifier, &c.qualifier) {
+            (Some(q), Some(cq)) => q.eq_ignore_ascii_case(cq),
+            (Some(_), None) => false,
+            (None, _) => true,
+        };
+        if name_matches && qual_matches {
+            if found.is_some() && qualifier.is_none() {
+                return Err(DbError::Execution(format!("ambiguous column reference '{name}'")));
+            }
+            if found.is_none() {
+                found = Some(i);
+            }
+        }
+    }
+    found.ok_or_else(|| {
+        let q = qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default();
+        DbError::Execution(format!("column '{q}{name}' not found"))
+    })
+}
+
+/// Evaluation environment: a row laid out against a column list.
+pub struct RowEnv<'a> {
+    pub cols: &'a [ColRef],
+    pub row: &'a Row,
+}
+
+impl RowEnv<'_> {
+    fn get(&self, qualifier: &Option<String>, name: &str) -> DbResult<Value> {
+        let i = resolve_column(self.cols, qualifier, name)?;
+        Ok(self.row[i].clone())
+    }
+}
+
+/// Evaluate a scalar expression against a row. Aggregate function calls are
+/// rejected here — the executor resolves them before projection.
+pub fn eval(expr: &Expr, env: &RowEnv<'_>) -> DbResult<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => env.get(qualifier, name),
+        Expr::Param(i) => Err(DbError::Execution(format!("unbound parameter ?{i}"))),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, env)?;
+            match op {
+                UnaryOp::Not => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Boolean(b) => Ok(Value::Boolean(!b)),
+                    other => Err(DbError::Type(format!("NOT applied to non-boolean {other}"))),
+                },
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Bigint(x) => Ok(Value::Bigint(-x)),
+                    Value::Double(x) => Ok(Value::Double(-x)),
+                    other => Err(DbError::Type(format!("negation of non-numeric {other}"))),
+                },
+            }
+        }
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, env),
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, env)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => return Ok(Value::Boolean(!negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Boolean(*negated))
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, env)?;
+            Ok(Value::Boolean(v.is_null() != *negated))
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval(expr, env)?;
+            let p = eval(pattern, env)?;
+            match (&v, &p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Varchar(s), Value::Varchar(pat)) => {
+                    Ok(Value::Boolean(like_match(s, pat) != *negated))
+                }
+                _ => Err(DbError::Type("LIKE requires string operands".into())),
+            }
+        }
+        Expr::Function { name, args, .. } => eval_scalar_function(name, args, env),
+    }
+}
+
+fn eval_binary(op: BinOp, left: &Expr, right: &Expr, env: &RowEnv<'_>) -> DbResult<Value> {
+    match op {
+        BinOp::And => {
+            // SQL three-valued AND with short circuit on FALSE.
+            let l = eval(left, env)?;
+            if l == Value::Boolean(false) {
+                return Ok(Value::Boolean(false));
+            }
+            let r = eval(right, env)?;
+            match (truth(&l), truth(&r)) {
+                (Some(false), _) | (_, Some(false)) => Ok(Value::Boolean(false)),
+                (Some(true), Some(true)) => Ok(Value::Boolean(true)),
+                _ => Ok(Value::Null),
+            }
+        }
+        BinOp::Or => {
+            let l = eval(left, env)?;
+            if l == Value::Boolean(true) {
+                return Ok(Value::Boolean(true));
+            }
+            let r = eval(right, env)?;
+            match (truth(&l), truth(&r)) {
+                (Some(true), _) | (_, Some(true)) => Ok(Value::Boolean(true)),
+                (Some(false), Some(false)) => Ok(Value::Boolean(false)),
+                _ => Ok(Value::Null),
+            }
+        }
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            let l = eval(left, env)?;
+            let r = eval(right, env)?;
+            let ord = match l.sql_cmp(&r) {
+                Some(o) => o,
+                None => return Ok(Value::Null),
+            };
+            let b = match op {
+                BinOp::Eq => ord.is_eq(),
+                BinOp::NotEq => ord.is_ne(),
+                BinOp::Lt => ord.is_lt(),
+                BinOp::LtEq => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Boolean(b))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let l = eval(left, env)?;
+            let r = eval(right, env)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // Integer arithmetic when both sides are BIGINT (except division
+            // by zero errors; integer division truncates like SQL).
+            if let (Value::Bigint(a), Value::Bigint(b)) = (&l, &r) {
+                return match op {
+                    BinOp::Add => Ok(Value::Bigint(a.wrapping_add(*b))),
+                    BinOp::Sub => Ok(Value::Bigint(a.wrapping_sub(*b))),
+                    BinOp::Mul => Ok(Value::Bigint(a.wrapping_mul(*b))),
+                    BinOp::Div => {
+                        if *b == 0 {
+                            Err(DbError::Execution("division by zero".into()))
+                        } else {
+                            Ok(Value::Bigint(a / b))
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            let a = l.as_f64()?;
+            let b = r.as_f64()?;
+            match op {
+                BinOp::Add => Ok(Value::Double(a + b)),
+                BinOp::Sub => Ok(Value::Double(a - b)),
+                BinOp::Mul => Ok(Value::Double(a * b)),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        Err(DbError::Execution("division by zero".into()))
+                    } else {
+                        Ok(Value::Double(a / b))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn eval_scalar_function(name: &str, args: &[Expr], env: &RowEnv<'_>) -> DbResult<Value> {
+    let upper = name.to_ascii_uppercase();
+    let vals: Vec<Value> = args.iter().map(|a| eval(a, env)).collect::<DbResult<_>>()?;
+    match upper.as_str() {
+        "ABS" => match vals.first() {
+            Some(Value::Bigint(v)) => Ok(Value::Bigint(v.abs())),
+            Some(Value::Double(v)) => Ok(Value::Double(v.abs())),
+            Some(Value::Null) => Ok(Value::Null),
+            _ => Err(DbError::Type("ABS requires one numeric argument".into())),
+        },
+        "LOWER" => match vals.first() {
+            Some(Value::Varchar(s)) => Ok(Value::Varchar(s.to_lowercase())),
+            Some(Value::Null) => Ok(Value::Null),
+            _ => Err(DbError::Type("LOWER requires one string argument".into())),
+        },
+        "UPPER" => match vals.first() {
+            Some(Value::Varchar(s)) => Ok(Value::Varchar(s.to_uppercase())),
+            Some(Value::Null) => Ok(Value::Null),
+            _ => Err(DbError::Type("UPPER requires one string argument".into())),
+        },
+        "LENGTH" => match vals.first() {
+            Some(Value::Varchar(s)) => Ok(Value::Bigint(s.chars().count() as i64)),
+            Some(Value::Null) => Ok(Value::Null),
+            _ => Err(DbError::Type("LENGTH requires one string argument".into())),
+        },
+        "CONCAT" => {
+            let mut out = String::new();
+            for v in &vals {
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                out.push_str(&v.to_string());
+            }
+            Ok(Value::Varchar(out))
+        }
+        "COALESCE" => {
+            for v in vals {
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        other => Err(DbError::Unsupported(format!("scalar function '{other}'"))),
+    }
+}
+
+/// SQL truth value of a value: `Some(bool)` or `None` for NULL/unknown.
+pub fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Boolean(b) => Some(*b),
+        Value::Null => None,
+        // Any other type in a boolean position is an error surfaced earlier;
+        // treat as unknown to be safe.
+        _ => None,
+    }
+}
+
+/// SQL LIKE matching: `%` matches any run, `_` matches one character.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Greedy expansion of % over every split point.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_cols() -> Vec<ColRef> {
+        vec![ColRef::new(Some("t"), "a"), ColRef::new(Some("t"), "b"), ColRef::new(Some("u"), "a")]
+    }
+
+    fn row() -> Row {
+        vec![Value::Bigint(5), Value::Varchar("hello".into()), Value::Bigint(7)]
+    }
+
+    #[test]
+    fn column_resolution_and_ambiguity() {
+        let cols = env_cols();
+        assert_eq!(resolve_column(&cols, &Some("t".into()), "a").unwrap(), 0);
+        assert_eq!(resolve_column(&cols, &Some("U".into()), "A").unwrap(), 2);
+        assert_eq!(resolve_column(&cols, &None, "b").unwrap(), 1);
+        assert!(resolve_column(&cols, &None, "a").is_err()); // ambiguous
+        assert!(resolve_column(&cols, &Some("x".into()), "a").is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_types() {
+        let cols = env_cols();
+        let r = row();
+        let env = RowEnv { cols: &cols, row: &r };
+        let e = Expr::qcol("t", "a").eq(Expr::lit(5i64));
+        assert_eq!(eval(&e, &env).unwrap(), Value::Boolean(true));
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::qcol("t", "a")),
+            right: Box::new(Expr::lit(2.5)),
+        };
+        assert_eq!(eval(&e, &env).unwrap(), Value::Double(7.5));
+        let div0 = Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(Expr::lit(1i64)),
+            right: Box::new(Expr::lit(0i64)),
+        };
+        assert!(eval(&div0, &env).is_err());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let cols = env_cols();
+        let r = row();
+        let env = RowEnv { cols: &cols, row: &r };
+        // NULL AND FALSE = FALSE; NULL AND TRUE = NULL
+        let null = Expr::Literal(Value::Null);
+        let null_cmp = null.clone().eq(Expr::lit(1i64));
+        let f = Expr::lit(1i64).eq(Expr::lit(2i64));
+        let t = Expr::lit(1i64).eq(Expr::lit(1i64));
+        let and_f = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(null_cmp.clone()),
+            right: Box::new(f),
+        };
+        assert_eq!(eval(&and_f, &env).unwrap(), Value::Boolean(false));
+        let and_t =
+            Expr::Binary { op: BinOp::And, left: Box::new(null_cmp.clone()), right: Box::new(t.clone()) };
+        assert_eq!(eval(&and_t, &env).unwrap(), Value::Null);
+        let or_t = Expr::Binary { op: BinOp::Or, left: Box::new(null_cmp), right: Box::new(t) };
+        assert_eq!(eval(&or_t, &env).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn in_list_with_nulls() {
+        let cols = env_cols();
+        let r = row();
+        let env = RowEnv { cols: &cols, row: &r };
+        let e = Expr::InList {
+            expr: Box::new(Expr::qcol("t", "a")),
+            list: vec![Expr::lit(1i64), Expr::lit(5i64)],
+            negated: false,
+        };
+        assert_eq!(eval(&e, &env).unwrap(), Value::Boolean(true));
+        // 5 NOT IN (1, NULL) -> NULL (unknown)
+        let e = Expr::InList {
+            expr: Box::new(Expr::qcol("t", "a")),
+            list: vec![Expr::lit(1i64), Expr::Literal(Value::Null)],
+            negated: true,
+        };
+        assert_eq!(eval(&e, &env).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "h_llx"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("", "%"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let cols = env_cols();
+        let r = row();
+        let env = RowEnv { cols: &cols, row: &r };
+        let f = |name: &str, args: Vec<Expr>| Expr::Function {
+            name: name.into(),
+            args,
+            distinct: false,
+            star: false,
+        };
+        assert_eq!(eval(&f("ABS", vec![Expr::lit(-3i64)]), &env).unwrap(), Value::Bigint(3));
+        assert_eq!(
+            eval(&f("UPPER", vec![Expr::qcol("t", "b")]), &env).unwrap(),
+            Value::Varchar("HELLO".into())
+        );
+        assert_eq!(eval(&f("LENGTH", vec![Expr::qcol("t", "b")]), &env).unwrap(), Value::Bigint(5));
+        assert_eq!(
+            eval(&f("COALESCE", vec![Expr::Literal(Value::Null), Expr::lit(9i64)]), &env).unwrap(),
+            Value::Bigint(9)
+        );
+        assert!(eval(&f("NOSUCH", vec![]), &env).is_err());
+    }
+}

@@ -1,0 +1,1075 @@
+//! Query execution.
+//!
+//! A straightforward materializing executor: FROM sources are resolved into
+//! in-memory relations (using index access paths where the planner finds
+//! one), joins are hash joins on equi-keys (falling back to nested loops),
+//! then filtering, grouping/aggregation, projection, DISTINCT, ORDER BY and
+//! LIMIT are applied in SQL order.
+
+use std::collections::HashMap;
+
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+use crate::row::{Row, RowSet};
+use crate::sql::ast::*;
+use crate::sql::eval::{eval, resolve_column, truth, ColRef, RowEnv};
+use crate::sql::planner::{
+    as_simple_pred, choose_access_path, split_conjuncts, AccessPath, SimplePred,
+};
+use crate::storage::Table;
+use crate::value::Value;
+
+/// An intermediate relation: qualified columns plus materialized rows.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    pub cols: Vec<ColRef>,
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    fn empty() -> Relation {
+        Relation { cols: Vec::new(), rows: Vec::new() }
+    }
+}
+
+/// Execute a SELECT statement to completion.
+pub fn execute_select(db: &Database, stmt: &SelectStmt) -> DbResult<RowSet> {
+    // FROM-less SELECT: evaluate items once against an empty row.
+    if stmt.from.is_empty() {
+        let cols: Vec<ColRef> = Vec::new();
+        let row: Row = Vec::new();
+        let env = RowEnv { cols: &cols, row: &row };
+        let mut names = Vec::new();
+        let mut out = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    names.push(output_name(expr, alias, i));
+                    out.push(eval(expr, &env)?);
+                }
+                _ => return Err(DbError::Execution("SELECT * requires FROM".into())),
+            }
+        }
+        return Ok(RowSet::with_rows(names, vec![out]));
+    }
+
+    if let Some(n) = try_fast_count(db, stmt)? {
+        let name = match &stmt.items[0] {
+            SelectItem::Expr { expr, alias } => output_name(expr, alias, 0),
+            _ => unreachable!("shape checked by try_fast_count"),
+        };
+        return Ok(RowSet::with_rows(vec![name], vec![vec![Value::Bigint(n)]]));
+    }
+
+    let rel = build_from(db, stmt)?;
+    let rel = apply_where(rel, stmt.where_clause.as_ref())?;
+
+    if is_aggregate_query(stmt) {
+        project_aggregate(rel, stmt)
+    } else {
+        project_plain(rel, stmt)
+    }
+}
+
+/// Fast path for `SELECT COUNT(*) FROM t WHERE <simple conjuncts>`: probe
+/// the index and evaluate the remaining simple predicates against borrowed
+/// rows — no row materialization at all. This is what keeps degree-count
+/// queries (the overlay's `countLinks` SQL) cheap on high-degree vertices.
+fn try_fast_count(db: &Database, stmt: &SelectStmt) -> DbResult<Option<i64>> {
+    // Shape: COUNT(*) only, one base table, no other clauses.
+    if stmt.items.len() != 1
+        || stmt.distinct
+        || !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || !stmt.order_by.is_empty()
+        || stmt.from.len() != 1
+        || !stmt.from[0].joins.is_empty()
+        || stmt.limit == Some(0)
+    {
+        return Ok(None);
+    }
+    match &stmt.items[0] {
+        SelectItem::Expr { expr: Expr::Function { name, star: true, .. }, .. }
+            if name.eq_ignore_ascii_case("COUNT") => {}
+        _ => return Ok(None),
+    }
+    let TableSource::Named { name, .. } = &stmt.from[0].source else { return Ok(None) };
+    let Some(table) = db.get_table(name) else { return Ok(None) };
+    let binding = stmt.from[0].source.binding_name().to_string();
+
+    // Every WHERE conjunct must be a simple single-column predicate.
+    let mut preds: Vec<SimplePred> = Vec::new();
+    if let Some(w) = &stmt.where_clause {
+        let has_column = |c: &str| table.schema.column_index(c).is_some();
+        for conj in split_conjuncts(w) {
+            match as_simple_pred(conj, &binding, &has_column) {
+                Some(p) => preds.push(p),
+                None => return Ok(None),
+            }
+        }
+    }
+    let guard = table.read();
+    let path = choose_access_path(&guard, &preds);
+    let rids: Vec<crate::index::RowId> = match &path {
+        AccessPath::FullScan => {
+            db.stats().record_full_scan(guard.len() as u64);
+            guard.iter().map(|(rid, _)| rid).collect()
+        }
+        AccessPath::IndexEq { index, key } => {
+            db.stats().record_index_probe(1);
+            find_index(&guard, index)?.lookup_eq(key)
+        }
+        AccessPath::IndexIn { index, keys } => {
+            db.stats().record_index_probe(keys.len() as u64);
+            find_index(&guard, index)?.lookup_in(keys)
+        }
+        AccessPath::IndexRange { index, low, high } => {
+            db.stats().record_index_probe(1);
+            let low = match low {
+                std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+                std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+                std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+            };
+            let high = match high {
+                std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+                std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+                std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+            };
+            find_index(&guard, index)?.lookup_range(low, high)
+        }
+    };
+    db.stats().record_rows_read(rids.len() as u64);
+    // Re-check every predicate against borrowed rows (the probe may cover
+    // only some conjuncts); no clones.
+    let positions: Vec<(usize, &SimplePred)> = preds
+        .iter()
+        .map(|p| (table.schema.require_column(p.column()).expect("checked above"), p))
+        .collect();
+    let mut n = 0i64;
+    for rid in rids {
+        let Some(row) = guard.row(rid) else { continue };
+        let ok = positions.iter().all(|(i, p)| {
+            let v = &row[*i];
+            match p {
+                SimplePred::Eq(_, x) => v.sql_eq(x) == Some(true),
+                SimplePred::In(_, xs) => xs.iter().any(|x| v.sql_eq(x) == Some(true)),
+                SimplePred::Cmp(_, op, x) => {
+                    let Some(ord) = v.sql_cmp(x) else { return false };
+                    match op {
+                        BinOp::Lt => ord.is_lt(),
+                        BinOp::LtEq => ord.is_le(),
+                        BinOp::Gt => ord.is_gt(),
+                        BinOp::GtEq => ord.is_ge(),
+                        _ => false,
+                    }
+                }
+            }
+        });
+        if ok {
+            n += 1;
+        }
+    }
+    Ok(Some(n))
+}
+
+/// Render the plan that `execute_select` would use, for EXPLAIN.
+pub fn explain_select(db: &Database, stmt: &SelectStmt) -> DbResult<Vec<String>> {
+    let mut lines = Vec::new();
+    for (i, fi) in stmt.from.iter().enumerate() {
+        let pushdown = if i == 0 { stmt.where_clause.as_ref() } else { None };
+        lines.push(describe_source(db, &fi.source, pushdown)?);
+        for j in &fi.joins {
+            let kind = if equi_pairs_possible(&j.on) { "HASH-JOIN" } else { "NESTED-LOOP-JOIN" };
+            lines.push(format!("{kind} {}", describe_source(db, &j.source, None)?));
+        }
+        if i + 1 < stmt.from.len() {
+            lines.push("CROSS/HASH COMBINE".to_string());
+        }
+    }
+    if stmt.where_clause.is_some() {
+        lines.push("FILTER".to_string());
+    }
+    if is_aggregate_query(stmt) {
+        lines.push(format!("AGGREGATE ({} group keys)", stmt.group_by.len()));
+    }
+    if stmt.distinct {
+        lines.push("DISTINCT".to_string());
+    }
+    if !stmt.order_by.is_empty() {
+        lines.push(format!("SORT ({} keys)", stmt.order_by.len()));
+    }
+    if let Some(n) = stmt.limit {
+        lines.push(format!("LIMIT {n}"));
+    }
+    Ok(lines)
+}
+
+fn equi_pairs_possible(on: &Expr) -> bool {
+    split_conjuncts(on).iter().any(|c| {
+        matches!(
+            c,
+            Expr::Binary { op: BinOp::Eq, left, right }
+                if matches!(**left, Expr::Column { .. }) && matches!(**right, Expr::Column { .. })
+        )
+    })
+}
+
+fn describe_source(db: &Database, source: &TableSource, pushdown: Option<&Expr>) -> DbResult<String> {
+    match source {
+        TableSource::Named { name, .. } => {
+            if let Some(table) = db.get_table(name) {
+                let binding = source.binding_name().to_string();
+                let preds = collect_simple_preds(&table, &binding, pushdown);
+                let guard = table.read();
+                let path = choose_access_path(&guard, &preds);
+                Ok(path.describe(&table.schema.name))
+            } else if db.get_view(name).is_some() {
+                Ok(format!("VIEW {name}"))
+            } else {
+                Err(DbError::Catalog(format!("table or view '{name}' not found")))
+            }
+        }
+        TableSource::Function { name, .. } => Ok(format!("TABLE-FUNCTION {name}")),
+        TableSource::Subquery { alias, .. } => Ok(format!("SUBQUERY {alias}")),
+    }
+}
+
+// ------------------------------------------------------------------- FROM
+
+fn build_from(db: &Database, stmt: &SelectStmt) -> DbResult<Relation> {
+    let mut rel: Option<Relation> = None;
+    for (idx, fi) in stmt.from.iter().enumerate() {
+        // WHERE conjuncts that reference only the first source's binding
+        // can be evaluated during its scan (index probes); the full WHERE
+        // is re-applied afterwards, so this is purely an access-path
+        // optimization. Safe under INNER and LEFT joins alike because the
+        // first source is never null-extended.
+        let pushdown = if idx == 0 { stmt.where_clause.as_ref() } else { None };
+        let mut r = resolve_source(db, &fi.source, pushdown)?;
+        for join in &fi.joins {
+            r = apply_join(db, r, join)?;
+        }
+        rel = Some(match rel {
+            None => r,
+            Some(prev) => combine(prev, r, stmt.where_clause.as_ref())?,
+        });
+    }
+    Ok(rel.unwrap_or_else(Relation::empty))
+}
+
+fn resolve_source(db: &Database, source: &TableSource, pushdown: Option<&Expr>) -> DbResult<Relation> {
+    match source {
+        TableSource::Named { name, .. } => {
+            let binding = source.binding_name().to_string();
+            if let Some(table) = db.get_table(name) {
+                return scan_table(db, &table, &binding, pushdown);
+            }
+            if let Some(view) = db.get_view(name) {
+                let query = push_into_view(db, &view.query, &binding, pushdown);
+                let rs = execute_select(db, &query)?;
+                return Ok(relabel(rs, &binding));
+            }
+            Err(DbError::Catalog(format!("table or view '{name}' not found")))
+        }
+        TableSource::Function { name, args, alias, columns } => {
+            let func = db
+                .get_function(name)
+                .ok_or_else(|| DbError::Catalog(format!("table function '{name}' not found")))?;
+            let empty_cols: Vec<ColRef> = Vec::new();
+            let empty_row: Row = Vec::new();
+            let env = RowEnv { cols: &empty_cols, row: &empty_row };
+            let arg_vals: Vec<Value> = args.iter().map(|a| eval(a, &env)).collect::<DbResult<_>>()?;
+            let rs = func.eval(&arg_vals, columns)?;
+            if rs.columns.len() != columns.len() {
+                return Err(DbError::Type(format!(
+                    "table function '{name}' returned {} columns, declaration has {}",
+                    rs.columns.len(),
+                    columns.len()
+                )));
+            }
+            let mut rows = Vec::with_capacity(rs.rows.len());
+            for row in rs.rows {
+                let mut out = Vec::with_capacity(row.len());
+                for (v, (cname, ty)) in row.into_iter().zip(columns) {
+                    out.push(v.coerce_to(*ty).map_err(|e| {
+                        DbError::Type(format!("table function '{name}' column '{cname}': {e}"))
+                    })?);
+                }
+                rows.push(out);
+            }
+            Ok(Relation {
+                cols: columns.iter().map(|(n, _)| ColRef::new(Some(alias), n)).collect(),
+                rows,
+            })
+        }
+        TableSource::Subquery { query, alias } => {
+            let rs = execute_select(db, query)?;
+            Ok(relabel(rs, alias))
+        }
+    }
+}
+
+fn relabel(rs: RowSet, binding: &str) -> Relation {
+    Relation {
+        cols: rs.columns.iter().map(|c| ColRef::new(Some(binding), c)).collect(),
+        rows: rs.rows,
+    }
+}
+
+fn collect_simple_preds(table: &Table, binding: &str, pushdown: Option<&Expr>) -> Vec<SimplePred> {
+    let mut preds = Vec::new();
+    if let Some(w) = pushdown {
+        let has_column = |c: &str| table.schema.column_index(c).is_some();
+        for conj in split_conjuncts(w) {
+            if let Some(p) = as_simple_pred(conj, binding, &has_column) {
+                preds.push(p);
+            }
+        }
+    }
+    preds
+}
+
+fn scan_table(
+    db: &Database,
+    table: &Table,
+    binding: &str,
+    pushdown: Option<&Expr>,
+) -> DbResult<Relation> {
+    let preds = collect_simple_preds(table, binding, pushdown);
+    let guard = table.read();
+    let path = choose_access_path(&guard, &preds);
+    let rows: Vec<Row> = match &path {
+        AccessPath::FullScan => {
+            db.stats().record_full_scan(guard.len() as u64);
+            guard.iter().map(|(_, r)| r.clone()).collect()
+        }
+        AccessPath::IndexEq { index, key } => {
+            db.stats().record_index_probe(1);
+            let ix = find_index(&guard, index)?;
+            ix.lookup_eq(key)
+                .into_iter()
+                .filter_map(|rid| guard.row(rid).cloned())
+                .collect()
+        }
+        AccessPath::IndexIn { index, keys } => {
+            db.stats().record_index_probe(keys.len() as u64);
+            let ix = find_index(&guard, index)?;
+            ix.lookup_in(keys)
+                .into_iter()
+                .filter_map(|rid| guard.row(rid).cloned())
+                .collect()
+        }
+        AccessPath::IndexRange { index, low, high } => {
+            db.stats().record_index_probe(1);
+            let ix = find_index(&guard, index)?;
+            let low = match low {
+                std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+                std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+                std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+            };
+            let high = match high {
+                std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+                std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+                std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+            };
+            ix.lookup_range(low, high)
+                .into_iter()
+                .filter_map(|rid| guard.row(rid).cloned())
+                .collect()
+        }
+    };
+    db.stats().record_rows_read(rows.len() as u64);
+    Ok(Relation {
+        cols: table
+            .schema
+            .columns
+            .iter()
+            .map(|c| ColRef::new(Some(binding), &c.name))
+            .collect(),
+        rows,
+    })
+}
+
+fn find_index<'a>(
+    data: &'a crate::storage::TableData,
+    name: &str,
+) -> DbResult<&'a crate::index::Index> {
+    data.indexes()
+        .iter()
+        .find(|ix| ix.def.name == name)
+        .ok_or_else(|| DbError::Execution(format!("index '{name}' vanished during execution")))
+}
+
+/// Push applicable outer conjuncts into a view's query so its own planning
+/// can use indexes. Only conjuncts over simple passthrough columns of a
+/// plain (non-aggregating, non-distinct, non-limited) view are pushed.
+fn push_into_view(
+    _db: &Database,
+    view_query: &SelectStmt,
+    binding: &str,
+    pushdown: Option<&Expr>,
+) -> SelectStmt {
+    let mut query = view_query.clone();
+    let Some(outer) = pushdown else { return query };
+    if !query.group_by.is_empty()
+        || query.distinct
+        || query.limit.is_some()
+        || query.items.iter().any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+    {
+        return query;
+    }
+    // Map of output column name -> inner column expression.
+    let mut mapping: HashMap<String, Expr> = HashMap::new();
+    for (i, item) in query.items.iter().enumerate() {
+        if let SelectItem::Expr { expr: inner @ Expr::Column { name, .. }, alias } = item {
+            let out_name = alias.clone().unwrap_or_else(|| name.clone());
+            mapping.insert(out_name.to_ascii_lowercase(), inner.clone());
+        }
+        let _ = i;
+    }
+    if mapping.is_empty() {
+        return query;
+    }
+    let mut pushed: Option<Expr> = None;
+    for conj in split_conjuncts(outer) {
+        if let Some(rewritten) = rewrite_for_view(conj, binding, &mapping) {
+            pushed = Some(match pushed {
+                None => rewritten,
+                Some(p) => p.and(rewritten),
+            });
+        }
+    }
+    if let Some(p) = pushed {
+        query.where_clause = Some(match query.where_clause.take() {
+            None => p,
+            Some(w) => w.and(p),
+        });
+    }
+    query
+}
+
+/// Rewrite a conjunct replacing outer column references (which must all
+/// refer to `binding`) with the view's inner expressions. Returns None when
+/// any part cannot be rewritten.
+fn rewrite_for_view(expr: &Expr, binding: &str, mapping: &HashMap<String, Expr>) -> Option<Expr> {
+    match expr {
+        Expr::Column { qualifier, name } => {
+            let qual_ok =
+                qualifier.as_ref().map(|q| q.eq_ignore_ascii_case(binding)).unwrap_or(true);
+            if !qual_ok {
+                return None;
+            }
+            mapping.get(&name.to_ascii_lowercase()).cloned()
+        }
+        Expr::Literal(_) => Some(expr.clone()),
+        Expr::Binary { op, left, right }
+            if matches!(op, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq) =>
+        {
+            Some(Expr::Binary {
+                op: *op,
+                left: Box::new(rewrite_for_view(left, binding, mapping)?),
+                right: Box::new(rewrite_for_view(right, binding, mapping)?),
+            })
+        }
+        Expr::InList { expr, list, negated: false } => {
+            let inner = rewrite_for_view(expr, binding, mapping)?;
+            let list: Option<Vec<Expr>> = list
+                .iter()
+                .map(|e| if matches!(e, Expr::Literal(_)) { Some(e.clone()) } else { None })
+                .collect();
+            Some(Expr::InList { expr: Box::new(inner), list: list?, negated: false })
+        }
+        _ => None,
+    }
+}
+
+// ------------------------------------------------------------------- joins
+
+fn apply_join(db: &Database, left: Relation, join: &Join) -> DbResult<Relation> {
+    let right = resolve_source(db, &join.source, None)?;
+    join_relations(left, right, &join.on, join.left_outer)
+}
+
+fn join_relations(left: Relation, right: Relation, on: &Expr, left_outer: bool) -> DbResult<Relation> {
+    let combined_cols: Vec<ColRef> =
+        left.cols.iter().chain(right.cols.iter()).cloned().collect();
+
+    // Find equi-join key pairs resolvable on opposite sides.
+    let mut left_keys: Vec<usize> = Vec::new();
+    let mut right_keys: Vec<usize> = Vec::new();
+    for conj in split_conjuncts(on) {
+        if let Expr::Binary { op: BinOp::Eq, left: a, right: b } = conj {
+            if let (Expr::Column { qualifier: qa, name: na }, Expr::Column { qualifier: qb, name: nb }) =
+                (a.as_ref(), b.as_ref())
+            {
+                let la = resolve_column(&left.cols, qa, na);
+                let rb = resolve_column(&right.cols, qb, nb);
+                if let (Ok(li), Ok(ri)) = (la, rb) {
+                    left_keys.push(li);
+                    right_keys.push(ri);
+                    continue;
+                }
+                let lb = resolve_column(&left.cols, qb, nb);
+                let ra = resolve_column(&right.cols, qa, na);
+                if let (Ok(li), Ok(ri)) = (lb, ra) {
+                    left_keys.push(li);
+                    right_keys.push(ri);
+                }
+            }
+        }
+    }
+
+    let mut out_rows: Vec<Row> = Vec::new();
+    let null_right: Row = vec![Value::Null; right.cols.len()];
+
+    if !left_keys.is_empty() {
+        // Hash join.
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
+        for (i, row) in right.rows.iter().enumerate() {
+            let key: Vec<Value> = right_keys.iter().map(|&k| row[k].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(key).or_default().push(i);
+        }
+        for lrow in &left.rows {
+            let key: Vec<Value> = left_keys.iter().map(|&k| lrow[k].clone()).collect();
+            let mut matched = false;
+            if !key.iter().any(Value::is_null) {
+                if let Some(cands) = table.get(&key) {
+                    for &ri in cands {
+                        let mut combined = lrow.clone();
+                        combined.extend_from_slice(&right.rows[ri]);
+                        let env = RowEnv { cols: &combined_cols, row: &combined };
+                        if truth(&eval(on, &env)?) == Some(true) {
+                            out_rows.push(combined);
+                            matched = true;
+                        }
+                    }
+                }
+            }
+            if left_outer && !matched {
+                let mut combined = lrow.clone();
+                combined.extend_from_slice(&null_right);
+                out_rows.push(combined);
+            }
+        }
+    } else {
+        // Nested loop.
+        for lrow in &left.rows {
+            let mut matched = false;
+            for rrow in &right.rows {
+                let mut combined = lrow.clone();
+                combined.extend_from_slice(rrow);
+                let env = RowEnv { cols: &combined_cols, row: &combined };
+                if truth(&eval(on, &env)?) == Some(true) {
+                    out_rows.push(combined);
+                    matched = true;
+                }
+            }
+            if left_outer && !matched {
+                let mut combined = lrow.clone();
+                combined.extend_from_slice(&null_right);
+                out_rows.push(combined);
+            }
+        }
+    }
+
+    Ok(Relation { cols: combined_cols, rows: out_rows })
+}
+
+/// Combine two comma-separated FROM items. When WHERE contains an equi
+/// condition linking them, perform a hash join on it instead of a cross
+/// product (this is what makes the paper's Section 4 query — DeviceData
+/// joined to a graphQuery table function — efficient).
+fn combine(left: Relation, right: Relation, where_clause: Option<&Expr>) -> DbResult<Relation> {
+    if let Some(w) = where_clause {
+        // Build a synthetic ON from linking equi-conjuncts.
+        let mut on: Option<Expr> = None;
+        for conj in split_conjuncts(w) {
+            if let Expr::Binary { op: BinOp::Eq, left: a, right: b } = conj {
+                if let (Expr::Column { qualifier: qa, name: na }, Expr::Column { qualifier: qb, name: nb }) =
+                    (a.as_ref(), b.as_ref())
+                {
+                    let crosses = (resolve_column(&left.cols, qa, na).is_ok()
+                        && resolve_column(&right.cols, qb, nb).is_ok())
+                        || (resolve_column(&left.cols, qb, nb).is_ok()
+                            && resolve_column(&right.cols, qa, na).is_ok());
+                    if crosses {
+                        on = Some(match on {
+                            None => (*conj).clone(),
+                            Some(p) => p.and((*conj).clone()),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(on) = on {
+            return join_relations(left, right, &on, false);
+        }
+    }
+    // Plain cross product.
+    let combined_cols: Vec<ColRef> =
+        left.cols.iter().chain(right.cols.iter()).cloned().collect();
+    let mut rows = Vec::with_capacity(left.rows.len().saturating_mul(right.rows.len()));
+    for l in &left.rows {
+        for r in &right.rows {
+            let mut combined = l.clone();
+            combined.extend_from_slice(r);
+            rows.push(combined);
+        }
+    }
+    Ok(Relation { cols: combined_cols, rows })
+}
+
+// ------------------------------------------------------------------ filter
+
+fn apply_where(rel: Relation, where_clause: Option<&Expr>) -> DbResult<Relation> {
+    let Some(w) = where_clause else { return Ok(rel) };
+    let mut rows = Vec::with_capacity(rel.rows.len());
+    for row in rel.rows {
+        let env = RowEnv { cols: &rel.cols, row: &row };
+        if truth(&eval(w, &env)?) == Some(true) {
+            rows.push(row);
+        }
+    }
+    Ok(Relation { cols: rel.cols, rows })
+}
+
+// --------------------------------------------------------------- aggregate
+
+fn is_aggregate_query(stmt: &SelectStmt) -> bool {
+    !stmt.group_by.is_empty()
+        || stmt
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || stmt.having.as_ref().map(Expr::contains_aggregate).unwrap_or(false)
+}
+
+/// One aggregate accumulator.
+#[derive(Debug, Clone)]
+enum AggAcc {
+    Count(i64),
+    CountDistinct(std::collections::HashSet<Value>),
+    Sum { int: i64, float: f64, any_float: bool, count: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: u64 },
+}
+
+fn new_acc(name: &str, distinct: bool) -> DbResult<AggAcc> {
+    Ok(match name.to_ascii_uppercase().as_str() {
+        "COUNT" if distinct => AggAcc::CountDistinct(Default::default()),
+        "COUNT" => AggAcc::Count(0),
+        "SUM" => AggAcc::Sum { int: 0, float: 0.0, any_float: false, count: 0 },
+        "MIN" => AggAcc::Min(None),
+        "MAX" => AggAcc::Max(None),
+        "AVG" => AggAcc::Avg { sum: 0.0, count: 0 },
+        other => return Err(DbError::Unsupported(format!("aggregate '{other}'"))),
+    })
+}
+
+fn acc_update(acc: &mut AggAcc, v: Option<Value>) -> DbResult<()> {
+    match acc {
+        AggAcc::Count(n) => {
+            // COUNT(*) gets None for "the row itself"; COUNT(expr) skips NULLs.
+            if v.as_ref().map(|x| !x.is_null()).unwrap_or(true) {
+                *n += 1;
+            }
+        }
+        AggAcc::CountDistinct(set) => {
+            if let Some(v) = v {
+                if !v.is_null() {
+                    set.insert(v);
+                }
+            }
+        }
+        AggAcc::Sum { int, float, any_float, count } => {
+            if let Some(v) = v {
+                match v {
+                    Value::Null => {}
+                    Value::Bigint(x) => {
+                        *int += x;
+                        *float += x as f64;
+                        *count += 1;
+                    }
+                    Value::Double(x) => {
+                        *float += x;
+                        *any_float = true;
+                        *count += 1;
+                    }
+                    other => return Err(DbError::Type(format!("SUM over non-numeric {other}"))),
+                }
+            }
+        }
+        AggAcc::Min(cur) => {
+            if let Some(v) = v {
+                if !v.is_null() {
+                    match cur {
+                        None => *cur = Some(v),
+                        Some(c) => {
+                            if v.sql_cmp(c) == Some(std::cmp::Ordering::Less) {
+                                *cur = Some(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        AggAcc::Max(cur) => {
+            if let Some(v) = v {
+                if !v.is_null() {
+                    match cur {
+                        None => *cur = Some(v),
+                        Some(c) => {
+                            if v.sql_cmp(c) == Some(std::cmp::Ordering::Greater) {
+                                *cur = Some(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        AggAcc::Avg { sum, count } => {
+            if let Some(v) = v {
+                if !v.is_null() {
+                    *sum += v.as_f64()?;
+                    *count += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn acc_finish(acc: &AggAcc) -> Value {
+    match acc {
+        AggAcc::Count(n) => Value::Bigint(*n),
+        AggAcc::CountDistinct(set) => Value::Bigint(set.len() as i64),
+        AggAcc::Sum { int, float, any_float, count } => {
+            if *count == 0 {
+                Value::Null
+            } else if *any_float {
+                Value::Double(*float)
+            } else {
+                Value::Bigint(*int)
+            }
+        }
+        AggAcc::Min(v) | AggAcc::Max(v) => v.clone().unwrap_or(Value::Null),
+        AggAcc::Avg { sum, count } => {
+            if *count == 0 {
+                Value::Null
+            } else {
+                Value::Double(sum / *count as f64)
+            }
+        }
+    }
+}
+
+/// Collect the distinct aggregate function expressions used by the query.
+fn collect_agg_specs(stmt: &SelectStmt) -> Vec<Expr> {
+    let mut specs: Vec<Expr> = Vec::new();
+    let mut push = |e: &Expr| {
+        e.walk(&mut |node| {
+            if let Expr::Function { name, .. } = node {
+                if is_aggregate_name(name) && !specs.contains(node) {
+                    specs.push(node.clone());
+                }
+            }
+        });
+    };
+    for item in &stmt.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            push(expr);
+        }
+    }
+    if let Some(h) = &stmt.having {
+        push(h);
+    }
+    for o in &stmt.order_by {
+        push(&o.expr);
+    }
+    specs
+}
+
+struct GroupEnv<'a> {
+    cols: &'a [ColRef],
+    representative: &'a Row,
+    group_exprs: &'a [Expr],
+    group_vals: &'a [Value],
+    agg_specs: &'a [Expr],
+    agg_vals: &'a [Value],
+}
+
+fn eval_agg_expr(expr: &Expr, genv: &GroupEnv<'_>) -> DbResult<Value> {
+    if let Some(i) = genv.agg_specs.iter().position(|s| s == expr) {
+        return Ok(genv.agg_vals[i].clone());
+    }
+    if let Some(i) = genv.group_exprs.iter().position(|s| s == expr) {
+        return Ok(genv.group_vals[i].clone());
+    }
+    match expr {
+        Expr::Binary { op, left, right } => {
+            // Evaluate children through the aggregate-aware path by
+            // substituting resolved values as literals.
+            let l = eval_agg_expr(left, genv)?;
+            let r = eval_agg_expr(right, genv)?;
+            let cols: Vec<ColRef> = Vec::new();
+            let row: Row = Vec::new();
+            let env = RowEnv { cols: &cols, row: &row };
+            eval(
+                &Expr::Binary {
+                    op: *op,
+                    left: Box::new(Expr::Literal(l)),
+                    right: Box::new(Expr::Literal(r)),
+                },
+                &env,
+            )
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_agg_expr(expr, genv)?;
+            let cols: Vec<ColRef> = Vec::new();
+            let row: Row = Vec::new();
+            let env = RowEnv { cols: &cols, row: &row };
+            eval(&Expr::Unary { op: *op, expr: Box::new(Expr::Literal(v)) }, &env)
+        }
+        // Lenient fallback: resolve against the group's representative row
+        // (first row), MySQL-style, so `SELECT name ... GROUP BY id` works.
+        _ => {
+            let env = RowEnv { cols: genv.cols, row: genv.representative };
+            eval(expr, &env)
+        }
+    }
+}
+
+fn project_aggregate(rel: Relation, stmt: &SelectStmt) -> DbResult<RowSet> {
+    let specs = collect_agg_specs(stmt);
+    // Grouping.
+    struct Group {
+        key: Vec<Value>,
+        representative: Row,
+        accs: Vec<AggAcc>,
+    }
+    let mut order: Vec<Group> = Vec::new();
+    let mut lookup: HashMap<Vec<Value>, usize> = HashMap::new();
+
+    let make_accs = |row: Row, key: Vec<Value>| -> DbResult<Group> {
+        let mut accs = Vec::with_capacity(specs.len());
+        for s in &specs {
+            if let Expr::Function { name, distinct, .. } = s {
+                accs.push(new_acc(name, *distinct)?);
+            }
+        }
+        Ok(Group { key, representative: row, accs })
+    };
+
+    for row in &rel.rows {
+        let env = RowEnv { cols: &rel.cols, row };
+        let key: Vec<Value> =
+            stmt.group_by.iter().map(|e| eval(e, &env)).collect::<DbResult<_>>()?;
+        let gi = match lookup.get(&key) {
+            Some(&i) => i,
+            None => {
+                let g = make_accs(row.clone(), key.clone())?;
+                order.push(g);
+                lookup.insert(key, order.len() - 1);
+                order.len() - 1
+            }
+        };
+        let group = &mut order[gi];
+        for (si, spec) in specs.iter().enumerate() {
+            if let Expr::Function { args, star, .. } = spec {
+                let v = if *star {
+                    None
+                } else {
+                    Some(eval(&args[0], &env)?)
+                };
+                acc_update(&mut group.accs[si], v)?;
+            }
+        }
+    }
+    // Global aggregate over an empty input still produces one group.
+    if order.is_empty() && stmt.group_by.is_empty() {
+        let empty_row: Row = vec![Value::Null; rel.cols.len()];
+        order.push(make_accs(empty_row, Vec::new())?);
+    }
+
+    let mut names: Vec<String> = Vec::new();
+    for (i, item) in stmt.items.iter().enumerate() {
+        match item {
+            SelectItem::Expr { expr, alias } => names.push(output_name(expr, alias, i)),
+            _ => {
+                return Err(DbError::Unsupported(
+                    "SELECT * together with aggregation".into(),
+                ))
+            }
+        }
+    }
+
+    let mut out_rows: Vec<Row> = Vec::new();
+    let mut sort_keys: Vec<Vec<Value>> = Vec::new();
+    for group in &order {
+        let agg_vals: Vec<Value> = group.accs.iter().map(acc_finish).collect();
+        let genv = GroupEnv {
+            cols: &rel.cols,
+            representative: &group.representative,
+            group_exprs: &stmt.group_by,
+            group_vals: &group.key,
+            agg_specs: &specs,
+            agg_vals: &agg_vals,
+        };
+        if let Some(h) = &stmt.having {
+            if truth(&eval_agg_expr(h, &genv)?) != Some(true) {
+                continue;
+            }
+        }
+        let mut row = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                row.push(eval_agg_expr(expr, &genv)?);
+            }
+        }
+        // ORDER BY keys: alias references resolve against output first.
+        let mut keys = Vec::with_capacity(stmt.order_by.len());
+        for o in &stmt.order_by {
+            keys.push(order_key(&o.expr, &names, &row, |e| eval_agg_expr(e, &genv))?);
+        }
+        out_rows.push(row);
+        sort_keys.push(keys);
+    }
+
+    finish(names, out_rows, sort_keys, stmt)
+}
+
+// -------------------------------------------------------------- projection
+
+fn output_name(expr: &Expr, alias: &Option<String>, idx: usize) -> String {
+    if let Some(a) = alias {
+        return a.clone();
+    }
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.to_ascii_lowercase(),
+        _ => format!("col{idx}"),
+    }
+}
+
+fn order_key(
+    expr: &Expr,
+    out_names: &[String],
+    out_row: &Row,
+    eval_in: impl Fn(&Expr) -> DbResult<Value>,
+) -> DbResult<Value> {
+    if let Expr::Column { qualifier: None, name } = expr {
+        if let Some(i) = out_names.iter().position(|n| n.eq_ignore_ascii_case(name)) {
+            return Ok(out_row[i].clone());
+        }
+    }
+    eval_in(expr)
+}
+
+fn project_plain(rel: Relation, stmt: &SelectStmt) -> DbResult<RowSet> {
+    // Output column list.
+    let mut names: Vec<String> = Vec::new();
+    enum Proj {
+        All,
+        Qualified(String),
+        One(Expr),
+    }
+    let mut projs: Vec<Proj> = Vec::new();
+    for (i, item) in stmt.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for c in &rel.cols {
+                    names.push(c.name.clone());
+                }
+                projs.push(Proj::All);
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                for c in &rel.cols {
+                    if c.qualifier.as_ref().map(|x| x.eq_ignore_ascii_case(q)).unwrap_or(false) {
+                        names.push(c.name.clone());
+                    }
+                }
+                projs.push(Proj::Qualified(q.clone()));
+            }
+            SelectItem::Expr { expr, alias } => {
+                names.push(output_name(expr, alias, i));
+                projs.push(Proj::One(expr.clone()));
+            }
+        }
+    }
+
+    let mut out_rows: Vec<Row> = Vec::with_capacity(rel.rows.len());
+    let mut sort_keys: Vec<Vec<Value>> = Vec::with_capacity(rel.rows.len());
+    for row in &rel.rows {
+        let env = RowEnv { cols: &rel.cols, row };
+        let mut out = Vec::with_capacity(names.len());
+        for p in &projs {
+            match p {
+                Proj::All => out.extend(row.iter().cloned()),
+                Proj::Qualified(q) => {
+                    for (c, v) in rel.cols.iter().zip(row.iter()) {
+                        if c.qualifier.as_ref().map(|x| x.eq_ignore_ascii_case(q)).unwrap_or(false)
+                        {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+                Proj::One(e) => out.push(eval(e, &env)?),
+            }
+        }
+        let mut keys = Vec::with_capacity(stmt.order_by.len());
+        for o in &stmt.order_by {
+            keys.push(order_key(&o.expr, &names, &out, |e| eval(e, &env))?);
+        }
+        out_rows.push(out);
+        sort_keys.push(keys);
+    }
+
+    finish(names, out_rows, sort_keys, stmt)
+}
+
+fn finish(
+    names: Vec<String>,
+    mut rows: Vec<Row>,
+    mut sort_keys: Vec<Vec<Value>>,
+    stmt: &SelectStmt,
+) -> DbResult<RowSet> {
+    if stmt.distinct {
+        let mut seen: std::collections::HashSet<Vec<Value>> = Default::default();
+        let mut new_rows = Vec::with_capacity(rows.len());
+        let mut new_keys = Vec::with_capacity(sort_keys.len());
+        for (row, key) in rows.into_iter().zip(sort_keys) {
+            if seen.insert(row.clone()) {
+                new_rows.push(row);
+                new_keys.push(key);
+            }
+        }
+        rows = new_rows;
+        sort_keys = new_keys;
+    }
+    if !stmt.order_by.is_empty() {
+        let mut idx: Vec<usize> = (0..rows.len()).collect();
+        idx.sort_by(|&a, &b| {
+            for (k, o) in stmt.order_by.iter().enumerate() {
+                let ord = sort_keys[a][k].total_cmp(&sort_keys[b][k]);
+                let ord = if o.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut sorted = Vec::with_capacity(rows.len());
+        for i in idx {
+            sorted.push(std::mem::take(&mut rows[i]));
+        }
+        rows = sorted;
+    }
+    if let Some(n) = stmt.limit {
+        rows.truncate(n as usize);
+    }
+    Ok(RowSet::with_rows(names, rows))
+}

@@ -1,0 +1,8 @@
+//! SQL front end: lexer, AST, parser, evaluation, planning, and execution.
+
+pub mod ast;
+pub mod eval;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod planner;

@@ -1,0 +1,93 @@
+//! Execution statistics counters.
+//!
+//! Cheap atomic counters the tests and benchmarks use to verify optimizer
+//! behaviour (e.g. "this query must have used an index probe, not a scan"
+//! — the observable effect of the paper's pushdown strategies).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global engine counters. All methods are lock-free.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    statements: AtomicU64,
+    rows_read: AtomicU64,
+    index_probes: AtomicU64,
+    full_scans: AtomicU64,
+    full_scan_rows: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub statements: u64,
+    pub rows_read: u64,
+    pub index_probes: u64,
+    pub full_scans: u64,
+    pub full_scan_rows: u64,
+}
+
+impl ExecStats {
+    pub fn record_statement(&self) {
+        self.statements.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rows_read(&self, n: u64) {
+        self.rows_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_index_probe(&self, n: u64) {
+        self.index_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_full_scan(&self, rows: u64) {
+        self.full_scans.fetch_add(1, Ordering::Relaxed);
+        self.full_scan_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            statements: self.statements.load(Ordering::Relaxed),
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            index_probes: self.index_probes.load(Ordering::Relaxed),
+            full_scans: self.full_scans.load(Ordering::Relaxed),
+            full_scan_rows: self.full_scan_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference between two snapshots (self taken after `earlier`).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            statements: self.statements - earlier.statements,
+            rows_read: self.rows_read - earlier.rows_read,
+            index_probes: self.index_probes - earlier.index_probes,
+            full_scans: self.full_scans - earlier.full_scans,
+            full_scan_rows: self.full_scan_rows - earlier.full_scan_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let s = ExecStats::default();
+        s.record_statement();
+        s.record_statement();
+        s.record_index_probe(3);
+        s.record_full_scan(100);
+        let a = s.snapshot();
+        assert_eq!(a.statements, 2);
+        assert_eq!(a.index_probes, 3);
+        assert_eq!(a.full_scans, 1);
+        assert_eq!(a.full_scan_rows, 100);
+        s.record_rows_read(7);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.rows_read, 7);
+        assert_eq!(d.statements, 0);
+    }
+}

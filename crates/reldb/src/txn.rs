@@ -1,0 +1,69 @@
+//! Transaction support: an undo log with rollback.
+//!
+//! The engine runs statements in auto-commit mode unless a transaction is
+//! open (`BEGIN` ... `COMMIT`/`ROLLBACK`, or [`crate::db::Database::transaction`]).
+//! While a transaction is open, every data modification appends an undo
+//! record; rollback replays them in reverse. This gives atomicity for graph
+//! updates — the property the paper highlights as "the strongest suit for
+//! RDBMSs" that Db2 Graph inherits (Section 1). Isolation is
+//! read-committed-like: concurrent readers see committed per-statement
+//! states (each statement takes per-table locks).
+
+use crate::index::RowId;
+use crate::row::Row;
+
+/// One reversible data modification.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// A row was inserted; undo deletes it.
+    Insert { table: String, rid: RowId },
+    /// A row was deleted; undo restores it.
+    Delete { table: String, rid: RowId, row: Row },
+    /// A row was updated; undo writes back the old image.
+    Update { table: String, rid: RowId, old: Row },
+}
+
+/// The undo log of an open transaction.
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    ops: Vec<UndoOp>,
+}
+
+impl UndoLog {
+    pub fn record(&mut self, op: UndoOp) {
+        self.ops.push(op);
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drain operations in reverse (rollback) order.
+    pub fn drain_reverse(&mut self) -> Vec<UndoOp> {
+        let mut ops = std::mem::take(&mut self.ops);
+        ops.reverse();
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn drain_reverses_order() {
+        let mut log = UndoLog::default();
+        log.record(UndoOp::Insert { table: "t".into(), rid: 1 });
+        log.record(UndoOp::Delete { table: "t".into(), rid: 2, row: vec![Value::Bigint(1)] });
+        assert_eq!(log.len(), 2);
+        let ops = log.drain_reverse();
+        assert!(matches!(ops[0], UndoOp::Delete { .. }));
+        assert!(matches!(ops[1], UndoOp::Insert { .. }));
+        assert!(log.is_empty());
+    }
+}

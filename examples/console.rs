@@ -1,0 +1,106 @@
+//! A dual SQL + Gremlin console over one database — the paper's first
+//! interface ("users can have a SQL console and a Gremlin console opened
+//! side by side to query the same underlying data either as relational
+//! tables or as a property graph", Section 4).
+//!
+//! Lines starting with `g.` run as Gremlin; everything else runs as SQL.
+//! Meta-commands: `\plan <gremlin>` shows the optimized step plan,
+//! `\stats` shows overlay counters, `\quit` exits.
+//!
+//! Run with: `cargo run --example console`
+//! (or pipe a script: `echo "g.V().count()" | cargo run --example console`)
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use db2graph::core::config::healthcare_example_json;
+use db2graph::core::Db2Graph;
+use db2graph::reldb::Database;
+
+fn main() {
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, address VARCHAR, subscriptionID BIGINT);
+         CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, conceptName VARCHAR);
+         CREATE TABLE DiseaseOntology (sourceID BIGINT, targetID BIGINT, type VARCHAR,
+            FOREIGN KEY (sourceID) REFERENCES Disease(diseaseID),
+            FOREIGN KEY (targetID) REFERENCES Disease(diseaseID));
+         CREATE TABLE HasDisease (patientID BIGINT, diseaseID BIGINT, description VARCHAR,
+            FOREIGN KEY (patientID) REFERENCES Patient(patientID),
+            FOREIGN KEY (diseaseID) REFERENCES Disease(diseaseID));
+         INSERT INTO Patient VALUES (1, 'Alice', '12 Oak St', 100), (2, 'Bob', '9 Elm St', 101);
+         INSERT INTO Disease VALUES (10, 'E11', 'type 2 diabetes'), (11, 'E10', 'type 1 diabetes'), (12, 'E08', 'diabetes');
+         INSERT INTO DiseaseOntology VALUES (10, 12, 'isa'), (11, 12, 'isa');
+         INSERT INTO HasDisease VALUES (1, 10, 'diagnosed 2019'), (2, 11, NULL);",
+    )
+    .expect("seed data");
+    let graph = Db2Graph::open_json(db.clone(), healthcare_example_json()).expect("overlay");
+    graph.register_graph_query("graphQuery");
+
+    println!("db2graph console — SQL and Gremlin over the same tables.");
+    println!("  g.<...>        Gremlin   |  SELECT/INSERT/...  SQL");
+    println!("  \\plan g.<...>  show optimized plan  |  \\stats  overlay counters  |  \\quit");
+    println!();
+
+    let stdin = io::stdin();
+    let interactive = atty_like();
+    loop {
+        if interactive {
+            print!("> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        if !interactive {
+            println!("> {line}");
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        if line == "\\stats" {
+            println!("{:?}", graph.stats());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\plan ") {
+            match graph.explain(rest) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if line.starts_with("g.") {
+            match graph.run(line) {
+                Ok(values) => {
+                    for v in &values {
+                        println!("==> {v}");
+                    }
+                    println!("({} result{})", values.len(), if values.len() == 1 { "" } else { "s" });
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        } else {
+            match db.execute(line) {
+                Ok(rs) => print!("{rs}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+}
+
+/// Crude interactivity guess without a libc dependency: honor an env
+/// override, default to non-interactive prompt suppression when piped
+/// input is likely (PS1 unset in CI is good enough for an example).
+fn atty_like() -> bool {
+    std::env::var("CONSOLE_INTERACTIVE").map(|v| v == "1").unwrap_or(false)
+}

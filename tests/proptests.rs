@@ -1,0 +1,469 @@
+//! Property-based tests over the core invariants:
+//! id codec roundtrips, value ordering laws, index-vs-scan equivalence,
+//! LIKE semantics, optimizer semantic preservation, AutoOverlay shape
+//! invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use db2graph::core::ids::IdDef;
+use db2graph::core::{generate_overlay, Db2Graph, GraphOptions, StrategyConfig};
+use db2graph::gremlin::{ElementId, GValue};
+use db2graph::reldb::{ColumnDef, DataType, Database, TableSchema, Value};
+
+// ----------------------------------------------------------------- values
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Bigint),
+        any::<f64>().prop_filter("no NaN keys", |f| !f.is_nan()).prop_map(Value::Double),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Varchar),
+        any::<bool>().prop_map(Value::Boolean),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn value_total_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == std::cmp::Ordering::Equal {
+            prop_assert_eq!(a.total_cmp(&b), std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn value_total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let mut v = [a, b, c];
+        v.sort();
+        // After sorting, pairwise comparisons must be consistent.
+        prop_assert_ne!(v[0].total_cmp(&v[1]), Greater);
+        prop_assert_ne!(v[1].total_cmp(&v[2]), Greater);
+        prop_assert_ne!(v[0].total_cmp(&v[2]), Greater);
+    }
+
+    #[test]
+    fn sql_literal_roundtrips_through_parser(v in arb_value()) {
+        // Rendering a value as a SQL literal and selecting it yields the
+        // value back (module numeric formatting).
+        let db = Database::new();
+        let rs = db.execute(&format!("SELECT {}", v.to_sql_literal())).unwrap();
+        let got = rs.scalar().unwrap();
+        match (&v, got) {
+            (Value::Double(a), got) => {
+                prop_assert!((got.as_f64().unwrap() - a).abs() < 1e-9 || a.is_infinite());
+            }
+            (expected, got) => prop_assert_eq!(expected, got),
+        }
+    }
+}
+
+// -------------------------------------------------------------------- ids
+
+fn arb_id_def() -> impl Strategy<Value = (String, usize)> {
+    // (definition string, number of column parts)
+    prop_oneof![
+        Just(("plainCol".to_string(), 1)),
+        "[a-z]{1,8}".prop_map(|p| (format!("'{p}'::keyCol"), 1)),
+        "[a-z]{1,8}".prop_map(|p| (format!("'{p}'::c1::c2"), 2)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn id_encode_decode_roundtrip((spec, ncols) in arb_id_def(), vals in prop::collection::vec(1i64..1_000_000, 1..3)) {
+        prop_assume!(vals.len() == ncols);
+        let def = IdDef::parse(&spec).unwrap();
+        let values: Vec<Value> = vals.iter().map(|&v| Value::Bigint(v)).collect();
+        let id = def.encode(&values).unwrap();
+        let decoded = def.decode(&id).expect("own encoding must decode");
+        prop_assert_eq!(decoded.len(), ncols);
+        for (text, v) in decoded.iter().zip(&vals) {
+            prop_assert_eq!(text.parse::<i64>().unwrap(), *v);
+        }
+    }
+
+    #[test]
+    fn prefixed_ids_never_decode_under_other_prefix(a in "[a-z]{1,6}", b in "[a-z]{1,6}", v in 1i64..100000) {
+        prop_assume!(a != b);
+        let da = IdDef::parse(&format!("'{a}'::c")).unwrap();
+        let db_ = IdDef::parse(&format!("'{b}'::c")).unwrap();
+        let id = da.encode(&[Value::Bigint(v)]).unwrap();
+        prop_assert!(db_.decode(&id).is_none());
+    }
+
+    #[test]
+    fn implicit_edge_id_splits_on_label(src in 1i64..10000, dst in 1i64..10000, label in "[a-zA-Z]{1,10}") {
+        use db2graph::core::ids::{implicit_edge_id, split_implicit_edge_id};
+        let id = implicit_edge_id(&ElementId::Long(src), &label, &ElementId::Long(dst));
+        let (s, d) = split_implicit_edge_id(&id, &label).expect("splits on its own label");
+        prop_assert_eq!(s, src.to_string());
+        prop_assert_eq!(d, dst.to_string());
+    }
+}
+
+// ----------------------------------------------------- index equivalence
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn index_probe_equals_full_scan(
+        rows in prop::collection::vec((0i64..40, 0i64..40), 1..60),
+        probe in 0i64..40,
+    ) {
+        // Two identical tables, one indexed on `k`, one not: every query
+        // must return identical multisets.
+        let db = Database::new();
+        db.execute("CREATE TABLE with_ix (k BIGINT, v BIGINT)").unwrap();
+        db.execute("CREATE TABLE no_ix (k BIGINT, v BIGINT)").unwrap();
+        db.execute("CREATE INDEX ix_k ON with_ix (k)").unwrap();
+        for (k, v) in &rows {
+            db.execute(&format!("INSERT INTO with_ix VALUES ({k}, {v})")).unwrap();
+            db.execute(&format!("INSERT INTO no_ix VALUES ({k}, {v})")).unwrap();
+        }
+        for query in [
+            format!("SELECT k, v FROM {{}} WHERE k = {probe} ORDER BY k, v"),
+            format!("SELECT k, v FROM {{}} WHERE k IN ({probe}, {}) ORDER BY k, v", probe + 1),
+            format!("SELECT k, v FROM {{}} WHERE k > {probe} ORDER BY k, v"),
+            format!("SELECT k, v FROM {{}} WHERE k >= {probe} AND k < {} ORDER BY k, v", probe + 5),
+            "SELECT COUNT(*) FROM {}".to_string(),
+        ] {
+            let a = db.execute(&query.replace("{}", "with_ix")).unwrap();
+            let b = db.execute(&query.replace("{}", "no_ix")).unwrap();
+            prop_assert_eq!(a.rows, b.rows, "query {} differs", query);
+        }
+        // And the indexed one actually used the index for the point query.
+        let plan = db.explain(&format!("SELECT * FROM with_ix WHERE k = {probe}")).unwrap();
+        prop_assert!(plan.contains("INDEX"), "{}", plan);
+    }
+}
+
+// -------------------------------------------------------------------- LIKE
+
+/// Reference LIKE implementation via dynamic programming.
+fn like_oracle(s: &str, p: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let mut dp = vec![vec![false; p.len() + 1]; s.len() + 1];
+    dp[0][0] = true;
+    for j in 1..=p.len() {
+        dp[0][j] = p[j - 1] == '%' && dp[0][j - 1];
+    }
+    for i in 1..=s.len() {
+        for j in 1..=p.len() {
+            dp[i][j] = match p[j - 1] {
+                '%' => dp[i][j - 1] || dp[i - 1][j],
+                '_' => dp[i - 1][j - 1],
+                c => c == s[i - 1] && dp[i - 1][j - 1],
+            };
+        }
+    }
+    dp[s.len()][p.len()]
+}
+
+proptest! {
+    #[test]
+    fn like_matches_oracle(s in "[ab%_]{0,8}", p in "[ab%_]{0,6}") {
+        prop_assert_eq!(
+            db2graph::reldb::sql::eval::like_match(&s, &p),
+            like_oracle(&s, &p),
+            "s={:?} p={:?}", s, p
+        );
+    }
+}
+
+// ---------------------------------------------- optimizer preservation
+
+#[allow(clippy::type_complexity)]
+fn arb_graph_rows() -> impl Strategy<Value = (Vec<(i64, String)>, Vec<(i64, i64, String)>)> {
+    let verts = prop::collection::btree_set(0i64..20, 1..12).prop_map(|ids| {
+        ids.into_iter()
+            .map(|id| (id, format!("t{}", id % 3)))
+            .collect::<Vec<_>>()
+    });
+    verts.prop_flat_map(|vs| {
+        let ids: Vec<i64> = vs.iter().map(|(id, _)| *id).collect();
+        let edges = prop::collection::btree_set(
+            (0..ids.len(), 0..ids.len(), 0usize..2),
+            0..20,
+        )
+        .prop_map(move |set| {
+            set.into_iter()
+                .map(|(a, b, l)| (ids[a], ids[b], format!("e{l}")))
+                .collect::<Vec<_>>()
+        });
+        (Just(vs), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn strategies_preserve_semantics((verts, edges) in arb_graph_rows(), probe in 0i64..20) {
+        let db = Arc::new(Database::new());
+        db.execute("CREATE TABLE vs (id BIGINT PRIMARY KEY, vlabel VARCHAR, w BIGINT)").unwrap();
+        db.execute("CREATE TABLE es (src BIGINT, dst BIGINT, elabel VARCHAR)").unwrap();
+        db.execute("CREATE INDEX ix_src ON es (src)").unwrap();
+        db.set_enforce_foreign_keys(false);
+        for (id, l) in &verts {
+            db.execute(&format!("INSERT INTO vs VALUES ({id}, '{l}', {})", id * 2)).unwrap();
+        }
+        for (s, d, l) in &edges {
+            db.execute(&format!("INSERT INTO es VALUES ({s}, {d}, '{l}')")).unwrap();
+        }
+        let cfg = db2graph::core::OverlayConfig {
+            v_tables: vec![db2graph::core::VTableConfig {
+                table_name: "vs".into(),
+                prefixed_id: false,
+                id: "id".into(),
+                fix_label: false,
+                label: "vlabel".into(),
+                properties: Some(vec!["w".into()]),
+            }],
+            e_tables: vec![db2graph::core::ETableConfig {
+                table_name: "es".into(),
+                src_v_table: Some("vs".into()),
+                src_v: "src".into(),
+                dst_v_table: Some("vs".into()),
+                dst_v: "dst".into(),
+                prefixed_edge_id: false,
+                implicit_edge_id: true,
+                id: None,
+                fix_label: true,
+                label: "'link'".into(),
+                properties: Some(vec!["elabel".into()]),
+            }],
+        };
+        let g_on = Db2Graph::open(db.clone(), &cfg).unwrap();
+        let g_off = Db2Graph::open_with_options(
+            db.clone(),
+            &cfg,
+            GraphOptions { strategies: StrategyConfig::none(), ..Default::default() },
+        )
+        .unwrap();
+        let queries = [
+            format!("g.V({probe}).outE('link').count()"),
+            format!("g.V({probe}).out('link').values('w')"),
+            "g.V().hasLabel('t1').count()".to_string(),
+            format!("g.V().has('w', gte({probe})).count()"),
+            format!("g.V({probe}).outE('link').filter(inV().id() == {})", (probe + 1) % 20),
+            "g.V().values('w').sum()".to_string(),
+            format!("g.V({probe}).in('link').dedup().count()"),
+        ];
+        for q in &queries {
+            let mut a = g_on.run(q).unwrap();
+            let mut b = g_off.run(q).unwrap();
+            let key = |v: &GValue| v.to_string();
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            prop_assert_eq!(a, b, "query {} differs under strategies", q);
+        }
+    }
+}
+
+// -------------------------------------------------------------- AutoOverlay
+
+fn arb_schemas() -> impl Strategy<Value = Vec<TableSchema>> {
+    // Between 1 and 4 vertex tables, plus up to 3 link tables referencing
+    // random vertex tables.
+    (1usize..4, 0usize..4).prop_map(|(nv, nl)| {
+        let mut out = Vec::new();
+        for i in 0..nv {
+            out.push(
+                TableSchema::new(
+                    format!("V{i}"),
+                    vec![
+                        ColumnDef::new("id", DataType::Bigint).not_null(),
+                        ColumnDef::new("payload", DataType::Varchar),
+                    ],
+                )
+                .with_primary_key(vec!["id"]),
+            );
+        }
+        for j in 0..nl {
+            let a = j % nv;
+            let b = (j + 1) % nv;
+            out.push(
+                TableSchema::new(
+                    format!("L{j}"),
+                    vec![
+                        ColumnDef::new("a", DataType::Bigint),
+                        ColumnDef::new("b", DataType::Bigint),
+                        ColumnDef::new("note", DataType::Varchar),
+                    ],
+                )
+                .with_foreign_key(vec!["a"], &format!("V{a}"), vec!["id"])
+                .with_foreign_key(vec!["b"], &format!("V{b}"), vec!["id"]),
+            );
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn auto_overlay_always_produces_valid_configs(schemas in arb_schemas()) {
+        let config = generate_overlay(&schemas).unwrap();
+        config.validate_shape().unwrap();
+        // Every vertex table has a prefixed id and a fixed label.
+        for v in &config.v_tables {
+            prop_assert!(v.prefixed_id);
+            prop_assert!(v.fix_label);
+            prop_assert!(v.id.starts_with('\''));
+        }
+        // Every edge table uses implicit ids and has both endpoint defs.
+        for e in &config.e_tables {
+            prop_assert!(e.implicit_edge_id);
+            prop_assert!(e.id.is_none());
+            prop_assert!(!e.src_v.is_empty() && !e.dst_v.is_empty());
+        }
+        // And the config actually resolves against a database with those
+        // tables.
+        let db = Arc::new(Database::new());
+        for s in &schemas {
+            // Create in dependency order: vertex tables first.
+            if s.has_primary_key() {
+                db.create_table(s.clone()).unwrap();
+            }
+        }
+        for s in &schemas {
+            if !s.has_primary_key() {
+                db.create_table(s.clone()).unwrap();
+            }
+        }
+        let topo = db2graph::core::Topology::resolve(&db, &config);
+        prop_assert!(topo.is_ok(), "{:?}", topo.err());
+    }
+}
+
+// --------------------------------------------------------- gremlin parser
+
+proptest! {
+    #[test]
+    fn parser_accepts_generated_chains(
+        id in 0i64..100,
+        label in "[a-z]{1,6}",
+        key in "[a-z]{1,6}",
+        n in 1u32..5,
+    ) {
+        let script = format!(
+            "g.V({id}).hasLabel('{label}').out('{label}').has('{key}', gt({id})).repeat(out('{label}').dedup()).times({n}).values('{key}')"
+        );
+        let parsed = db2graph::gremlin::parser::parse(&script);
+        prop_assert!(parsed.is_ok(), "{:?}", parsed.err());
+        let stmt = &parsed.unwrap().statements[0];
+        prop_assert_eq!(stmt.traversal.start.name.as_str(), "V");
+    }
+
+    #[test]
+    fn parser_rejects_truncations(cut in 3usize..30) {
+        let script = "g.V(1).out('x').has('k', 5).dedup().count()";
+        if cut < script.len() {
+            let truncated = &script[..cut];
+            // Truncated scripts either parse to a prefix (when cut lands on
+            // a step boundary) or error — they never panic.
+            let _ = db2graph::gremlin::parser::parse(truncated);
+        }
+    }
+}
+
+// ------------------------------------------- overlay vs in-memory oracle
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn overlay_matches_memory_oracle((verts, edges) in arb_graph_rows(), probe in 0i64..20) {
+        use db2graph::gremlin::memgraph::MemGraph;
+        use db2graph::gremlin::{ScriptRunner, Vertex, Edge};
+        use db2graph::gremlin::strategy::{IdentityRemoval, StrategyRegistry};
+
+        let db = Arc::new(Database::new());
+        db.execute("CREATE TABLE vs (id BIGINT PRIMARY KEY, vlabel VARCHAR, w BIGINT)").unwrap();
+        db.execute("CREATE TABLE es (src BIGINT, dst BIGINT, elabel VARCHAR)").unwrap();
+        db.execute("CREATE INDEX ix_src ON es (src)").unwrap();
+        db.execute("CREATE INDEX ix_dst ON es (dst)").unwrap();
+        db.set_enforce_foreign_keys(false);
+        let mem = MemGraph::new();
+        for (id, l) in &verts {
+            db.execute(&format!("INSERT INTO vs VALUES ({id}, '{l}', {})", id * 2)).unwrap();
+            let mut v = Vertex::new(*id, l.as_str());
+            v.properties.insert("vlabel".into(), GValue::Str(l.clone()));
+            v.properties.insert("w".into(), GValue::Long(id * 2));
+            mem.add_vertex(v);
+        }
+        for (s, d, l) in &edges {
+            db.execute(&format!("INSERT INTO es VALUES ({s}, {d}, '{l}')")).unwrap();
+            // The edge label comes from the elabel column, so the implicit
+            // (src, label, dst) id is unique per generated triple.
+            mem.add_edge(Edge::new(format!("{s}::{l}::{d}"), l.as_str(), *s, *d));
+        }
+        let cfg = db2graph::core::OverlayConfig {
+            v_tables: vec![db2graph::core::VTableConfig {
+                table_name: "vs".into(),
+                prefixed_id: false,
+                id: "id".into(),
+                fix_label: false,
+                label: "vlabel".into(),
+                properties: Some(vec!["vlabel".into(), "w".into()]),
+            }],
+            e_tables: vec![db2graph::core::ETableConfig {
+                table_name: "es".into(),
+                src_v_table: Some("vs".into()),
+                src_v: "src".into(),
+                dst_v_table: Some("vs".into()),
+                dst_v: "dst".into(),
+                prefixed_edge_id: false,
+                implicit_edge_id: true,
+                id: None,
+                fix_label: false,
+                label: "elabel".into(),
+                properties: Some(vec![]),
+            }],
+        };
+        let overlay = Db2Graph::open(db, &cfg).unwrap();
+        let mut reg = StrategyRegistry::new();
+        reg.add(std::sync::Arc::new(IdentityRemoval));
+        for s in StrategyConfig::default().build() {
+            reg.add(s);
+        }
+        let oracle = ScriptRunner::new(&mem).with_strategies(reg);
+
+        let queries = [
+            "g.V().count()".to_string(),
+            "g.E().count()".to_string(),
+            format!("g.V({probe}).out('e0').id()"),
+            format!("g.V({probe}).in('e0').id()"),
+            format!("g.V({probe}).both('e0', 'e1').id()"),
+            format!("g.V({probe}).outE('e1').count()"),
+            format!("g.V({probe}).outE().hasLabel('e1').count()"),
+            "g.V().hasLabel('t1').values('w').sum()".to_string(),
+            format!("g.V({probe}).repeat(out('e0').dedup()).times(2).dedup().id()"),
+            format!("g.V({probe}).bothE().otherV().dedup().count()"),
+            "g.V().has('w', gte(10)).count()".to_string(),
+            format!("g.V({probe}).where(__.out('e1')).id()"),
+            "g.V().groupCount().by('vlabel')".to_string(),
+        ];
+        for q in &queries {
+            let norm = |vs: Vec<GValue>| -> Vec<String> {
+                let mut out: Vec<String> = vs
+                    .iter()
+                    .map(|v| match v {
+                        GValue::Vertex(vx) => format!("v[{}]", vx.id),
+                        GValue::Edge(e) => format!("e[{}->{}]", e.src, e.dst),
+                        other => other.to_string(),
+                    })
+                    .collect();
+                out.sort();
+                out
+            };
+            let a = norm(overlay.run(q).unwrap());
+            let b = norm(oracle.run(q).unwrap());
+            prop_assert_eq!(a, b, "query {} diverges from oracle", q);
+        }
+    }
+}
