@@ -44,6 +44,7 @@ fn main() {
             &["Query", "Db2 Graph", "GDB-X (native sim)", "JanusGraph (sim)", "ratios"],
             &rows,
         );
+        env.print_metrics_snapshot();
         println!();
     }
     println!("Paper reference: on 10M GDB-X leads (Db2 Graph within 1.5x, better on getNode);");

@@ -48,6 +48,7 @@ fn main() {
             &["Query", "Db2 Graph", "GDB-X (native sim)", "JanusGraph (sim)", "ratios"],
             &rows,
         );
+        env.print_metrics_snapshot();
         println!();
     }
     println!("Paper reference: Db2 Graph is the clear winner in all cases, beating GDB-X up");

@@ -35,6 +35,7 @@ fn main() {
             &["System", "Export From DB", "Load Data", "Open Graph", "Storage", "vs relational"],
             &rows,
         );
+        env.print_metrics_snapshot();
         println!();
     }
     println!("Paper reference: Db2 Graph needs no export/load (open ~1-2 s); GDB-X loads");

@@ -285,6 +285,19 @@ impl BenchEnv {
         start.elapsed() / iters as u32
     }
 
+    /// Emit Db2 Graph's aggregate metrics snapshot (traversals, SQL
+    /// statements, wall time, rows, template cache hit rate, table
+    /// elimination counters) as one JSON line, so bench runs double as a
+    /// pipeline-health report.
+    pub fn print_metrics_snapshot(&self) {
+        let m = self.graph.metrics();
+        println!(
+            "db2graph metrics [{}]: {}",
+            self.dataset.name(),
+            m.to_json().to_compact()
+        );
+    }
+
     /// Throughput (queries/sec) with `threads` concurrent clients running
     /// `iters` queries each.
     pub fn measure_throughput(

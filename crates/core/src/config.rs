@@ -5,82 +5,229 @@
 //! describing how its columns define the property-graph required fields
 //! (`id`, `label`, and for edges `src_v`/`dst_v`) and properties.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{GraphError, GraphResult};
+use crate::json::Json;
 
 /// A full graph overlay configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct OverlayConfig {
-    #[serde(default)]
     pub v_tables: Vec<VTableConfig>,
-    #[serde(default)]
     pub e_tables: Vec<ETableConfig>,
 }
 
 /// Configuration of one vertex table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VTableConfig {
     pub table_name: String,
     /// Whether the id is prefixed with a unique table identifier
     /// (`'patient'::patientID`). Enables the prefixed-id runtime
     /// optimization.
-    #[serde(default)]
     pub prefixed_id: bool,
     /// Id definition string, e.g. `"'patient'::patientID"` or `"diseaseID"`.
     pub id: String,
     /// Whether all vertices from this table share one constant label.
-    #[serde(default)]
     pub fix_label: bool,
     /// Label definition: a constant `"'patient'"` when `fix_label`, else a
     /// column name.
     pub label: String,
     /// Property columns. `None` means "all columns not used by required
     /// fields" (the paper's default).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub properties: Option<Vec<String>>,
 }
 
 /// Configuration of one edge table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ETableConfig {
     pub table_name: String,
     /// Vertex table all source vertices come from, when known. Enables the
     /// src/dst table runtime optimization (Section 6.3).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub src_v_table: Option<String>,
     /// Source vertex id definition; must match the id definition of the
     /// source vertex table when `src_v_table` is set.
     pub src_v: String,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub dst_v_table: Option<String>,
     pub dst_v: String,
     /// Explicit prefixed edge id (like vertex prefixed ids).
-    #[serde(default)]
     pub prefixed_edge_id: bool,
     /// Use the implicit `src_v::label::dst_v` edge id.
-    #[serde(default)]
     pub implicit_edge_id: bool,
     /// Explicit id definition (required unless `implicit_edge_id`).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub id: Option<String>,
-    #[serde(default)]
     pub fix_label: bool,
     pub label: String,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub properties: Option<Vec<String>>,
+}
+
+// JSON (de)serialization is hand-rolled over [`crate::json`]; the schema —
+// field names, optional fields defaulting to false/None, `properties`
+// omitted when absent — matches what serde derive produced in earlier
+// revisions, so existing config files keep parsing byte-for-byte.
+
+fn err(msg: impl Into<String>) -> GraphError {
+    GraphError::Config(format!("invalid overlay JSON: {}", msg.into()))
+}
+
+fn get_string(obj: &Json, ctx: &str, key: &str) -> GraphResult<String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| err(format!("{ctx}: missing string field '{key}'")))
+}
+
+fn get_opt_string(obj: &Json, ctx: &str, key: &str) -> GraphResult<Option<String>> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(err(format!("{ctx}: field '{key}' must be a string"))),
+    }
+}
+
+fn get_bool(obj: &Json, ctx: &str, key: &str) -> GraphResult<bool> {
+    match obj.get(key) {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| err(format!("{ctx}: field '{key}' must be a boolean"))),
+    }
+}
+
+fn get_properties(obj: &Json, ctx: &str) -> GraphResult<Option<Vec<String>>> {
+    match obj.get("properties") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| err(format!("{ctx}: properties must be strings")))
+            })
+            .collect::<GraphResult<Vec<_>>>()
+            .map(Some),
+        Some(_) => Err(err(format!("{ctx}: field 'properties' must be an array"))),
+    }
+}
+
+fn properties_json(props: &[String]) -> Json {
+    Json::Arr(props.iter().map(|p| Json::str(p.clone())).collect())
+}
+
+impl VTableConfig {
+    fn from_json_value(v: &Json) -> GraphResult<VTableConfig> {
+        if v.as_object().is_none() {
+            return Err(err("v_tables entries must be objects"));
+        }
+        let table_name = get_string(v, "v_table", "table_name")?;
+        let ctx = format!("v_table '{table_name}'");
+        Ok(VTableConfig {
+            prefixed_id: get_bool(v, &ctx, "prefixed_id")?,
+            id: get_string(v, &ctx, "id")?,
+            fix_label: get_bool(v, &ctx, "fix_label")?,
+            label: get_string(v, &ctx, "label")?,
+            properties: get_properties(v, &ctx)?,
+            table_name,
+        })
+    }
+
+    fn to_json_value(&self) -> Json {
+        let mut fields = vec![
+            ("table_name", Json::str(self.table_name.clone())),
+            ("prefixed_id", Json::Bool(self.prefixed_id)),
+            ("id", Json::str(self.id.clone())),
+            ("fix_label", Json::Bool(self.fix_label)),
+            ("label", Json::str(self.label.clone())),
+        ];
+        if let Some(props) = &self.properties {
+            fields.push(("properties", properties_json(props)));
+        }
+        Json::obj(fields)
+    }
+}
+
+impl ETableConfig {
+    fn from_json_value(v: &Json) -> GraphResult<ETableConfig> {
+        if v.as_object().is_none() {
+            return Err(err("e_tables entries must be objects"));
+        }
+        let table_name = get_string(v, "e_table", "table_name")?;
+        let ctx = format!("e_table '{table_name}'");
+        Ok(ETableConfig {
+            src_v_table: get_opt_string(v, &ctx, "src_v_table")?,
+            src_v: get_string(v, &ctx, "src_v")?,
+            dst_v_table: get_opt_string(v, &ctx, "dst_v_table")?,
+            dst_v: get_string(v, &ctx, "dst_v")?,
+            prefixed_edge_id: get_bool(v, &ctx, "prefixed_edge_id")?,
+            implicit_edge_id: get_bool(v, &ctx, "implicit_edge_id")?,
+            id: get_opt_string(v, &ctx, "id")?,
+            fix_label: get_bool(v, &ctx, "fix_label")?,
+            label: get_string(v, &ctx, "label")?,
+            properties: get_properties(v, &ctx)?,
+            table_name,
+        })
+    }
+
+    fn to_json_value(&self) -> Json {
+        let mut fields = vec![("table_name", Json::str(self.table_name.clone()))];
+        if let Some(t) = &self.src_v_table {
+            fields.push(("src_v_table", Json::str(t.clone())));
+        }
+        fields.push(("src_v", Json::str(self.src_v.clone())));
+        if let Some(t) = &self.dst_v_table {
+            fields.push(("dst_v_table", Json::str(t.clone())));
+        }
+        fields.push(("dst_v", Json::str(self.dst_v.clone())));
+        fields.push(("prefixed_edge_id", Json::Bool(self.prefixed_edge_id)));
+        fields.push(("implicit_edge_id", Json::Bool(self.implicit_edge_id)));
+        if let Some(id) = &self.id {
+            fields.push(("id", Json::str(id.clone())));
+        }
+        fields.push(("fix_label", Json::Bool(self.fix_label)));
+        fields.push(("label", Json::str(self.label.clone())));
+        if let Some(props) = &self.properties {
+            fields.push(("properties", properties_json(props)));
+        }
+        Json::obj(fields)
+    }
 }
 
 impl OverlayConfig {
     /// Parse a configuration from JSON text.
     pub fn from_json(text: &str) -> GraphResult<OverlayConfig> {
-        serde_json::from_str(text)
-            .map_err(|e| GraphError::Config(format!("invalid overlay JSON: {e}")))
+        let doc = Json::parse(text).map_err(err)?;
+        if doc.as_object().is_none() {
+            return Err(err("top level must be an object"));
+        }
+        let section = |key: &str| -> GraphResult<Vec<Json>> {
+            match doc.get(key) {
+                None | Some(Json::Null) => Ok(Vec::new()),
+                Some(Json::Arr(items)) => Ok(items.clone()),
+                Some(_) => Err(err(format!("'{key}' must be an array"))),
+            }
+        };
+        Ok(OverlayConfig {
+            v_tables: section("v_tables")?
+                .iter()
+                .map(VTableConfig::from_json_value)
+                .collect::<GraphResult<_>>()?,
+            e_tables: section("e_tables")?
+                .iter()
+                .map(ETableConfig::from_json_value)
+                .collect::<GraphResult<_>>()?,
+        })
     }
 
     /// Serialize to pretty JSON (what AutoOverlay writes out).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("overlay config serializes")
+        Json::obj(vec![
+            (
+                "v_tables",
+                Json::Arr(self.v_tables.iter().map(VTableConfig::to_json_value).collect()),
+            ),
+            (
+                "e_tables",
+                Json::Arr(self.e_tables.iter().map(ETableConfig::to_json_value).collect()),
+            ),
+        ])
+        .to_pretty()
     }
 
     /// Structural sanity checks that do not need the database catalog.

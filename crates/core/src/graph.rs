@@ -12,6 +12,7 @@ use reldb::{DataType, Database, DbError, DbResult, RowSet, TableFunction, Value}
 use crate::config::OverlayConfig;
 use crate::error::{GraphError, GraphResult};
 use crate::graph_structure::{to_value, Db2GraphBackend};
+use crate::metrics::{ExplainReport, MetricsSnapshot, ProfileReport, Profiler, StepExplain};
 use crate::sql_dialect::SqlDialect;
 use crate::stats::OverlayStatsSnapshot;
 use crate::strategies::StrategyConfig;
@@ -87,12 +88,45 @@ impl Db2Graph {
         self.backend.stats().snapshot()
     }
 
+    /// Aggregate metrics for this graph: traversal and SQL statement
+    /// counts, SQL wall time, rows returned, template cache hit rate, and
+    /// the overlay's table-elimination counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.backend.registry().snapshot_with(self.backend.stats().snapshot())
+    }
+
     /// Run a Gremlin script; returns the final statement's results.
     pub fn run(&self, gremlin: &str) -> GraphResult<Vec<GValue>> {
+        self.backend.registry().record_traversal();
+        // A `.profile()` terminator needs an observing pipeline; the
+        // substring check may rarely false-positive (e.g. inside a string
+        // literal), which only costs the observation overhead.
+        if gremlin.contains(".profile()") {
+            return self.run_profiled(gremlin).map(|(values, _)| values);
+        }
         let runner = ScriptRunner::new(self.backend.as_ref())
             .with_strategies(self.registry.clone())
             .with_options(self.options.exec.clone());
         runner.run(gremlin).map_err(GraphError::Gremlin)
+    }
+
+    /// Run a Gremlin script with profiling enabled; returns the results
+    /// and the structured per-step report (strategy rewrites, step
+    /// timings, table decisions, SQL statements).
+    pub fn profile(&self, gremlin: &str) -> GraphResult<(Vec<GValue>, ProfileReport)> {
+        self.backend.registry().record_traversal();
+        self.run_profiled(gremlin)
+    }
+
+    fn run_profiled(&self, gremlin: &str) -> GraphResult<(Vec<GValue>, ProfileReport)> {
+        let profiler = Profiler::enabled();
+        let backend = self.backend.with_profiler(profiler.clone());
+        let runner = ScriptRunner::new(&backend)
+            .with_strategies(self.registry.clone())
+            .with_options(self.options.exec.clone())
+            .with_observer(Arc::new(profiler.clone()));
+        let values = runner.run(gremlin).map_err(GraphError::Gremlin)?;
+        Ok((values, profiler.report()))
     }
 
     /// The optimized step plan for a single-statement script.
@@ -103,9 +137,25 @@ impl Db2Graph {
         runner.plan(gremlin).map_err(GraphError::Gremlin)
     }
 
-    /// Plan description string (EXPLAIN for graph queries).
+    /// Plan description string (EXPLAIN for graph queries): the optimized
+    /// plan plus, per GSA step and per overlay table, the SQL that would
+    /// be generated or the reason the table is eliminated. Nothing is
+    /// executed and no data is touched.
     pub fn explain(&self, gremlin: &str) -> GraphResult<String> {
-        Ok(self.plan(gremlin)?.describe())
+        Ok(self.explain_report(gremlin)?.to_string())
+    }
+
+    /// Structured form of [`Self::explain`].
+    pub fn explain_report(&self, gremlin: &str) -> GraphResult<ExplainReport> {
+        let traversal = self.plan(gremlin)?;
+        let mut steps = Vec::new();
+        for (i, step) in traversal.steps.iter().enumerate() {
+            let tables = self.backend.explain_compiled_step(step);
+            if !tables.is_empty() {
+                steps.push(StepExplain { index: i, description: step.describe(), tables });
+            }
+        }
+        Ok(ExplainReport { plan: traversal.describe(), steps })
     }
 
     /// Run a Gremlin script and shape the results into rows for the given

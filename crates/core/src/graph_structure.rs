@@ -36,6 +36,7 @@ use reldb::{Database, DataType, Row, RowSet, Value};
 
 use crate::error::{to_gremlin, GraphError, GraphResult};
 use crate::ids::{implicit_edge_id, split_implicit_edge_id, EdgeIdDef, IdDef};
+use crate::metrics::{MetricsRegistry, Profiler, TableAction, TableExplain, TablePlan};
 use crate::sql_dialect::{build_select, composite_in, ident, in_list, SqlDialect};
 use crate::stats::OverlayStats;
 use crate::topology::{EdgeTable, LabelDef, Topology, VertexTable};
@@ -83,14 +84,39 @@ fn coerce_id_text(text: &str, ty: Option<DataType>) -> GraphResult<Value> {
 /// The overlay backend: executes graph operations as SQL.
 pub struct Db2GraphBackend {
     pub(crate) topo: Arc<Topology>,
-    pub(crate) dialect: SqlDialect,
-    pub(crate) stats: OverlayStats,
+    pub(crate) dialect: Arc<SqlDialect>,
+    pub(crate) stats: Arc<OverlayStats>,
+    /// Per-query event sink. Disabled by default; [`Self::with_profiler`]
+    /// produces an observing clone for `profile()` runs.
+    pub(crate) profiler: Profiler,
 }
 
 impl Db2GraphBackend {
     pub fn new(db: Arc<Database>, topo: Arc<Topology>) -> Db2GraphBackend {
-        let dialect = SqlDialect::new(db);
-        Db2GraphBackend { topo, dialect, stats: OverlayStats::default() }
+        let registry = Arc::new(MetricsRegistry::default());
+        let dialect = Arc::new(SqlDialect::with_registry(db, registry));
+        Db2GraphBackend {
+            topo,
+            dialect,
+            stats: Arc::new(OverlayStats::default()),
+            profiler: Profiler::disabled(),
+        }
+    }
+
+    /// A shallow clone sharing all caches, stats and the metrics registry,
+    /// but recording per-query events into `profiler`.
+    pub fn with_profiler(&self, profiler: Profiler) -> Db2GraphBackend {
+        Db2GraphBackend {
+            topo: self.topo.clone(),
+            dialect: self.dialect.clone(),
+            stats: self.stats.clone(),
+            profiler,
+        }
+    }
+
+    /// The always-on aggregate counters shared with the SQL dialect.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        self.dialect.registry()
     }
 
     pub fn stats(&self) -> &OverlayStats {
@@ -240,7 +266,7 @@ impl Db2GraphBackend {
         let mut pruned = 0u64;
 
         for vt in &self.topo.vertex_tables {
-            match self.query_vertex_table(vt, filter)? {
+            match self.query_vertex_table(vt, filter, false)? {
                 TableResult::Pruned => pruned += 1,
                 TableResult::Elements(es) => outputs.extend(es),
                 TableResult::Values(vs) => values.extend(vs),
@@ -257,15 +283,20 @@ impl Db2GraphBackend {
         Ok(BackendOutput::Elements(outputs))
     }
 
-    fn query_vertex_table(
+    /// Decide how a vertex table would be accessed for a filter, without
+    /// executing anything: eliminated (with the reason) or scanned with
+    /// the given conjuncts. Shared by the execution path and `explain()`.
+    fn vertex_table_access(
         &self,
         vt: &VertexTable,
         filter: &ElementFilter,
-    ) -> GraphResult<TableResult> {
+    ) -> GraphResult<TableAccess> {
         // --- Using Label Values: eliminate fixed-label mismatches.
         if let (Some(labels), Some(fixed)) = (&filter.labels, vt.fixed_label()) {
             if !labels.iter().any(|l| l == fixed) {
-                return Ok(TableResult::Pruned);
+                return Ok(TableAccess::Pruned(format!(
+                    "fixed label '{fixed}' not in requested labels"
+                )));
             }
         }
         // --- Using Property Names: predicates and projections require the
@@ -275,37 +306,42 @@ impl Db2GraphBackend {
                 // hasNot on a property the table doesn't have is trivially
                 // satisfied; anything else eliminates the table.
                 if !matches!(p.pred, Pred::Absent) {
-                    return Ok(TableResult::Pruned);
+                    return Ok(TableAccess::Pruned(format!(
+                        "no property column for '{}'",
+                        p.key
+                    )));
                 }
             }
         }
         if let Some(keys) = &filter.projection {
             if !keys.iter().any(|k| vt.has_property(k)) {
-                return Ok(TableResult::Pruned);
+                return Ok(TableAccess::Pruned("no projected property column".into()));
             }
         }
 
-        let mut conjuncts: Vec<String> = Vec::new();
-        let mut params: Vec<Value> = Vec::new();
-        let mut pattern_cols: Vec<String> = Vec::new();
+        let mut plan = ScanPlan::default();
 
         // --- Using Prefixed Id Values: decode ids; prune on no match.
         if let Some(ids) = &filter.ids {
             match Self::id_conjunct_for(&vt.id, |c| vt.column_type(c), ids)? {
-                None => return Ok(TableResult::Pruned),
+                None => {
+                    return Ok(TableAccess::Pruned(
+                        "no requested id fits this table (id prefix or type mismatch)".into(),
+                    ))
+                }
                 Some((sql, mut p)) => {
-                    conjuncts.push(sql);
-                    params.append(&mut p);
-                    pattern_cols.extend(vt.id.columns().iter().map(|c| c.to_string()));
+                    plan.conjuncts.push(sql);
+                    plan.params.append(&mut p);
+                    plan.pattern_cols.extend(vt.id.columns().iter().map(|c| c.to_string()));
                 }
             }
         }
         // Label predicate on a label column.
         if let Some(labels) = &filter.labels {
             if let LabelDef::Column(c) = &vt.label {
-                conjuncts.push(in_list(c, labels.len()));
-                params.extend(labels.iter().map(|l| Value::Varchar(l.clone())));
-                pattern_cols.push(c.clone());
+                plan.conjuncts.push(in_list(c, labels.len()));
+                plan.params.extend(labels.iter().map(|l| Value::Varchar(l.clone())));
+                plan.pattern_cols.push(c.clone());
             }
         }
         // Property predicates.
@@ -315,7 +351,9 @@ impl Db2GraphBackend {
                 ("label", LabelDef::Fixed(fixed)) => {
                     // Evaluate against the constant now.
                     if !p.pred.test(Some(&GValue::Str(fixed.clone()))) {
-                        return Ok(TableResult::Pruned);
+                        return Ok(TableAccess::Pruned(format!(
+                            "fixed label '{fixed}' fails the label predicate"
+                        )));
                     }
                     continue;
                 }
@@ -333,13 +371,37 @@ impl Db2GraphBackend {
             }
             match Self::pred_to_sql(&col, &p.pred) {
                 Some((sql, mut ps)) => {
-                    conjuncts.push(sql);
-                    params.append(&mut ps);
-                    pattern_cols.push(col);
+                    plan.conjuncts.push(sql);
+                    plan.params.append(&mut ps);
+                    plan.pattern_cols.push(col);
                 }
                 None => { /* post-filtered below */ }
             }
         }
+        Ok(TableAccess::Scan(plan))
+    }
+
+    /// `pinned` marks accesses where the table was selected directly (the
+    /// src/dst vertex table optimization) instead of considered among all
+    /// tables; it only affects how the decision is profiled.
+    fn query_vertex_table(
+        &self,
+        vt: &VertexTable,
+        filter: &ElementFilter,
+        pinned: bool,
+    ) -> GraphResult<TableResult> {
+        let ScanPlan { conjuncts, params, mut pattern_cols, .. } =
+            match self.vertex_table_access(vt, filter)? {
+                TableAccess::Pruned(reason) => {
+                    self.profiler.record_table(&vt.name, TableAction::Pruned(reason));
+                    return Ok(TableResult::Pruned);
+                }
+                TableAccess::Scan(plan) => plan,
+            };
+        self.profiler.record_table(
+            &vt.name,
+            if pinned { TableAction::Pinned } else { TableAction::Queried },
+        );
 
         // Aggregate pushdown.
         if let Some(op) = filter.aggregate {
@@ -361,7 +423,7 @@ impl Db2GraphBackend {
         pattern_cols.dedup();
         let rs = self
             .dialect
-            .query(&self.stats, &sql, &params, Some((&vt.name, &pattern_cols)))
+            .query(&self.stats, &self.profiler, &sql, &params, Some((&vt.name, &pattern_cols)))
             .map_err(GraphError::Db)?;
 
         if let Some(keys) = &filter.projection {
@@ -490,40 +552,56 @@ impl Db2GraphBackend {
         Ok(BackendOutput::Elements(outputs))
     }
 
-    fn query_edge_table(&self, et: &EdgeTable, filter: &ElementFilter) -> GraphResult<TableResult> {
+    /// Edge-table counterpart of [`Self::vertex_table_access`]: decide,
+    /// without executing, whether the table is eliminated or how it would
+    /// be scanned.
+    fn edge_table_access(
+        &self,
+        et: &EdgeTable,
+        filter: &ElementFilter,
+    ) -> GraphResult<TableAccess> {
         if let (Some(labels), Some(fixed)) = (&filter.labels, et.fixed_label()) {
             if !labels.iter().any(|l| l == fixed) {
-                return Ok(TableResult::Pruned);
+                return Ok(TableAccess::Pruned(format!(
+                    "fixed label '{fixed}' not in requested labels"
+                )));
             }
         }
         for p in &filter.predicates {
-            if p.key != "label" && p.key != "id" && !et.has_property(&p.key) {
-                if !matches!(p.pred, Pred::Absent) {
-                    return Ok(TableResult::Pruned);
-                }
+            if p.key != "label"
+                && p.key != "id"
+                && !et.has_property(&p.key)
+                && !matches!(p.pred, Pred::Absent)
+            {
+                return Ok(TableAccess::Pruned(format!(
+                    "no property column for '{}'",
+                    p.key
+                )));
             }
         }
         if let Some(keys) = &filter.projection {
             if !keys.iter().any(|k| et.has_property(k)) {
-                return Ok(TableResult::Pruned);
+                return Ok(TableAccess::Pruned("no projected property column".into()));
             }
         }
 
-        let mut conjuncts: Vec<String> = Vec::new();
-        let mut params: Vec<Value> = Vec::new();
-        let mut pattern_cols: Vec<String> = Vec::new();
-        let mut post_filter_ids = false;
+        let mut plan = ScanPlan::default();
 
         // --- Edge ids (explicit or implicit).
         if let Some(ids) = &filter.ids {
             match &et.id {
                 EdgeIdDef::Explicit(def) => {
                     match Self::id_conjunct_for(def, |c| et.column_type(c), ids)? {
-                        None => return Ok(TableResult::Pruned),
+                        None => {
+                            return Ok(TableAccess::Pruned(
+                                "no requested id fits this table (id prefix or type mismatch)"
+                                    .into(),
+                            ))
+                        }
                         Some((sql, mut p)) => {
-                            conjuncts.push(sql);
-                            params.append(&mut p);
-                            pattern_cols.extend(def.columns().iter().map(|c| c.to_string()));
+                            plan.conjuncts.push(sql);
+                            plan.params.append(&mut p);
+                            plan.pattern_cols.extend(def.columns().iter().map(|c| c.to_string()));
                         }
                     }
                 }
@@ -540,7 +618,9 @@ impl Db2GraphBackend {
                             }
                         }
                         if src_ids.is_empty() {
-                            return Ok(TableResult::Pruned);
+                            return Ok(TableAccess::Pruned(format!(
+                                "no implicit edge id embeds label '{fixed}'"
+                            )));
                         }
                         let src_c =
                             Self::id_conjunct_for(&et.src_v, |c| et.column_type(c), &src_ids)?;
@@ -548,21 +628,25 @@ impl Db2GraphBackend {
                             Self::id_conjunct_for(&et.dst_v, |c| et.column_type(c), &dst_ids)?;
                         match (src_c, dst_c) {
                             (Some((s_sql, mut s_p)), Some((d_sql, mut d_p))) => {
-                                conjuncts.push(s_sql);
-                                params.append(&mut s_p);
-                                conjuncts.push(d_sql);
-                                params.append(&mut d_p);
-                                pattern_cols
+                                plan.conjuncts.push(s_sql);
+                                plan.params.append(&mut s_p);
+                                plan.conjuncts.push(d_sql);
+                                plan.params.append(&mut d_p);
+                                plan.pattern_cols
                                     .extend(et.src_v.columns().iter().map(|c| c.to_string()));
-                                pattern_cols
+                                plan.pattern_cols
                                     .extend(et.dst_v.columns().iter().map(|c| c.to_string()));
                             }
-                            _ => return Ok(TableResult::Pruned),
+                            _ => {
+                                return Ok(TableAccess::Pruned(
+                                    "implicit edge id endpoints do not fit this table".into(),
+                                ))
+                            }
                         }
                     } else {
                         // Column label: cannot decompose without knowing the
                         // label; fetch and post-filter by computed id.
-                        post_filter_ids = true;
+                        plan.post_filter_ids = true;
                     }
                 }
             }
@@ -575,12 +659,15 @@ impl Db2GraphBackend {
         ] {
             if let Some(ids) = ids_opt {
                 match Self::id_conjunct_for(def, |c| et.column_type(c), ids)? {
-                    None => return Ok(TableResult::Pruned),
+                    None => {
+                        return Ok(TableAccess::Pruned(format!(
+                            "no {which} endpoint id fits this table"
+                        )))
+                    }
                     Some((sql, mut p)) => {
-                        conjuncts.push(sql);
-                        params.append(&mut p);
-                        pattern_cols.extend(def.columns().iter().map(|c| c.to_string()));
-                        let _ = which;
+                        plan.conjuncts.push(sql);
+                        plan.params.append(&mut p);
+                        plan.pattern_cols.extend(def.columns().iter().map(|c| c.to_string()));
                     }
                 }
             }
@@ -588,9 +675,9 @@ impl Db2GraphBackend {
 
         if let Some(labels) = &filter.labels {
             if let LabelDef::Column(c) = &et.label {
-                conjuncts.push(in_list(c, labels.len()));
-                params.extend(labels.iter().map(|l| Value::Varchar(l.clone())));
-                pattern_cols.push(c.clone());
+                plan.conjuncts.push(in_list(c, labels.len()));
+                plan.params.extend(labels.iter().map(|l| Value::Varchar(l.clone())));
+                plan.pattern_cols.push(c.clone());
             }
         }
         for p in &filter.predicates {
@@ -598,7 +685,9 @@ impl Db2GraphBackend {
                 ("label", LabelDef::Column(c)) => c.clone(),
                 ("label", LabelDef::Fixed(fixed)) => {
                     if !p.pred.test(Some(&GValue::Str(fixed.clone()))) {
-                        return Ok(TableResult::Pruned);
+                        return Ok(TableAccess::Pruned(format!(
+                            "fixed label '{fixed}' fails the label predicate"
+                        )));
                     }
                     continue;
                 }
@@ -609,11 +698,24 @@ impl Db2GraphBackend {
                 continue;
             }
             if let Some((sql, mut ps)) = Self::pred_to_sql(&col, &p.pred) {
-                conjuncts.push(sql);
-                params.append(&mut ps);
-                pattern_cols.push(col);
+                plan.conjuncts.push(sql);
+                plan.params.append(&mut ps);
+                plan.pattern_cols.push(col);
             }
         }
+        Ok(TableAccess::Scan(plan))
+    }
+
+    fn query_edge_table(&self, et: &EdgeTable, filter: &ElementFilter) -> GraphResult<TableResult> {
+        let ScanPlan { conjuncts, params, mut pattern_cols, post_filter_ids } =
+            match self.edge_table_access(et, filter)? {
+                TableAccess::Pruned(reason) => {
+                    self.profiler.record_table(&et.name, TableAction::Pruned(reason));
+                    return Ok(TableResult::Pruned);
+                }
+                TableAccess::Scan(plan) => plan,
+            };
+        self.profiler.record_table(&et.name, TableAction::Queried);
 
         if let Some(op) = filter.aggregate {
             if !post_filter_ids {
@@ -636,7 +738,7 @@ impl Db2GraphBackend {
         pattern_cols.dedup();
         let rs = self
             .dialect
-            .query(&self.stats, &sql, &params, Some((&et.name, &pattern_cols)))
+            .query(&self.stats, &self.profiler, &sql, &params, Some((&et.name, &pattern_cols)))
             .map_err(GraphError::Db)?;
 
         let mut elements: Vec<Element> = Vec::with_capacity(rs.rows.len());
@@ -694,7 +796,7 @@ impl Db2GraphBackend {
                 let sql = build_select(table, &[], conjuncts, Some("COUNT(*)"));
                 let rs = self
                     .dialect
-                    .query(&self.stats, &sql, params, pattern)
+                    .query(&self.stats, &self.profiler, &sql, params, pattern)
                     .map_err(GraphError::Db)?;
                 let n = rs.scalar().and_then(|v| v.as_i64().ok()).unwrap_or(0);
                 Ok(TableResult::Agg(AggParts::from_count(op, n)))
@@ -710,7 +812,7 @@ impl Db2GraphBackend {
                     let sql = build_select(table, &[], conjuncts, Some("COUNT(*)"));
                     let rs = self
                         .dialect
-                        .query(&self.stats, &sql, params, pattern)
+                        .query(&self.stats, &self.profiler, &sql, params, pattern)
                         .map_err(GraphError::Db)?;
                     let n = rs.scalar().and_then(|v| v.as_i64().ok()).unwrap_or(0);
                     return Ok(TableResult::Agg(AggParts::from_count(op, n)));
@@ -727,7 +829,7 @@ impl Db2GraphBackend {
                     let sql = build_select(table, &[], conjuncts, Some(&func));
                     let rs = self
                         .dialect
-                        .query(&self.stats, &sql, params, pattern)
+                        .query(&self.stats, &self.profiler, &sql, params, pattern)
                         .map_err(GraphError::Db)?;
                     let row = rs.rows.first();
                     let all_long = matches!(column_type(k), Some(DataType::Bigint));
@@ -813,7 +915,7 @@ impl Db2GraphBackend {
             sub.ids = Some(unique_ids.clone());
             sub.projection = None;
             sub.aggregate = None;
-            match self.query_vertex_table(vt, &sub)? {
+            match self.query_vertex_table(vt, &sub, hint.is_some())? {
                 TableResult::Pruned => pruned += 1,
                 TableResult::Elements(es) => {
                     for el in es {
@@ -855,6 +957,168 @@ impl Db2GraphBackend {
         v.provenance = Some(vt.name.clone());
         self.stats.record_vertex_from_edge(1);
         Some(v)
+    }
+
+    // ----------------------------------------------------------- explain
+
+    /// The SQL statements an aggregate pushdown would issue, mirroring the
+    /// shapes [`Self::run_aggregate`] executes.
+    fn aggregate_sqls(table: &str, conjuncts: &[String], op: AggOp, keys: &[String]) -> Vec<String> {
+        if keys.is_empty() {
+            return vec![build_select(table, &[], conjuncts, Some("COUNT(*)"))];
+        }
+        keys.iter()
+            .map(|k| {
+                let func = match op {
+                    AggOp::Count => format!("COUNT({})", ident(k)),
+                    AggOp::Sum => format!("SUM({})", ident(k)),
+                    AggOp::Mean => format!("SUM({0}), COUNT({0})", ident(k)),
+                    AggOp::Min => format!("MIN({})", ident(k)),
+                    AggOp::Max => format!("MAX({})", ident(k)),
+                };
+                build_select(table, &[], conjuncts, Some(&func))
+            })
+            .collect()
+    }
+
+    /// Dry-run a `V()`/`E()` step: per table, either the SQL it would
+    /// generate or the reason it is eliminated. No data is touched.
+    pub fn explain_elements(
+        &self,
+        kind: ElementKind,
+        filter: &ElementFilter,
+    ) -> GraphResult<Vec<TableExplain>> {
+        let mut out = Vec::new();
+        match kind {
+            ElementKind::Vertices => {
+                for vt in &self.topo.vertex_tables {
+                    let plan = match self.vertex_table_access(vt, filter)? {
+                        TableAccess::Pruned(reason) => {
+                            out.push(TableExplain {
+                                table: vt.name.clone(),
+                                plan: TablePlan::Pruned { reason },
+                            });
+                            continue;
+                        }
+                        TableAccess::Scan(p) => p,
+                    };
+                    let sql = match filter.aggregate {
+                        Some(op) => {
+                            let keys: Vec<String> = filter
+                                .projection
+                                .as_deref()
+                                .map(|ks| {
+                                    ks.iter().filter(|k| vt.has_property(k)).cloned().collect()
+                                })
+                                .unwrap_or_default();
+                            Self::aggregate_sqls(&vt.name, &plan.conjuncts, op, &keys)
+                        }
+                        None => {
+                            let (cols, _) =
+                                self.vertex_columns(vt, filter.projection.as_deref());
+                            vec![build_select(&vt.name, &cols, &plan.conjuncts, None)]
+                        }
+                    };
+                    out.push(TableExplain {
+                        table: vt.name.clone(),
+                        plan: TablePlan::Query { sql },
+                    });
+                }
+            }
+            ElementKind::Edges => {
+                for et in &self.topo.edge_tables {
+                    let plan = match self.edge_table_access(et, filter)? {
+                        TableAccess::Pruned(reason) => {
+                            out.push(TableExplain {
+                                table: et.name.clone(),
+                                plan: TablePlan::Pruned { reason },
+                            });
+                            continue;
+                        }
+                        TableAccess::Scan(p) => p,
+                    };
+                    let sql = match filter.aggregate {
+                        // A post-filtered id check forces materialization,
+                        // as in query_edge_table.
+                        Some(op) if !plan.post_filter_ids => {
+                            let keys: Vec<String> = filter
+                                .projection
+                                .as_deref()
+                                .map(|ks| {
+                                    ks.iter().filter(|k| et.has_property(k)).cloned().collect()
+                                })
+                                .unwrap_or_default();
+                            Self::aggregate_sqls(&et.name, &plan.conjuncts, op, &keys)
+                        }
+                        _ => {
+                            let (cols, _) = self.edge_columns(et, filter.projection.as_deref());
+                            vec![build_select(&et.name, &cols, &plan.conjuncts, None)]
+                        }
+                    };
+                    out.push(TableExplain {
+                        table: et.name.clone(),
+                        plan: TablePlan::Query { sql },
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dry-run an adjacency step: which edge tables remain candidates
+    /// after label elimination. The concrete SQL depends on the runtime
+    /// frontier, so candidates carry a description instead of a statement.
+    pub fn explain_adjacency(&self, edge_labels: &[String]) -> Vec<TableExplain> {
+        let label_filter: Option<Vec<String>> =
+            if edge_labels.is_empty() { None } else { Some(edge_labels.to_vec()) };
+        let candidates: Vec<usize> = match &label_filter {
+            Some(labels) => self.topo.edge_tables_for_labels(labels),
+            None => (0..self.topo.edge_tables.len()).collect(),
+        };
+        self.topo
+            .edge_tables
+            .iter()
+            .enumerate()
+            .map(|(i, et)| {
+                if candidates.contains(&i) {
+                    let mut detail =
+                        String::from("candidate; queried per frontier batch of source ids");
+                    if et.src_v_table.is_some() || et.dst_v_table.is_some() {
+                        detail.push_str(
+                            " (declared src/dst vertex table links can skip it per direction)",
+                        );
+                    }
+                    TableExplain { table: et.name.clone(), plan: TablePlan::Candidate { detail } }
+                } else {
+                    TableExplain {
+                        table: et.name.clone(),
+                        plan: TablePlan::Pruned {
+                            reason: "label not served by this table".into(),
+                        },
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Structured explain for one compiled step; non-GSA steps yield
+    /// nothing (they never touch the database).
+    pub fn explain_compiled_step(&self, step: &gremlin::step::Step) -> Vec<TableExplain> {
+        use gremlin::step::Step;
+        match step {
+            Step::Graph(g) => self.explain_elements(g.kind, &g.filter).unwrap_or_default(),
+            Step::Vertex(v) => self.explain_adjacency(&v.edge_labels),
+            Step::EdgeVertex(_) => vec![TableExplain {
+                table: "<edge endpoints>".into(),
+                plan: TablePlan::Candidate {
+                    detail: "vertices fetched by endpoint id; the declared src/dst vertex \
+                             table pins the lookup, and vertex-from-edge skips SQL when the \
+                             edge subsumes the vertex"
+                        .into(),
+                },
+            }],
+            _ => Vec::new(),
+        }
     }
 }
 
@@ -965,6 +1229,26 @@ enum TableResult {
     Agg(AggParts),
 }
 
+/// Everything needed to scan one table: WHERE conjuncts (with `?`
+/// placeholders), their parameters, and the predicate columns for the
+/// dialect's pattern tracking.
+#[derive(Default)]
+struct ScanPlan {
+    conjuncts: Vec<String>,
+    params: Vec<Value>,
+    pattern_cols: Vec<String>,
+    /// Edge tables with a column label and implicit ids cannot push an id
+    /// filter to SQL; the computed ids are checked after materialization.
+    post_filter_ids: bool,
+}
+
+/// The data-independent access decision for one table.
+enum TableAccess {
+    /// Eliminated before any SQL, with the reason.
+    Pruned(String),
+    Scan(ScanPlan),
+}
+
 // ------------------------------------------------------ GraphBackend impl
 
 impl GraphBackend for Db2GraphBackend {
@@ -1000,6 +1284,22 @@ impl GraphBackend for Db2GraphBackend {
 
     fn backend_name(&self) -> &str {
         "db2graph"
+    }
+
+    fn explain_step(&self, step: &gremlin::step::Step) -> Vec<String> {
+        self.explain_compiled_step(step)
+            .into_iter()
+            .flat_map(|t| match t.plan {
+                TablePlan::Query { sql } => sql
+                    .into_iter()
+                    .map(|q| format!("{}: {q}", t.table))
+                    .collect::<Vec<_>>(),
+                TablePlan::Candidate { detail } => vec![format!("{}: {detail}", t.table)],
+                TablePlan::Pruned { reason } => {
+                    vec![format!("{}: pruned ({reason})", t.table)]
+                }
+            })
+            .collect()
     }
 }
 
@@ -1043,6 +1343,16 @@ impl Db2GraphBackend {
         self.stats.record_considered(self.topo.edge_tables.len() as u64);
         self.stats
             .record_pruned((self.topo.edge_tables.len() - candidates.len()) as u64);
+        if self.profiler.is_enabled() {
+            for (i, et) in self.topo.edge_tables.iter().enumerate() {
+                if !candidates.contains(&i) {
+                    self.profiler.record_table(
+                        &et.name,
+                        TableAction::Pruned("label not served by this table".into()),
+                    );
+                }
+            }
+        }
 
         // Edge-level filter for the SQL query (only when edges are the
         // output; vertex filters apply after endpoint resolution).
@@ -1081,6 +1391,15 @@ impl Db2GraphBackend {
                 for dir_out in dirs {
                     if !passes(dir_out) {
                         self.stats.record_pruned(1);
+                        if self.profiler.is_enabled() {
+                            self.profiler.record_table(
+                                &et.name,
+                                TableAction::Pruned(format!(
+                                    "declared {} vertex table differs from sources' table",
+                                    if dir_out { "src" } else { "dst" }
+                                )),
+                            );
+                        }
                         continue;
                     }
                     let mut sub = ElementFilter {

@@ -67,6 +67,8 @@ pub mod error;
 pub mod graph;
 pub mod graph_structure;
 pub mod ids;
+pub mod json;
+pub mod metrics;
 pub mod sql_dialect;
 pub mod stats;
 pub mod strategies;
@@ -77,6 +79,10 @@ pub use config::{ETableConfig, OverlayConfig, VTableConfig};
 pub use error::{GraphError, GraphResult};
 pub use graph::{Db2Graph, GraphOptions};
 pub use graph_structure::Db2GraphBackend;
+pub use metrics::{
+    ExplainReport, MetricsRegistry, MetricsSnapshot, ProfileReport, Profiler, StepExplain,
+    StepProfile, TableAction, TableExplain, TablePlan,
+};
 pub use sql_dialect::{IndexSuggestion, SqlDialect};
 pub use stats::{OverlayStats, OverlayStatsSnapshot};
 pub use strategies::StrategyConfig;

@@ -1,0 +1,761 @@
+//! Query observability: per-query profiling, plan explanation, and
+//! process-wide metrics.
+//!
+//! Three layers, each answering a different question:
+//!
+//! * [`Profiler`] — *what did this query do?* A per-query collector threaded
+//!   through the whole pipeline: the compiler reports which strategies
+//!   rewrote the plan, the executor reports per-step wall time and frontier
+//!   sizes, the graph-structure layer reports every table-elimination
+//!   decision, and the SQL dialect reports each statement it executed with
+//!   its template-cache outcome, row count and wall time. A disabled
+//!   profiler ([`Profiler::disabled`]) is a `None` — every record call is a
+//!   branch on an `Option` and nothing else, so the unprofiled hot path
+//!   pays no locks, no allocation, no timestamps.
+//! * [`ExplainReport`] — *what would this query do?* A data-independent
+//!   dry-run: the optimized plan plus, per GSA step and per table, either
+//!   the SQL that would be generated or the reason the table is eliminated.
+//!   Produced without touching any data.
+//! * [`MetricsRegistry`] — *what has this graph done so far?* Cheap atomic
+//!   counters aggregated across all queries, snapshot at any time (the
+//!   bench harness exports one per run).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gremlin::observe::TraversalObserver;
+use parking_lot::Mutex;
+
+use crate::json::Json;
+use crate::stats::OverlayStatsSnapshot;
+
+// ------------------------------------------------------------- profiling
+
+/// One compile-time strategy application that changed the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyRewrite {
+    pub strategy: String,
+    pub before: String,
+    pub after: String,
+}
+
+/// Execution of one top-level plan step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepProfile {
+    pub index: usize,
+    pub description: String,
+    /// Traverser frontier size entering the step.
+    pub in_count: usize,
+    /// Traverser frontier size leaving the step.
+    pub out_count: usize,
+    pub nanos: u64,
+}
+
+/// What the graph-structure layer decided about one overlay table while
+/// evaluating a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDecision {
+    pub table: String,
+    pub action: TableAction,
+}
+
+/// The decision taken for a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableAction {
+    /// The table was queried with SQL.
+    Queried,
+    /// The table was selected directly without considering the others
+    /// (src/dst vertex table link or prefixed-id pinning).
+    Pinned,
+    /// The table was eliminated before any SQL, for the given reason.
+    Pruned(String),
+}
+
+/// One SQL statement executed by the dialect on behalf of the query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlStatementProfile {
+    pub sql: String,
+    /// Whether the prepared-template cache already held this statement.
+    pub template_hit: bool,
+    pub rows: usize,
+    pub nanos: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ProfileData {
+    strategies: Vec<StrategyRewrite>,
+    steps: Vec<StepProfile>,
+    tables: Vec<TableDecision>,
+    statements: Vec<SqlStatementProfile>,
+}
+
+/// Per-query event collector. Cheap to clone (shared interior); a disabled
+/// profiler records nothing and costs one pointer-null check per event.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<Mutex<ProfileData>>>,
+}
+
+impl Profiler {
+    /// A profiler that drops every event — the default for normal queries.
+    pub fn disabled() -> Profiler {
+        Profiler { inner: None }
+    }
+
+    /// A collecting profiler.
+    pub fn enabled() -> Profiler {
+        Profiler { inner: Some(Arc::new(Mutex::new(ProfileData::default()))) }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn record_strategy(&self, strategy: &str, before: &str, after: &str) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().strategies.push(StrategyRewrite {
+            strategy: strategy.to_string(),
+            before: before.to_string(),
+            after: after.to_string(),
+        });
+    }
+
+    pub fn record_step(
+        &self,
+        index: usize,
+        description: &str,
+        in_count: usize,
+        out_count: usize,
+        nanos: u64,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().steps.push(StepProfile {
+            index,
+            description: description.to_string(),
+            in_count,
+            out_count,
+            nanos,
+        });
+    }
+
+    pub fn record_table(&self, table: &str, action: TableAction) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().tables.push(TableDecision { table: table.to_string(), action });
+    }
+
+    pub fn record_statement(&self, sql: &str, template_hit: bool, rows: usize, nanos: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().statements.push(SqlStatementProfile {
+            sql: sql.to_string(),
+            template_hit,
+            rows,
+            nanos,
+        });
+    }
+
+    /// The report accumulated so far (empty when disabled).
+    pub fn report(&self) -> ProfileReport {
+        let data = match &self.inner {
+            Some(inner) => inner.lock().clone(),
+            None => ProfileData::default(),
+        };
+        ProfileReport {
+            strategies: data.strategies,
+            steps: data.steps,
+            tables: data.tables,
+            statements: data.statements,
+        }
+    }
+}
+
+impl TraversalObserver for Profiler {
+    fn strategy_applied(&self, name: &str, before: &str, after: &str) {
+        self.record_strategy(name, before, after);
+    }
+
+    fn step_finished(
+        &self,
+        index: usize,
+        description: &str,
+        in_count: usize,
+        out_count: usize,
+        nanos: u64,
+    ) {
+        self.record_step(index, description, in_count, out_count, nanos);
+    }
+
+    fn take_report(&self) -> Option<String> {
+        if self.is_enabled() {
+            Some(self.report().to_string())
+        } else {
+            None
+        }
+    }
+}
+
+/// Structured result of profiling one query.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    pub strategies: Vec<StrategyRewrite>,
+    pub steps: Vec<StepProfile>,
+    pub tables: Vec<TableDecision>,
+    pub statements: Vec<SqlStatementProfile>,
+}
+
+impl ProfileReport {
+    /// Tables the graph-structure layer looked at (queried + pinned +
+    /// pruned decisions).
+    pub fn tables_considered(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Tables that actually received SQL (queried or pinned).
+    pub fn tables_queried(&self) -> usize {
+        self.tables
+            .iter()
+            .filter(|d| matches!(d.action, TableAction::Queried | TableAction::Pinned))
+            .count()
+    }
+
+    pub fn tables_pruned(&self) -> usize {
+        self.tables.iter().filter(|d| matches!(d.action, TableAction::Pruned(_))).count()
+    }
+
+    pub fn template_hits(&self) -> usize {
+        self.statements.iter().filter(|s| s.template_hit).count()
+    }
+
+    pub fn template_misses(&self) -> usize {
+        self.statements.iter().filter(|s| !s.template_hit).count()
+    }
+
+    pub fn total_sql_nanos(&self) -> u64 {
+        self.statements.iter().map(|s| s.nanos).sum()
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.statements.iter().map(|s| s.rows).sum()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "strategies",
+                Json::arr(
+                    self.strategies
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("strategy", Json::str(&s.strategy)),
+                                ("before", Json::str(&s.before)),
+                                ("after", Json::str(&s.after)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "steps",
+                Json::arr(
+                    self.steps
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("index", Json::u64(s.index as u64)),
+                                ("step", Json::str(&s.description)),
+                                ("in", Json::u64(s.in_count as u64)),
+                                ("out", Json::u64(s.out_count as u64)),
+                                ("nanos", Json::u64(s.nanos)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "tables",
+                Json::arr(
+                    self.tables
+                        .iter()
+                        .map(|d| {
+                            let (action, reason) = match &d.action {
+                                TableAction::Queried => ("queried", None),
+                                TableAction::Pinned => ("pinned", None),
+                                TableAction::Pruned(r) => ("pruned", Some(r.clone())),
+                            };
+                            let mut fields = vec![
+                                ("table", Json::str(&d.table)),
+                                ("action", Json::str(action)),
+                            ];
+                            if let Some(r) = reason {
+                                fields.push(("reason", Json::str(r)));
+                            }
+                            Json::obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "sql",
+                Json::arr(
+                    self.statements
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("sql", Json::str(&s.sql)),
+                                ("template_hit", Json::Bool(s.template_hit)),
+                                ("rows", Json::u64(s.rows as u64)),
+                                ("nanos", Json::u64(s.nanos)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "totals",
+                Json::obj(vec![
+                    ("tables_considered", Json::u64(self.tables_considered() as u64)),
+                    ("tables_queried", Json::u64(self.tables_queried() as u64)),
+                    ("tables_pruned", Json::u64(self.tables_pruned() as u64)),
+                    ("template_hits", Json::u64(self.template_hits() as u64)),
+                    ("template_misses", Json::u64(self.template_misses() as u64)),
+                    ("sql_rows", Json::u64(self.total_rows() as u64)),
+                    ("sql_nanos", Json::u64(self.total_sql_nanos())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Pretty nanoseconds for report text.
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}µs", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+impl std::fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "profile")?;
+        if !self.strategies.is_empty() {
+            writeln!(f, "  strategies:")?;
+            for s in &self.strategies {
+                writeln!(f, "    {}: {} => {}", s.strategy, s.before, s.after)?;
+            }
+        }
+        if !self.steps.is_empty() {
+            writeln!(f, "  steps:")?;
+            for s in &self.steps {
+                writeln!(
+                    f,
+                    "    [{}] {}  in={} out={}  {}",
+                    s.index,
+                    s.description,
+                    s.in_count,
+                    s.out_count,
+                    fmt_nanos(s.nanos)
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "  tables: considered={} queried={} pruned={}",
+            self.tables_considered(),
+            self.tables_queried(),
+            self.tables_pruned()
+        )?;
+        for d in &self.tables {
+            match &d.action {
+                TableAction::Queried => writeln!(f, "    {}: queried", d.table)?,
+                TableAction::Pinned => writeln!(f, "    {}: pinned", d.table)?,
+                TableAction::Pruned(r) => writeln!(f, "    {}: pruned ({r})", d.table)?,
+            }
+        }
+        write!(
+            f,
+            "  sql: statements={} template_hits={} misses={} rows={} total={}",
+            self.statements.len(),
+            self.template_hits(),
+            self.template_misses(),
+            self.total_rows(),
+            fmt_nanos(self.total_sql_nanos())
+        )?;
+        for s in &self.statements {
+            write!(
+                f,
+                "\n    [{}, {} rows, {}] {}",
+                fmt_nanos(s.nanos),
+                s.rows,
+                if s.template_hit { "hit" } else { "miss" },
+                s.sql
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------- explain
+
+/// How one table would be handled by one GSA step — decided without
+/// touching data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TablePlan {
+    /// The SQL statement(s) this step would issue against the table.
+    Query { sql: Vec<String> },
+    /// The table would be queried per frontier batch; the exact statement
+    /// depends on runtime ids (adjacency steps).
+    Candidate { detail: String },
+    /// The table is eliminated, with the reason.
+    Pruned { reason: String },
+}
+
+/// A table's explain entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableExplain {
+    pub table: String,
+    pub plan: TablePlan,
+}
+
+/// Explain detail for one plan step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepExplain {
+    pub index: usize,
+    pub description: String,
+    pub tables: Vec<TableExplain>,
+}
+
+/// The full result of `explain()`: the rewritten plan and the SQL it would
+/// generate, produced without executing anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainReport {
+    /// The optimized plan rendering (after all strategies).
+    pub plan: String,
+    pub steps: Vec<StepExplain>,
+}
+
+impl ExplainReport {
+    pub fn tables_considered(&self) -> usize {
+        self.steps.iter().map(|s| s.tables.len()).sum()
+    }
+
+    pub fn tables_queried(&self) -> usize {
+        self.steps
+            .iter()
+            .flat_map(|s| &s.tables)
+            .filter(|t| !matches!(t.plan, TablePlan::Pruned { .. }))
+            .count()
+    }
+
+    pub fn tables_pruned(&self) -> usize {
+        self.steps
+            .iter()
+            .flat_map(|s| &s.tables)
+            .filter(|t| matches!(t.plan, TablePlan::Pruned { .. }))
+            .count()
+    }
+
+    /// Every SQL statement the plan would issue, in step order.
+    pub fn sql_statements(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .flat_map(|s| &s.tables)
+            .filter_map(|t| match &t.plan {
+                TablePlan::Query { sql } => Some(sql.iter().map(String::as_str)),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("plan", Json::str(&self.plan)),
+            (
+                "steps",
+                Json::arr(
+                    self.steps
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("index", Json::u64(s.index as u64)),
+                                ("step", Json::str(&s.description)),
+                                (
+                                    "tables",
+                                    Json::arr(
+                                        s.tables
+                                            .iter()
+                                            .map(|t| {
+                                                let mut fields =
+                                                    vec![("table", Json::str(&t.table))];
+                                                match &t.plan {
+                                                    TablePlan::Query { sql } => {
+                                                        fields.push((
+                                                            "sql",
+                                                            Json::arr(
+                                                                sql.iter()
+                                                                    .map(Json::str)
+                                                                    .collect(),
+                                                            ),
+                                                        ));
+                                                    }
+                                                    TablePlan::Candidate { detail } => {
+                                                        fields.push((
+                                                            "candidate",
+                                                            Json::str(detail),
+                                                        ));
+                                                    }
+                                                    TablePlan::Pruned { reason } => {
+                                                        fields.push((
+                                                            "pruned",
+                                                            Json::str(reason),
+                                                        ));
+                                                    }
+                                                }
+                                                Json::obj(fields)
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan: {}", self.plan)?;
+        for s in &self.steps {
+            if s.tables.is_empty() {
+                continue;
+            }
+            write!(f, "\nstep {}: {}", s.index, s.description)?;
+            for t in &s.tables {
+                match &t.plan {
+                    TablePlan::Query { sql } => {
+                        for q in sql {
+                            write!(f, "\n  {}: {q}", t.table)?;
+                        }
+                    }
+                    TablePlan::Candidate { detail } => {
+                        write!(f, "\n  {}: {detail}", t.table)?;
+                    }
+                    TablePlan::Pruned { reason } => {
+                        write!(f, "\n  {}: pruned ({reason})", t.table)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------- metrics
+
+/// Process-lifetime counters for one graph, shared by every query. All
+/// atomic; safe to read concurrently with query execution.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    traversals: AtomicU64,
+    sql_statements: AtomicU64,
+    sql_wall_nanos: AtomicU64,
+    rows_returned: AtomicU64,
+    template_hits: AtomicU64,
+    template_misses: AtomicU64,
+}
+
+impl MetricsRegistry {
+    pub fn record_traversal(&self) {
+        self.traversals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_template(&self, hit: bool) {
+        if hit {
+            self.template_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.template_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_statement(&self, rows: u64, nanos: u64) {
+        self.sql_statements.fetch_add(1, Ordering::Relaxed);
+        self.rows_returned.fetch_add(rows, Ordering::Relaxed);
+        self.sql_wall_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Snapshot combined with the overlay's table-elimination counters.
+    pub fn snapshot_with(&self, overlay: OverlayStatsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            traversals: self.traversals.load(Ordering::Relaxed),
+            sql_statements: self.sql_statements.load(Ordering::Relaxed),
+            sql_wall_nanos: self.sql_wall_nanos.load(Ordering::Relaxed),
+            rows_returned: self.rows_returned.load(Ordering::Relaxed),
+            template_hits: self.template_hits.load(Ordering::Relaxed),
+            template_misses: self.template_misses.load(Ordering::Relaxed),
+            tables_considered: overlay.tables_considered,
+            tables_pruned: overlay.tables_pruned,
+            vertices_from_edges: overlay.vertices_from_edges,
+        }
+    }
+}
+
+/// Point-in-time metrics for one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub traversals: u64,
+    pub sql_statements: u64,
+    pub sql_wall_nanos: u64,
+    pub rows_returned: u64,
+    pub template_hits: u64,
+    pub template_misses: u64,
+    pub tables_considered: u64,
+    pub tables_pruned: u64,
+    pub vertices_from_edges: u64,
+}
+
+impl MetricsSnapshot {
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            traversals: self.traversals - earlier.traversals,
+            sql_statements: self.sql_statements - earlier.sql_statements,
+            sql_wall_nanos: self.sql_wall_nanos - earlier.sql_wall_nanos,
+            rows_returned: self.rows_returned - earlier.rows_returned,
+            template_hits: self.template_hits - earlier.template_hits,
+            template_misses: self.template_misses - earlier.template_misses,
+            tables_considered: self.tables_considered - earlier.tables_considered,
+            tables_pruned: self.tables_pruned - earlier.tables_pruned,
+            vertices_from_edges: self.vertices_from_edges - earlier.vertices_from_edges,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("traversals", Json::u64(self.traversals)),
+            ("sql_statements", Json::u64(self.sql_statements)),
+            ("sql_wall_nanos", Json::u64(self.sql_wall_nanos)),
+            ("rows_returned", Json::u64(self.rows_returned)),
+            ("template_hits", Json::u64(self.template_hits)),
+            ("template_misses", Json::u64(self.template_misses)),
+            ("tables_considered", Json::u64(self.tables_considered)),
+            ("tables_pruned", Json::u64(self.tables_pruned)),
+            ("vertices_from_edges", Json::u64(self.vertices_from_edges)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        assert!(!p.is_enabled());
+        p.record_strategy("s", "a", "b");
+        p.record_step(0, "x", 1, 2, 3);
+        p.record_table("t", TableAction::Queried);
+        p.record_statement("SELECT 1", false, 1, 10);
+        let r = p.report();
+        assert!(r.strategies.is_empty());
+        assert!(r.steps.is_empty());
+        assert!(r.tables.is_empty());
+        assert!(r.statements.is_empty());
+        assert!(p.take_report().is_none());
+    }
+
+    #[test]
+    fn enabled_profiler_accumulates_and_counts() {
+        let p = Profiler::enabled();
+        p.record_strategy("PredicatePushdown", "a", "b");
+        p.record_table("Patient", TableAction::Queried);
+        p.record_table("Disease", TableAction::Pruned("id prefix mismatch".into()));
+        p.record_table("Visit", TableAction::Pinned);
+        p.record_statement("SELECT * FROM Patient", false, 3, 1_500);
+        p.record_statement("SELECT * FROM Patient", true, 3, 900);
+        let r = p.report();
+        assert_eq!(r.tables_considered(), 3);
+        assert_eq!(r.tables_queried(), 2);
+        assert_eq!(r.tables_pruned(), 1);
+        assert_eq!(r.template_hits(), 1);
+        assert_eq!(r.template_misses(), 1);
+        assert_eq!(r.total_rows(), 6);
+        assert_eq!(r.total_sql_nanos(), 2_400);
+        let text = p.take_report().unwrap();
+        assert!(text.contains("PredicatePushdown"), "{text}");
+        assert!(text.contains("pruned (id prefix mismatch)"), "{text}");
+        // JSON export round-trips through the parser.
+        let json = crate::json::Json::parse(&r.to_json().to_pretty()).unwrap();
+        assert_eq!(
+            json.get("totals").and_then(|t| t.get("tables_pruned")).and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn explain_report_accessors() {
+        let r = ExplainReport {
+            plan: "Graph(V|ids)".into(),
+            steps: vec![StepExplain {
+                index: 0,
+                description: "Graph(V|ids)".into(),
+                tables: vec![
+                    TableExplain {
+                        table: "Patient".into(),
+                        plan: TablePlan::Query { sql: vec!["SELECT x FROM Patient".into()] },
+                    },
+                    TableExplain {
+                        table: "Disease".into(),
+                        plan: TablePlan::Pruned { reason: "id prefix mismatch".into() },
+                    },
+                ],
+            }],
+        };
+        assert_eq!(r.tables_considered(), 2);
+        assert_eq!(r.tables_queried(), 1);
+        assert_eq!(r.tables_pruned(), 1);
+        assert_eq!(r.sql_statements(), vec!["SELECT x FROM Patient"]);
+        let text = r.to_string();
+        assert!(text.starts_with("plan: Graph(V|ids)"), "{text}");
+        assert!(text.contains("SELECT x FROM Patient"), "{text}");
+        assert!(text.contains("pruned (id prefix mismatch)"), "{text}");
+    }
+
+    #[test]
+    fn registry_snapshot_and_diff() {
+        let m = MetricsRegistry::default();
+        m.record_traversal();
+        m.record_template(true);
+        m.record_template(false);
+        m.record_statement(5, 1000);
+        let a = m.snapshot_with(OverlayStatsSnapshot::default());
+        assert_eq!(a.traversals, 1);
+        assert_eq!(a.sql_statements, 1);
+        assert_eq!(a.rows_returned, 5);
+        assert_eq!(a.template_hits, 1);
+        assert_eq!(a.template_misses, 1);
+        m.record_statement(2, 500);
+        let b = m.snapshot_with(OverlayStatsSnapshot::default());
+        let d = b.since(&a);
+        assert_eq!(d.sql_statements, 1);
+        assert_eq!(d.rows_returned, 2);
+        assert_eq!(d.sql_wall_nanos, 500);
+        let json = b.to_json().to_compact();
+        assert!(json.contains("\"template_hits\":1"), "{json}");
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(fmt_nanos(12), "12ns");
+        assert_eq!(fmt_nanos(1_500), "1.5µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.50ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.00s");
+    }
+}

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::RwLock;
 use reldb::{Database, DbResult, Prepared, RowSet, Value};
 
+use crate::metrics::{MetricsRegistry, Profiler};
 use crate::stats::OverlayStats;
 
 /// An index the dialect suggests creating.
@@ -45,16 +46,29 @@ pub struct SqlDialect {
     patterns: RwLock<HashMap<PatternKey, Arc<AtomicU64>>>,
     /// Patterns become suggestions after this many occurrences.
     frequency_threshold: u64,
+    /// Always-on aggregate counters (statement count, wall time, rows,
+    /// template hit rate), shared with the owning graph.
+    registry: Arc<MetricsRegistry>,
 }
 
 impl SqlDialect {
     pub fn new(db: Arc<Database>) -> SqlDialect {
+        SqlDialect::with_registry(db, Arc::new(MetricsRegistry::default()))
+    }
+
+    /// Build a dialect that reports into an externally owned registry.
+    pub fn with_registry(db: Arc<Database>, registry: Arc<MetricsRegistry>) -> SqlDialect {
         SqlDialect {
             db,
             templates: RwLock::new(HashMap::new()),
             patterns: RwLock::new(HashMap::new()),
             frequency_threshold: 16,
+            registry,
         }
+    }
+
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     pub fn with_threshold(mut self, threshold: u64) -> SqlDialect {
@@ -63,10 +77,13 @@ impl SqlDialect {
     }
 
     /// Execute a parameterized SQL template through the prepared cache.
-    /// `pattern` records the access shape for index advising.
+    /// `pattern` records the access shape for index advising; `profiler`
+    /// (when enabled) receives the statement text, cache outcome, row
+    /// count and wall time.
     pub fn query(
         &self,
         stats: &OverlayStats,
+        profiler: &Profiler,
         template: &str,
         params: &[Value],
         pattern: Option<(&str, &[String])>,
@@ -88,22 +105,29 @@ impl SqlDialect {
             };
             counter.fetch_add(1, Ordering::Relaxed);
         }
-        let prepared = {
+        let (prepared, cache_hit) = {
             let hit = self.templates.read().get(template).cloned();
             match hit {
                 Some(p) => {
                     stats.record_template_hit();
-                    p
+                    (p, true)
                 }
                 None => {
                     let p = Arc::new(self.db.prepare(template)?);
                     self.templates.write().insert(template.to_string(), p.clone());
-                    p
+                    (p, false)
                 }
             }
         };
+        self.registry.record_template(cache_hit);
         stats.record_sql();
-        self.db.execute_prepared(&prepared, params)
+        let start = std::time::Instant::now();
+        let result = self.db.execute_prepared(&prepared, params);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let rows = result.as_ref().map(|rs| rs.rows.len()).unwrap_or(0);
+        self.registry.record_statement(rows as u64, nanos);
+        profiler.record_statement(template, cache_hit, rows, nanos);
+        result
     }
 
     /// Number of distinct cached SQL templates.
@@ -272,8 +296,8 @@ mod tests {
         let dialect = SqlDialect::new(db);
         let stats = OverlayStats::default();
         let sql = "SELECT name FROM t WHERE id = ?";
-        let r1 = dialect.query(&stats, sql, &[Value::Bigint(1)], None).unwrap();
-        let r2 = dialect.query(&stats, sql, &[Value::Bigint(2)], None).unwrap();
+        let r1 = dialect.query(&stats, &Profiler::disabled(), sql, &[Value::Bigint(1)], None).unwrap();
+        let r2 = dialect.query(&stats, &Profiler::disabled(), sql, &[Value::Bigint(2)], None).unwrap();
         assert_eq!(r1.scalar(), Some(&Value::Varchar("n1".into())));
         assert_eq!(r2.scalar(), Some(&Value::Varchar("n2".into())));
         assert_eq!(dialect.template_count(), 1);
@@ -292,6 +316,7 @@ mod tests {
             dialect
                 .query(
                     &stats,
+                    &Profiler::disabled(),
                     "SELECT * FROM t WHERE src = ?",
                     &[Value::Bigint(i)],
                     Some(("t", &["src".to_string()])),
@@ -318,6 +343,7 @@ mod tests {
             dialect
                 .query(
                     &stats,
+                    &Profiler::disabled(),
                     "SELECT * FROM t WHERE src = ?",
                     &[Value::Bigint(0)],
                     Some(("t", &["src".to_string()])),
@@ -336,6 +362,7 @@ mod tests {
         dialect
             .query(
                 &stats,
+                &Profiler::disabled(),
                 "SELECT * FROM t WHERE id = ?",
                 &[Value::Bigint(0)],
                 Some(("t", &["id".to_string()])),

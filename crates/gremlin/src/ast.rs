@@ -35,6 +35,11 @@ pub enum Terminal {
     ToList,
     /// `.iterate()` — discard results (side effects only).
     Iterate,
+    /// `.explain()` — do not execute; return the optimized plan and, when
+    /// the backend supports it, the SQL each GSA step would generate.
+    Explain,
+    /// `.profile()` — execute, then return a per-step profiling report.
+    Profile,
 }
 
 /// A traversal rooted at the graph source `g`: the start step (`V`/`E`)

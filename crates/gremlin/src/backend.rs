@@ -335,6 +335,15 @@ pub trait GraphBackend: Send + Sync {
     fn backend_name(&self) -> &str {
         "graph"
     }
+
+    /// Data-independent explanation of how the backend would evaluate one
+    /// step of a compiled plan — without touching any data. Backends that
+    /// compile steps to a query language return per-table decisions and the
+    /// query text here (one line per entry); the default (in-memory
+    /// backends) has nothing to add beyond the step description.
+    fn explain_step(&self, _step: &crate::step::Step) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

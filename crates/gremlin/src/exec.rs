@@ -12,6 +12,7 @@ use crate::backend::{
     element_property, AggOp, BackendOutput, ElementKind, GraphBackend, Pred,
 };
 use crate::error::{GremlinError, GResult};
+use crate::observe::TraversalObserver;
 use crate::step::{CompareOp, FilterSpec, OrderKey, Step, Traversal};
 use crate::structure::{Element, ElementId, GValue};
 
@@ -79,6 +80,7 @@ impl Default for ExecOptions {
 pub struct Executor<'a> {
     backend: &'a dyn GraphBackend,
     opts: ExecOptions,
+    observer: Option<&'a dyn TraversalObserver>,
 }
 
 struct Ctx {
@@ -88,11 +90,18 @@ struct Ctx {
 
 impl<'a> Executor<'a> {
     pub fn new(backend: &'a dyn GraphBackend) -> Executor<'a> {
-        Executor { backend, opts: ExecOptions::default() }
+        Executor { backend, opts: ExecOptions::default(), observer: None }
     }
 
     pub fn with_options(backend: &'a dyn GraphBackend, opts: ExecOptions) -> Executor<'a> {
-        Executor { backend, opts }
+        Executor { backend, opts, observer: None }
+    }
+
+    /// Attach an observer receiving per-step timing events for top-level
+    /// steps. Without one, execution takes no timestamps at all.
+    pub fn with_observer(mut self, observer: &'a dyn TraversalObserver) -> Executor<'a> {
+        self.observer = Some(observer);
+        self
     }
 
     /// Run a traversal from the graph source; returns final values and the
@@ -102,7 +111,28 @@ impl<'a> Executor<'a> {
             side_effects: SideEffects::default(),
             track_paths: self.opts.always_track_paths || traversal.needs_paths(),
         };
-        let out = self.run_steps(&traversal.steps, Vec::new(), &mut ctx)?;
+        let out = match self.observer {
+            None => self.run_steps(&traversal.steps, Vec::new(), &mut ctx)?,
+            Some(obs) => {
+                // Observed variant: time each top-level step. Nested
+                // traversals (repeat bodies, union branches) stay inside
+                // their enclosing step's measurement.
+                let mut current = Vec::new();
+                for (i, step) in traversal.steps.iter().enumerate() {
+                    let in_count = current.len();
+                    let start = std::time::Instant::now();
+                    current = self.run_step(step, current, &mut ctx)?;
+                    obs.step_finished(
+                        i,
+                        &step.describe(),
+                        in_count,
+                        current.len(),
+                        start.elapsed().as_nanos() as u64,
+                    );
+                }
+                current
+            }
+        };
         Ok((out.into_iter().map(|t| t.value).collect(), ctx.side_effects))
     }
 

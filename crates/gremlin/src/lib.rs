@@ -48,6 +48,7 @@ pub mod compile;
 pub mod error;
 pub mod exec;
 pub mod memgraph;
+pub mod observe;
 pub mod parser;
 pub mod script;
 pub mod step;
@@ -60,6 +61,7 @@ pub use backend::{
 };
 pub use error::{GremlinError, GResult};
 pub use exec::{ExecOptions, Executor, SideEffects, Traverser};
+pub use observe::{NoopObserver, TraversalObserver};
 pub use script::ScriptRunner;
 pub use step::{CompareOp, FilterSpec, GraphStep, Step, Traversal, VertexStep};
 pub use strategy::{StrategyRegistry, TraversalStrategy};

@@ -1,0 +1,59 @@
+//! Query observability hooks.
+//!
+//! A [`TraversalObserver`] receives events from the compile pipeline (which
+//! strategies rewrote the plan) and the interpreter (per-step wall time and
+//! traverser counts). The overlay backend in `db2graph-core` implements it
+//! with its `Profiler`, which additionally collects backend-side events
+//! (table elimination decisions, generated SQL, template cache hits).
+//!
+//! The trait lives here — below the backend crates — so the gremlin layer
+//! never depends on a particular backend's metrics representation. All
+//! methods have empty defaults: an observer implements only what it needs,
+//! and the pipeline only pays for observation when an observer is attached.
+
+/// Receiver for compile-time and run-time traversal events.
+pub trait TraversalObserver: Send + Sync {
+    /// A strategy changed the plan. `before`/`after` are
+    /// [`crate::step::Traversal::describe`] renderings; called only when
+    /// they differ.
+    fn strategy_applied(&self, _name: &str, _before: &str, _after: &str) {}
+
+    /// A top-level step finished. `index` is the step's position in the
+    /// optimized plan, `in_count`/`out_count` are the traverser frontier
+    /// sizes before and after, `nanos` is wall time spent in the step
+    /// (including backend calls).
+    fn step_finished(
+        &self,
+        _index: usize,
+        _description: &str,
+        _in_count: usize,
+        _out_count: usize,
+        _nanos: u64,
+    ) {
+    }
+
+    /// Render and clear the accumulated per-query report, if this observer
+    /// builds one. Used by the script-level `.profile()` terminal, which
+    /// must return the report as a traversal result.
+    fn take_report(&self) -> Option<String> {
+        None
+    }
+}
+
+/// An observer that ignores every event (useful in tests).
+pub struct NoopObserver;
+
+impl TraversalObserver for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_inert() {
+        let o = NoopObserver;
+        o.strategy_applied("x", "a", "b");
+        o.step_finished(0, "s", 1, 2, 3);
+        assert!(o.take_report().is_none());
+    }
+}

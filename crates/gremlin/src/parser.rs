@@ -293,6 +293,14 @@ impl Parser {
                     terminal = Some(Terminal::Iterate);
                     break;
                 }
+                "explain" => {
+                    terminal = Some(Terminal::Explain);
+                    break;
+                }
+                "profile" => {
+                    terminal = Some(Terminal::Profile);
+                    break;
+                }
                 _ => steps.push(call),
             }
         }

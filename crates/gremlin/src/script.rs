@@ -1,10 +1,14 @@
 //! Script-level execution: multi-statement Gremlin with variables.
 
+use std::sync::Arc;
+
 use crate::ast::Terminal;
 use crate::compile::{compile, VarEnv};
 use crate::error::{GremlinError, GResult};
 use crate::exec::{ExecOptions, Executor, SideEffects};
 use crate::backend::GraphBackend;
+use crate::observe::TraversalObserver;
+use crate::step::Traversal;
 use crate::strategy::StrategyRegistry;
 use crate::structure::GValue;
 
@@ -14,11 +18,17 @@ pub struct ScriptRunner<'a> {
     backend: &'a dyn GraphBackend,
     strategies: StrategyRegistry,
     options: ExecOptions,
+    observer: Option<Arc<dyn TraversalObserver>>,
 }
 
 impl<'a> ScriptRunner<'a> {
     pub fn new(backend: &'a dyn GraphBackend) -> ScriptRunner<'a> {
-        ScriptRunner { backend, strategies: StrategyRegistry::new(), options: ExecOptions::default() }
+        ScriptRunner {
+            backend,
+            strategies: StrategyRegistry::new(),
+            options: ExecOptions::default(),
+            observer: None,
+        }
     }
 
     pub fn with_strategies(mut self, strategies: StrategyRegistry) -> Self {
@@ -28,6 +38,14 @@ impl<'a> ScriptRunner<'a> {
 
     pub fn with_options(mut self, options: ExecOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Attach an observer: it receives strategy-rewrite and per-step timing
+    /// events, and its [`TraversalObserver::take_report`] feeds the
+    /// `.profile()` terminal.
+    pub fn with_observer(mut self, observer: Arc<dyn TraversalObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -52,8 +70,22 @@ impl<'a> ScriptRunner<'a> {
         let mut last: Option<(Vec<GValue>, SideEffects)> = None;
         for stmt in &script.statements {
             let mut traversal = compile(&stmt.traversal, &env)?;
-            self.strategies.apply_all(&mut traversal);
-            let executor = Executor::with_options(self.backend, self.options.clone());
+            self.strategies.apply_all_observed(&mut traversal, self.observer.as_deref());
+            if stmt.terminal == Some(Terminal::Explain) {
+                // Explain never executes: render the optimized plan plus
+                // whatever the backend can say about each step without
+                // touching data.
+                let text = self.render_explain(&traversal);
+                if let Some(name) = &stmt.assign {
+                    env.insert(name.clone(), GValue::Str(text.clone()));
+                }
+                last = Some((vec![GValue::Str(text)], SideEffects::default()));
+                continue;
+            }
+            let mut executor = Executor::with_options(self.backend, self.options.clone());
+            if let Some(obs) = self.observer.as_deref() {
+                executor = executor.with_observer(obs);
+            }
             let (values, side_effects) = executor.run(&traversal)?;
             let result_value = match stmt.terminal {
                 Some(Terminal::Next) => values.first().cloned().unwrap_or(GValue::Null),
@@ -66,11 +98,40 @@ impl<'a> ScriptRunner<'a> {
             let final_values = match stmt.terminal {
                 Some(Terminal::Next) => values.into_iter().take(1).collect(),
                 Some(Terminal::Iterate) => Vec::new(),
+                Some(Terminal::Profile) => {
+                    // The observer (when attached) owns the collected
+                    // events; without one, fall back to the optimized plan
+                    // so `.profile()` still answers something useful.
+                    let report = self
+                        .observer
+                        .as_deref()
+                        .and_then(|o| o.take_report())
+                        .unwrap_or_else(|| format!("plan: {}", traversal.describe()));
+                    vec![GValue::Str(report)]
+                }
                 _ => values,
             };
             last = Some((final_values, side_effects));
         }
         last.ok_or_else(|| GremlinError::Parse("script produced no statements".into()))
+    }
+
+    /// Render an EXPLAIN text for an optimized plan: the plan string, then
+    /// per-step backend detail (generated SQL, table eliminations) for
+    /// steps where the backend has any.
+    fn render_explain(&self, traversal: &Traversal) -> String {
+        let mut out = format!("plan: {}", traversal.describe());
+        for (i, step) in traversal.steps.iter().enumerate() {
+            let lines = self.backend.explain_step(step);
+            if !lines.is_empty() {
+                out.push_str(&format!("\nstep {i}: {}", step.describe()));
+                for l in lines {
+                    out.push_str("\n  ");
+                    out.push_str(&l);
+                }
+            }
+        }
+        out
     }
 
     /// Compile a single-statement script to its optimized plan without

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use crate::observe::TraversalObserver;
 use crate::step::{Step, Traversal};
 
 /// A plan-rewriting optimization.
@@ -45,9 +46,33 @@ impl StrategyRegistry {
     /// Apply all strategies to the traversal and, recursively, to every
     /// nested traversal.
     pub fn apply_all(&self, traversal: &mut Traversal) {
+        self.apply_all_observed(traversal, None);
+    }
+
+    /// Like [`Self::apply_all`], additionally reporting each top-level plan
+    /// rewrite to the observer. The before/after comparison (two
+    /// `describe()` renderings per strategy) only happens when an observer
+    /// is attached, so the unobserved path costs nothing extra.
+    pub fn apply_all_observed(
+        &self,
+        traversal: &mut Traversal,
+        observer: Option<&dyn TraversalObserver>,
+    ) {
         for s in &self.strategies {
-            s.apply(traversal);
+            match observer {
+                None => s.apply(traversal),
+                Some(obs) => {
+                    let before = traversal.describe();
+                    s.apply(traversal);
+                    let after = traversal.describe();
+                    if before != after {
+                        obs.strategy_applied(s.name(), &before, &after);
+                    }
+                }
+            }
         }
+        // Nested traversals are rewritten without observation: their
+        // rewrites are implementation detail of the enclosing step.
         for step in &mut traversal.steps {
             match step {
                 Step::Repeat { body, until, .. } => {

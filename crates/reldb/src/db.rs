@@ -195,9 +195,18 @@ impl Database {
         self.execute_stmt(&bound)
     }
 
-    /// Execute an already-parsed statement.
+    /// Execute an already-parsed statement, recording result size and wall
+    /// time into the engine stats.
     pub fn execute_stmt(&self, stmt: &Stmt) -> DbResult<RowSet> {
         self.stats.record_statement();
+        let start = std::time::Instant::now();
+        let result = self.execute_stmt_inner(stmt);
+        let rows = result.as_ref().map(|rs| rs.rows.len() as u64).unwrap_or(0);
+        self.stats.record_execution(rows, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn execute_stmt_inner(&self, stmt: &Stmt) -> DbResult<RowSet> {
         match stmt {
             Stmt::Select(q) => execute_select(self, q),
             Stmt::Explain(q) => {

@@ -13,7 +13,9 @@ pub enum Token {
     /// Single-quoted string literal, with `''` unescaped.
     StringLit(String),
     /// Integer literal.
-    IntLit(i64),
+    /// Unsigned magnitude; a preceding `-` is a separate token folded by
+    /// the parser, which lets `-9223372036854775808` (i64::MIN) lex.
+    IntLit(u64),
     /// Floating point literal.
     FloatLit(f64),
     /// `?` positional parameter.
@@ -207,7 +209,7 @@ fn lex_number(input: &str, start: usize) -> DbResult<(Token, usize)> {
             .map(|v| (Token::FloatLit(v), i))
             .map_err(|_| DbError::Parse(format!("bad float literal '{text}'")))
     } else {
-        text.parse::<i64>()
+        text.parse::<u64>()
             .map(|v| (Token::IntLit(v), i))
             .map_err(|_| DbError::Parse(format!("bad integer literal '{text}'")))
     }

@@ -401,7 +401,7 @@ impl Parser {
             // Accept both `LIMIT n` and Db2's `FETCH FIRST n ROWS ONLY`.
             self.eat_kw("FIRST");
             match self.next() {
-                Some(Token::IntLit(n)) if n >= 0 => stmt.limit = Some(n as u64),
+                Some(Token::IntLit(n)) => stmt.limit = Some(n),
                 other => return Err(DbError::Parse(format!("expected LIMIT count, got {other:?}"))),
             }
             self.eat_kw("ROWS");
@@ -639,6 +639,16 @@ impl Parser {
 
     fn unary(&mut self) -> DbResult<Expr> {
         if self.eat(&Token::Minus) {
+            // i64::MIN's magnitude does not fit in a bare integer literal
+            // (the lexer emits unsigned magnitudes), so fold the sign here
+            // before `primary` range-checks the literal.
+            if let Some(Token::IntLit(m)) = self.peek() {
+                let m = *m;
+                if m <= i64::MAX as u64 + 1 {
+                    self.next();
+                    return Ok(Expr::Literal(Value::Bigint((m as i64).wrapping_neg())));
+                }
+            }
             let inner = self.unary()?;
             // Fold negative literals directly.
             return Ok(match inner {
@@ -652,7 +662,12 @@ impl Parser {
 
     fn primary(&mut self) -> DbResult<Expr> {
         match self.next() {
-            Some(Token::IntLit(v)) => Ok(Expr::Literal(Value::Bigint(v))),
+            Some(Token::IntLit(v)) => {
+                let v = i64::try_from(v).map_err(|_| {
+                    DbError::Parse(format!("integer literal {v} out of BIGINT range"))
+                })?;
+                Ok(Expr::Literal(Value::Bigint(v)))
+            }
             Some(Token::FloatLit(v)) => Ok(Expr::Literal(Value::Double(v))),
             Some(Token::StringLit(s)) => Ok(Expr::Literal(Value::Varchar(s))),
             Some(Token::Param) => {

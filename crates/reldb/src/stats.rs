@@ -14,6 +14,8 @@ pub struct ExecStats {
     index_probes: AtomicU64,
     full_scans: AtomicU64,
     full_scan_rows: AtomicU64,
+    rows_returned: AtomicU64,
+    exec_nanos: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -24,6 +26,10 @@ pub struct StatsSnapshot {
     pub index_probes: u64,
     pub full_scans: u64,
     pub full_scan_rows: u64,
+    /// Rows in statement results (as opposed to rows scanned internally).
+    pub rows_returned: u64,
+    /// Total wall time spent executing statements, in nanoseconds.
+    pub exec_nanos: u64,
 }
 
 impl ExecStats {
@@ -44,6 +50,12 @@ impl ExecStats {
         self.full_scan_rows.fetch_add(rows, Ordering::Relaxed);
     }
 
+    /// Record a finished statement's result size and wall time.
+    pub fn record_execution(&self, rows_returned: u64, nanos: u64) {
+        self.rows_returned.fetch_add(rows_returned, Ordering::Relaxed);
+        self.exec_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             statements: self.statements.load(Ordering::Relaxed),
@@ -51,6 +63,8 @@ impl ExecStats {
             index_probes: self.index_probes.load(Ordering::Relaxed),
             full_scans: self.full_scans.load(Ordering::Relaxed),
             full_scan_rows: self.full_scan_rows.load(Ordering::Relaxed),
+            rows_returned: self.rows_returned.load(Ordering::Relaxed),
+            exec_nanos: self.exec_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -64,6 +78,8 @@ impl StatsSnapshot {
             index_probes: self.index_probes - earlier.index_probes,
             full_scans: self.full_scans - earlier.full_scans,
             full_scan_rows: self.full_scan_rows - earlier.full_scan_rows,
+            rows_returned: self.rows_returned - earlier.rows_returned,
+            exec_nanos: self.exec_nanos - earlier.exec_nanos,
         }
     }
 }
@@ -85,9 +101,12 @@ mod tests {
         assert_eq!(a.full_scans, 1);
         assert_eq!(a.full_scan_rows, 100);
         s.record_rows_read(7);
+        s.record_execution(4, 250);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.rows_read, 7);
         assert_eq!(d.statements, 0);
+        assert_eq!(d.rows_returned, 4);
+        assert_eq!(d.exec_nanos, 250);
     }
 }

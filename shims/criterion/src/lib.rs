@@ -1,0 +1,145 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate vendors the
+//! minimal harness API the workspace's `micro_ops` bench uses:
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple calibrated wall-clock loop reporting mean ns/iter — good enough
+//! for relative comparisons, with none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// How a batched setup is amortized. Only a hint here; all variants batch
+/// identically in the shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by iter/iter_batched.
+    ns_per_iter: f64,
+    iters: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: find an iteration count that fills the
+        // measurement window, then time it.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measure_for || n >= 1 << 30 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                self.iters = n;
+                break;
+            }
+            n = n.saturating_mul(if elapsed.as_micros() < 100 { 10 } else { 2 });
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut n = 1u64;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measure_for || n >= 1 << 24 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                self.iters = n;
+                break;
+            }
+            n = n.saturating_mul(if elapsed.as_micros() < 100 { 10 } else { 2 });
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion { measure_for: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0, iters: 0, measure_for: self.measure_for };
+        f(&mut b);
+        let per = b.ns_per_iter;
+        let human = if per >= 1_000_000.0 {
+            format!("{:.3} ms", per / 1_000_000.0)
+        } else if per >= 1_000.0 {
+            format!("{:.3} µs", per / 1_000.0)
+        } else {
+            format!("{per:.1} ns")
+        };
+        println!("{id:<40} time: {human}/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        assert!(ran);
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+    }
+}

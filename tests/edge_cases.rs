@@ -186,10 +186,12 @@ fn concurrent_graph_readers_with_sql_writer() {
         db.execute(&format!("INSERT INTO L VALUES ({i}, {}, 'k')", i + 1)).unwrap();
     }
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let iterations = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let readers: Vec<_> = (0..3)
         .map(|_| {
             let g = g.clone();
             let stop = stop.clone();
+            let iterations = iterations.clone();
             std::thread::spawn(move || {
                 let mut runs = 0u64;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
@@ -203,6 +205,7 @@ fn concurrent_graph_readers_with_sql_writer() {
                     let e = g.run("g.V(0).repeat(out('l')).times(3).count()").unwrap();
                     assert_eq!(e, vec![GValue::Long(1)]);
                     runs += 1;
+                    iterations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
                 runs
             })
@@ -210,6 +213,12 @@ fn concurrent_graph_readers_with_sql_writer() {
         .collect();
     for i in 50..150 {
         db.execute(&format!("INSERT INTO N VALUES ({i}, 'y', 2.0)")).unwrap();
+    }
+    // The writer can outpace the readers; don't signal stop until every
+    // reader has observed at least one consistent snapshot, or the
+    // `total > 0` assertion below races with thread startup.
+    while iterations.load(std::sync::atomic::Ordering::Relaxed) < 3 {
+        std::thread::yield_now();
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();

@@ -1,0 +1,251 @@
+//! Observability-layer integration tests: `explain()` (data-independent
+//! plan + SQL + table elimination), `profile()` (per-step report), the
+//! `.profile()`/`.explain()` Gremlin terminators, and the aggregate
+//! metrics snapshot — all on the paper's Figure 2 healthcare overlay.
+
+use std::sync::Arc;
+
+use db2graph_core::config::healthcare_example_json;
+use db2graph_core::{Db2Graph, TableAction, TablePlan};
+use gremlin::GValue;
+use reldb::Database;
+
+fn healthcare_db() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, address VARCHAR, subscriptionID BIGINT);
+         CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, conceptName VARCHAR);
+         CREATE TABLE DiseaseOntology (sourceID BIGINT, targetID BIGINT, type VARCHAR,
+            FOREIGN KEY (sourceID) REFERENCES Disease(diseaseID),
+            FOREIGN KEY (targetID) REFERENCES Disease(diseaseID));
+         CREATE TABLE HasDisease (patientID BIGINT, diseaseID BIGINT, description VARCHAR,
+            FOREIGN KEY (patientID) REFERENCES Patient(patientID),
+            FOREIGN KEY (diseaseID) REFERENCES Disease(diseaseID));
+         INSERT INTO Patient VALUES
+            (1, 'Alice', '12 Oak St', 100),
+            (2, 'Bob', '9 Elm St', 101),
+            (3, 'Carol', '4 Pine St', 102);
+         INSERT INTO Disease VALUES
+            (10, 'E11', 'type 2 diabetes'),
+            (11, 'E10', 'type 1 diabetes'),
+            (12, 'E08', 'diabetes');
+         INSERT INTO DiseaseOntology VALUES (10, 12, 'isa'), (11, 12, 'isa');
+         INSERT INTO HasDisease VALUES (1, 10, 'diagnosed 2019'), (2, 11, 'diagnosed 2020');",
+    )
+    .unwrap();
+    db
+}
+
+fn open(db: &Arc<Database>) -> Arc<Db2Graph> {
+    Db2Graph::open_json(db.clone(), healthcare_example_json()).unwrap()
+}
+
+/// A fixed label (`hasLabel('patient')`) eliminates every vertex table
+/// whose fixed label differs, before any SQL — and explain says so.
+#[test]
+fn explain_shows_fixed_label_elimination() {
+    let db = healthcare_db();
+    let g = open(&db);
+    let report = g.explain_report("g.V().hasLabel('patient').values('name')").unwrap();
+    // Both vertex tables are considered; only Patient survives.
+    assert_eq!(report.tables_considered(), 2, "{report}");
+    assert_eq!(report.tables_queried(), 1, "{report}");
+    assert_eq!(report.tables_pruned(), 1, "{report}");
+    let pruned: Vec<_> = report
+        .steps
+        .iter()
+        .flat_map(|s| &s.tables)
+        .filter(|t| matches!(t.plan, TablePlan::Pruned { .. }))
+        .collect();
+    assert_eq!(pruned.len(), 1);
+    assert_eq!(pruned[0].table, "Disease");
+    let TablePlan::Pruned { reason } = &pruned[0].plan else { unreachable!() };
+    assert!(reason.contains("label"), "unexpected prune reason: {reason}");
+    // The surviving table carries real generated SQL.
+    let sql = report.sql_statements();
+    assert_eq!(sql.len(), 1, "{report}");
+    assert!(sql[0].contains("Patient"), "{}", sql[0]);
+    // The rendered text shows both the plan and the elimination.
+    let text = g.explain("g.V().hasLabel('patient').values('name')").unwrap();
+    assert!(text.starts_with("plan: "), "{text}");
+    assert!(text.contains("pruned ("), "{text}");
+}
+
+/// A prefixed id (`patient::1`) pins the lookup to the one table whose id
+/// prefix matches; plain-integer ids can only come from Bigint-id tables.
+#[test]
+fn explain_shows_prefixed_id_pinning() {
+    let db = healthcare_db();
+    let g = open(&db);
+    let report = g.explain_report("g.V('patient::1')").unwrap();
+    assert_eq!(report.tables_considered(), 2, "{report}");
+    assert!(
+        report.tables_queried() < report.tables_considered(),
+        "prefixed id should eliminate non-matching tables: {report}"
+    );
+    let pruned: Vec<_> = report
+        .steps
+        .iter()
+        .flat_map(|s| &s.tables)
+        .filter(|t| matches!(t.plan, TablePlan::Pruned { .. }))
+        .map(|t| t.table.as_str())
+        .collect();
+    assert_eq!(pruned, vec!["Disease"], "{report}");
+
+    // The mirror case: a plain integer id cannot live in a prefixed table.
+    let report = g.explain_report("g.V(10)").unwrap();
+    let pruned: Vec<_> = report
+        .steps
+        .iter()
+        .flat_map(|s| &s.tables)
+        .filter(|t| matches!(t.plan, TablePlan::Pruned { .. }))
+        .map(|t| t.table.as_str())
+        .collect();
+    assert_eq!(pruned, vec!["Patient"], "{report}");
+}
+
+/// explain() is a dry run: it never executes SQL or touches data.
+#[test]
+fn explain_touches_no_data() {
+    let db = healthcare_db();
+    let g = open(&db);
+    let before = g.metrics();
+    g.explain("g.V().hasLabel('patient').out('hasDisease').values('conceptName')").unwrap();
+    g.explain_report("g.E().hasLabel('isa').count()").unwrap();
+    let after = g.metrics();
+    assert_eq!(after.sql_statements, before.sql_statements);
+    assert_eq!(after.rows_returned, before.rows_returned);
+}
+
+/// profile() returns the results *and* a per-step report covering strategy
+/// rewrites, step timings, table decisions, and executed SQL.
+#[test]
+fn profile_reports_steps_tables_and_sql() {
+    let db = healthcare_db();
+    let g = open(&db);
+    let (values, report) = g
+        .profile("g.V().hasLabel('patient').has('name', 'Alice').out('hasDisease').values('conceptName')")
+        .unwrap();
+    assert_eq!(values, vec![GValue::Str("type 2 diabetes".into())]);
+    // The optimizer rewrote the plan (predicate pushdown at minimum).
+    assert!(
+        report.strategies.iter().any(|s| s.strategy == "PredicatePushdown"),
+        "expected a PredicatePushdown rewrite: {report}"
+    );
+    // Every top-level step is timed with frontier sizes.
+    assert!(!report.steps.is_empty(), "{report}");
+    assert!(report.steps.iter().all(|s| s.index < report.steps.len()));
+    // Table elimination is visible: Disease is pruned for the hasLabel
+    // scan, the adjacency step prunes DiseaseOntology ('isa' != 'hasDisease').
+    assert!(report.tables_queried() >= 1, "{report}");
+    assert!(report.tables_pruned() >= 1, "{report}");
+    assert!(
+        report.tables_queried() < report.tables_considered(),
+        "table elimination should have pruned something: {report}"
+    );
+    assert!(
+        report.tables.iter().any(|d| {
+            d.table == "DiseaseOntology" && matches!(d.action, TableAction::Pruned(_))
+        }),
+        "{report}"
+    );
+    // SQL statements carry wall time and row counts.
+    assert!(!report.statements.is_empty(), "{report}");
+    assert!(report.total_rows() >= 1, "{report}");
+    // The rendered report has all four sections.
+    let text = report.to_string();
+    for needle in ["strategies:", "steps:", "tables: considered=", "sql: statements="] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+/// The dst-vertex-table link pins the vertex lookup after an adjacency
+/// step instead of fanning out over all vertex tables.
+#[test]
+fn profile_shows_link_pinning() {
+    let db = healthcare_db();
+    let g = open(&db);
+    let (_, report) = g.profile("g.V('patient::1').out('hasDisease')").unwrap();
+    assert!(
+        report.tables.iter().any(|d| d.table == "Disease" && d.action == TableAction::Pinned),
+        "dst link should pin the Disease lookup: {report}"
+    );
+}
+
+/// The `.profile()` Gremlin terminator returns the rendered report as the
+/// traversal's value, like TinkerPop's.
+#[test]
+fn profile_terminator_returns_report_text() {
+    let db = healthcare_db();
+    let g = open(&db);
+    let out = g.run("g.V().hasLabel('patient').count().profile()").unwrap();
+    assert_eq!(out.len(), 1);
+    let GValue::Str(text) = &out[0] else { panic!("expected report text, got {out:?}") };
+    assert!(text.starts_with("profile"), "{text}");
+    assert!(text.contains("tables: considered="), "{text}");
+    assert!(text.contains("sql: statements="), "{text}");
+}
+
+/// Repeated identical traversals re-use prepared templates: the second run
+/// hits the cache for every statement the first run prepared.
+#[test]
+fn repeated_traversals_hit_template_cache() {
+    let db = healthcare_db();
+    let g = open(&db);
+    let query = "g.V().hasLabel('patient').has('name', 'Alice').out('hasDisease').values('conceptName')";
+
+    let (_, first) = g.profile(query).unwrap();
+    assert!(first.template_misses() > 0, "first run must prepare: {first}");
+
+    let before = g.metrics();
+    let (_, second) = g.profile(query).unwrap();
+    let delta = g.metrics().since(&before);
+
+    // Per-query view: every statement of the identical re-run is a hit.
+    assert_eq!(second.template_misses(), 0, "{second}");
+    assert!(second.template_hits() > 0, "{second}");
+    // Aggregate view: the registry counted those hits too.
+    assert!(delta.template_hits >= second.template_hits() as u64);
+    assert_eq!(delta.template_misses, 0);
+}
+
+/// The aggregate snapshot accumulates across queries and diffs cleanly.
+#[test]
+fn metrics_snapshot_accumulates() {
+    let db = healthcare_db();
+    let g = open(&db);
+    let zero = g.metrics();
+    assert_eq!(zero.traversals, 0);
+    assert_eq!(zero.sql_statements, 0);
+
+    g.run("g.V().count()").unwrap();
+    g.run("g.E().count()").unwrap();
+    let after = g.metrics();
+    assert_eq!(after.traversals, 2);
+    assert!(after.sql_statements >= 2, "{after:?}");
+    assert!(after.rows_returned >= 1, "{after:?}");
+
+    let delta = after.since(&zero);
+    assert_eq!(delta.traversals, 2);
+
+    // The snapshot exports as JSON (the bench harness prints this).
+    let json = after.to_json().to_compact();
+    assert!(json.contains("\"traversals\":2"), "{json}");
+    assert!(json.contains("\"sql_statements\":"), "{json}");
+}
+
+/// Profiling is opt-in: plain runs leave no per-query residue and return
+/// identical results.
+#[test]
+fn unprofiled_runs_match_profiled_results() {
+    let db = healthcare_db();
+    let g = open(&db);
+    let query = "g.V().hasLabel('patient').out('hasDisease').values('conceptCode')";
+    let mut plain = g.run(query).unwrap();
+    let (mut profiled, report) = g.profile(query).unwrap();
+    let key = |v: &GValue| format!("{v:?}");
+    plain.sort_by_key(key);
+    profiled.sort_by_key(key);
+    assert_eq!(plain, profiled);
+    assert!(!report.statements.is_empty());
+}

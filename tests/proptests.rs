@@ -87,6 +87,55 @@ proptest! {
         }
     }
 
+    /// Prefixed-id compose/decompose is lossless for *arbitrary* table
+    /// prefixes and key values — any mix of integer and textual keys, any
+    /// arity — as long as no value contains `:` (a colon adjacent to the
+    /// `::` separator is indistinguishable from a component boundary).
+    /// Single-column BIGINT keys must stay numeric (`ElementId::Long`).
+    #[test]
+    fn prefixed_id_roundtrip_arbitrary_names_and_values(
+        prefix in "[a-zA-Z][a-zA-Z0-9_]{0,10}",
+        keys in prop::collection::vec(
+            prop_oneof![
+                (-1_000_000_000i64..1_000_000_000).prop_map(Value::Bigint),
+                "[a-zA-Z0-9_. -]{1,12}".prop_map(Value::Varchar),
+            ],
+            1..4,
+        ),
+    ) {
+        let cols: Vec<String> = (0..keys.len()).map(|i| format!("k{i}")).collect();
+        let spec = format!("'{prefix}'::{}", cols.join("::"));
+        let def = IdDef::parse(&spec).unwrap();
+        prop_assert_eq!(def.prefix(), Some(prefix.as_str()));
+
+        let id = def.encode(&keys).unwrap();
+        prop_assert!(matches!(id, ElementId::Str(_)), "prefixed ids are textual");
+        let decoded = def.decode(&id).expect("own encoding must decode");
+        prop_assert_eq!(decoded.len(), keys.len());
+        for (text, value) in decoded.iter().zip(&keys) {
+            // Lossless: the decoded text is exactly the value's rendering,
+            // so coercing by the column's type recovers the original.
+            prop_assert_eq!(text.clone(), value.to_string());
+            match value {
+                Value::Bigint(v) => {
+                    prop_assert_eq!(IdDef::coerce(text, DataType::Bigint).unwrap(), Value::Bigint(*v))
+                }
+                Value::Varchar(s) => {
+                    prop_assert_eq!(IdDef::coerce(text, DataType::Varchar).unwrap(), Value::Varchar(s.clone()))
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // Without the prefix, a single BIGINT key stays a numeric id.
+        let bare = IdDef::parse("k0").unwrap();
+        if let [Value::Bigint(v)] = keys.as_slice() {
+            let id = bare.encode(&keys[..1]).unwrap();
+            prop_assert_eq!(&id, &ElementId::Long(*v));
+            prop_assert_eq!(bare.decode(&id).unwrap(), vec![v.to_string()]);
+        }
+    }
+
     #[test]
     fn prefixed_ids_never_decode_under_other_prefix(a in "[a-z]{1,6}", b in "[a-z]{1,6}", v in 1i64..100000) {
         prop_assume!(a != b);
