@@ -8,7 +8,7 @@
 //! * `full`          — prefixed ids + fixed labels + src/dst table links
 //! * `no-prefix`     — plain ids (no table pinning on V(id))
 //! * `no-links`      — src_v_table/dst_v_table omitted (no edge-table
-//!                     endpoint elimination)
+//!   endpoint elimination)
 //! * `column-labels` — labels from a column (no fixed-label elimination)
 //!
 //! Reported per variant: average latency and SQL queries issued per
@@ -130,9 +130,10 @@ fn main() {
     println!("\n=== Ablation: data-dependent runtime optimizations (Section 6.3) ===");
     println!("({K} vertex tables x {ROWS} rows, {K} edge tables; {iters} iters/point)\n");
 
+    type QueryGen = Box<dyn Fn(&Variant, i64) -> String>;
     struct Op {
         name: &'static str,
-        query: Box<dyn Fn(&Variant, i64) -> String>,
+        query: QueryGen,
     }
     let ops = [
         Op {

@@ -45,6 +45,7 @@ fn main() {
             &rows,
         );
         env.print_metrics_snapshot();
+        env.print_parallel_speedup(scale.iters / 8 + 1);
         println!();
     }
     println!("Paper reference: on 10M GDB-X leads (Db2 Graph within 1.5x, better on getNode);");

@@ -49,6 +49,7 @@ fn main() {
             &rows,
         );
         env.print_metrics_snapshot();
+        env.print_parallel_speedup(scale.iters / 8 + 1);
         println!();
     }
     println!("Paper reference: Db2 Graph is the clear winner in all cases, beating GDB-X up");

@@ -10,12 +10,15 @@
 //!   stands in for LinkBench-100M),
 //! * `LB_ITERS` — queries measured per point (default 400),
 //! * `LB_THREADS` — concurrent clients for the throughput figure
-//!   (default 16; the paper used 50 on a 32-core server).
+//!   (default 16; the paper used 50 on a 32-core server),
+//! * `DB2GRAPH_THREADS` — intra-query worker threads for Db2 Graph's
+//!   probe fan-out (default: available parallelism; set to 1 for fully
+//!   sequential execution).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use db2graph_core::{Db2Graph, StrategyConfig};
+use db2graph_core::{Db2Graph, GraphOptions, StrategyConfig};
 use gremlin::strategy::{IdentityRemoval, StrategyRegistry};
 use gremlin::{GraphBackend, ScriptRunner};
 use gstore::{export_graph, load_janus, load_native, open_native, JanusLikeDb, NativeGraphDb};
@@ -295,6 +298,57 @@ impl BenchEnv {
             "db2graph metrics [{}]: {}",
             self.dataset.name(),
             m.to_json().to_compact()
+        );
+    }
+
+    /// Demonstrate the intra-query fan-out: a frontier-heavy workload
+    /// (32-id frontier, unlabeled `out()` probing all ten edge tables and
+    /// resolving endpoints across all ten vertex tables) on one worker vs
+    /// the configured count (`DB2GRAPH_THREADS`, default: all cores), over
+    /// the same live tables. Emits one comparison line per dataset.
+    pub fn print_parallel_speedup(&self, iters: usize) {
+        let seq = Db2Graph::open_with_options(
+            self.db.clone(),
+            &overlay_config(),
+            GraphOptions { threads: Some(1), ..Default::default() },
+        )
+        .expect("open sequential overlay");
+        let par = &self.graph;
+        let ids: Vec<i64> = self.data.nodes.iter().map(|n| n.id).collect();
+        let query_at = |i: usize| {
+            let k = 32.min(ids.len().max(1));
+            let picked: Vec<String> =
+                (0..k).map(|j| ids[(i * 31 + j * 7) % ids.len()].to_string()).collect();
+            format!("g.V({}).out().count()", picked.join(", "))
+        };
+        let measure = |g: &Db2Graph| {
+            // Warmup fills the template cache so both modes measure
+            // execution, not statement preparation.
+            for i in 0..(iters / 10 + 1) {
+                g.run(&query_at(i)).expect("warmup query");
+            }
+            let start = Instant::now();
+            for i in 0..iters {
+                g.run(&query_at(i)).expect("bench query");
+            }
+            start.elapsed() / iters.max(1) as u32
+        };
+        let seq_lat = measure(&seq);
+        let par_lat = measure(par);
+        let cores = Scale::cores();
+        let caveat = if cores < 2 {
+            " [CAVEAT: 1 core — workers time-slice, expect no speedup]"
+        } else {
+            ""
+        };
+        println!(
+            "db2graph fan-out [{}]: 32-id frontier out().count(): 1 thread {} vs {} threads {} ({:.2}x speedup){}",
+            self.dataset.name(),
+            fmt_duration(seq_lat),
+            par.threads(),
+            fmt_duration(par_lat),
+            seq_lat.as_secs_f64() / par_lat.as_secs_f64().max(1e-12),
+            caveat,
         );
     }
 

@@ -23,6 +23,10 @@ use crate::topology::Topology;
 pub struct GraphOptions {
     pub strategies: StrategyConfig,
     pub exec: ExecOptions,
+    /// Intra-query worker threads for the backend's probe fan-out.
+    /// `None` defers to `DB2GRAPH_THREADS` / available parallelism;
+    /// `Some(1)` forces fully sequential execution.
+    pub threads: Option<usize>,
 }
 
 /// A property graph overlaid on a relational database.
@@ -59,7 +63,11 @@ impl Db2Graph {
         options: GraphOptions,
     ) -> GraphResult<Arc<Db2Graph>> {
         let topo = Arc::new(Topology::resolve(&db, config)?);
-        let backend = Arc::new(Db2GraphBackend::new(db.clone(), topo));
+        let mut backend = Db2GraphBackend::new(db.clone(), topo);
+        if let Some(n) = options.threads {
+            backend = backend.with_threads(n);
+        }
+        let backend = Arc::new(backend);
         let mut registry = StrategyRegistry::new();
         registry.add(Arc::new(IdentityRemoval));
         for s in options.strategies.build() {
@@ -76,6 +84,11 @@ impl Db2Graph {
     /// The resolved overlay topology.
     pub fn topology(&self) -> &Topology {
         self.backend.topology()
+    }
+
+    /// The backend's intra-query worker count.
+    pub fn threads(&self) -> usize {
+        self.backend.threads()
     }
 
     /// The SQL Dialect module (template cache, index advisor).

@@ -23,7 +23,7 @@
 //!    apart, the embedded label eliminates tables, and the parts become
 //!    conjunctive predicates.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use gremlin::backend::{
@@ -37,7 +37,10 @@ use reldb::{Database, DataType, Row, RowSet, Value};
 use crate::error::{to_gremlin, GraphError, GraphResult};
 use crate::ids::{implicit_edge_id, split_implicit_edge_id, EdgeIdDef, IdDef};
 use crate::metrics::{MetricsRegistry, Profiler, TableAction, TableExplain, TablePlan};
-use crate::sql_dialect::{build_select, composite_in, ident, in_list, SqlDialect};
+use crate::pool;
+use crate::sql_dialect::{
+    build_select, composite_in_bucketed, ident, in_list_bucketed, SqlDialect, MAX_FRONTIER_CHUNK,
+};
 use crate::stats::OverlayStats;
 use crate::topology::{EdgeTable, LabelDef, Topology, VertexTable};
 
@@ -89,6 +92,8 @@ pub struct Db2GraphBackend {
     /// Per-query event sink. Disabled by default; [`Self::with_profiler`]
     /// produces an observing clone for `profile()` runs.
     pub(crate) profiler: Profiler,
+    /// Worker threads for intra-query fan-out (1 = fully sequential).
+    pub(crate) threads: usize,
 }
 
 impl Db2GraphBackend {
@@ -100,6 +105,7 @@ impl Db2GraphBackend {
             dialect,
             stats: Arc::new(OverlayStats::default()),
             profiler: Profiler::disabled(),
+            threads: pool::configured_threads(),
         }
     }
 
@@ -111,7 +117,47 @@ impl Db2GraphBackend {
             dialect: self.dialect.clone(),
             stats: self.stats.clone(),
             profiler,
+            threads: self.threads,
         }
+    }
+
+    /// Override the intra-query worker count (clamped to at least 1). The
+    /// default comes from `DB2GRAPH_THREADS` / available parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Db2GraphBackend {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The effective intra-query worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fan independent probe jobs out over the worker pool.
+    ///
+    /// Each job runs against a shallow backend clone whose profiler is a
+    /// fresh fork; after the pool joins, the forks are absorbed back into
+    /// this backend's profiler **in job order**, so `.profile()` output is
+    /// identical to sequential execution modulo timing. Results likewise
+    /// come back in job order, and the first error in job order wins —
+    /// callers observe no scheduling effects.
+    fn fan_out<T, F>(&self, jobs: Vec<F>) -> GraphResult<Vec<T>>
+    where
+        T: Send,
+        F: FnOnce(&Db2GraphBackend) -> GraphResult<T> + Send,
+    {
+        let clones: Vec<Db2GraphBackend> =
+            jobs.iter().map(|_| self.with_profiler(self.profiler.fork())).collect();
+        let work: Vec<_> = jobs
+            .into_iter()
+            .zip(&clones)
+            .map(|(job, be)| move || job(be))
+            .collect();
+        let results = pool::run_ordered(self.threads, work);
+        for be in &clones {
+            self.profiler.absorb(&be.profiler);
+        }
+        results.into_iter().collect()
     }
 
     /// The always-on aggregate counters shared with the SQL dialect.
@@ -202,8 +248,12 @@ impl Db2GraphBackend {
             Pred::Lt(v) => (format!("{} < ?", ident(col)), vec![conv(v)?]),
             Pred::Lte(v) => (format!("{} <= ?", ident(col)), vec![conv(v)?]),
             Pred::Within(vs) => {
-                let vals: Option<Vec<Value>> = vs.iter().map(conv).collect();
-                (in_list(col, vs.len()), vals?)
+                let mut vals: Vec<Value> = vs.iter().map(conv).collect::<Option<_>>()?;
+                if vals.is_empty() {
+                    return None;
+                }
+                let sql = in_list_bucketed(col, &mut vals);
+                (sql, vals)
             }
             Pred::Between(lo, hi) => (
                 format!("({c} >= ? AND {c} < ?)", c = ident(col)),
@@ -247,12 +297,14 @@ impl Db2GraphBackend {
         if keys.is_empty() {
             return Ok(None);
         }
+        // Bucketed arity: the generated template depends only on
+        // log2(|ids|), so frontier-size jitter reuses prepared statements.
         if cols.len() == 1 {
-            let sql = in_list(cols[0], keys.len());
-            let params: Vec<Value> = keys.into_iter().map(|mut k| k.remove(0)).collect();
+            let mut params: Vec<Value> = keys.into_iter().map(|mut k| k.remove(0)).collect();
+            let sql = in_list_bucketed(cols[0], &mut params);
             Ok(Some((sql, params)))
         } else {
-            let sql = composite_in(&cols, keys.len());
+            let sql = composite_in_bucketed(&cols, &mut keys);
             let params: Vec<Value> = keys.into_iter().flatten().collect();
             Ok(Some((sql, params)))
         }
@@ -265,8 +317,16 @@ impl Db2GraphBackend {
         let mut agg = AggCombiner::new(filter.aggregate);
         let mut pruned = 0u64;
 
-        for vt in &self.topo.vertex_tables {
-            match self.query_vertex_table(vt, filter, false)? {
+        // One scan job per vertex table; merged in table order.
+        let results = self.fan_out(
+            self.topo
+                .vertex_tables
+                .iter()
+                .map(|vt| move |be: &Db2GraphBackend| be.query_vertex_table(vt, filter, false))
+                .collect(),
+        )?;
+        for r in results {
+            match r {
                 TableResult::Pruned => pruned += 1,
                 TableResult::Elements(es) => outputs.extend(es),
                 TableResult::Values(vs) => values.extend(vs),
@@ -339,8 +399,10 @@ impl Db2GraphBackend {
         // Label predicate on a label column.
         if let Some(labels) = &filter.labels {
             if let LabelDef::Column(c) = &vt.label {
-                plan.conjuncts.push(in_list(c, labels.len()));
-                plan.params.extend(labels.iter().map(|l| Value::Varchar(l.clone())));
+                let mut vals: Vec<Value> =
+                    labels.iter().map(|l| Value::Varchar(l.clone())).collect();
+                plan.conjuncts.push(in_list_bucketed(c, &mut vals));
+                plan.params.extend(vals);
                 plan.pattern_cols.push(c.clone());
             }
         }
@@ -534,8 +596,16 @@ impl Db2GraphBackend {
         let mut values: Vec<GValue> = Vec::new();
         let mut agg = AggCombiner::new(filter.aggregate);
         let mut pruned = 0u64;
-        for et in &self.topo.edge_tables {
-            match self.query_edge_table(et, filter)? {
+        // One scan job per edge table; merged in table order.
+        let results = self.fan_out(
+            self.topo
+                .edge_tables
+                .iter()
+                .map(|et| move |be: &Db2GraphBackend| be.query_edge_table(et, filter))
+                .collect(),
+        )?;
+        for r in results {
+            match r {
                 TableResult::Pruned => pruned += 1,
                 TableResult::Elements(es) => outputs.extend(es),
                 TableResult::Values(vs) => values.extend(vs),
@@ -675,8 +745,10 @@ impl Db2GraphBackend {
 
         if let Some(labels) = &filter.labels {
             if let LabelDef::Column(c) = &et.label {
-                plan.conjuncts.push(in_list(c, labels.len()));
-                plan.params.extend(labels.iter().map(|l| Value::Varchar(l.clone())));
+                let mut vals: Vec<Value> =
+                    labels.iter().map(|l| Value::Varchar(l.clone())).collect();
+                plan.conjuncts.push(in_list_bucketed(c, &mut vals));
+                plan.params.extend(vals);
                 plan.pattern_cols.push(c.clone());
             }
         }
@@ -886,11 +958,13 @@ impl Db2GraphBackend {
             return Ok(out);
         }
         let unique_ids: Vec<ElementId> = {
-            let mut seen = std::collections::HashSet::new();
+            // An id constraint already on the filter (a pushed-down hasId)
+            // intersects with the requested endpoint ids.
+            let allowed: Option<HashSet<&ElementId>> =
+                filter.ids.as_ref().map(|v| v.iter().collect());
+            let mut seen = HashSet::new();
             ids.iter()
-                // An id constraint already on the filter (a pushed-down
-                // hasId) intersects with the requested endpoint ids.
-                .filter(|i| filter.ids.as_ref().map(|allowed| allowed.contains(i)).unwrap_or(true))
+                .filter(|i| allowed.as_ref().map(|a| a.contains(i)).unwrap_or(true))
                 .filter(|i| seen.insert((*i).clone()))
                 .cloned()
                 .collect()
@@ -908,15 +982,34 @@ impl Db2GraphBackend {
                 (0..self.topo.vertex_tables.len()).collect()
             }
         };
-        let mut pruned = 0u64;
-        for ti in candidates {
-            let vt = &self.topo.vertex_tables[ti];
-            let mut sub = filter.clone();
-            sub.ids = Some(unique_ids.clone());
-            sub.projection = None;
-            sub.aggregate = None;
-            match self.query_vertex_table(vt, &sub, hint.is_some())? {
-                TableResult::Pruned => pruned += 1,
+        // One job per (candidate table × id chunk); large frontiers split
+        // so each statement stays within the template bucket ceiling.
+        let chunks: Vec<&[ElementId]> = unique_ids.chunks(MAX_FRONTIER_CHUNK).collect();
+        let mut jobs: Vec<(usize, &[ElementId])> = Vec::new();
+        for &ti in &candidates {
+            for chunk in &chunks {
+                jobs.push((ti, chunk));
+            }
+        }
+        let results = self.fan_out(
+            jobs.iter()
+                .map(|&(ti, chunk)| {
+                    move |be: &Db2GraphBackend| {
+                        let vt = &be.topo.vertex_tables[ti];
+                        let mut sub = filter.clone();
+                        sub.ids = Some(chunk.to_vec());
+                        sub.projection = None;
+                        sub.aggregate = None;
+                        be.query_vertex_table(vt, &sub, hint.is_some())
+                    }
+                })
+                .collect(),
+        )?;
+        // A table counts as pruned only when every one of its chunks was.
+        let mut chunks_pruned: HashMap<usize, usize> = HashMap::new();
+        for (&(ti, _), r) in jobs.iter().zip(results) {
+            match r {
+                TableResult::Pruned => *chunks_pruned.entry(ti).or_insert(0) += 1,
                 TableResult::Elements(es) => {
                     for el in es {
                         if let Element::Vertex(v) = el {
@@ -927,6 +1020,8 @@ impl Db2GraphBackend {
                 _ => unreachable!("projection/aggregate cleared"),
             }
         }
+        let pruned =
+            chunks_pruned.values().filter(|&&n| n == chunks.len()).count() as u64;
         self.stats.record_pruned(pruned);
         Ok(out)
     }
@@ -1323,13 +1418,21 @@ impl Db2GraphBackend {
             src_positions.entry(s.id().clone()).or_default().push(i);
         }
         // Group source ids by their provenance vertex table (for the
-        // src/dst vertex table elimination).
-        let mut by_table: HashMap<Option<usize>, Vec<ElementId>> = HashMap::new();
+        // src/dst vertex table elimination). Insertion-ordered groups with
+        // set-backed dedup: frontier order decides probe order, and a 10k
+        // frontier no longer pays a quadratic `Vec::contains` scan.
+        let mut by_table: Vec<(Option<usize>, Vec<ElementId>)> = Vec::new();
+        let mut group_of: HashMap<Option<usize>, usize> = HashMap::new();
+        let mut group_seen: Vec<HashSet<ElementId>> = Vec::new();
         for s in sources {
             let vt_idx = s.provenance().and_then(|t| self.topo.vertex_table_index(t));
-            let entry = by_table.entry(vt_idx).or_default();
-            if !entry.contains(s.id()) {
-                entry.push(s.id().clone());
+            let gi = *group_of.entry(vt_idx).or_insert_with(|| {
+                by_table.push((vt_idx, Vec::new()));
+                group_seen.push(HashSet::new());
+                by_table.len() - 1
+            });
+            if group_seen[gi].insert(s.id().clone()) {
+                by_table[gi].1.push(s.id().clone());
             }
         }
 
@@ -1364,8 +1467,17 @@ impl Db2GraphBackend {
             et_idx: usize,
             via_out: bool,
         }
-        let mut found: Vec<FoundEdge> = Vec::new();
 
+        // Phase 1 (sequential, cheap): expand the probe space —
+        // (edge table × source-table group × direction × frontier chunk) —
+        // recording the pruning decisions on the coordinator thread so the
+        // profile stream is ordered like sequential execution.
+        struct ProbeSpec {
+            et_idx: usize,
+            via_out: bool,
+            sub: ElementFilter,
+        }
+        let mut probes: Vec<ProbeSpec> = Vec::new();
         for &ei in &candidates {
             let et = &self.topo.edge_tables[ei];
             for (vt_idx, ids) in &by_table {
@@ -1402,39 +1514,68 @@ impl Db2GraphBackend {
                         }
                         continue;
                     }
-                    let mut sub = ElementFilter {
-                        labels: label_filter.clone(),
-                        predicates: edge_filter_preds.clone(),
-                        ..Default::default()
-                    };
-                    // Endpoint constraints folded into the step's filter
-                    // (e.g. a getLink-style `filter(inV().id() == x)`)
-                    // combine with the frontier ids.
-                    if to == ElementKind::Edges {
-                        sub.src_ids = filter.src_ids.clone();
-                        sub.dst_ids = filter.dst_ids.clone();
-                    }
-                    let intersect = |slot: &mut Option<Vec<ElementId>>, new: &[ElementId]| match slot {
-                        None => *slot = Some(new.to_vec()),
-                        Some(existing) => existing.retain(|i| new.contains(i)),
-                    };
-                    if dir_out {
-                        intersect(&mut sub.src_ids, ids);
-                    } else {
-                        intersect(&mut sub.dst_ids, ids);
-                    }
-                    match self.query_edge_table(et, &sub)? {
-                        TableResult::Pruned => {}
-                        TableResult::Elements(es) => {
-                            for el in es {
-                                if let Element::Edge(e) = el {
-                                    found.push(FoundEdge { edge: e, et_idx: ei, via_out: dir_out });
-                                }
-                            }
+                    // Chunked so one statement never exceeds the template
+                    // bucket ceiling; chunks partition the ids, so an edge
+                    // matches exactly one chunk per direction.
+                    for chunk in ids.chunks(MAX_FRONTIER_CHUNK) {
+                        let mut sub = ElementFilter {
+                            labels: label_filter.clone(),
+                            predicates: edge_filter_preds.clone(),
+                            ..Default::default()
+                        };
+                        // Endpoint constraints folded into the step's filter
+                        // (e.g. a getLink-style `filter(inV().id() == x)`)
+                        // combine with the frontier ids.
+                        if to == ElementKind::Edges {
+                            sub.src_ids = filter.src_ids.clone();
+                            sub.dst_ids = filter.dst_ids.clone();
                         }
-                        _ => unreachable!("no projection/aggregate in sub-filter"),
+                        let chunk_set: HashSet<&ElementId> = chunk.iter().collect();
+                        let intersect =
+                            |slot: &mut Option<Vec<ElementId>>| match slot {
+                                None => *slot = Some(chunk.to_vec()),
+                                Some(existing) => existing.retain(|i| chunk_set.contains(i)),
+                            };
+                        if dir_out {
+                            intersect(&mut sub.src_ids);
+                        } else {
+                            intersect(&mut sub.dst_ids);
+                        }
+                        probes.push(ProbeSpec { et_idx: ei, via_out: dir_out, sub });
                     }
                 }
+            }
+        }
+
+        // Phase 2 (parallel): run the independent probes; results merge in
+        // probe order, so `found` is ordered exactly as the sequential
+        // loops produced it.
+        let results = self.fan_out(
+            probes
+                .iter()
+                .map(|p| {
+                    move |be: &Db2GraphBackend| {
+                        be.query_edge_table(&be.topo.edge_tables[p.et_idx], &p.sub)
+                    }
+                })
+                .collect(),
+        )?;
+        let mut found: Vec<FoundEdge> = Vec::new();
+        for (p, r) in probes.iter().zip(results) {
+            match r {
+                TableResult::Pruned => {}
+                TableResult::Elements(es) => {
+                    for el in es {
+                        if let Element::Edge(e) = el {
+                            found.push(FoundEdge {
+                                edge: e,
+                                et_idx: p.et_idx,
+                                via_out: p.via_out,
+                            });
+                        }
+                    }
+                }
+                _ => unreachable!("no projection/aggregate in sub-filter"),
             }
         }
 
@@ -1452,15 +1593,27 @@ impl Db2GraphBackend {
             ElementKind::Vertices => {
                 // Resolve opposite endpoints, batched per edge table +
                 // direction (so the dst_v_table hint applies).
-                let mut need: HashMap<(usize, bool), Vec<ElementId>> = HashMap::new();
+                // Insertion-ordered groups with set-backed dedup, so the
+                // lookups run in discovery order regardless of hashing.
+                let mut need: Vec<((usize, bool), Vec<ElementId>)> = Vec::new();
+                let mut need_of: HashMap<(usize, bool), usize> = HashMap::new();
+                let mut need_seen: Vec<HashSet<ElementId>> = Vec::new();
                 for f in &found {
                     let target =
                         if f.via_out { f.edge.dst.clone() } else { f.edge.src.clone() };
-                    let entry = need.entry((f.et_idx, f.via_out)).or_default();
-                    if !entry.contains(&target) {
-                        entry.push(target);
+                    let key = (f.et_idx, f.via_out);
+                    let gi = *need_of.entry(key).or_insert_with(|| {
+                        need.push((key, Vec::new()));
+                        need_seen.push(HashSet::new());
+                        need.len() - 1
+                    });
+                    if need_seen[gi].insert(target.clone()) {
+                        need[gi].1.push(target);
                     }
                 }
+                // Each lookup fans out internally (table × chunk jobs), so
+                // the group loop itself stays sequential — no nested
+                // thread explosion.
                 let mut resolved: HashMap<ElementId, Vertex> = HashMap::new();
                 for ((et_idx, via_out), ids) in need {
                     let et = &self.topo.edge_tables[et_idx];
@@ -1513,9 +1666,13 @@ impl Db2GraphBackend {
             wanted.push(ids);
         }
         // Try the vertex-from-edge shortcut; collect the rest per edge
-        // table endpoint hint.
+        // table endpoint hint. Need-groups are insertion-ordered with
+        // set-backed dedup (no quadratic `Vec::contains`, no HashMap
+        // iteration-order nondeterminism in the lookup sequence).
         let mut resolved: HashMap<ElementId, Vertex> = HashMap::new();
-        let mut need: HashMap<Option<usize>, Vec<ElementId>> = HashMap::new();
+        let mut need: Vec<(Option<usize>, Vec<ElementId>)> = Vec::new();
+        let mut need_of: HashMap<Option<usize>, usize> = HashMap::new();
+        let mut need_seen: Vec<HashSet<ElementId>> = Vec::new();
         for (e, ids) in edges.iter().zip(&wanted) {
             let et_idx = e.provenance.as_deref().and_then(|t| self.topo.edge_table_index(t));
             for id in ids {
@@ -1541,12 +1698,17 @@ impl Db2GraphBackend {
                         continue;
                     }
                 }
-                let entry = need.entry(hint).or_default();
-                if !entry.contains(id) {
-                    entry.push(id.clone());
+                let gi = *need_of.entry(hint).or_insert_with(|| {
+                    need.push((hint, Vec::new()));
+                    need_seen.push(HashSet::new());
+                    need.len() - 1
+                });
+                if need_seen[gi].insert(id.clone()) {
+                    need[gi].1.push(id.clone());
                 }
             }
         }
+        // lookup_vertices fans out internally per (table × chunk).
         for (hint, ids) in need {
             let m = self.lookup_vertices(&ids, hint, filter)?;
             resolved.extend(m);

@@ -69,6 +69,7 @@ pub mod graph_structure;
 pub mod ids;
 pub mod json;
 pub mod metrics;
+pub mod pool;
 pub mod sql_dialect;
 pub mod stats;
 pub mod strategies;

@@ -111,6 +111,31 @@ impl Profiler {
         self.inner.is_some()
     }
 
+    /// A fresh profiler with the same enablement: worker threads record
+    /// into their own fork, and the coordinator [`Self::absorb`]s the forks
+    /// in job order — so a parallel run produces the *same* event sequence
+    /// as a sequential one, not an interleaving decided by the scheduler.
+    /// Forking a disabled profiler yields a disabled (free) one.
+    pub fn fork(&self) -> Profiler {
+        if self.is_enabled() {
+            Profiler::enabled()
+        } else {
+            Profiler::disabled()
+        }
+    }
+
+    /// Append every event recorded in `other` (draining it). No-op when
+    /// either side is disabled.
+    pub fn absorb(&self, other: &Profiler) {
+        let (Some(inner), Some(theirs)) = (&self.inner, &other.inner) else { return };
+        let mut data = std::mem::take(&mut *theirs.lock());
+        let mut dst = inner.lock();
+        dst.strategies.append(&mut data.strategies);
+        dst.steps.append(&mut data.steps);
+        dst.tables.append(&mut data.tables);
+        dst.statements.append(&mut data.statements);
+    }
+
     pub fn record_strategy(&self, strategy: &str, before: &str, after: &str) {
         let Some(inner) = &self.inner else { return };
         inner.lock().strategies.push(StrategyRewrite {
@@ -570,6 +595,8 @@ pub struct MetricsRegistry {
     rows_returned: AtomicU64,
     template_hits: AtomicU64,
     template_misses: AtomicU64,
+    template_evictions: AtomicU64,
+    pattern_evictions: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -583,6 +610,14 @@ impl MetricsRegistry {
         } else {
             self.template_misses.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    pub fn record_template_eviction(&self) {
+        self.template_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_pattern_eviction(&self) {
+        self.pattern_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_statement(&self, rows: u64, nanos: u64) {
@@ -600,6 +635,8 @@ impl MetricsRegistry {
             rows_returned: self.rows_returned.load(Ordering::Relaxed),
             template_hits: self.template_hits.load(Ordering::Relaxed),
             template_misses: self.template_misses.load(Ordering::Relaxed),
+            template_evictions: self.template_evictions.load(Ordering::Relaxed),
+            pattern_evictions: self.pattern_evictions.load(Ordering::Relaxed),
             tables_considered: overlay.tables_considered,
             tables_pruned: overlay.tables_pruned,
             vertices_from_edges: overlay.vertices_from_edges,
@@ -616,6 +653,10 @@ pub struct MetricsSnapshot {
     pub rows_returned: u64,
     pub template_hits: u64,
     pub template_misses: u64,
+    /// Prepared templates dropped because the cache hit its size cap.
+    pub template_evictions: u64,
+    /// Workload patterns dropped because the tracker hit its size cap.
+    pub pattern_evictions: u64,
     pub tables_considered: u64,
     pub tables_pruned: u64,
     pub vertices_from_edges: u64,
@@ -630,6 +671,8 @@ impl MetricsSnapshot {
             rows_returned: self.rows_returned - earlier.rows_returned,
             template_hits: self.template_hits - earlier.template_hits,
             template_misses: self.template_misses - earlier.template_misses,
+            template_evictions: self.template_evictions - earlier.template_evictions,
+            pattern_evictions: self.pattern_evictions - earlier.pattern_evictions,
             tables_considered: self.tables_considered - earlier.tables_considered,
             tables_pruned: self.tables_pruned - earlier.tables_pruned,
             vertices_from_edges: self.vertices_from_edges - earlier.vertices_from_edges,
@@ -644,6 +687,8 @@ impl MetricsSnapshot {
             ("rows_returned", Json::u64(self.rows_returned)),
             ("template_hits", Json::u64(self.template_hits)),
             ("template_misses", Json::u64(self.template_misses)),
+            ("template_evictions", Json::u64(self.template_evictions)),
+            ("pattern_evictions", Json::u64(self.pattern_evictions)),
             ("tables_considered", Json::u64(self.tables_considered)),
             ("tables_pruned", Json::u64(self.tables_pruned)),
             ("vertices_from_edges", Json::u64(self.vertices_from_edges)),

@@ -1,0 +1,158 @@
+//! A small scoped worker pool for intra-query parallelism.
+//!
+//! One Gremlin step over the SQL overlay expands into a set of *independent*
+//! probes — one per (edge table, source table, direction) for adjacency, one
+//! per vertex table for `V()`/`E()`, one per id chunk for endpoint
+//! resolution. These probes share nothing but read-only state (`reldb`'s
+//! `Database` takes `&self` everywhere and locks per table), so they can run
+//! on worker threads without any coordination beyond joining.
+//!
+//! The pool is deliberately minimal: [`run_ordered`] executes a batch of
+//! closures on up to `threads` scoped threads (`std::thread::scope`, so
+//! borrows of the caller's stack work and nothing outlives the call) and
+//! returns the results **in the order the jobs were given**, regardless of
+//! which thread finished first. Determinism of merged query results falls
+//! out of that ordering guarantee; callers never see scheduling effects.
+//!
+//! Thread count resolution: explicit configuration wins, then the
+//! `DB2GRAPH_THREADS` environment variable, then the machine's available
+//! parallelism. A count of 1 (or a batch of 1 job) short-circuits to plain
+//! inline execution with zero threading overhead — the sequential and
+//! parallel paths are the same code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Environment variable overriding the worker count for query execution.
+pub const THREADS_ENV: &str = "DB2GRAPH_THREADS";
+
+/// The worker count to use when none is configured explicitly:
+/// `DB2GRAPH_THREADS` if set and parseable, otherwise the machine's
+/// available parallelism (at least 1).
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `jobs` on up to `threads` scoped worker threads, returning results
+/// in job order. With `threads <= 1` or fewer than two jobs, runs inline on
+/// the calling thread — no spawn, no locks.
+///
+/// Panics in a job propagate to the caller (after all workers have been
+/// joined), matching inline execution semantics closely enough for our use:
+/// a panicking probe aborts the query either way.
+pub fn run_ordered<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    // Each slot holds the pending job going in and the result coming out;
+    // workers claim slots through one shared atomic cursor, so a slow probe
+    // never blocks the others (work stealing degenerates to work sharing).
+    let cells: Vec<Mutex<JobCell<T, F>>> =
+        jobs.into_iter().map(|j| Mutex::new(JobCell::Pending(j))).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut cell = cells[i].lock();
+                if let JobCell::Pending(job) = std::mem::replace(&mut *cell, JobCell::Empty) {
+                    let out = {
+                        // Run without holding the lock: nobody else can
+                        // claim index i (the cursor is monotonic), and the
+                        // result write re-acquires below.
+                        drop(cell);
+                        job()
+                    };
+                    *cells[i].lock() = JobCell::Done(out);
+                }
+            });
+        }
+    });
+    cells
+        .into_iter()
+        .map(|c| match c.into_inner() {
+            JobCell::Done(v) => v,
+            _ => unreachable!("worker pool joined with unfinished job"),
+        })
+        .collect()
+}
+
+enum JobCell<T, F> {
+    Pending(F),
+    Empty,
+    Done(T),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_job_order() {
+        // Jobs finishing in reverse order still land in submission order.
+        let jobs: Vec<_> = (0..32usize)
+            .map(|i| {
+                move || {
+                    if i % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                    i * 2
+                }
+            })
+            .collect();
+        let out = run_ordered(4, jobs);
+        assert_eq!(out, (0..32usize).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let tid = std::thread::current().id();
+        let jobs: Vec<_> = (0..4)
+            .map(|i| move || (i, std::thread::current().id()))
+            .collect();
+        for (i, (v, t)) in run_ordered(1, jobs).into_iter().enumerate() {
+            assert_eq!(v, i);
+            assert_eq!(t, tid);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let none: Vec<fn() -> usize> = Vec::new();
+        assert!(run_ordered::<usize, _>(8, none).is_empty());
+        assert_eq!(run_ordered(8, vec![|| 41 + 1]), vec![42]);
+    }
+
+    #[test]
+    fn more_jobs_than_threads() {
+        let jobs: Vec<_> = (0..100usize).map(|i| move || i).collect();
+        assert_eq!(run_ordered(3, jobs), (0..100usize).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrows_caller_state() {
+        let data: Vec<usize> = (0..10).collect();
+        let jobs: Vec<_> = data.iter().map(|v| move || *v + 1).collect();
+        let out = run_ordered(4, jobs);
+        assert_eq!(out, (1..11usize).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

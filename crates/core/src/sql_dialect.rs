@@ -25,6 +25,19 @@ use reldb::{Database, DbResult, Prepared, RowSet, Value};
 use crate::metrics::{MetricsRegistry, Profiler};
 use crate::stats::OverlayStats;
 
+/// Frontiers larger than this are split into multiple statements instead of
+/// one gigantic `IN (...)`: the template for 2^k placeholders past this
+/// point would be prepared once and reused almost never, and very wide
+/// IN-lists defeat the relational engine's index probing anyway.
+pub const MAX_FRONTIER_CHUNK: usize = 1024;
+
+/// Default cap on distinct cached prepared templates (see
+/// [`SqlDialect::with_caps`]).
+pub const DEFAULT_TEMPLATE_CAP: usize = 512;
+
+/// Default cap on tracked workload patterns.
+pub const DEFAULT_PATTERN_CAP: usize = 1024;
+
 /// An index the dialect suggests creating.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct IndexSuggestion {
@@ -35,19 +48,39 @@ pub struct IndexSuggestion {
 /// A workload access pattern: (table name, predicate column list).
 pub type PatternKey = (String, Vec<String>);
 
+/// A cached prepared template plus its admission sequence number (used for
+/// FIFO eviction once the cache is full).
+struct CachedTemplate {
+    prepared: Arc<Prepared>,
+    seq: u64,
+}
+
+/// A tracked workload pattern: occurrence counter plus admission sequence.
+struct TrackedPattern {
+    count: Arc<AtomicU64>,
+    seq: u64,
+}
+
 /// SQL generation + template cache + workload pattern tracking.
 pub struct SqlDialect {
     db: Arc<Database>,
     /// Prepared templates keyed by SQL text. Read-mostly: once the
     /// workload's templates exist, queries only take the read lock.
-    templates: RwLock<HashMap<String, Arc<Prepared>>>,
+    templates: RwLock<HashMap<String, CachedTemplate>>,
     /// (table, predicate column list) -> times seen. Counters are atomics
     /// so concurrent queries only contend on first sight of a pattern.
-    patterns: RwLock<HashMap<PatternKey, Arc<AtomicU64>>>,
+    patterns: RwLock<HashMap<PatternKey, TrackedPattern>>,
+    /// Monotonic admission counter shared by both maps.
+    admissions: AtomicU64,
     /// Patterns become suggestions after this many occurrences.
     frequency_threshold: u64,
+    /// Caps on the two maps above; both are evicted-on-insert so an
+    /// adversarial workload (distinct SQL text per query) cannot grow them
+    /// without bound.
+    template_cap: usize,
+    pattern_cap: usize,
     /// Always-on aggregate counters (statement count, wall time, rows,
-    /// template hit rate), shared with the owning graph.
+    /// template hit rate, evictions), shared with the owning graph.
     registry: Arc<MetricsRegistry>,
 }
 
@@ -62,7 +95,10 @@ impl SqlDialect {
             db,
             templates: RwLock::new(HashMap::new()),
             patterns: RwLock::new(HashMap::new()),
+            admissions: AtomicU64::new(0),
             frequency_threshold: 16,
+            template_cap: DEFAULT_TEMPLATE_CAP,
+            pattern_cap: DEFAULT_PATTERN_CAP,
             registry,
         }
     }
@@ -73,6 +109,14 @@ impl SqlDialect {
 
     pub fn with_threshold(mut self, threshold: u64) -> SqlDialect {
         self.frequency_threshold = threshold;
+        self
+    }
+
+    /// Override the template-cache and pattern-tracker size caps (both
+    /// must be at least 1).
+    pub fn with_caps(mut self, template_cap: usize, pattern_cap: usize) -> SqlDialect {
+        self.template_cap = template_cap.max(1);
+        self.pattern_cap = pattern_cap.max(1);
         self
     }
 
@@ -92,21 +136,40 @@ impl SqlDialect {
             let key = (table.to_ascii_lowercase(), cols.to_vec());
             let counter = {
                 let read = self.patterns.read();
-                read.get(&key).cloned()
+                read.get(&key).map(|p| p.count.clone())
             };
             let counter = match counter {
                 Some(c) => c,
-                None => self
-                    .patterns
-                    .write()
-                    .entry(key)
-                    .or_insert_with(|| Arc::new(AtomicU64::new(0)))
-                    .clone(),
+                None => {
+                    let mut write = self.patterns.write();
+                    if !write.contains_key(&key) && write.len() >= self.pattern_cap {
+                        // Evict the least-seen pattern (oldest on ties):
+                        // a pattern that never recurred is the one least
+                        // likely to drive an index suggestion.
+                        if let Some(victim) = write
+                            .iter()
+                            .min_by_key(|(_, p)| (p.count.load(Ordering::Relaxed), p.seq))
+                            .map(|(k, _)| k.clone())
+                        {
+                            write.remove(&victim);
+                            self.registry.record_pattern_eviction();
+                        }
+                    }
+                    let seq = self.admissions.fetch_add(1, Ordering::Relaxed);
+                    write
+                        .entry(key)
+                        .or_insert_with(|| TrackedPattern {
+                            count: Arc::new(AtomicU64::new(0)),
+                            seq,
+                        })
+                        .count
+                        .clone()
+                }
             };
             counter.fetch_add(1, Ordering::Relaxed);
         }
         let (prepared, cache_hit) = {
-            let hit = self.templates.read().get(template).cloned();
+            let hit = self.templates.read().get(template).map(|t| t.prepared.clone());
             match hit {
                 Some(p) => {
                     stats.record_template_hit();
@@ -114,7 +177,27 @@ impl SqlDialect {
                 }
                 None => {
                     let p = Arc::new(self.db.prepare(template)?);
-                    self.templates.write().insert(template.to_string(), p.clone());
+                    let mut write = self.templates.write();
+                    // Double-checked: a racing thread may have prepared the
+                    // same template; keep the existing entry.
+                    if !write.contains_key(template) {
+                        if write.len() >= self.template_cap {
+                            // FIFO eviction: drop the oldest admission.
+                            if let Some(victim) = write
+                                .iter()
+                                .min_by_key(|(_, t)| t.seq)
+                                .map(|(k, _)| k.clone())
+                            {
+                                write.remove(&victim);
+                                self.registry.record_template_eviction();
+                            }
+                        }
+                        let seq = self.admissions.fetch_add(1, Ordering::Relaxed);
+                        write.insert(
+                            template.to_string(),
+                            CachedTemplate { prepared: p.clone(), seq },
+                        );
+                    }
                     (p, false)
                 }
             }
@@ -135,13 +218,18 @@ impl SqlDialect {
         self.templates.read().len()
     }
 
+    /// The cached template texts (for tests and diagnostics), unsorted.
+    pub fn template_texts(&self) -> Vec<String> {
+        self.templates.read().keys().cloned().collect()
+    }
+
     /// Frequent query patterns observed so far (above threshold), with
     /// their counts.
     pub fn frequent_patterns(&self) -> Vec<(PatternKey, u64)> {
         self.patterns
             .read()
             .iter()
-            .map(|(k, n)| (k.clone(), n.load(Ordering::Relaxed)))
+            .map(|(k, p)| (k.clone(), p.count.load(Ordering::Relaxed)))
             .filter(|(_, n)| *n >= self.frequency_threshold)
             .collect()
     }
@@ -193,11 +281,13 @@ impl SqlDialect {
 // ----------------------------------------------------------- SQL building
 
 /// Quote an identifier for the SQL dialect (double quotes when needed).
+/// Embedded double quotes are doubled, so a hostile or merely unusual name
+/// like `a"b` can never break out of the quoted identifier.
 pub fn ident(name: &str) -> String {
-    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+    if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         name.to_string()
     } else {
-        format!("\"{name}\"")
+        format!("\"{}\"", name.replace('"', "\"\""))
     }
 }
 
@@ -237,6 +327,45 @@ pub fn in_list(col: &str, n: usize) -> String {
         let marks = vec!["?"; n].join(", ");
         format!("{} IN ({})", ident(col), marks)
     }
+}
+
+/// Round an IN-list arity up to its template bucket: 1 stays 1 (the `=`
+/// form), anything larger goes to the next power of two. With buckets, a
+/// workload whose frontier sizes range over 1..=N produces O(log N)
+/// distinct templates instead of one per distinct size — which is what
+/// keeps the prepared-template cache hot under traversal workloads.
+pub fn bucket_arity(n: usize) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        n.next_power_of_two()
+    }
+}
+
+/// Bucketed [`in_list`]: pads `params` in place up to the bucket arity by
+/// repeating the last value (duplicates never change IN semantics) and
+/// returns the conjunct for the padded arity. `params` must be non-empty.
+pub fn in_list_bucketed(col: &str, params: &mut Vec<Value>) -> String {
+    let n = params.len();
+    debug_assert!(n > 0, "in_list_bucketed over empty params");
+    let bucket = bucket_arity(n);
+    if let Some(last) = params.last().cloned() {
+        params.resize(bucket, last);
+    }
+    in_list(col, bucket)
+}
+
+/// Bucketed [`composite_in`]: pads `keys` in place up to the bucket count
+/// by repeating the last key group (duplicate disjuncts are harmless) and
+/// returns the conjunct for the padded count. `keys` must be non-empty.
+pub fn composite_in_bucketed(cols: &[&str], keys: &mut Vec<Vec<Value>>) -> String {
+    let n = keys.len();
+    debug_assert!(n > 0, "composite_in_bucketed over empty keys");
+    let bucket = bucket_arity(n);
+    if let Some(last) = keys.last().cloned() {
+        keys.resize(bucket, last);
+    }
+    composite_in(cols, bucket)
 }
 
 /// Build an OR-of-conjunctions conjunct for composite keys:
@@ -288,6 +417,126 @@ mod tests {
         assert_eq!(composite_in(&["a", "b"], 2), "((a = ? AND b = ?) OR (a = ? AND b = ?))");
         assert_eq!(ident("weird name"), "\"weird name\"");
         assert_eq!(ident("plain_1"), "plain_1");
+    }
+
+    #[test]
+    fn ident_escapes_embedded_quotes() {
+        // A name with an embedded quote cannot terminate the quoted
+        // identifier early: the quote is doubled.
+        assert_eq!(ident("a\"b"), "\"a\"\"b\"");
+        assert_eq!(ident("a\"\"b"), "\"a\"\"\"\"b\"");
+        assert_eq!(ident("\""), "\"\"\"\"");
+        // Empty names are quoted rather than emitted bare.
+        assert_eq!(ident(""), "\"\"");
+    }
+
+    #[test]
+    fn arity_bucketing_and_padding() {
+        assert_eq!(bucket_arity(0), 1);
+        assert_eq!(bucket_arity(1), 1);
+        assert_eq!(bucket_arity(2), 2);
+        assert_eq!(bucket_arity(3), 4);
+        assert_eq!(bucket_arity(5), 8);
+        assert_eq!(bucket_arity(100), 128);
+        assert_eq!(bucket_arity(1024), 1024);
+
+        // Padding repeats the last value up to the bucket size.
+        let mut p = vec![Value::Bigint(1), Value::Bigint(2), Value::Bigint(3)];
+        let sql = in_list_bucketed("x", &mut p);
+        assert_eq!(sql, "x IN (?, ?, ?, ?)");
+        assert_eq!(p, vec![Value::Bigint(1), Value::Bigint(2), Value::Bigint(3), Value::Bigint(3)]);
+
+        // Arity 1 keeps the equality form, untouched params.
+        let mut p1 = vec![Value::Bigint(7)];
+        assert_eq!(in_list_bucketed("x", &mut p1), "x = ?");
+        assert_eq!(p1, vec![Value::Bigint(7)]);
+
+        // Composite keys pad whole key groups.
+        let mut keys = vec![
+            vec![Value::Bigint(1), Value::Bigint(2)],
+            vec![Value::Bigint(3), Value::Bigint(4)],
+            vec![Value::Bigint(5), Value::Bigint(6)],
+        ];
+        let sql = composite_in_bucketed(&["a", "b"], &mut keys);
+        assert_eq!(
+            sql,
+            "((a = ? AND b = ?) OR (a = ? AND b = ?) OR (a = ? AND b = ?) OR (a = ? AND b = ?))"
+        );
+        assert_eq!(keys.len(), 4);
+        assert_eq!(keys[3], vec![Value::Bigint(5), Value::Bigint(6)]);
+    }
+
+    #[test]
+    fn bucketed_in_list_results_match_exact() {
+        let db = db_with_table();
+        let dialect = SqlDialect::new(db);
+        let stats = OverlayStats::default();
+        // Padded params (repeating the last id) return the same rows as the
+        // exact-arity statement.
+        let mut padded = vec![Value::Bigint(1), Value::Bigint(2), Value::Bigint(3)];
+        let sql = in_list_bucketed("id", &mut padded);
+        let rs = dialect
+            .query(&stats, &Profiler::disabled(), &format!("SELECT id FROM t WHERE {sql}"), &padded, None)
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn template_cache_cap_evicts_oldest() {
+        let db = db_with_table();
+        let dialect = SqlDialect::new(db).with_caps(3, 2);
+        let stats = OverlayStats::default();
+        for i in 0..5 {
+            let sql = format!("SELECT id FROM t WHERE id = {i}");
+            dialect.query(&stats, &Profiler::disabled(), &sql, &[], None).unwrap();
+        }
+        assert_eq!(dialect.template_count(), 3);
+        let texts = dialect.template_texts();
+        // The two oldest templates were evicted.
+        assert!(!texts.contains(&"SELECT id FROM t WHERE id = 0".to_string()), "{texts:?}");
+        assert!(!texts.contains(&"SELECT id FROM t WHERE id = 1".to_string()), "{texts:?}");
+        assert!(texts.contains(&"SELECT id FROM t WHERE id = 4".to_string()), "{texts:?}");
+        let snap = dialect.registry().snapshot_with(Default::default());
+        assert_eq!(snap.template_evictions, 2);
+        // A re-query of an evicted template still works (it is re-prepared
+        // and re-admitted).
+        dialect
+            .query(&stats, &Profiler::disabled(), "SELECT id FROM t WHERE id = 0", &[], None)
+            .unwrap();
+        assert_eq!(dialect.template_count(), 3);
+    }
+
+    #[test]
+    fn pattern_tracker_cap_evicts_least_seen() {
+        let db = db_with_table();
+        let dialect = SqlDialect::new(db).with_caps(64, 2).with_threshold(2);
+        let stats = OverlayStats::default();
+        let run = |cols: &[&str]| {
+            let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+            dialect
+                .query(
+                    &stats,
+                    &Profiler::disabled(),
+                    "SELECT id FROM t",
+                    &[],
+                    Some(("t", &cols)),
+                )
+                .unwrap();
+        };
+        // "src" recurs; "name" is seen once; a third pattern evicts the
+        // least-seen one ("name"), keeping the recurring pattern alive.
+        run(&["src"]);
+        run(&["src"]);
+        run(&["src"]);
+        run(&["name"]);
+        run(&["id"]);
+        let frequent = dialect.frequent_patterns();
+        assert!(
+            frequent.iter().any(|((t, c), n)| t == "t" && c == &vec!["src".to_string()] && *n >= 3),
+            "{frequent:?}"
+        );
+        let snap = dialect.registry().snapshot_with(Default::default());
+        assert_eq!(snap.pattern_evictions, 1);
     }
 
     #[test]

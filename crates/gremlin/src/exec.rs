@@ -631,11 +631,18 @@ fn compute_aggregate(op: AggOp, current: &[Traverser]) -> GResult<Option<GValue>
     if op == AggOp::Count {
         return Ok(Some(GValue::Long(current.len() as i64)));
     }
+    // Integer inputs stay in integer arithmetic: sums of longs beyond 2^53
+    // (and min/max of such values) are exact, where a round-trip through
+    // f64 would silently lose low-order bits.
     let mut nums: Vec<f64> = Vec::with_capacity(current.len());
+    let mut longs: Vec<i64> = Vec::with_capacity(current.len());
     let mut all_long = true;
     for t in current {
         match &t.value {
-            GValue::Long(v) => nums.push(*v as f64),
+            GValue::Long(v) => {
+                longs.push(*v);
+                nums.push(*v as f64);
+            }
             GValue::Double(v) => {
                 all_long = false;
                 nums.push(*v);
@@ -650,30 +657,37 @@ fn compute_aggregate(op: AggOp, current: &[Traverser]) -> GResult<Option<GValue>
     if nums.is_empty() {
         return Ok(None);
     }
+    let exact_sum = || -> i64 {
+        let s: i128 = longs.iter().map(|&v| v as i128).sum();
+        s.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+    };
     let v = match op {
         AggOp::Sum => {
-            let s: f64 = nums.iter().sum();
             if all_long {
-                GValue::Long(s as i64)
+                GValue::Long(exact_sum())
             } else {
-                GValue::Double(s)
+                GValue::Double(nums.iter().sum())
             }
         }
-        AggOp::Mean => GValue::Double(nums.iter().sum::<f64>() / nums.len() as f64),
-        AggOp::Min => {
-            let m = nums.iter().cloned().fold(f64::INFINITY, f64::min);
+        AggOp::Mean => {
             if all_long {
-                GValue::Long(m as i64)
+                GValue::Double(exact_sum() as f64 / longs.len() as f64)
             } else {
-                GValue::Double(m)
+                GValue::Double(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggOp::Min => {
+            if all_long {
+                GValue::Long(longs.iter().copied().min().expect("non-empty"))
+            } else {
+                GValue::Double(nums.iter().cloned().fold(f64::INFINITY, f64::min))
             }
         }
         AggOp::Max => {
-            let m = nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             if all_long {
-                GValue::Long(m as i64)
+                GValue::Long(longs.iter().copied().max().expect("non-empty"))
             } else {
-                GValue::Double(m)
+                GValue::Double(nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
             }
         }
         AggOp::Count => unreachable!(),
@@ -684,4 +698,59 @@ fn compute_aggregate(op: AggOp, current: &[Traverser]) -> GResult<Option<GValue>
 /// Check a predicate against a value (re-exported for backend testing).
 pub fn pred_holds(p: &Pred, v: &GValue) -> bool {
     p.test(Some(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traversers(values: Vec<GValue>) -> Vec<Traverser> {
+        values
+            .into_iter()
+            .map(|value| Traverser {
+                value,
+                path: Vec::new(),
+                labels: HashMap::new(),
+                prev_vertex: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn long_aggregates_are_exact_beyond_f64_precision() {
+        // 2^53 + 1 is not representable as f64; a float round-trip would
+        // collapse it to 2^53.
+        let big = (1i64 << 53) + 1;
+        let ts = traversers(vec![GValue::Long(big), GValue::Long(0)]);
+        assert_eq!(compute_aggregate(AggOp::Sum, &ts).unwrap(), Some(GValue::Long(big)));
+        assert_eq!(compute_aggregate(AggOp::Max, &ts).unwrap(), Some(GValue::Long(big)));
+        let ts = traversers(vec![GValue::Long(big), GValue::Long(big + 1)]);
+        assert_eq!(compute_aggregate(AggOp::Min, &ts).unwrap(), Some(GValue::Long(big)));
+        assert_eq!(
+            compute_aggregate(AggOp::Sum, &ts).unwrap(),
+            Some(GValue::Long(2 * big + 1))
+        );
+    }
+
+    #[test]
+    fn long_sum_saturates_instead_of_wrapping() {
+        let ts = traversers(vec![GValue::Long(i64::MAX), GValue::Long(i64::MAX)]);
+        assert_eq!(
+            compute_aggregate(AggOp::Sum, &ts).unwrap(),
+            Some(GValue::Long(i64::MAX))
+        );
+    }
+
+    #[test]
+    fn mixed_numeric_aggregates_stay_double() {
+        let ts = traversers(vec![GValue::Long(1), GValue::Double(2.5)]);
+        assert_eq!(
+            compute_aggregate(AggOp::Sum, &ts).unwrap(),
+            Some(GValue::Double(3.5))
+        );
+        assert_eq!(
+            compute_aggregate(AggOp::Mean, &ts).unwrap(),
+            Some(GValue::Double(1.75))
+        );
+    }
 }

@@ -77,10 +77,16 @@ impl Index {
         self.map.get(key).cloned().unwrap_or_default()
     }
 
-    /// Row ids matching any of the given keys (IN-list probe).
+    /// Row ids matching any of the given keys (IN-list probe). Duplicate
+    /// keys in the list are probed once: `IN` is a predicate, so a row
+    /// matches at most once no matter how often its key repeats.
     pub fn lookup_in(&self, keys: &[Vec<Value>]) -> Vec<RowId> {
+        let mut seen: std::collections::HashSet<&[Value]> = std::collections::HashSet::new();
         let mut out = Vec::new();
         for key in keys {
+            if !seen.insert(key.as_slice()) {
+                continue;
+            }
             if let Some(rids) = self.map.get(key) {
                 out.extend_from_slice(rids);
             }

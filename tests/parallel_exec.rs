@@ -1,0 +1,326 @@
+//! Parallel execution semantics: sequential (1 thread) and fan-out (4
+//! threads) execution must return identical results and identical profiles
+//! modulo timing; TinkerPop corner cases (self-loops under `both()`,
+//! duplicate frontier vertices) are pinned under both modes; and the
+//! bucketed IN-list templates keep the prepared cache O(log frontier).
+
+use std::sync::Arc;
+
+use db2graph::core::{Db2Graph, ETableConfig, GraphOptions, OverlayConfig, VTableConfig};
+use db2graph::gremlin::GValue;
+use db2graph::reldb::Database;
+
+/// A social graph with a self-loop: Ann knows herself.
+fn social_db() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE Person (pid BIGINT PRIMARY KEY, name VARCHAR, age BIGINT);
+         CREATE TABLE Company (cid BIGINT PRIMARY KEY, cname VARCHAR);
+         CREATE TABLE WorksAt (pid BIGINT, cid BIGINT, since BIGINT,
+            FOREIGN KEY (pid) REFERENCES Person(pid),
+            FOREIGN KEY (cid) REFERENCES Company(cid));
+         CREATE TABLE Knows (a BIGINT, b BIGINT, metIn VARCHAR,
+            FOREIGN KEY (a) REFERENCES Person(pid),
+            FOREIGN KEY (b) REFERENCES Person(pid));
+         CREATE INDEX ix_knows_a ON Knows (a);
+         CREATE INDEX ix_knows_b ON Knows (b);
+         INSERT INTO Person VALUES (1, 'Ann', 34), (2, 'Bo', 28), (3, 'Cy', 45), (4, 'Di', 31);
+         INSERT INTO Company VALUES (1, 'Initech'), (2, 'Globex');
+         INSERT INTO WorksAt VALUES (1, 1, 2015), (2, 1, 2020), (3, 2, 2010);
+         INSERT INTO Knows VALUES (1, 1, 'XX'), (1, 2, 'US'), (2, 3, 'DE'), (1, 3, 'US'), (3, 4, 'FR');",
+    )
+    .unwrap();
+    db
+}
+
+fn social_overlay() -> OverlayConfig {
+    OverlayConfig {
+        v_tables: vec![
+            VTableConfig {
+                table_name: "Person".into(),
+                prefixed_id: true,
+                id: "'person'::pid".into(),
+                fix_label: true,
+                label: "'person'".into(),
+                properties: Some(vec!["name".into(), "age".into()]),
+            },
+            VTableConfig {
+                table_name: "Company".into(),
+                prefixed_id: true,
+                id: "'company'::cid".into(),
+                fix_label: true,
+                label: "'company'".into(),
+                properties: Some(vec!["cname".into()]),
+            },
+        ],
+        e_tables: vec![
+            ETableConfig {
+                table_name: "WorksAt".into(),
+                src_v_table: Some("Person".into()),
+                src_v: "'person'::pid".into(),
+                dst_v_table: Some("Company".into()),
+                dst_v: "'company'::cid".into(),
+                prefixed_edge_id: false,
+                implicit_edge_id: true,
+                id: None,
+                fix_label: true,
+                label: "'worksAt'".into(),
+                properties: Some(vec!["since".into()]),
+            },
+            ETableConfig {
+                table_name: "Knows".into(),
+                src_v_table: Some("Person".into()),
+                src_v: "'person'::a".into(),
+                dst_v_table: Some("Person".into()),
+                dst_v: "'person'::b".into(),
+                prefixed_edge_id: false,
+                implicit_edge_id: true,
+                id: None,
+                fix_label: true,
+                label: "'knows'".into(),
+                properties: Some(vec!["metIn".into()]),
+            },
+        ],
+    }
+}
+
+fn open_with_threads(db: Arc<Database>, threads: usize) -> Arc<Db2Graph> {
+    let options = GraphOptions { threads: Some(threads), ..Default::default() };
+    Db2Graph::open_with_options(db, &social_overlay(), options).unwrap()
+}
+
+/// Queries exercising every fan-out path: GraphStep over all tables,
+/// adjacency in each direction, endpoint resolution, aggregates,
+/// projections, and multi-label scans.
+const CORPUS: &[&str] = &[
+    "g.V().count()",
+    "g.E().count()",
+    "g.V().values('name')",
+    "g.V().hasLabel('person').out('knows').values('name')",
+    "g.V().hasLabel('person').in('knows').count()",
+    "g.V('person::1').both('knows').values('name')",
+    "g.V('person::1').bothE('knows').values('metIn')",
+    "g.V('person::1', 'person::2', 'person::3').outE('knows').inV().values('name')",
+    "g.V().out('worksAt').values('cname')",
+    "g.E().hasLabel('knows').outV().dedup().count()",
+    "g.V().values('age').sum()",
+    "g.V().values('age').mean()",
+    "g.V().has('metIn', 'US')",
+];
+
+#[test]
+fn parallel_results_match_sequential_on_corpus() {
+    let db = social_db();
+    let g1 = open_with_threads(db.clone(), 1);
+    let g4 = open_with_threads(db, 4);
+    for q in CORPUS {
+        let seq = g1.run(q).unwrap();
+        let par = g4.run(q).unwrap();
+        assert_eq!(seq, par, "results diverge for {q}");
+    }
+}
+
+#[test]
+fn parallel_profile_matches_sequential_modulo_timing() {
+    let db = social_db();
+    let g1 = open_with_threads(db.clone(), 1);
+    let g4 = open_with_threads(db, 4);
+    for q in CORPUS {
+        let (v1, p1) = g1.profile(q).unwrap();
+        let (v4, p4) = g4.profile(q).unwrap();
+        assert_eq!(v1, v4, "profiled results diverge for {q}");
+        // Step structure: same descriptions and frontier counts.
+        let steps = |p: &db2graph::core::ProfileReport| {
+            p.steps
+                .iter()
+                .map(|s| (s.index, s.description.clone(), s.in_count, s.out_count))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(steps(&p1), steps(&p4), "step profiles diverge for {q}");
+        // Table decisions arrive in the same order (forks are absorbed in
+        // job order, so scheduling cannot reorder them).
+        let tables = |p: &db2graph::core::ProfileReport| {
+            p.tables.iter().map(|t| (t.table.clone(), t.action.clone())).collect::<Vec<_>>()
+        };
+        assert_eq!(tables(&p1), tables(&p4), "table decisions diverge for {q}");
+        // Same SQL statements in the same order, with the same cache
+        // outcomes (both graphs replay the corpus from a cold cache).
+        let stmts = |p: &db2graph::core::ProfileReport| {
+            p.statements
+                .iter()
+                .map(|s| (s.sql.clone(), s.template_hit, s.rows))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stmts(&p1), stmts(&p4), "statement profiles diverge for {q}");
+    }
+}
+
+#[test]
+fn self_loop_surfaces_once_per_incident_direction() {
+    // Ann knows Ann: under TinkerPop semantics bothE() emits the self-loop
+    // edge once for the out-incidence and once for the in-incidence.
+    let db = social_db();
+    for threads in [1, 4] {
+        let g = open_with_threads(db.clone(), threads);
+        let out = g.run("g.V('person::1').bothE('knows').count()").unwrap();
+        // out-edges: 1->1, 1->2, 1->3; in-edges: 1->1 again.
+        assert_eq!(out, vec![GValue::Long(4)], "threads={threads}");
+        let out = g.run("g.V('person::1').both('knows').count()").unwrap();
+        assert_eq!(out, vec![GValue::Long(4)], "threads={threads}");
+        // The self-loop neighbor is Ann herself, twice.
+        let out = g
+            .run("g.V('person::1').both('knows').hasId('person::1').count()")
+            .unwrap();
+        assert_eq!(out, vec![GValue::Long(2)], "threads={threads}");
+    }
+}
+
+#[test]
+fn duplicate_frontier_vertices_keep_their_positions() {
+    // A vertex appearing twice in a traversal frontier (here: Ann, reached
+    // once per incident direction of her self-loop) produces its adjacency
+    // once per frontier position, not once per distinct id.
+    let db = social_db();
+    for threads in [1, 4] {
+        let g = open_with_threads(db.clone(), threads);
+        let once = g.run("g.V('person::1').out('knows').count()").unwrap();
+        assert_eq!(once, vec![GValue::Long(3)], "threads={threads}");
+        // both('knows').hasId('person::1') puts Ann in the frontier twice.
+        let twice = g
+            .run("g.V('person::1').both('knows').hasId('person::1').out('knows').count()")
+            .unwrap();
+        assert_eq!(twice, vec![GValue::Long(6)], "threads={threads}");
+        let mut names = g
+            .run("g.V('person::1').both('knows').hasId('person::1').out('knows').values('name')")
+            .unwrap();
+        names.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        assert_eq!(
+            names,
+            vec![
+                GValue::Str("Ann".into()),
+                GValue::Str("Ann".into()),
+                GValue::Str("Bo".into()),
+                GValue::Str("Bo".into()),
+                GValue::Str("Cy".into()),
+                GValue::Str("Cy".into()),
+            ],
+            "threads={threads}"
+        );
+    }
+}
+
+// ------------------------------------------------------------- large graphs
+
+/// A chain of `n` nodes: i -> i+1.
+fn chain_db(n: i64) -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE Node (nid BIGINT PRIMARY KEY, val BIGINT);
+         CREATE TABLE Next (src BIGINT, dst BIGINT,
+            FOREIGN KEY (src) REFERENCES Node(nid),
+            FOREIGN KEY (dst) REFERENCES Node(nid));
+         CREATE INDEX ix_next_src ON Next (src);
+         CREATE INDEX ix_next_dst ON Next (dst);",
+    )
+    .unwrap();
+    for start in (0..n).step_by(500) {
+        let end = (start + 500).min(n);
+        let nodes: Vec<String> =
+            (start..end).map(|i| format!("({i}, {})", i % 7)).collect();
+        db.execute(&format!("INSERT INTO Node VALUES {}", nodes.join(", "))).unwrap();
+    }
+    for start in (0..n).step_by(500) {
+        let end = (start + 500).min(n);
+        let edges: Vec<String> = (start..end)
+            .filter(|&i| i + 1 < n)
+            .map(|i| format!("({i}, {})", i + 1))
+            .collect();
+        if !edges.is_empty() {
+            db.execute(&format!("INSERT INTO Next VALUES {}", edges.join(", "))).unwrap();
+        }
+    }
+    db
+}
+
+fn chain_overlay() -> OverlayConfig {
+    OverlayConfig {
+        v_tables: vec![VTableConfig {
+            table_name: "Node".into(),
+            prefixed_id: true,
+            id: "'node'::nid".into(),
+            fix_label: true,
+            label: "'node'".into(),
+            properties: Some(vec!["val".into()]),
+        }],
+        e_tables: vec![ETableConfig {
+            table_name: "Next".into(),
+            src_v_table: Some("Node".into()),
+            src_v: "'node'::src".into(),
+            dst_v_table: Some("Node".into()),
+            dst_v: "'node'::dst".into(),
+            prefixed_edge_id: false,
+            implicit_edge_id: true,
+            id: None,
+            fix_label: true,
+            label: "'next'".into(),
+            properties: None,
+        }],
+    }
+}
+
+#[test]
+fn ten_thousand_vertex_frontier_completes_and_chunks() {
+    // Regression for the quadratic `Vec::contains` dedup: a 10k frontier
+    // must dedupe via hashing (this test ran for minutes before) and split
+    // into multiple bounded statements instead of one 10k-wide IN-list.
+    let n = 10_000;
+    let db = chain_db(n);
+    for threads in [1, 4] {
+        let options = GraphOptions { threads: Some(threads), ..Default::default() };
+        let g = Db2Graph::open_with_options(db.clone(), &chain_overlay(), options).unwrap();
+        let out = g.run("g.V().out('next').count()").unwrap();
+        assert_eq!(out, vec![GValue::Long(n - 1)], "threads={threads}");
+        // Every generated IN-list stayed within the chunk ceiling.
+        for t in g.dialect().template_texts() {
+            let placeholders = t.matches('?').count();
+            assert!(placeholders <= 1024, "template exceeds chunk ceiling: {t}");
+        }
+    }
+}
+
+#[test]
+fn template_count_stays_logarithmic_in_frontier_size() {
+    // 100 adjacency queries with frontier sizes 1..=100 must produce at
+    // most 8 distinct templates for the adjacency family (buckets 1, 2, 4,
+    // ..., 128), not one template per distinct frontier size.
+    let db = chain_db(200);
+    let g = Db2Graph::open_with_options(
+        db,
+        &chain_overlay(),
+        GraphOptions { threads: Some(2), ..Default::default() },
+    )
+    .unwrap();
+    for size in 1..=100usize {
+        let ids: Vec<String> = (0..size).map(|i| format!("'node::{i}'")).collect();
+        let q = format!("g.V({}).outE('next').count()", ids.join(", "));
+        let out = g.run(&q).unwrap();
+        assert_eq!(out, vec![GValue::Long(size as i64)]);
+    }
+    let family: Vec<String> = g
+        .dialect()
+        .template_texts()
+        .into_iter()
+        .filter(|t| t.contains("FROM Next"))
+        .collect();
+    assert!(
+        family.len() <= 8,
+        "adjacency family has {} templates: {family:#?}",
+        family.len()
+    );
+    // And the cache served almost every query.
+    let m = g.metrics();
+    assert!(
+        m.template_hits > m.template_misses,
+        "expected mostly hits: {m:?}"
+    );
+}
