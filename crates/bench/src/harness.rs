@@ -299,6 +299,18 @@ impl BenchEnv {
             self.dataset.name(),
             m.to_json().to_compact()
         );
+        // Latency percentiles (log2-bucket upper bounds) alongside the raw
+        // counters: end-to-end query wall time plus per-statement SQL time.
+        println!(
+            "db2graph latency percentiles [{}]: query p50={} p90={} p99={} sql p50={} p90={} p99={}",
+            self.dataset.name(),
+            m.query_p50_nanos,
+            m.query_p90_nanos,
+            m.query_p99_nanos,
+            m.sql_p50_nanos,
+            m.sql_p90_nanos,
+            m.sql_p99_nanos,
+        );
     }
 
     /// Demonstrate the intra-query fan-out: a frontier-heavy workload

@@ -12,11 +12,15 @@ use reldb::{DataType, Database, DbError, DbResult, RowSet, TableFunction, Value}
 use crate::config::OverlayConfig;
 use crate::error::{GraphError, GraphResult};
 use crate::graph_structure::{to_value, Db2GraphBackend};
-use crate::metrics::{ExplainReport, MetricsSnapshot, ProfileReport, Profiler, StepExplain};
-use crate::sql_dialect::SqlDialect;
+use crate::metrics::{
+    step_kind, ExplainReport, MetricsSnapshot, ProfileReport, Profiler, SlowQueryEntry,
+    SlowQueryLog, StepExplain, DEFAULT_SLOW_LOG_CAPACITY,
+};
+use crate::sql_dialect::{SqlDialect, WorkloadReport};
 use crate::stats::OverlayStatsSnapshot;
 use crate::strategies::StrategyConfig;
 use crate::topology::Topology;
+use crate::trace::{SpanKind, TraceSink, Tracer, DEFAULT_TRACE_CAPACITY};
 
 /// Options controlling a graph's optimizer and executor.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +31,24 @@ pub struct GraphOptions {
     /// `None` defers to `DB2GRAPH_THREADS` / available parallelism;
     /// `Some(1)` forces fully sequential execution.
     pub threads: Option<usize>,
+    /// Collect hierarchical trace spans for every query. `None` defers to
+    /// the environment: tracing turns on when `DB2GRAPH_TRACE` is set (or
+    /// when `trace_path` is). `Some(false)` forces it off regardless.
+    pub trace: Option<bool>,
+    /// Span ring-buffer capacity (spans, not bytes); default
+    /// [`DEFAULT_TRACE_CAPACITY`].
+    pub trace_capacity: Option<usize>,
+    /// File the Chrome trace JSON is written to when the graph is dropped
+    /// (also exportable any time via [`Db2Graph::export_trace`]). `None`
+    /// defers to `DB2GRAPH_TRACE=<path>`.
+    pub trace_path: Option<String>,
+    /// Wall-time threshold (nanoseconds) above which a completed query
+    /// enters the slow-query log. `None` defers to
+    /// `DB2GRAPH_SLOW_QUERY_MS`; unset means no slow-query log.
+    pub slow_query_nanos: Option<u64>,
+    /// Worst-N capacity of the slow-query log; default
+    /// [`DEFAULT_SLOW_LOG_CAPACITY`].
+    pub slow_log_capacity: Option<usize>,
 }
 
 /// A property graph overlaid on a relational database.
@@ -42,6 +64,12 @@ pub struct Db2Graph {
     backend: Arc<Db2GraphBackend>,
     registry: StrategyRegistry,
     options: GraphOptions,
+    /// Present when tracing is on; every query's span batch lands here.
+    sink: Option<Arc<TraceSink>>,
+    /// Where the Chrome trace JSON is written when the graph drops.
+    trace_path: Option<String>,
+    /// Present when a slow-query threshold is configured.
+    slow_log: Option<Arc<SlowQueryLog>>,
 }
 
 impl Db2Graph {
@@ -73,7 +101,39 @@ impl Db2Graph {
         for s in options.strategies.build() {
             registry.add(s);
         }
-        Ok(Arc::new(Db2Graph { db, backend, registry, options }))
+        // Telemetry knobs: explicit options win, then the environment.
+        let env_trace_path =
+            std::env::var("DB2GRAPH_TRACE").ok().filter(|s| !s.is_empty());
+        let trace_enabled = options
+            .trace
+            .unwrap_or(options.trace_path.is_some() || env_trace_path.is_some());
+        let sink = trace_enabled.then(|| {
+            Arc::new(TraceSink::new(
+                options.trace_capacity.unwrap_or(DEFAULT_TRACE_CAPACITY),
+            ))
+        });
+        let trace_path = options.trace_path.clone().or(env_trace_path);
+        let slow_query_nanos = options.slow_query_nanos.or_else(|| {
+            std::env::var("DB2GRAPH_SLOW_QUERY_MS")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .map(|ms| ms.saturating_mul(1_000_000))
+        });
+        let slow_log = slow_query_nanos.map(|threshold| {
+            Arc::new(SlowQueryLog::new(
+                threshold,
+                options.slow_log_capacity.unwrap_or(DEFAULT_SLOW_LOG_CAPACITY),
+            ))
+        });
+        Ok(Arc::new(Db2Graph {
+            db,
+            backend,
+            registry,
+            options,
+            sink,
+            trace_path,
+            slow_log,
+        }))
     }
 
     /// The underlying database.
@@ -102,10 +162,23 @@ impl Db2Graph {
     }
 
     /// Aggregate metrics for this graph: traversal and SQL statement
-    /// counts, SQL wall time, rows returned, template cache hit rate, and
-    /// the overlay's table-elimination counters.
+    /// counts, SQL wall time, rows returned, template cache hit rate,
+    /// latency percentiles, slow-query/trace counters, and the overlay's
+    /// table-elimination counters.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.backend.registry().snapshot_with(self.backend.stats().snapshot())
+        let mut snap =
+            self.backend.registry().snapshot_with(self.backend.stats().snapshot());
+        if let Some(sink) = &self.sink {
+            snap.trace_spans = sink.len() as u64;
+            snap.dropped_spans = sink.dropped();
+        }
+        snap
+    }
+
+    /// True when every query runs through the observing pipeline (tracing
+    /// or the slow-query log is configured).
+    fn observing(&self) -> bool {
+        self.sink.is_some() || self.slow_log.is_some()
     }
 
     /// Run a Gremlin script; returns the final statement's results.
@@ -113,14 +186,18 @@ impl Db2Graph {
         self.backend.registry().record_traversal();
         // A `.profile()` terminator needs an observing pipeline; the
         // substring check may rarely false-positive (e.g. inside a string
-        // literal), which only costs the observation overhead.
-        if gremlin.contains(".profile()") {
-            return self.run_profiled(gremlin).map(|(values, _)| values);
+        // literal), which only costs the observation overhead. Tracing and
+        // the slow-query log likewise need per-step observation.
+        if gremlin.contains(".profile()") || self.observing() {
+            return self.run_observed(gremlin).map(|(values, _)| values);
         }
+        let start = std::time::Instant::now();
         let runner = ScriptRunner::new(self.backend.as_ref())
             .with_strategies(self.registry.clone())
             .with_options(self.options.exec.clone());
-        runner.run(gremlin).map_err(GraphError::Gremlin)
+        let out = runner.run(gremlin).map_err(GraphError::Gremlin);
+        self.backend.registry().record_query_latency(start.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Run a Gremlin script with profiling enabled; returns the results
@@ -128,18 +205,91 @@ impl Db2Graph {
     /// timings, table decisions, SQL statements).
     pub fn profile(&self, gremlin: &str) -> GraphResult<(Vec<GValue>, ProfileReport)> {
         self.backend.registry().record_traversal();
-        self.run_profiled(gremlin)
+        self.run_observed(gremlin)
     }
 
-    fn run_profiled(&self, gremlin: &str) -> GraphResult<(Vec<GValue>, ProfileReport)> {
-        let profiler = Profiler::enabled();
+    /// The observing pipeline behind [`Self::profile`], `.profile()`,
+    /// tracing, and the slow-query log: a per-query `Profiler` (carrying a
+    /// `Tracer` when a sink exists) observes strategies, steps, table
+    /// decisions and SQL; afterwards the span batch lands in the sink and
+    /// the query is offered to the slow-query log with its full report.
+    fn run_observed(&self, gremlin: &str) -> GraphResult<(Vec<GValue>, ProfileReport)> {
+        let tracer = if self.sink.is_some() { Tracer::enabled() } else { Tracer::disabled() };
+        let profiler = Profiler::enabled().with_tracer(tracer.clone());
+        let root = tracer.start_with("query", SpanKind::Query, || {
+            vec![("gremlin".to_string(), gremlin.to_string())]
+        });
         let backend = self.backend.with_profiler(profiler.clone());
         let runner = ScriptRunner::new(&backend)
             .with_strategies(self.registry.clone())
             .with_options(self.options.exec.clone())
             .with_observer(Arc::new(profiler.clone()));
-        let values = runner.run(gremlin).map_err(GraphError::Gremlin)?;
-        Ok((values, profiler.report()))
+        let start = std::time::Instant::now();
+        let result = runner.run(gremlin).map_err(GraphError::Gremlin);
+        let wall_nanos = start.elapsed().as_nanos() as u64;
+        tracer.end(root);
+        let registry = self.backend.registry();
+        registry.record_query_latency(wall_nanos);
+        let report = profiler.report();
+        for step in &report.steps {
+            registry.record_step_latency(step_kind(&step.description), step.nanos);
+        }
+        if let Some(log) = &self.slow_log {
+            if log.offer(gremlin, wall_nanos, &report) {
+                registry.record_slow_query();
+            }
+        }
+        if let Some(sink) = &self.sink {
+            // finish() also closes spans left open by an error mid-step.
+            sink.push_batch(tracer.finish());
+        }
+        Ok((result?, report))
+    }
+
+    /// The trace sink, when tracing is enabled.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.sink.as_ref()
+    }
+
+    /// Write the retained spans as Chrome trace-event JSON (loadable in
+    /// Perfetto / `chrome://tracing`). Errors when tracing is off.
+    pub fn export_trace(&self, path: &str) -> GraphResult<()> {
+        let sink = self.sink.as_ref().ok_or_else(|| {
+            GraphError::Config(
+                "tracing is not enabled (set DB2GRAPH_TRACE or GraphOptions.trace)".into(),
+            )
+        })?;
+        sink.export_chrome(path)
+            .map_err(|e| GraphError::Config(format!("trace export to '{path}': {e}")))
+    }
+
+    /// Write the retained spans as JSONL (one span object per line).
+    pub fn export_trace_jsonl(&self, path: &str) -> GraphResult<()> {
+        let sink = self.sink.as_ref().ok_or_else(|| {
+            GraphError::Config(
+                "tracing is not enabled (set DB2GRAPH_TRACE or GraphOptions.trace)".into(),
+            )
+        })?;
+        sink.export_jsonl(path)
+            .map_err(|e| GraphError::Config(format!("trace export to '{path}': {e}")))
+    }
+
+    /// Retained slow queries, slowest first (empty when no threshold is
+    /// configured).
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.slow_log.as_ref().map(|l| l.entries()).unwrap_or_default()
+    }
+
+    /// The advisor's workload view: cost-sorted pattern stats plus index
+    /// suggestions ranked by observed wall time.
+    pub fn workload_report(&self) -> WorkloadReport {
+        self.backend.dialect().workload_report()
+    }
+
+    /// Latency histogram breakdown (aggregate query/SQL plus per-template
+    /// and per-step-kind) as JSON.
+    pub fn histogram_report(&self) -> crate::json::Json {
+        self.backend.registry().histogram_report()
     }
 
     /// The optimized step plan for a single-statement script.
@@ -254,8 +404,13 @@ impl Db2Graph {
     /// SELECT ... FROM T, TABLE(graphQuery('gremlin', '<script>'))
     ///   AS P (col1 BIGINT, col2 BIGINT) WHERE ...
     /// ```
+    /// The registration holds only a weak reference: the graph owns the
+    /// database, so a strong one would be a reference cycle — the graph
+    /// would never drop (leaking it and suppressing the drop-time trace
+    /// export). Callers keep their own `Arc` for as long as SQL should be
+    /// able to call back into the graph.
     pub fn register_graph_query(self: &Arc<Self>, name: &str) {
-        let graph = Arc::clone(self);
+        let graph = Arc::downgrade(self);
         self.db.register_function(name, Arc::new(GraphQueryFunction { graph }));
     }
 
@@ -272,9 +427,22 @@ impl Db2Graph {
     }
 }
 
+impl Drop for Db2Graph {
+    /// `DB2GRAPH_TRACE=<path>` (or `GraphOptions.trace_path`) means "write
+    /// the trace when the graph goes away" — the zero-code-change way to
+    /// get a Perfetto-loadable file out of any existing program. Export
+    /// failure at drop time is reported to stderr, never panicked.
+    fn drop(&mut self) {
+        let (Some(sink), Some(path)) = (&self.sink, &self.trace_path) else { return };
+        if let Err(e) = sink.export_chrome(path) {
+            eprintln!("db2graph: trace export to '{path}' failed: {e}");
+        }
+    }
+}
+
 /// The `graphQuery` polymorphic table function.
 struct GraphQueryFunction {
-    graph: Arc<Db2Graph>,
+    graph: std::sync::Weak<Db2Graph>,
 }
 
 impl TableFunction for GraphQueryFunction {
@@ -297,7 +465,10 @@ impl TableFunction for GraphQueryFunction {
                 ))
             }
         };
-        self.graph
+        let graph = self.graph.upgrade().ok_or_else(|| {
+            DbError::Execution("graphQuery: the registered graph has been dropped".into())
+        })?;
+        graph
             .query_rows(script, columns)
             .map_err(|e| DbError::Execution(e.to_string()))
     }

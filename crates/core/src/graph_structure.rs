@@ -141,6 +141,11 @@ impl Db2GraphBackend {
     /// identical to sequential execution modulo timing. Results likewise
     /// come back in job order, and the first error in job order wins —
     /// callers observe no scheduling effects.
+    ///
+    /// When tracing is enabled each job runs inside a `worker` span on its
+    /// fork's tracer; absorbing re-parents those spans under whatever span
+    /// is open at the fan-out site (the executor step), so trace structure
+    /// is the same at any thread count.
     fn fan_out<T, F>(&self, jobs: Vec<F>) -> GraphResult<Vec<T>>
     where
         T: Send,
@@ -151,7 +156,19 @@ impl Db2GraphBackend {
         let work: Vec<_> = jobs
             .into_iter()
             .zip(&clones)
-            .map(|(job, be)| move || job(be))
+            .enumerate()
+            .map(|(i, (job, be))| {
+                move || {
+                    let tracer = be.profiler.tracer();
+                    let span = tracer
+                        .start_with("worker", crate::trace::SpanKind::Worker, || {
+                            vec![("job".to_string(), i.to_string())]
+                        });
+                    let out = job(be);
+                    tracer.end(span);
+                    out
+                }
+            })
             .collect();
         let results = pool::run_ordered(self.threads, work);
         for be in &clones {

@@ -74,6 +74,7 @@ pub mod sql_dialect;
 pub mod stats;
 pub mod strategies;
 pub mod topology;
+pub mod trace;
 
 pub use auto_overlay::{auto_overlay, generate_overlay, identify_tables};
 pub use config::{ETableConfig, OverlayConfig, VTableConfig};
@@ -81,10 +82,14 @@ pub use error::{GraphError, GraphResult};
 pub use graph::{Db2Graph, GraphOptions};
 pub use graph_structure::Db2GraphBackend;
 pub use metrics::{
-    ExplainReport, MetricsRegistry, MetricsSnapshot, ProfileReport, Profiler, StepExplain,
-    StepProfile, TableAction, TableExplain, TablePlan,
+    step_kind, ExplainReport, Histogram, HistogramSet, MetricsRegistry, MetricsSnapshot,
+    ProfileReport, Profiler, SlowQueryEntry, SlowQueryLog, StepExplain, StepProfile, TableAction,
+    TableExplain, TablePlan,
 };
-pub use sql_dialect::{IndexSuggestion, SqlDialect};
+pub use sql_dialect::{IndexSuggestion, SqlDialect, WorkloadReport};
+pub use trace::{
+    Span, SpanHandle, SpanKind, TraceSink, TracedSpan, Tracer, DEFAULT_TRACE_CAPACITY,
+};
 pub use stats::{OverlayStats, OverlayStatsSnapshot};
 pub use strategies::StrategyConfig;
 pub use topology::Topology;

@@ -20,14 +20,23 @@
 //!   counters aggregated across all queries, snapshot at any time (the
 //!   bench harness exports one per run).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use gremlin::observe::TraversalObserver;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::json::Json;
 use crate::stats::OverlayStatsSnapshot;
+use crate::trace::{SpanKind, Tracer};
+
+/// Default capacity of the slow-query log (worst-N entries retained).
+pub const DEFAULT_SLOW_LOG_CAPACITY: usize = 32;
+
+/// Default cap on distinct keys per latency-histogram set (per SQL
+/// template, per step kind); overflow lands under `"<other>"`.
+pub const DEFAULT_HISTOGRAM_KEYS: usize = 256;
 
 // ------------------------------------------------------------- profiling
 
@@ -87,24 +96,47 @@ struct ProfileData {
     steps: Vec<StepProfile>,
     tables: Vec<TableDecision>,
     statements: Vec<SqlStatementProfile>,
+    template_evictions: u64,
+    pattern_evictions: u64,
 }
 
 /// Per-query event collector. Cheap to clone (shared interior); a disabled
 /// profiler records nothing and costs one pointer-null check per event.
+///
+/// A profiler optionally carries a [`Tracer`] ([`Self::with_tracer`]):
+/// every profile event then also lands as a span in the trace, nested
+/// under whatever span is open — the two observability layers share one
+/// conduit through the pipeline, and each stays a single null-check when
+/// its half is disabled.
 #[derive(Clone, Default)]
 pub struct Profiler {
     inner: Option<Arc<Mutex<ProfileData>>>,
+    tracer: Tracer,
 }
 
 impl Profiler {
     /// A profiler that drops every event — the default for normal queries.
     pub fn disabled() -> Profiler {
-        Profiler { inner: None }
+        Profiler { inner: None, tracer: Tracer::disabled() }
     }
 
-    /// A collecting profiler.
+    /// A collecting profiler (with tracing disabled).
     pub fn enabled() -> Profiler {
-        Profiler { inner: Some(Arc::new(Mutex::new(ProfileData::default()))) }
+        Profiler {
+            inner: Some(Arc::new(Mutex::new(ProfileData::default()))),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attach a span tracer: profile events double as trace spans.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Profiler {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled unless set via [`Self::with_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     pub fn is_enabled(&self) -> bool {
@@ -115,18 +147,22 @@ impl Profiler {
     /// into their own fork, and the coordinator [`Self::absorb`]s the forks
     /// in job order — so a parallel run produces the *same* event sequence
     /// as a sequential one, not an interleaving decided by the scheduler.
-    /// Forking a disabled profiler yields a disabled (free) one.
+    /// The attached tracer forks alongside (same discipline, see
+    /// [`Tracer::fork`]). Forking a disabled profiler yields a disabled
+    /// (free) one.
     pub fn fork(&self) -> Profiler {
-        if self.is_enabled() {
-            Profiler::enabled()
+        let inner = if self.is_enabled() {
+            Some(Arc::new(Mutex::new(ProfileData::default())))
         } else {
-            Profiler::disabled()
-        }
+            None
+        };
+        Profiler { inner, tracer: self.tracer.fork() }
     }
 
-    /// Append every event recorded in `other` (draining it). No-op when
-    /// either side is disabled.
+    /// Append every event recorded in `other` (draining it), profile data
+    /// and trace spans alike. Each half is a no-op when disabled.
     pub fn absorb(&self, other: &Profiler) {
+        self.tracer.absorb(&other.tracer);
         let (Some(inner), Some(theirs)) = (&self.inner, &other.inner) else { return };
         let mut data = std::mem::take(&mut *theirs.lock());
         let mut dst = inner.lock();
@@ -134,9 +170,14 @@ impl Profiler {
         dst.steps.append(&mut data.steps);
         dst.tables.append(&mut data.tables);
         dst.statements.append(&mut data.statements);
+        dst.template_evictions += data.template_evictions;
+        dst.pattern_evictions += data.pattern_evictions;
     }
 
     pub fn record_strategy(&self, strategy: &str, before: &str, after: &str) {
+        self.tracer.event(strategy, SpanKind::Strategy, || {
+            vec![("before".to_string(), before.to_string()), ("after".to_string(), after.to_string())]
+        });
         let Some(inner) = &self.inner else { return };
         inner.lock().strategies.push(StrategyRewrite {
             strategy: strategy.to_string(),
@@ -164,11 +205,30 @@ impl Profiler {
     }
 
     pub fn record_table(&self, table: &str, action: TableAction) {
+        self.tracer.event(table, SpanKind::Table, || {
+            let (act, reason) = match &action {
+                TableAction::Queried => ("queried", None),
+                TableAction::Pinned => ("pinned", None),
+                TableAction::Pruned(r) => ("pruned", Some(r.clone())),
+            };
+            let mut attrs = vec![("action".to_string(), act.to_string())];
+            if let Some(r) = reason {
+                attrs.push(("reason".to_string(), r));
+            }
+            attrs
+        });
         let Some(inner) = &self.inner else { return };
         inner.lock().tables.push(TableDecision { table: table.to_string(), action });
     }
 
     pub fn record_statement(&self, sql: &str, template_hit: bool, rows: usize, nanos: u64) {
+        // template_hit is deliberately left out of the span attributes:
+        // racing workers may both miss the same template, so hit/miss is
+        // the one profile field that is not deterministic across thread
+        // counts — and trace *structure* must be.
+        self.tracer.span_with_duration(sql, SpanKind::Sql, nanos, || {
+            vec![("rows".to_string(), rows.to_string())]
+        });
         let Some(inner) = &self.inner else { return };
         inner.lock().statements.push(SqlStatementProfile {
             sql: sql.to_string(),
@@ -176,6 +236,19 @@ impl Profiler {
             rows,
             nanos,
         });
+    }
+
+    /// A prepared template was evicted from the dialect cache while this
+    /// query executed.
+    pub fn record_template_eviction(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().template_evictions += 1;
+    }
+
+    /// A tracked workload pattern was evicted while this query executed.
+    pub fn record_pattern_eviction(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().pattern_evictions += 1;
     }
 
     /// The report accumulated so far (empty when disabled).
@@ -189,6 +262,8 @@ impl Profiler {
             steps: data.steps,
             tables: data.tables,
             statements: data.statements,
+            template_evictions: data.template_evictions,
+            pattern_evictions: data.pattern_evictions,
         }
     }
 }
@@ -196,6 +271,10 @@ impl Profiler {
 impl TraversalObserver for Profiler {
     fn strategy_applied(&self, name: &str, before: &str, after: &str) {
         self.record_strategy(name, before, after);
+    }
+
+    fn step_started(&self, _index: usize, description: &str) {
+        self.tracer.start(description, SpanKind::Step);
     }
 
     fn step_finished(
@@ -206,6 +285,10 @@ impl TraversalObserver for Profiler {
         out_count: usize,
         nanos: u64,
     ) {
+        // Close the span opened by step_started; its children (table
+        // decisions, SQL statements, absorbed worker spans) recorded while
+        // the step ran and are already nested under it.
+        self.tracer.pop();
         self.record_step(index, description, in_count, out_count, nanos);
     }
 
@@ -225,6 +308,19 @@ pub struct ProfileReport {
     pub steps: Vec<StepProfile>,
     pub tables: Vec<TableDecision>,
     pub statements: Vec<SqlStatementProfile>,
+    /// Prepared templates evicted from the dialect cache during this query
+    /// (field name matches [`MetricsSnapshot::template_evictions`]).
+    pub template_evictions: u64,
+    /// Workload patterns evicted during this query (field name matches
+    /// [`MetricsSnapshot::pattern_evictions`]).
+    pub pattern_evictions: u64,
+}
+
+/// The step *kind* of a step description — the prefix up to the first
+/// `(`: `"Vertex(out)"` → `"Vertex"`. Keys the per-step-kind latency
+/// histograms.
+pub fn step_kind(description: &str) -> &str {
+    description.split('(').next().unwrap_or(description)
 }
 
 impl ProfileReport {
@@ -343,6 +439,8 @@ impl ProfileReport {
                     ("tables_pruned", Json::u64(self.tables_pruned() as u64)),
                     ("template_hits", Json::u64(self.template_hits() as u64)),
                     ("template_misses", Json::u64(self.template_misses() as u64)),
+                    ("template_evictions", Json::u64(self.template_evictions)),
+                    ("pattern_evictions", Json::u64(self.pattern_evictions)),
                     ("sql_rows", Json::u64(self.total_rows() as u64)),
                     ("sql_nanos", Json::u64(self.total_sql_nanos())),
                 ]),
@@ -352,7 +450,7 @@ impl ProfileReport {
 }
 
 /// Pretty nanoseconds for report text.
-fn fmt_nanos(n: u64) -> String {
+pub fn fmt_nanos(n: u64) -> String {
     if n >= 1_000_000_000 {
         format!("{:.2}s", n as f64 / 1e9)
     } else if n >= 1_000_000 {
@@ -583,6 +681,252 @@ impl std::fmt::Display for ExplainReport {
     }
 }
 
+// ------------------------------------------------------------ histograms
+
+/// Lock-free log2-bucketed latency histogram: bucket 0 holds exact zeros,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)` — 65 buckets cover the
+/// full `u64` nanosecond range (bucket 64 tops out at `u64::MAX`).
+/// Recording is two relaxed atomic adds; percentiles are estimated as the
+/// upper bound of the bucket the rank falls in.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket for a value: 0 for 0, else `64 - leading_zeros` (1 for 1,
+/// 2 for 2..=3, …, 64 for the top half of the u64 range).
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Largest value a bucket can hold (the percentile estimate).
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the
+    /// bucket containing that rank; 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// (p50, p90, p99).
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.percentile(0.50), self.percentile(0.90), self.percentile(0.99))
+    }
+
+    /// `{"count", "sum_nanos", "p50_nanos", "p90_nanos", "p99_nanos"}`.
+    pub fn to_json(&self) -> Json {
+        let (p50, p90, p99) = self.percentiles();
+        Json::obj(vec![
+            ("count", Json::u64(self.count())),
+            ("sum_nanos", Json::u64(self.sum())),
+            ("p50_nanos", Json::u64(p50)),
+            ("p90_nanos", Json::u64(p90)),
+            ("p99_nanos", Json::u64(p99)),
+        ])
+    }
+}
+
+/// Keyed histograms (per SQL template, per step kind) with a bounded key
+/// set: once `cap` distinct keys exist, further keys aggregate under
+/// `"<other>"` so an adversarial workload cannot grow the map unbounded.
+pub struct HistogramSet {
+    cap: usize,
+    map: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for HistogramSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramSet").field("cap", &self.cap).finish_non_exhaustive()
+    }
+}
+
+impl Default for HistogramSet {
+    fn default() -> HistogramSet {
+        HistogramSet::new(DEFAULT_HISTOGRAM_KEYS)
+    }
+}
+
+impl HistogramSet {
+    pub fn new(cap: usize) -> HistogramSet {
+        HistogramSet { cap: cap.max(1), map: RwLock::new(HashMap::new()) }
+    }
+
+    pub fn record(&self, key: &str, nanos: u64) {
+        let hist = {
+            let read = self.map.read();
+            read.get(key).cloned()
+        };
+        let hist = match hist {
+            Some(h) => h,
+            None => {
+                let mut write = self.map.write();
+                let effective = if write.len() >= self.cap && !write.contains_key(key) {
+                    "<other>"
+                } else {
+                    key
+                };
+                write.entry(effective.to_string()).or_default().clone()
+            }
+        };
+        hist.record(nanos);
+    }
+
+    /// All keyed histograms, sorted by key for deterministic output.
+    pub fn entries(&self) -> Vec<(String, Arc<Histogram>)> {
+        let mut out: Vec<(String, Arc<Histogram>)> =
+            self.map.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.entries().into_iter().map(|(k, h)| (k, h.to_json())).collect())
+    }
+}
+
+// --------------------------------------------------------- slow-query log
+
+/// One retained slow query: the script, its wall time, a monotonic
+/// admission sequence, and the full per-query [`ProfileReport`].
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    pub seq: u64,
+    pub gremlin: String,
+    pub wall_nanos: u64,
+    pub report: ProfileReport,
+}
+
+struct SlowLogInner {
+    entries: Vec<SlowQueryEntry>,
+    seq: u64,
+}
+
+/// Worst-N ring of completed queries over a wall-time threshold
+/// (`DB2GRAPH_SLOW_QUERY_MS`). Each entry keeps its full profile report,
+/// so the tail is diagnosable after the fact without re-running anything.
+/// When full, a new slow query replaces the *fastest* retained entry —
+/// the log converges on the worst N, not the most recent N.
+pub struct SlowQueryLog {
+    threshold_nanos: u64,
+    capacity: usize,
+    inner: Mutex<SlowLogInner>,
+}
+
+impl SlowQueryLog {
+    pub fn new(threshold_nanos: u64, capacity: usize) -> SlowQueryLog {
+        SlowQueryLog {
+            threshold_nanos,
+            capacity: capacity.max(1),
+            inner: Mutex::new(SlowLogInner { entries: Vec::new(), seq: 0 }),
+        }
+    }
+
+    pub fn threshold_nanos(&self) -> u64 {
+        self.threshold_nanos
+    }
+
+    /// Offer a completed query; returns whether it crossed the threshold
+    /// (and was therefore counted slow, even if a worse entry kept its
+    /// ring slot).
+    pub fn offer(&self, gremlin: &str, wall_nanos: u64, report: &ProfileReport) -> bool {
+        if wall_nanos < self.threshold_nanos {
+            return false;
+        }
+        let mut g = self.inner.lock();
+        g.seq += 1;
+        let entry = SlowQueryEntry {
+            seq: g.seq,
+            gremlin: gremlin.to_string(),
+            wall_nanos,
+            report: report.clone(),
+        };
+        if g.entries.len() < self.capacity {
+            g.entries.push(entry);
+        } else if let Some(min_idx) = (0..g.entries.len())
+            .min_by_key(|&i| (g.entries[i].wall_nanos, std::cmp::Reverse(g.entries[i].seq)))
+        {
+            if g.entries[min_idx].wall_nanos < wall_nanos {
+                g.entries[min_idx] = entry;
+            }
+        }
+        true
+    }
+
+    /// Retained entries, slowest first (ties broken newest-first).
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        let mut out = self.inner.lock().entries.clone();
+        out.sort_by(|a, b| {
+            b.wall_nanos.cmp(&a.wall_nanos).then_with(|| b.seq.cmp(&a.seq))
+        });
+        out
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::arr(
+            self.entries()
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("seq", Json::u64(e.seq)),
+                        ("gremlin", Json::str(&e.gremlin)),
+                        ("wall_nanos", Json::u64(e.wall_nanos)),
+                        ("profile", e.report.to_json()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
 // --------------------------------------------------------------- metrics
 
 /// Process-lifetime counters for one graph, shared by every query. All
@@ -597,6 +941,11 @@ pub struct MetricsRegistry {
     template_misses: AtomicU64,
     template_evictions: AtomicU64,
     pattern_evictions: AtomicU64,
+    slow_queries: AtomicU64,
+    query_latency: Histogram,
+    sql_latency: Histogram,
+    sql_templates: HistogramSet,
+    step_kinds: HistogramSet,
 }
 
 impl MetricsRegistry {
@@ -626,8 +975,58 @@ impl MetricsRegistry {
         self.sql_wall_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// End-to-end wall time of one complete traversal.
+    pub fn record_query_latency(&self, nanos: u64) {
+        self.query_latency.record(nanos);
+    }
+
+    /// Wall time of one SQL statement, both in the aggregate histogram and
+    /// under its template's keyed histogram.
+    pub fn record_sql_latency(&self, template: &str, nanos: u64) {
+        self.sql_latency.record(nanos);
+        self.sql_templates.record(template, nanos);
+    }
+
+    /// Wall time of one executor step, keyed by step kind (`has`, `outE`, …).
+    pub fn record_step_latency(&self, kind: &str, nanos: u64) {
+        self.step_kinds.record(kind, nanos);
+    }
+
+    pub fn record_slow_query(&self) {
+        self.slow_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn query_latency(&self) -> &Histogram {
+        &self.query_latency
+    }
+
+    pub fn sql_latency(&self) -> &Histogram {
+        &self.sql_latency
+    }
+
+    pub fn sql_templates(&self) -> &HistogramSet {
+        &self.sql_templates
+    }
+
+    pub fn step_kinds(&self) -> &HistogramSet {
+        &self.step_kinds
+    }
+
+    /// Full latency breakdown: aggregate query/SQL histograms plus the
+    /// per-template and per-step-kind keyed histograms.
+    pub fn histogram_report(&self) -> Json {
+        Json::obj(vec![
+            ("query_latency", self.query_latency.to_json()),
+            ("sql_latency", self.sql_latency.to_json()),
+            ("sql_templates", self.sql_templates.to_json()),
+            ("step_kinds", self.step_kinds.to_json()),
+        ])
+    }
+
     /// Snapshot combined with the overlay's table-elimination counters.
     pub fn snapshot_with(&self, overlay: OverlayStatsSnapshot) -> MetricsSnapshot {
+        let (query_p50, query_p90, query_p99) = self.query_latency.percentiles();
+        let (sql_p50, sql_p90, sql_p99) = self.sql_latency.percentiles();
         MetricsSnapshot {
             traversals: self.traversals.load(Ordering::Relaxed),
             sql_statements: self.sql_statements.load(Ordering::Relaxed),
@@ -637,6 +1036,15 @@ impl MetricsRegistry {
             template_misses: self.template_misses.load(Ordering::Relaxed),
             template_evictions: self.template_evictions.load(Ordering::Relaxed),
             pattern_evictions: self.pattern_evictions.load(Ordering::Relaxed),
+            slow_queries: self.slow_queries.load(Ordering::Relaxed),
+            trace_spans: 0,
+            dropped_spans: 0,
+            query_p50_nanos: query_p50,
+            query_p90_nanos: query_p90,
+            query_p99_nanos: query_p99,
+            sql_p50_nanos: sql_p50,
+            sql_p90_nanos: sql_p90,
+            sql_p99_nanos: sql_p99,
             tables_considered: overlay.tables_considered,
             tables_pruned: overlay.tables_pruned,
             vertices_from_edges: overlay.vertices_from_edges,
@@ -657,12 +1065,29 @@ pub struct MetricsSnapshot {
     pub template_evictions: u64,
     /// Workload patterns dropped because the tracker hit its size cap.
     pub pattern_evictions: u64,
+    /// Completed queries whose wall time crossed the slow-query threshold.
+    pub slow_queries: u64,
+    /// Spans retained in the trace ring buffer (0 when tracing is off).
+    pub trace_spans: u64,
+    /// Spans evicted because the trace ring buffer wrapped.
+    pub dropped_spans: u64,
+    /// End-to-end traversal latency percentiles (log2-bucket upper bounds).
+    pub query_p50_nanos: u64,
+    pub query_p90_nanos: u64,
+    pub query_p99_nanos: u64,
+    /// Per-SQL-statement latency percentiles (log2-bucket upper bounds).
+    pub sql_p50_nanos: u64,
+    pub sql_p90_nanos: u64,
+    pub sql_p99_nanos: u64,
     pub tables_considered: u64,
     pub tables_pruned: u64,
     pub vertices_from_edges: u64,
 }
 
 impl MetricsSnapshot {
+    /// Counter deltas since `earlier`. Percentile fields are not deltas —
+    /// they carry the latest (self) values, since histogram quantiles do
+    /// not subtract meaningfully.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             traversals: self.traversals - earlier.traversals,
@@ -673,6 +1098,15 @@ impl MetricsSnapshot {
             template_misses: self.template_misses - earlier.template_misses,
             template_evictions: self.template_evictions - earlier.template_evictions,
             pattern_evictions: self.pattern_evictions - earlier.pattern_evictions,
+            slow_queries: self.slow_queries - earlier.slow_queries,
+            trace_spans: self.trace_spans,
+            dropped_spans: self.dropped_spans,
+            query_p50_nanos: self.query_p50_nanos,
+            query_p90_nanos: self.query_p90_nanos,
+            query_p99_nanos: self.query_p99_nanos,
+            sql_p50_nanos: self.sql_p50_nanos,
+            sql_p90_nanos: self.sql_p90_nanos,
+            sql_p99_nanos: self.sql_p99_nanos,
             tables_considered: self.tables_considered - earlier.tables_considered,
             tables_pruned: self.tables_pruned - earlier.tables_pruned,
             vertices_from_edges: self.vertices_from_edges - earlier.vertices_from_edges,
@@ -689,6 +1123,15 @@ impl MetricsSnapshot {
             ("template_misses", Json::u64(self.template_misses)),
             ("template_evictions", Json::u64(self.template_evictions)),
             ("pattern_evictions", Json::u64(self.pattern_evictions)),
+            ("slow_queries", Json::u64(self.slow_queries)),
+            ("trace_spans", Json::u64(self.trace_spans)),
+            ("dropped_spans", Json::u64(self.dropped_spans)),
+            ("query_p50_nanos", Json::u64(self.query_p50_nanos)),
+            ("query_p90_nanos", Json::u64(self.query_p90_nanos)),
+            ("query_p99_nanos", Json::u64(self.query_p99_nanos)),
+            ("sql_p50_nanos", Json::u64(self.sql_p50_nanos)),
+            ("sql_p90_nanos", Json::u64(self.sql_p90_nanos)),
+            ("sql_p99_nanos", Json::u64(self.sql_p99_nanos)),
             ("tables_considered", Json::u64(self.tables_considered)),
             ("tables_pruned", Json::u64(self.tables_pruned)),
             ("vertices_from_edges", Json::u64(self.vertices_from_edges)),
@@ -802,5 +1245,148 @@ mod tests {
         assert_eq!(fmt_nanos(1_500), "1.5µs");
         assert_eq!(fmt_nanos(2_500_000), "2.50ms");
         assert_eq!(fmt_nanos(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Values at the extremes land in the right buckets: 0 has its own
+        // exact bucket, 1 is the smallest non-zero bucket, u64::MAX caps
+        // the top bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+
+        let h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.percentile(0.5), 0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(0.33), 0);
+        assert_eq!(h.percentile(0.5), 1);
+        assert_eq!(h.percentile(0.99), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_percentiles_estimate_bucket_upper_bound() {
+        let h = Histogram::default();
+        assert_eq!(h.percentiles(), (0, 0, 0)); // empty
+        for _ in 0..90 {
+            h.record(100); // bucket 7 → upper 127
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket 20 → upper 2^20 - 1
+        }
+        let (p50, p90, p99) = h.percentiles();
+        assert_eq!(p50, 127);
+        assert_eq!(p90, 127);
+        assert_eq!(p99, (1u64 << 20) - 1);
+        assert_eq!(h.sum(), 90 * 100 + 10 * 1_000_000);
+    }
+
+    #[test]
+    fn histogram_set_caps_keys_into_other() {
+        let set = HistogramSet::new(2);
+        set.record("a", 1);
+        set.record("b", 2);
+        set.record("c", 3); // over cap → "<other>"
+        set.record("a", 4); // existing key still records
+        let entries = set.entries();
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["<other>", "a", "b"]);
+        let a = &entries.iter().find(|(k, _)| k == "a").unwrap().1;
+        assert_eq!(a.count(), 2);
+        let parsed = Json::parse(&set.to_json().to_compact()).unwrap();
+        assert_eq!(
+            parsed.get("<other>").and_then(|h| h.get("count")).and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn slow_query_log_keeps_worst_n() {
+        let log = SlowQueryLog::new(100, 2);
+        let report = ProfileReport::default();
+        assert!(!log.offer("fast", 99, &report)); // under threshold
+        assert!(log.offer("slow-a", 150, &report));
+        assert!(log.offer("slow-b", 300, &report));
+        assert!(log.offer("slow-c", 200, &report)); // evicts slow-a (fastest)
+        assert!(log.offer("slow-d", 120, &report)); // counted slow, but not retained
+        let entries = log.entries();
+        let names: Vec<&str> = entries.iter().map(|e| e.gremlin.as_str()).collect();
+        assert_eq!(names, vec!["slow-b", "slow-c"]);
+        assert_eq!(entries[0].wall_nanos, 300);
+        let json = log.to_json().to_compact();
+        assert!(json.contains("\"gremlin\":\"slow-b\""), "{json}");
+        assert!(!json.contains("slow-a"), "{json}");
+    }
+
+    #[test]
+    fn registry_histograms_feed_snapshot_percentiles() {
+        let m = MetricsRegistry::default();
+        for _ in 0..10 {
+            m.record_query_latency(1_000); // bucket 10 → upper 1023
+        }
+        m.record_sql_latency("SELECT 1", 100);
+        m.record_sql_latency("SELECT 2", 200);
+        m.record_step_latency("outE", 50);
+        m.record_slow_query();
+        let snap = m.snapshot_with(OverlayStatsSnapshot::default());
+        assert_eq!(snap.query_p50_nanos, 1023);
+        assert_eq!(snap.query_p99_nanos, 1023);
+        assert_eq!(snap.sql_p50_nanos, 127);
+        assert_eq!(snap.sql_p99_nanos, 255);
+        assert_eq!(snap.slow_queries, 1);
+        let report = m.histogram_report();
+        let parsed = Json::parse(&report.to_compact()).unwrap();
+        assert_eq!(
+            parsed
+                .get("sql_templates")
+                .and_then(|t| t.get("SELECT 1"))
+                .and_then(|h| h.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            parsed
+                .get("step_kinds")
+                .and_then(|t| t.get("outE"))
+                .and_then(|h| h.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn profile_json_reports_eviction_counters() {
+        // The bench snapshot JSON and the per-query profile JSON must agree
+        // on eviction field names.
+        let p = Profiler::enabled();
+        p.record_template_eviction();
+        p.record_pattern_eviction();
+        p.record_pattern_eviction();
+        let r = p.report();
+        assert_eq!(r.template_evictions, 1);
+        assert_eq!(r.pattern_evictions, 2);
+        let json = Json::parse(&r.to_json().to_compact()).unwrap();
+        let totals = json.get("totals").unwrap();
+        assert_eq!(totals.get("template_evictions").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(totals.get("pattern_evictions").and_then(|v| v.as_u64()), Some(2));
+    }
+
+    #[test]
+    fn step_kind_extracts_prefix() {
+        assert_eq!(step_kind("outE(Knows)"), "outE");
+        assert_eq!(step_kind("has(name eq x)"), "has");
+        assert_eq!(step_kind("count"), "count");
     }
 }

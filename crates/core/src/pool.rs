@@ -19,6 +19,13 @@
 //! parallelism. A count of 1 (or a batch of 1 job) short-circuits to plain
 //! inline execution with zero threading overhead — the sequential and
 //! parallel paths are the same code.
+//!
+//! Observability: the pool itself records nothing. Callers that need
+//! per-job telemetry (the backend's `fan_out`) give each job a forked
+//! [`Tracer`](crate::trace::Tracer)/`Profiler` and absorb the forks back in
+//! job order after [`run_ordered`] returns — the same ordering guarantee
+//! that makes results deterministic makes the absorbed span *tree*
+//! deterministic at any thread count (see `docs/OBSERVABILITY.md`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::RwLock;
 use reldb::{Database, DbResult, Prepared, RowSet, Value};
 
+use crate::json::Json;
 use crate::metrics::{MetricsRegistry, Profiler};
 use crate::stats::OverlayStats;
 
@@ -38,15 +39,99 @@ pub const DEFAULT_TEMPLATE_CAP: usize = 512;
 /// Default cap on tracked workload patterns.
 pub const DEFAULT_PATTERN_CAP: usize = 1024;
 
-/// An index the dialect suggests creating.
+/// An index the dialect suggests creating, ranked by the wall time the
+/// driving pattern has cost so far (a proxy for the time an index would
+/// save — ROADMAP follow-up from PR 1).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct IndexSuggestion {
     pub table: String,
     pub columns: Vec<String>,
+    /// How many statements matched the driving pattern.
+    pub count: u64,
+    /// Cumulative observed statement wall time for the pattern, in nanos.
+    pub observed_nanos: u64,
 }
 
 /// A workload access pattern: (table name, predicate column list).
 pub type PatternKey = (String, Vec<String>);
+
+/// One observed access pattern with its cumulative cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadPattern {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub count: u64,
+    pub observed_nanos: u64,
+}
+
+/// Everything the advisor knows about the workload: every tracked pattern
+/// (cost-sorted) plus the index suggestions ranked by estimated time saved.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadReport {
+    pub patterns: Vec<WorkloadPattern>,
+    pub suggestions: Vec<IndexSuggestion>,
+}
+
+impl WorkloadReport {
+    pub fn to_json(&self) -> Json {
+        let pattern_json = |table: &str, columns: &[String], count: u64, nanos: u64| {
+            Json::obj(vec![
+                ("table", Json::str(table)),
+                ("columns", Json::arr(columns.iter().map(Json::str).collect())),
+                ("count", Json::u64(count)),
+                ("observed_nanos", Json::u64(nanos)),
+            ])
+        };
+        Json::obj(vec![
+            (
+                "patterns",
+                Json::arr(
+                    self.patterns
+                        .iter()
+                        .map(|p| pattern_json(&p.table, &p.columns, p.count, p.observed_nanos))
+                        .collect(),
+                ),
+            ),
+            (
+                "suggestions",
+                Json::arr(
+                    self.suggestions
+                        .iter()
+                        .map(|s| pattern_json(&s.table, &s.columns, s.count, s.observed_nanos))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Display for WorkloadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "workload: {} pattern(s) tracked", self.patterns.len())?;
+        for p in &self.patterns {
+            writeln!(
+                f,
+                "  {}({}) seen {}x, {}",
+                p.table,
+                p.columns.join(", "),
+                p.count,
+                crate::metrics::fmt_nanos(p.observed_nanos)
+            )?;
+        }
+        writeln!(f, "suggestions ({}):", self.suggestions.len())?;
+        for s in &self.suggestions {
+            writeln!(
+                f,
+                "  CREATE INDEX ON {}({}) -- {}x, {}",
+                s.table,
+                s.columns.join(", "),
+                s.count,
+                crate::metrics::fmt_nanos(s.observed_nanos)
+            )?;
+        }
+        Ok(())
+    }
+}
 
 /// A cached prepared template plus its admission sequence number (used for
 /// FIFO eviction once the cache is full).
@@ -55,9 +140,11 @@ struct CachedTemplate {
     seq: u64,
 }
 
-/// A tracked workload pattern: occurrence counter plus admission sequence.
+/// A tracked workload pattern: occurrence counter, cumulative observed
+/// statement wall time, and admission sequence.
 struct TrackedPattern {
     count: Arc<AtomicU64>,
+    nanos: Arc<AtomicU64>,
     seq: u64,
 }
 
@@ -132,14 +219,15 @@ impl SqlDialect {
         params: &[Value],
         pattern: Option<(&str, &[String])>,
     ) -> DbResult<RowSet> {
+        let mut pattern_nanos: Option<Arc<AtomicU64>> = None;
         if let Some((table, cols)) = pattern {
             let key = (table.to_ascii_lowercase(), cols.to_vec());
-            let counter = {
+            let tracked = {
                 let read = self.patterns.read();
-                read.get(&key).map(|p| p.count.clone())
+                read.get(&key).map(|p| (p.count.clone(), p.nanos.clone()))
             };
-            let counter = match counter {
-                Some(c) => c,
+            let (counter, nanos) = match tracked {
+                Some(t) => t,
                 None => {
                     let mut write = self.patterns.write();
                     if !write.contains_key(&key) && write.len() >= self.pattern_cap {
@@ -153,20 +241,20 @@ impl SqlDialect {
                         {
                             write.remove(&victim);
                             self.registry.record_pattern_eviction();
+                            profiler.record_pattern_eviction();
                         }
                     }
                     let seq = self.admissions.fetch_add(1, Ordering::Relaxed);
-                    write
-                        .entry(key)
-                        .or_insert_with(|| TrackedPattern {
-                            count: Arc::new(AtomicU64::new(0)),
-                            seq,
-                        })
-                        .count
-                        .clone()
+                    let entry = write.entry(key).or_insert_with(|| TrackedPattern {
+                        count: Arc::new(AtomicU64::new(0)),
+                        nanos: Arc::new(AtomicU64::new(0)),
+                        seq,
+                    });
+                    (entry.count.clone(), entry.nanos.clone())
                 }
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            pattern_nanos = Some(nanos);
         }
         let (prepared, cache_hit) = {
             let hit = self.templates.read().get(template).map(|t| t.prepared.clone());
@@ -190,6 +278,7 @@ impl SqlDialect {
                             {
                                 write.remove(&victim);
                                 self.registry.record_template_eviction();
+                                profiler.record_template_eviction();
                             }
                         }
                         let seq = self.admissions.fetch_add(1, Ordering::Relaxed);
@@ -209,6 +298,10 @@ impl SqlDialect {
         let nanos = start.elapsed().as_nanos() as u64;
         let rows = result.as_ref().map(|rs| rs.rows.len()).unwrap_or(0);
         self.registry.record_statement(rows as u64, nanos);
+        self.registry.record_sql_latency(template, nanos);
+        if let Some(acc) = pattern_nanos {
+            acc.fetch_add(nanos, Ordering::Relaxed);
+        }
         profiler.record_statement(template, cache_hit, rows, nanos);
         result
     }
@@ -234,23 +327,63 @@ impl SqlDialect {
             .collect()
     }
 
+    /// Every tracked pattern with its count and cumulative observed wall
+    /// time, costliest first (ties: most seen, then key order).
+    pub fn pattern_stats(&self) -> Vec<(PatternKey, u64, u64)> {
+        let mut out: Vec<(PatternKey, u64, u64)> = self
+            .patterns
+            .read()
+            .iter()
+            .map(|(k, p)| {
+                (k.clone(), p.count.load(Ordering::Relaxed), p.nanos.load(Ordering::Relaxed))
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.2.cmp(&a.2).then_with(|| b.1.cmp(&a.1)).then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+
     /// Indexes that would serve the frequent patterns and do not already
-    /// exist.
+    /// exist, ranked by the cumulative observed wall time of the driving
+    /// pattern (costliest first) — the statements an index would speed up
+    /// the most come first.
     pub fn suggested_indexes(&self) -> Vec<IndexSuggestion> {
         let mut out = Vec::new();
-        for ((table, cols), _) in self.frequent_patterns() {
-            if cols.is_empty() {
+        for ((table, cols), count, observed_nanos) in self.pattern_stats() {
+            if count < self.frequency_threshold || cols.is_empty() {
                 continue;
             }
             let Some(t) = self.db.get_table(&table) else { continue };
             let guard = t.read();
             if guard.find_index(&cols).is_none() {
-                out.push(IndexSuggestion { table: t.schema.name.clone(), columns: cols });
+                out.push(IndexSuggestion {
+                    table: t.schema.name.clone(),
+                    columns: cols,
+                    count,
+                    observed_nanos,
+                });
             }
         }
-        out.sort();
-        out.dedup();
+        // pattern_stats is already cost-sorted and its keys are unique, so
+        // the ranked order carries through without a dedup pass.
         out
+    }
+
+    /// The advisor's full view of the workload: cost-sorted pattern stats
+    /// plus the ranked index suggestions.
+    pub fn workload_report(&self) -> WorkloadReport {
+        let patterns = self
+            .pattern_stats()
+            .into_iter()
+            .map(|((table, columns), count, observed_nanos)| WorkloadPattern {
+                table,
+                columns,
+                count,
+                observed_nanos,
+            })
+            .collect();
+        WorkloadReport { patterns, suggestions: self.suggested_indexes() }
     }
 
     /// Create every suggested index; returns how many were created.
@@ -575,11 +708,57 @@ mod tests {
         let suggestions = dialect.suggested_indexes();
         assert_eq!(suggestions.len(), 1);
         assert_eq!(suggestions[0].columns, vec!["src".to_string()]);
-        // Applying creates the index; suggestions then clear.
-        assert_eq!(dialect.apply_suggested_indexes().unwrap(), 1);
+        assert_eq!(suggestions[0].count, 6);
+        // Real wall time accumulated on the pattern and flows through.
+        assert!(suggestions[0].observed_nanos > 0);
+
+        // A second frequent pattern on 'name'. Pin the observed wall time
+        // on both patterns directly (the counters are ours) so the ranking
+        // assertion is deterministic: 'name' must cost more than 'src'.
+        for i in 0..5 {
+            dialect
+                .query(
+                    &stats,
+                    &Profiler::disabled(),
+                    "SELECT * FROM t WHERE name = ?",
+                    &[Value::Varchar(format!("n{i}"))],
+                    Some(("t", &["name".to_string()])),
+                )
+                .unwrap();
+        }
+        {
+            let patterns = dialect.patterns.read();
+            patterns[&("t".to_string(), vec!["src".to_string()])]
+                .nanos
+                .store(1_000, Ordering::Relaxed);
+            patterns[&("t".to_string(), vec!["name".to_string()])]
+                .nanos
+                .store(9_000, Ordering::Relaxed);
+        }
+        let ranked = dialect.suggested_indexes();
+        assert_eq!(ranked.len(), 2);
+        // Costliest pattern first, even though 'src' was seen more often.
+        assert_eq!(ranked[0].columns, vec!["name".to_string()]);
+        assert_eq!(ranked[0].observed_nanos, 9_000);
+        assert_eq!(ranked[0].count, 5);
+        assert_eq!(ranked[1].columns, vec!["src".to_string()]);
+        assert_eq!(ranked[1].observed_nanos, 1_000);
+
+        // The workload report carries the same ranking and serializes.
+        let report = dialect.workload_report();
+        assert_eq!(report.suggestions, ranked);
+        assert_eq!(report.patterns[0].columns, vec!["name".to_string()]);
+        let json = Json::parse(&report.to_json().to_compact()).unwrap();
+        let first = json.get("suggestions").and_then(|s| s.as_array()).unwrap()[0].clone();
+        assert_eq!(first.get("observed_nanos").and_then(|v| v.as_u64()), Some(9_000));
+
+        // Applying creates both indexes in ranked order; suggestions clear.
+        assert_eq!(dialect.apply_suggested_indexes().unwrap(), 2);
         assert!(dialect.suggested_indexes().is_empty());
-        // The new index is actually used: plan shows a probe.
+        // The new indexes are actually used: plans show probes.
         let plan = db.explain("SELECT * FROM t WHERE src = 3").unwrap();
+        assert!(plan.contains("INDEX-EQ"), "{plan}");
+        let plan = db.explain("SELECT * FROM t WHERE name = 'n1'").unwrap();
         assert!(plan.contains("INDEX-EQ"), "{plan}");
     }
 

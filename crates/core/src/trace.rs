@@ -1,0 +1,668 @@
+//! Hierarchical trace spans: always-on runtime telemetry for the overlay.
+//!
+//! Where the [`Profiler`](crate::metrics::Profiler) answers *what did this
+//! one query do* as a flat per-layer report, the tracer answers *where did
+//! the time go, structurally*: every query produces a tree of spans —
+//! query → strategy rewrites → steps → table decisions / SQL statements,
+//! with pool-worker children nested under the step that fanned them out —
+//! which lands in a bounded process-lifetime ring buffer ([`TraceSink`])
+//! and exports as Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) or JSONL.
+//!
+//! Two properties are load-bearing and pinned by tests:
+//!
+//! * **Disabled tracing is one null-check per event.** A [`Tracer`] is an
+//!   `Option<Arc<...>>`, exactly like the disabled profiler: when `None`,
+//!   every record call branches on the option and returns — no locks, no
+//!   allocation, no timestamps, not even attribute formatting (attributes
+//!   are built by closures that only run when enabled).
+//! * **Trace structure is deterministic at any thread count.** Worker
+//!   threads record into a forked tracer; the coordinator absorbs the
+//!   forks back in job-submission order and re-parents each fork's root
+//!   spans under the span that was open at the fan-out site (the step
+//!   span). The same fork/absorb discipline the profiler uses makes the
+//!   span *tree* identical between `DB2GRAPH_THREADS=1` and `=8` — only
+//!   the timestamps differ.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+
+/// Default capacity of the span ring buffer (spans, not bytes).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// What layer of the pipeline a span came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The root span of one Gremlin script execution.
+    Query,
+    /// A compile-time strategy application that changed the plan.
+    Strategy,
+    /// One top-level executor step.
+    Step,
+    /// A Graph Structure table-elimination decision (zero duration).
+    Table,
+    /// One SQL statement executed by the dialect.
+    Sql,
+    /// One fan-out job run on the worker pool.
+    Worker,
+}
+
+impl SpanKind {
+    /// Stable lowercase name (used as the Chrome event category).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::Strategy => "strategy",
+            SpanKind::Step => "step",
+            SpanKind::Table => "table",
+            SpanKind::Sql => "sql",
+            SpanKind::Worker => "worker",
+        }
+    }
+}
+
+/// One recorded span. `parent` is an index into the same query's span
+/// batch until the batch lands in a [`TraceSink`], which rewrites it into
+/// a global id (see [`TracedSpan`]).
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub name: String,
+    pub kind: SpanKind,
+    pub parent: Option<usize>,
+    /// Start time in nanoseconds since the tracer's epoch.
+    pub start_nanos: u64,
+    pub dur_nanos: u64,
+    /// Virtual track: 0 for the coordinator, a per-fork number for spans
+    /// absorbed from a worker fork. Assigned in absorb order, so it is
+    /// deterministic across thread counts.
+    pub track: u32,
+    pub attrs: Vec<(String, String)>,
+}
+
+/// Handle to an open span; `None` when the tracer is disabled.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanHandle(Option<usize>);
+
+impl SpanHandle {
+    pub fn is_none(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+#[derive(Default)]
+struct TraceData {
+    spans: Vec<Span>,
+    /// Indices of currently open spans, innermost last. New spans parent
+    /// under the top of this stack.
+    stack: Vec<usize>,
+    /// Next virtual track to hand to an absorbed fork.
+    next_track: u32,
+}
+
+struct TracerInner {
+    /// All forks of one tracer share this epoch (it is `Copy`), so
+    /// absorbed timestamps stay on one coherent axis.
+    epoch: Instant,
+    data: Mutex<TraceData>,
+}
+
+/// Per-query span collector. Cheap to clone (shared interior); a disabled
+/// tracer records nothing and costs one pointer-null check per event.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A tracer that drops every event — the default for untraced queries.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A collecting tracer with a fresh epoch.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                epoch: Instant::now(),
+                data: Mutex::new(TraceData { spans: Vec::new(), stack: Vec::new(), next_track: 1 }),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn now(inner: &TracerInner) -> u64 {
+        inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Open a span as a child of the innermost open span.
+    pub fn start(&self, name: &str, kind: SpanKind) -> SpanHandle {
+        self.start_with(name, kind, Vec::new)
+    }
+
+    /// [`Self::start`] with attributes; the closure runs only when enabled.
+    pub fn start_with<F>(&self, name: &str, kind: SpanKind, attrs: F) -> SpanHandle
+    where
+        F: FnOnce() -> Vec<(String, String)>,
+    {
+        let Some(inner) = &self.inner else { return SpanHandle(None) };
+        let now = Self::now(inner);
+        let mut d = inner.data.lock();
+        let parent = d.stack.last().copied();
+        let idx = d.spans.len();
+        d.spans.push(Span {
+            name: name.to_string(),
+            kind,
+            parent,
+            start_nanos: now,
+            dur_nanos: 0,
+            track: 0,
+            attrs: attrs(),
+        });
+        d.stack.push(idx);
+        SpanHandle(Some(idx))
+    }
+
+    /// Close a span opened by [`Self::start`], setting its duration.
+    pub fn end(&self, handle: SpanHandle) {
+        let Some(inner) = &self.inner else { return };
+        let SpanHandle(Some(idx)) = handle else { return };
+        let now = Self::now(inner);
+        let mut d = inner.data.lock();
+        if let Some(s) = d.spans.get_mut(idx) {
+            s.dur_nanos = now.saturating_sub(s.start_nanos);
+        }
+        if d.stack.last() == Some(&idx) {
+            d.stack.pop();
+        } else {
+            d.stack.retain(|&i| i != idx);
+        }
+    }
+
+    /// Close the innermost open span (used by strictly nested callers that
+    /// cannot carry the handle, like observer callbacks).
+    pub fn pop(&self) {
+        let Some(inner) = &self.inner else { return };
+        let now = Self::now(inner);
+        let mut d = inner.data.lock();
+        if let Some(idx) = d.stack.pop() {
+            let s = &mut d.spans[idx];
+            s.dur_nanos = now.saturating_sub(s.start_nanos);
+        }
+    }
+
+    /// Record a zero-duration child of the innermost open span (e.g. a
+    /// table-elimination decision). The closure runs only when enabled.
+    pub fn event<F>(&self, name: &str, kind: SpanKind, attrs: F)
+    where
+        F: FnOnce() -> Vec<(String, String)>,
+    {
+        self.span_with_duration(name, kind, 0, attrs);
+    }
+
+    /// Record an already-measured span (e.g. a SQL statement timed by the
+    /// dialect): it ends now and started `nanos` ago, parented under the
+    /// innermost open span. The closure runs only when enabled.
+    pub fn span_with_duration<F>(&self, name: &str, kind: SpanKind, nanos: u64, attrs: F)
+    where
+        F: FnOnce() -> Vec<(String, String)>,
+    {
+        let Some(inner) = &self.inner else { return };
+        let now = Self::now(inner);
+        let mut d = inner.data.lock();
+        let parent = d.stack.last().copied();
+        d.spans.push(Span {
+            name: name.to_string(),
+            kind,
+            parent,
+            start_nanos: now.saturating_sub(nanos),
+            dur_nanos: nanos,
+            track: 0,
+            attrs: attrs(),
+        });
+    }
+
+    /// A fresh tracer with the same enablement **and the same epoch**:
+    /// worker threads record into their own fork, and the coordinator
+    /// [`Self::absorb`]s the forks in job order — the span tree is the
+    /// same at any thread count. Forking a disabled tracer is free.
+    pub fn fork(&self) -> Tracer {
+        match &self.inner {
+            None => Tracer { inner: None },
+            Some(inner) => Tracer {
+                inner: Some(Arc::new(TracerInner {
+                    epoch: inner.epoch,
+                    data: Mutex::new(TraceData {
+                        spans: Vec::new(),
+                        stack: Vec::new(),
+                        next_track: 1,
+                    }),
+                })),
+            },
+        }
+    }
+
+    /// Append every span recorded in `other` (draining it). Root spans of
+    /// the fork (those with no parent inside it) are re-parented under the
+    /// innermost span currently open here — the step span at the fan-out
+    /// site — and the whole fork is assigned the next virtual track.
+    pub fn absorb(&self, other: &Tracer) {
+        let (Some(inner), Some(theirs)) = (&self.inner, &other.inner) else { return };
+        let forked = {
+            let mut t = theirs.data.lock();
+            t.stack.clear();
+            std::mem::take(&mut t.spans)
+        };
+        if forked.is_empty() {
+            return;
+        }
+        let mut d = inner.data.lock();
+        let offset = d.spans.len();
+        let parent_here = d.stack.last().copied();
+        let track = d.next_track;
+        d.next_track += 1;
+        for mut s in forked {
+            s.parent = match s.parent {
+                Some(p) => Some(p + offset),
+                None => parent_here,
+            };
+            s.track = track;
+            d.spans.push(s);
+        }
+    }
+
+    /// Drain the recorded spans, closing any still-open span (a query that
+    /// errored mid-step leaves its step span open) at the current time.
+    pub fn finish(&self) -> Vec<Span> {
+        let Some(inner) = &self.inner else { return Vec::new() };
+        let now = Self::now(inner);
+        let mut d = inner.data.lock();
+        let stack = std::mem::take(&mut d.stack);
+        for idx in stack {
+            let s = &mut d.spans[idx];
+            if s.dur_nanos == 0 {
+                s.dur_nanos = now.saturating_sub(s.start_nanos);
+            }
+        }
+        std::mem::take(&mut d.spans)
+    }
+}
+
+// ------------------------------------------------------------------ sink
+
+/// A span with its sink-global id and resolved parent id.
+#[derive(Debug, Clone)]
+pub struct TracedSpan {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub span: Span,
+}
+
+struct SinkInner {
+    buf: VecDeque<TracedSpan>,
+    next_id: u64,
+}
+
+/// Bounded, lock-cheap ring buffer of completed spans, shared by every
+/// query of one graph. One lock acquisition per *query* (spans arrive as a
+/// batch from [`Tracer::finish`]); when the ring wraps, the oldest spans
+/// are dropped and counted.
+pub struct TraceSink {
+    capacity: usize,
+    dropped: AtomicU64,
+    total: AtomicU64,
+    inner: Mutex<SinkInner>,
+}
+
+impl TraceSink {
+    pub fn new(capacity: usize) -> TraceSink {
+        TraceSink {
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            inner: Mutex::new(SinkInner { buf: VecDeque::new(), next_id: 0 }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans dropped because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Spans ever pushed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Spans currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one query's spans, assigning global ids and rewriting
+    /// batch-local parent indices; evicts the oldest spans past capacity.
+    pub fn push_batch(&self, spans: Vec<Span>) {
+        if spans.is_empty() {
+            return;
+        }
+        self.total.fetch_add(spans.len() as u64, Ordering::Relaxed);
+        let mut g = self.inner.lock();
+        let base = g.next_id;
+        g.next_id += spans.len() as u64;
+        for (i, span) in spans.into_iter().enumerate() {
+            let parent = span.parent.map(|p| base + p as u64);
+            g.buf.push_back(TracedSpan { id: base + i as u64, parent, span });
+        }
+        let mut evicted = 0u64;
+        while g.buf.len() > self.capacity {
+            g.buf.pop_front();
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.dropped.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// The retained spans, oldest first.
+    pub fn snapshot(&self) -> Vec<TracedSpan> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Timing-free rendering of the span forest, one line per span in
+    /// recording order: `[kind|track] root > ... > name {attrs}`. Two runs
+    /// of the same workload produce identical lines at any thread count —
+    /// the seq ≡ par trace-structure tests compare exactly this.
+    pub fn structure_lines(&self) -> Vec<String> {
+        let spans = self.snapshot();
+        let mut paths: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(spans.len());
+        for ts in &spans {
+            let prefix = ts
+                .parent
+                .and_then(|p| paths.get(&p))
+                .map(|p| format!("{p} > "))
+                .unwrap_or_default();
+            let path = format!("{prefix}{}", ts.span.name);
+            let attrs: Vec<String> =
+                ts.span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push(format!(
+                "[{}|t{}] {path} {{{}}}",
+                ts.span.kind.as_str(),
+                ts.span.track,
+                attrs.join(",")
+            ));
+            paths.insert(ts.id, path);
+        }
+        out
+    }
+
+    /// Chrome trace-event JSON (the `{"traceEvents": [...]}` object form),
+    /// loadable in Perfetto / `chrome://tracing`. Every span becomes a
+    /// complete ("X") event; `args` carries the span id, parent id and
+    /// attributes so the hierarchy survives the export machine-readably.
+    pub fn to_chrome_json(&self) -> Json {
+        let events: Vec<Json> = self.snapshot().iter().map(chrome_event).collect();
+        Json::obj(vec![
+            ("traceEvents", Json::arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+    }
+
+    /// One JSON object per span per line, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ts in self.snapshot() {
+            out.push_str(&jsonl_event(&ts).to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the Chrome trace-event JSON to a file.
+    pub fn export_chrome(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json().to_compact())
+    }
+
+    /// Write the JSONL form to a file.
+    pub fn export_jsonl(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+fn chrome_event(ts: &TracedSpan) -> Json {
+    let mut args = vec![("id".to_string(), Json::u64(ts.id))];
+    if let Some(p) = ts.parent {
+        args.push(("parent".to_string(), Json::u64(p)));
+    }
+    for (k, v) in &ts.span.attrs {
+        args.push((k.clone(), Json::str(v)));
+    }
+    Json::obj(vec![
+        ("name", Json::str(&ts.span.name)),
+        ("cat", Json::str(ts.span.kind.as_str())),
+        ("ph", Json::str("X")),
+        ("ts", Json::num(ts.span.start_nanos as f64 / 1_000.0)),
+        ("dur", Json::num(ts.span.dur_nanos as f64 / 1_000.0)),
+        ("pid", Json::u64(1)),
+        ("tid", Json::u64(ts.span.track as u64 + 1)),
+        ("args", Json::Obj(args)),
+    ])
+}
+
+fn jsonl_event(ts: &TracedSpan) -> Json {
+    let mut fields = vec![
+        ("id", Json::u64(ts.id)),
+        ("name", Json::str(&ts.span.name)),
+        ("kind", Json::str(ts.span.kind.as_str())),
+        ("start_nanos", Json::u64(ts.span.start_nanos)),
+        ("dur_nanos", Json::u64(ts.span.dur_nanos)),
+        ("track", Json::u64(ts.span.track as u64)),
+    ];
+    if let Some(p) = ts.parent {
+        fields.insert(1, ("parent", Json::u64(p)));
+    }
+    let attrs: Vec<(String, Json)> =
+        ts.span.attrs.iter().map(|(k, v)| (k.clone(), Json::str(v))).collect();
+    fields.push(("attrs", Json::Obj(attrs)));
+    Json::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The contract the hot path relies on: a disabled tracer is a single
+    /// null-check per event — `Option<Arc<..>>` niche-packed to one
+    /// pointer, no attribute closures invoked, nothing recorded.
+    #[test]
+    fn disabled_tracer_is_one_null_check() {
+        assert_eq!(
+            std::mem::size_of::<Tracer>(),
+            std::mem::size_of::<usize>(),
+            "Tracer must stay a niche-packed Option<Arc<..>> pointer"
+        );
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let h = t.start_with("q", SpanKind::Query, || {
+            panic!("attr closure must not run when disabled")
+        });
+        assert!(h.is_none());
+        t.event("e", SpanKind::Table, || panic!("attr closure must not run when disabled"));
+        t.span_with_duration("s", SpanKind::Sql, 10, || {
+            panic!("attr closure must not run when disabled")
+        });
+        t.end(h);
+        t.pop();
+        let fork = t.fork();
+        assert!(!fork.is_enabled());
+        t.absorb(&fork);
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_under_open_parent() {
+        let t = Tracer::enabled();
+        let q = t.start("query", SpanKind::Query);
+        t.event("Strategy", SpanKind::Strategy, || vec![("a".into(), "b".into())]);
+        let s = t.start("Step", SpanKind::Step);
+        t.span_with_duration("SELECT 1", SpanKind::Sql, 5, Vec::new);
+        t.end(s);
+        t.end(q);
+        let spans = t.finish();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0)); // strategy under query
+        assert_eq!(spans[2].parent, Some(0)); // step under query
+        assert_eq!(spans[3].parent, Some(2)); // sql under step
+        assert_eq!(spans[3].dur_nanos, 5);
+        assert_eq!(spans[1].attrs, vec![("a".to_string(), "b".to_string())]);
+    }
+
+    #[test]
+    fn fork_absorb_reparents_under_fanout_site() {
+        let t = Tracer::enabled();
+        let q = t.start("query", SpanKind::Query);
+        let step = t.start("Step", SpanKind::Step);
+        let forks: Vec<Tracer> = (0..2).map(|_| t.fork()).collect();
+        for (i, f) in forks.iter().enumerate() {
+            let w = f.start_with("worker", SpanKind::Worker, || {
+                vec![("job".into(), i.to_string())]
+            });
+            f.span_with_duration("SELECT x", SpanKind::Sql, 1, Vec::new);
+            f.end(w);
+        }
+        for f in &forks {
+            t.absorb(f);
+        }
+        t.end(step);
+        t.end(q);
+        let spans = t.finish();
+        // query, step, then per fork: worker + sql.
+        assert_eq!(spans.len(), 6);
+        assert_eq!(spans[2].name, "worker");
+        assert_eq!(spans[2].parent, Some(1), "fork root re-parents under the step");
+        assert_eq!(spans[3].parent, Some(2), "fork-internal parent offsets shift");
+        assert_eq!(spans[2].track, 1);
+        assert_eq!(spans[4].track, 2, "each fork gets its own track");
+        assert_eq!(spans[4].parent, Some(1));
+        assert_eq!(spans[5].parent, Some(4));
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans() {
+        let t = Tracer::enabled();
+        t.start("query", SpanKind::Query);
+        t.start("Step", SpanKind::Step);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let spans = t.finish();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.dur_nanos > 0), "{spans:?}");
+    }
+
+    #[test]
+    fn ring_buffer_wraps_in_order_and_counts_drops() {
+        let sink = TraceSink::new(4);
+        let t = Tracer::enabled();
+        for i in 0..6 {
+            t.event(&format!("e{i}"), SpanKind::Sql, Vec::new);
+        }
+        sink.push_batch(t.finish());
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.total(), 6);
+        let names: Vec<String> =
+            sink.snapshot().iter().map(|s| s.span.name.clone()).collect();
+        assert_eq!(names, vec!["e2", "e3", "e4", "e5"], "oldest spans drop first");
+        let ids: Vec<u64> = sink.snapshot().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![2, 3, 4, 5], "global ids survive the wrap");
+        // A second batch keeps wrapping.
+        let t2 = Tracer::enabled();
+        t2.event("late", SpanKind::Sql, Vec::new);
+        sink.push_batch(t2.finish());
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.snapshot().last().unwrap().span.name, "late");
+    }
+
+    #[test]
+    fn sink_rewrites_parents_to_global_ids() {
+        let sink = TraceSink::new(16);
+        for _ in 0..2 {
+            let t = Tracer::enabled();
+            let q = t.start("query", SpanKind::Query);
+            t.event("child", SpanKind::Table, Vec::new);
+            t.end(q);
+            sink.push_batch(t.finish());
+        }
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[3].parent, Some(spans[2].id));
+        assert_ne!(spans[1].parent, spans[3].parent, "batches get distinct ids");
+    }
+
+    #[test]
+    fn chrome_export_parses_and_carries_hierarchy() {
+        let sink = TraceSink::new(16);
+        let t = Tracer::enabled();
+        let q = t.start_with("query", SpanKind::Query, || {
+            vec![("gremlin".into(), "g.V()".into())]
+        });
+        t.span_with_duration("SELECT 1", SpanKind::Sql, 1_500, Vec::new);
+        t.end(q);
+        sink.push_batch(t.finish());
+        let json = Json::parse(&sink.to_chrome_json().to_compact()).unwrap();
+        let events = json.get("traceEvents").unwrap();
+        let Json::Arr(events) = events else { panic!("traceEvents must be an array") };
+        assert_eq!(events.len(), 2);
+        for e in events {
+            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"] {
+                assert!(e.get(key).is_some(), "missing {key} in {e:?}");
+            }
+        }
+        let sql = &events[1];
+        assert_eq!(sql.get("cat").and_then(|c| c.as_str()), Some("sql"));
+        assert_eq!(
+            sql.get("args").and_then(|a| a.get("parent")).and_then(|p| p.as_u64()),
+            events[0].get("args").and_then(|a| a.get("id")).and_then(|p| p.as_u64()),
+        );
+        // JSONL: one parseable object per line.
+        let jsonl = sink.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            let obj = Json::parse(line).unwrap();
+            assert!(obj.get("kind").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn structure_lines_are_timing_free_paths() {
+        let sink = TraceSink::new(16);
+        let t = Tracer::enabled();
+        let q = t.start("query", SpanKind::Query);
+        let s = t.start("Step", SpanKind::Step);
+        t.end(s);
+        t.end(q);
+        sink.push_batch(t.finish());
+        let lines = sink.structure_lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "[query|t0] query {}");
+        assert_eq!(lines[1], "[step|t0] query > Step {}");
+    }
+}

@@ -120,11 +120,13 @@ impl<'a> Executor<'a> {
                 let mut current = Vec::new();
                 for (i, step) in traversal.steps.iter().enumerate() {
                     let in_count = current.len();
+                    let desc = step.describe();
+                    obs.step_started(i, &desc);
                     let start = std::time::Instant::now();
                     current = self.run_step(step, current, &mut ctx)?;
                     obs.step_finished(
                         i,
-                        &step.describe(),
+                        &desc,
                         in_count,
                         current.len(),
                         start.elapsed().as_nanos() as u64,

@@ -18,6 +18,14 @@ pub trait TraversalObserver: Send + Sync {
     /// they differ.
     fn strategy_applied(&self, _name: &str, _before: &str, _after: &str) {}
 
+    /// A top-level step is about to run. Paired with [`step_finished`] —
+    /// an observer that builds hierarchical traces opens a span here and
+    /// closes it when the step finishes, so backend events emitted during
+    /// the step nest under it.
+    ///
+    /// [`step_finished`]: TraversalObserver::step_finished
+    fn step_started(&self, _index: usize, _description: &str) {}
+
     /// A top-level step finished. `index` is the step's position in the
     /// optimized plan, `in_count`/`out_count` are the traverser frontier
     /// sizes before and after, `nanos` is wall time spent in the step
@@ -53,6 +61,7 @@ mod tests {
     fn defaults_are_inert() {
         let o = NoopObserver;
         o.strategy_applied("x", "a", "b");
+        o.step_started(0, "s");
         o.step_finished(0, "s", 1, 2, 3);
         assert!(o.take_report().is_none());
     }

@@ -77,4 +77,17 @@ fn main() {
         "Patients found by the graph side alone: {:?}",
         names.iter().map(|v| v.to_string()).collect::<Vec<_>>()
     );
+
+    // What the telemetry layer observed while the queries above ran: the
+    // SQL Dialect's workload view (pattern costs + wall-time-ranked index
+    // suggestions) and the aggregate latency snapshot. With
+    // `DB2GRAPH_TRACE=<path>` set, a Perfetto-loadable Chrome trace of
+    // every span is additionally written when the graph drops.
+    println!("\n== Telemetry ==\n");
+    print!("{}", graph.workload_report());
+    let m = graph.metrics();
+    println!("metrics: {}", m.to_json().to_compact());
+    if graph.trace_sink().is_some() {
+        println!("tracing: enabled ({} span(s) retained)", m.trace_spans);
+    }
 }

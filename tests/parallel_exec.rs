@@ -156,6 +156,44 @@ fn parallel_profile_matches_sequential_modulo_timing() {
 }
 
 #[test]
+fn parallel_trace_structure_matches_sequential() {
+    // The span *tree* must be deterministic across thread counts: worker
+    // forks are absorbed in job order and re-parented under the fan-out
+    // site, so the timing-free structure rendering is identical at 1 and 4
+    // threads — spans differ only in timestamps.
+    let db = social_db();
+    let open_traced = |db: Arc<Database>, threads: usize| {
+        let options = GraphOptions {
+            threads: Some(threads),
+            trace: Some(true),
+            trace_capacity: Some(1 << 20),
+            ..Default::default()
+        };
+        Db2Graph::open_with_options(db, &social_overlay(), options).unwrap()
+    };
+    let g1 = open_traced(db.clone(), 1);
+    let g4 = open_traced(db, 4);
+    for q in CORPUS {
+        assert_eq!(g1.run(q).unwrap(), g4.run(q).unwrap(), "results diverge for {q}");
+    }
+    let seq = g1.trace_sink().unwrap().structure_lines();
+    let par = g4.trace_sink().unwrap().structure_lines();
+    assert!(!seq.is_empty());
+    assert_eq!(seq, par, "trace structure diverges between 1 and 4 threads");
+    // The corpus exercises every layer: the combined trace must contain
+    // query, step, table, sql and worker spans, with sql nesting under a
+    // worker under a step under a query.
+    for kind in ["[query|", "[step|", "[table|", "[sql|", "[worker|"] {
+        assert!(seq.iter().any(|l| l.starts_with(kind)), "no {kind} span in trace");
+    }
+    assert!(
+        seq.iter().any(|l| l.starts_with("[sql|") && l.contains(" > worker > ")),
+        "no sql span nested under a worker span:\n{}",
+        seq.join("\n")
+    );
+}
+
+#[test]
 fn self_loop_surfaces_once_per_incident_direction() {
     // Ann knows Ann: under TinkerPop semantics bothE() emits the self-loop
     // edge once for the out-incidence and once for the in-incidence.

@@ -232,6 +232,18 @@ fn metrics_snapshot_accumulates() {
     let json = after.to_json().to_compact();
     assert!(json.contains("\"traversals\":2"), "{json}");
     assert!(json.contains("\"sql_statements\":"), "{json}");
+
+    // Latency percentiles populate from the always-on histograms; the
+    // telemetry counters stay zero without tracing or a slow-query
+    // threshold configured.
+    assert!(after.query_p99_nanos > 0, "{after:?}");
+    assert!(after.sql_p99_nanos > 0, "{after:?}");
+    assert!(after.query_p50_nanos <= after.query_p99_nanos, "{after:?}");
+    assert_eq!(after.slow_queries, 0);
+    assert_eq!(after.trace_spans, 0);
+    assert_eq!(after.dropped_spans, 0);
+    assert!(json.contains("\"query_p50_nanos\":"), "{json}");
+    assert!(json.contains("\"sql_p99_nanos\":"), "{json}");
 }
 
 /// Profiling is opt-in: plain runs leave no per-query residue and return
