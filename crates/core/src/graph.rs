@@ -182,6 +182,13 @@ impl Db2Graph {
     }
 
     /// Run a Gremlin script; returns the final statement's results.
+    ///
+    /// The whole script executes against one storage snapshot pinned at
+    /// entry: every generated SQL statement — across all traversal steps
+    /// and all fan-out worker threads — observes the same committed
+    /// database state, even while concurrent writers commit (see
+    /// `docs/CONSISTENCY.md`). A nested `graphQuery` call issued *by SQL*
+    /// pins its own snapshot at its own start time.
     pub fn run(&self, gremlin: &str) -> GraphResult<Vec<GValue>> {
         self.backend.registry().record_traversal();
         // A `.profile()` terminator needs an observing pipeline; the
@@ -192,7 +199,8 @@ impl Db2Graph {
             return self.run_observed(gremlin).map(|(values, _)| values);
         }
         let start = std::time::Instant::now();
-        let runner = ScriptRunner::new(self.backend.as_ref())
+        let backend = self.backend.with_snapshot(Some(self.db.snapshot()));
+        let runner = ScriptRunner::new(&backend)
             .with_strategies(self.registry.clone())
             .with_options(self.options.exec.clone());
         let out = runner.run(gremlin).map_err(GraphError::Gremlin);
@@ -219,7 +227,10 @@ impl Db2Graph {
         let root = tracer.start_with("query", SpanKind::Query, || {
             vec![("gremlin".to_string(), gremlin.to_string())]
         });
-        let backend = self.backend.with_profiler(profiler.clone());
+        let backend = self
+            .backend
+            .with_snapshot(Some(self.db.snapshot()))
+            .with_profiler(profiler.clone());
         let runner = ScriptRunner::new(&backend)
             .with_strategies(self.registry.clone())
             .with_options(self.options.exec.clone())

@@ -32,7 +32,7 @@ use gremlin::backend::{
 };
 use gremlin::structure::{Edge, Element, ElementId, GValue, Vertex};
 use gremlin::GResult;
-use reldb::{Database, DataType, Row, RowSet, Value};
+use reldb::{Database, DataType, Row, RowSet, Snapshot, Value};
 
 use crate::error::{to_gremlin, GraphError, GraphResult};
 use crate::ids::{implicit_edge_id, split_implicit_edge_id, EdgeIdDef, IdDef};
@@ -94,6 +94,12 @@ pub struct Db2GraphBackend {
     pub(crate) profiler: Profiler,
     /// Worker threads for intra-query fan-out (1 = fully sequential).
     pub(crate) threads: usize,
+    /// The pinned storage snapshot every generated SQL statement reads.
+    /// `None` only for backends not yet bound to a query; [`Graph::run`]
+    /// and friends bind one via [`Self::with_snapshot`] so multi-statement
+    /// traversals observe a single committed database state even while
+    /// writers commit concurrently.
+    pub(crate) read_view: Option<Snapshot>,
 }
 
 impl Db2GraphBackend {
@@ -106,6 +112,7 @@ impl Db2GraphBackend {
             stats: Arc::new(OverlayStats::default()),
             profiler: Profiler::disabled(),
             threads: pool::configured_threads(),
+            read_view: None,
         }
     }
 
@@ -118,6 +125,22 @@ impl Db2GraphBackend {
             stats: self.stats.clone(),
             profiler,
             threads: self.threads,
+            read_view: self.read_view.clone(),
+        }
+    }
+
+    /// A shallow clone pinned to `snapshot`: every SQL statement the clone
+    /// generates (including fan-out worker jobs, which inherit the pin via
+    /// [`Self::with_profiler`]) reads that committed state. Pass `None` to
+    /// unpin and read the latest committed data per statement.
+    pub fn with_snapshot(&self, snapshot: Option<Snapshot>) -> Db2GraphBackend {
+        Db2GraphBackend {
+            topo: self.topo.clone(),
+            dialect: self.dialect.clone(),
+            stats: self.stats.clone(),
+            profiler: self.profiler.clone(),
+            threads: self.threads,
+            read_view: snapshot,
         }
     }
 
@@ -502,7 +525,14 @@ impl Db2GraphBackend {
         pattern_cols.dedup();
         let rs = self
             .dialect
-            .query(&self.stats, &self.profiler, &sql, &params, Some((&vt.name, &pattern_cols)))
+            .query_at(
+                &self.stats,
+                &self.profiler,
+                &sql,
+                &params,
+                Some((&vt.name, &pattern_cols)),
+                self.read_view.as_ref(),
+            )
             .map_err(GraphError::Db)?;
 
         if let Some(keys) = &filter.projection {
@@ -827,7 +857,14 @@ impl Db2GraphBackend {
         pattern_cols.dedup();
         let rs = self
             .dialect
-            .query(&self.stats, &self.profiler, &sql, &params, Some((&et.name, &pattern_cols)))
+            .query_at(
+                &self.stats,
+                &self.profiler,
+                &sql,
+                &params,
+                Some((&et.name, &pattern_cols)),
+                self.read_view.as_ref(),
+            )
             .map_err(GraphError::Db)?;
 
         let mut elements: Vec<Element> = Vec::with_capacity(rs.rows.len());
@@ -885,7 +922,7 @@ impl Db2GraphBackend {
                 let sql = build_select(table, &[], conjuncts, Some("COUNT(*)"));
                 let rs = self
                     .dialect
-                    .query(&self.stats, &self.profiler, &sql, params, pattern)
+                    .query_at(&self.stats, &self.profiler, &sql, params, pattern, self.read_view.as_ref())
                     .map_err(GraphError::Db)?;
                 let n = rs.scalar().and_then(|v| v.as_i64().ok()).unwrap_or(0);
                 Ok(TableResult::Agg(AggParts::from_count(op, n)))
@@ -901,7 +938,7 @@ impl Db2GraphBackend {
                     let sql = build_select(table, &[], conjuncts, Some("COUNT(*)"));
                     let rs = self
                         .dialect
-                        .query(&self.stats, &self.profiler, &sql, params, pattern)
+                        .query_at(&self.stats, &self.profiler, &sql, params, pattern, self.read_view.as_ref())
                         .map_err(GraphError::Db)?;
                     let n = rs.scalar().and_then(|v| v.as_i64().ok()).unwrap_or(0);
                     return Ok(TableResult::Agg(AggParts::from_count(op, n)));
@@ -918,7 +955,7 @@ impl Db2GraphBackend {
                     let sql = build_select(table, &[], conjuncts, Some(&func));
                     let rs = self
                         .dialect
-                        .query(&self.stats, &self.profiler, &sql, params, pattern)
+                        .query_at(&self.stats, &self.profiler, &sql, params, pattern, self.read_view.as_ref())
                         .map_err(GraphError::Db)?;
                     let row = rs.rows.first();
                     let all_long = matches!(column_type(k), Some(DataType::Bigint));

@@ -97,6 +97,7 @@ struct ProfileData {
     tables: Vec<TableDecision>,
     statements: Vec<SqlStatementProfile>,
     template_evictions: u64,
+    template_invalidations: u64,
     pattern_evictions: u64,
 }
 
@@ -171,6 +172,7 @@ impl Profiler {
         dst.tables.append(&mut data.tables);
         dst.statements.append(&mut data.statements);
         dst.template_evictions += data.template_evictions;
+        dst.template_invalidations += data.template_invalidations;
         dst.pattern_evictions += data.pattern_evictions;
     }
 
@@ -245,6 +247,13 @@ impl Profiler {
         inner.lock().template_evictions += 1;
     }
 
+    /// A cached template was re-prepared because DDL moved the catalog
+    /// generation past the one it was compiled under.
+    pub fn record_template_invalidation(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().template_invalidations += 1;
+    }
+
     /// A tracked workload pattern was evicted while this query executed.
     pub fn record_pattern_eviction(&self) {
         let Some(inner) = &self.inner else { return };
@@ -263,6 +272,7 @@ impl Profiler {
             tables: data.tables,
             statements: data.statements,
             template_evictions: data.template_evictions,
+            template_invalidations: data.template_invalidations,
             pattern_evictions: data.pattern_evictions,
         }
     }
@@ -311,6 +321,9 @@ pub struct ProfileReport {
     /// Prepared templates evicted from the dialect cache during this query
     /// (field name matches [`MetricsSnapshot::template_evictions`]).
     pub template_evictions: u64,
+    /// Cached templates re-prepared after DDL during this query (field name
+    /// matches [`MetricsSnapshot::template_invalidations`]).
+    pub template_invalidations: u64,
     /// Workload patterns evicted during this query (field name matches
     /// [`MetricsSnapshot::pattern_evictions`]).
     pub pattern_evictions: u64,
@@ -440,6 +453,7 @@ impl ProfileReport {
                     ("template_hits", Json::u64(self.template_hits() as u64)),
                     ("template_misses", Json::u64(self.template_misses() as u64)),
                     ("template_evictions", Json::u64(self.template_evictions)),
+                    ("template_invalidations", Json::u64(self.template_invalidations)),
                     ("pattern_evictions", Json::u64(self.pattern_evictions)),
                     ("sql_rows", Json::u64(self.total_rows() as u64)),
                     ("sql_nanos", Json::u64(self.total_sql_nanos())),
@@ -940,6 +954,7 @@ pub struct MetricsRegistry {
     template_hits: AtomicU64,
     template_misses: AtomicU64,
     template_evictions: AtomicU64,
+    template_invalidations: AtomicU64,
     pattern_evictions: AtomicU64,
     slow_queries: AtomicU64,
     query_latency: Histogram,
@@ -963,6 +978,12 @@ impl MetricsRegistry {
 
     pub fn record_template_eviction(&self) {
         self.template_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A cached template was re-prepared because DDL moved the catalog
+    /// generation past the one it was compiled under.
+    pub fn record_template_invalidation(&self) {
+        self.template_invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_pattern_eviction(&self) {
@@ -1035,6 +1056,7 @@ impl MetricsRegistry {
             template_hits: self.template_hits.load(Ordering::Relaxed),
             template_misses: self.template_misses.load(Ordering::Relaxed),
             template_evictions: self.template_evictions.load(Ordering::Relaxed),
+            template_invalidations: self.template_invalidations.load(Ordering::Relaxed),
             pattern_evictions: self.pattern_evictions.load(Ordering::Relaxed),
             slow_queries: self.slow_queries.load(Ordering::Relaxed),
             trace_spans: 0,
@@ -1063,6 +1085,8 @@ pub struct MetricsSnapshot {
     pub template_misses: u64,
     /// Prepared templates dropped because the cache hit its size cap.
     pub template_evictions: u64,
+    /// Cached templates re-prepared because DDL changed the catalog.
+    pub template_invalidations: u64,
     /// Workload patterns dropped because the tracker hit its size cap.
     pub pattern_evictions: u64,
     /// Completed queries whose wall time crossed the slow-query threshold.
@@ -1097,6 +1121,7 @@ impl MetricsSnapshot {
             template_hits: self.template_hits - earlier.template_hits,
             template_misses: self.template_misses - earlier.template_misses,
             template_evictions: self.template_evictions - earlier.template_evictions,
+            template_invalidations: self.template_invalidations - earlier.template_invalidations,
             pattern_evictions: self.pattern_evictions - earlier.pattern_evictions,
             slow_queries: self.slow_queries - earlier.slow_queries,
             trace_spans: self.trace_spans,
@@ -1122,6 +1147,7 @@ impl MetricsSnapshot {
             ("template_hits", Json::u64(self.template_hits)),
             ("template_misses", Json::u64(self.template_misses)),
             ("template_evictions", Json::u64(self.template_evictions)),
+            ("template_invalidations", Json::u64(self.template_invalidations)),
             ("pattern_evictions", Json::u64(self.pattern_evictions)),
             ("slow_queries", Json::u64(self.slow_queries)),
             ("trace_spans", Json::u64(self.trace_spans)),
@@ -1372,14 +1398,17 @@ mod tests {
         // on eviction field names.
         let p = Profiler::enabled();
         p.record_template_eviction();
+        p.record_template_invalidation();
         p.record_pattern_eviction();
         p.record_pattern_eviction();
         let r = p.report();
         assert_eq!(r.template_evictions, 1);
+        assert_eq!(r.template_invalidations, 1);
         assert_eq!(r.pattern_evictions, 2);
         let json = Json::parse(&r.to_json().to_compact()).unwrap();
         let totals = json.get("totals").unwrap();
         assert_eq!(totals.get("template_evictions").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(totals.get("template_invalidations").and_then(|v| v.as_u64()), Some(1));
         assert_eq!(totals.get("pattern_evictions").and_then(|v| v.as_u64()), Some(2));
     }
 

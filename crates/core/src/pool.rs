@@ -4,8 +4,10 @@
 //! probes — one per (edge table, source table, direction) for adjacency, one
 //! per vertex table for `V()`/`E()`, one per id chunk for endpoint
 //! resolution. These probes share nothing but read-only state (`reldb`'s
-//! `Database` takes `&self` everywhere and locks per table), so they can run
-//! on worker threads without any coordination beyond joining.
+//! `Database` takes `&self` everywhere, and every worker reads the one
+//! storage snapshot its query pinned at entry — see `docs/CONSISTENCY.md`),
+//! so they can run on worker threads without any coordination beyond
+//! joining, and concurrent writers never change what any worker observes.
 //!
 //! The pool is deliberately minimal: [`run_ordered`] executes a batch of
 //! closures on up to `threads` scoped threads (`std::thread::scope`, so

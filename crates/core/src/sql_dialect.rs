@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
-use reldb::{Database, DbResult, Prepared, RowSet, Value};
+use reldb::{Database, DbResult, Prepared, RowSet, Snapshot, Value};
 
 use crate::json::Json;
 use crate::metrics::{MetricsRegistry, Profiler};
@@ -133,6 +133,10 @@ impl std::fmt::Display for WorkloadReport {
     }
 }
 
+/// Pre-execution statement interception callback: receives the template
+/// text of every statement the dialect is about to execute.
+pub type StatementHook = Arc<dyn Fn(&str) + Send + Sync>;
+
 /// A cached prepared template plus its admission sequence number (used for
 /// FIFO eviction once the cache is full).
 struct CachedTemplate {
@@ -169,6 +173,11 @@ pub struct SqlDialect {
     /// Always-on aggregate counters (statement count, wall time, rows,
     /// template hit rate, evictions), shared with the owning graph.
     registry: Arc<MetricsRegistry>,
+    /// Test-only interception point: invoked with each statement's template
+    /// text right before execution. Lets concurrency tests interleave
+    /// writer commits between the statements of one traversal
+    /// deterministically.
+    statement_hook: RwLock<Option<StatementHook>>,
 }
 
 impl SqlDialect {
@@ -187,7 +196,14 @@ impl SqlDialect {
             template_cap: DEFAULT_TEMPLATE_CAP,
             pattern_cap: DEFAULT_PATTERN_CAP,
             registry,
+            statement_hook: RwLock::new(None),
         }
+    }
+
+    /// Install (or clear) the pre-execution statement hook. Used by tests
+    /// to trigger concurrent writes at precise points inside a traversal.
+    pub fn set_statement_hook(&self, hook: Option<StatementHook>) {
+        *self.statement_hook.write() = hook;
     }
 
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
@@ -218,6 +234,23 @@ impl SqlDialect {
         template: &str,
         params: &[Value],
         pattern: Option<(&str, &[String])>,
+    ) -> DbResult<RowSet> {
+        self.query_at(stats, profiler, template, params, pattern, None)
+    }
+
+    /// Like [`SqlDialect::query`], but when `snapshot` is given every read
+    /// in the statement is pinned to that committed epoch. This is how a
+    /// multi-statement traversal keeps all of its generated SQL — across
+    /// every parallel worker — on one consistent database state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_at(
+        &self,
+        stats: &OverlayStats,
+        profiler: &Profiler,
+        template: &str,
+        params: &[Value],
+        pattern: Option<(&str, &[String])>,
+        snapshot: Option<&Snapshot>,
     ) -> DbResult<RowSet> {
         let mut pattern_nanos: Option<Arc<AtomicU64>> = None;
         if let Some((table, cols)) = pattern {
@@ -292,9 +325,32 @@ impl SqlDialect {
             }
         };
         self.registry.record_template(cache_hit);
+        // A cached template prepared before a DDL statement carries a stale
+        // catalog generation: re-prepare and replace it so a
+        // dropped-and-recreated table can never be read through its old
+        // layout. (The engine would also re-prepare defensively, but the
+        // cache must stop handing out the stale plan.)
+        let prepared = if prepared.is_stale(self.db.schema_generation()) {
+            let fresh = Arc::new(self.db.prepare(template)?);
+            if let Some(entry) = self.templates.write().get_mut(template) {
+                entry.prepared = fresh.clone();
+            }
+            self.registry.record_template_invalidation();
+            profiler.record_template_invalidation();
+            fresh
+        } else {
+            prepared
+        };
+        let hook = self.statement_hook.read().clone();
+        if let Some(hook) = hook {
+            hook(template);
+        }
         stats.record_sql();
         let start = std::time::Instant::now();
-        let result = self.db.execute_prepared(&prepared, params);
+        let result = match snapshot {
+            Some(s) => self.db.execute_prepared_at(&prepared, params, s),
+            None => self.db.execute_prepared(&prepared, params),
+        };
         let nanos = start.elapsed().as_nanos() as u64;
         let rows = result.as_ref().map(|rs| rs.rows.len()).unwrap_or(0);
         self.registry.record_statement(rows as u64, nanos);

@@ -1,14 +1,23 @@
-//! The `Database` facade: catalog, statement execution, transactions.
+//! The `Database` facade: catalog, statement execution, transactions, and
+//! snapshot management.
+//!
+//! Reads and writes meet here: writers allocate a *stamp*, mark versions in
+//! the storage layer, and publish all their changes at once by finalizing
+//! the stamp to a commit epoch under the commit lock. Readers either run at
+//! "latest committed" (plain statements) or pin a [`Snapshot`] — a
+//! registered commit epoch that guarantees every version it can see
+//! survives until the snapshot is dropped (vacuum computes its horizon from
+//! the registry). See `docs/CONSISTENCY.md` for the full model.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{DbError, DbResult};
 use crate::func::TableFunction;
-use crate::index::IndexDef;
+use crate::index::{IndexDef, RowId};
 use crate::prepared::Prepared;
 use crate::row::{Row, RowSet};
 use crate::schema::TableSchema;
@@ -18,9 +27,86 @@ use crate::sql::exec::{execute_select, explain_select};
 use crate::sql::parser::{parse_script, parse_statement};
 use crate::sql::planner::{as_simple_pred, choose_access_path, split_conjuncts, AccessPath};
 use crate::stats::ExecStats;
-use crate::storage::Table;
-use crate::txn::{UndoLog, UndoOp};
+use crate::storage::{ReadView, Table};
+use crate::txn::{TxnState, UndoLog, UndoOp};
 use crate::value::Value;
+
+/// Committed-dead versions tolerated across all tables before a commit
+/// triggers an automatic vacuum. Pure-insert bulk loads never create
+/// garbage, so loading is unaffected.
+const VACUUM_THRESHOLD: usize = 4096;
+
+/// Registry of pinned snapshot epochs; vacuum's horizon is the minimum.
+#[derive(Debug, Default)]
+struct SnapshotTracker {
+    active: Mutex<BTreeMap<u64, usize>>,
+}
+
+/// A pinned, committed database state.
+///
+/// Queries executed through [`Database::execute_prepared_at`] with this
+/// snapshot see exactly the state as of its epoch, no matter how many
+/// writers commit in the meantime. Clones share one registration — an
+/// `Arc` bump, no lock — and the registration is released for garbage
+/// collection when the last clone drops. The graph layer pins one
+/// snapshot per traversal and shares clones with every parallel worker,
+/// which is what makes multi-statement traversals anachronism-free.
+#[derive(Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    /// Held only for its drop (the tracker deregistration); never read.
+    #[allow(dead_code)]
+    guard: Arc<SnapshotGuard>,
+}
+
+/// The tracker registration backing a snapshot and all its clones;
+/// deregisters exactly once, when the last clone drops.
+struct SnapshotGuard {
+    epoch: u64,
+    tracker: Arc<SnapshotTracker>,
+}
+
+impl Snapshot {
+    /// Wrap an epoch whose tracker count [`Database::snapshot`] has
+    /// already incremented; the guard's drop performs the one decrement.
+    fn register_preincremented(epoch: u64, tracker: Arc<SnapshotTracker>) -> Snapshot {
+        Snapshot { epoch, guard: Arc::new(SnapshotGuard { epoch, tracker }) }
+    }
+
+    /// The commit epoch this snapshot is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for SnapshotGuard {
+    fn drop(&mut self) {
+        let mut active = self.tracker.active.lock();
+        if let Some(n) = active.get_mut(&self.epoch) {
+            *n -= 1;
+            if *n == 0 {
+                active.remove(&self.epoch);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot").field("epoch", &self.epoch).finish()
+    }
+}
+
+/// Per-statement write context: the stamp writes are marked with, and where
+/// their undo records go. Statements inside an open transaction join its
+/// stamp and shared log; standalone statements get a private stamp and log,
+/// committed (or rolled back — statement atomicity) when the statement
+/// ends.
+pub(crate) struct WriteCtx {
+    stamp: u64,
+    joined: bool,
+    local: UndoLog,
+}
 
 /// A named view: a stored SELECT executed on reference.
 ///
@@ -41,7 +127,24 @@ pub struct Database {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
     views: RwLock<BTreeMap<String, ViewDef>>,
     functions: RwLock<BTreeMap<String, Arc<dyn TableFunction>>>,
-    active_txn: Mutex<Option<UndoLog>>,
+    active_txn: Mutex<Option<TxnState>>,
+    /// Serializes engine-level transactions (`transaction()` blocks here
+    /// while another writer's closure runs, instead of erroring).
+    txn_gate: Mutex<()>,
+    /// Serializes commit publication so each commit gets a unique epoch and
+    /// readers can never observe a half-finalized transaction at an epoch
+    /// they are allowed to see.
+    commit_lock: Mutex<()>,
+    /// Highest published commit epoch (0 = empty database).
+    commit_epoch: AtomicU64,
+    /// Source of unique transaction stamps (never reused).
+    next_stamp: AtomicU64,
+    /// Bumped by every DDL statement; prepared statements and downstream
+    /// template caches compare against it to detect stale plans.
+    schema_gen: AtomicU64,
+    snapshots: Arc<SnapshotTracker>,
+    /// Approximate dead versions created since the last vacuum.
+    garbage_hint: AtomicUsize,
     enforce_foreign_keys: AtomicBool,
     stats: ExecStats,
 }
@@ -68,6 +171,13 @@ impl Database {
             views: RwLock::new(BTreeMap::new()),
             functions: RwLock::new(BTreeMap::new()),
             active_txn: Mutex::new(None),
+            txn_gate: Mutex::new(()),
+            commit_lock: Mutex::new(()),
+            commit_epoch: AtomicU64::new(0),
+            next_stamp: AtomicU64::new(0),
+            schema_gen: AtomicU64::new(0),
+            snapshots: Arc::new(SnapshotTracker::default()),
+            garbage_hint: AtomicUsize::new(0),
             enforce_foreign_keys: AtomicBool::new(true),
             stats: ExecStats::default(),
         }
@@ -80,6 +190,72 @@ impl Database {
 
     pub fn stats(&self) -> &ExecStats {
         &self.stats
+    }
+
+    // --------------------------------------------------- snapshots & epochs
+
+    /// Pin the current committed state. Every query executed with this
+    /// snapshot (via [`Database::execute_prepared_at`]) sees exactly this
+    /// state; versions it can see are protected from vacuum until the
+    /// snapshot (and all its clones) drop.
+    pub fn snapshot(&self) -> Snapshot {
+        let tracker = self.snapshots.clone();
+        // Read the epoch *inside* the registry lock: vacuum computes its
+        // horizon under the same lock, so a concurrent commit+vacuum can
+        // never reclaim versions between our epoch read and registration.
+        let mut active = tracker.active.lock();
+        let epoch = self.commit_epoch.load(Ordering::Acquire);
+        *active.entry(epoch).or_insert(0) += 1;
+        drop(active);
+        Snapshot::register_preincremented(epoch, tracker)
+    }
+
+    /// The highest published commit epoch.
+    pub fn commit_epoch(&self) -> u64 {
+        self.commit_epoch.load(Ordering::Acquire)
+    }
+
+    /// Monotone counter bumped by every DDL statement (CREATE/DROP of
+    /// tables, views, indexes, and function registration). Prepared
+    /// statements are stamped with it; executing a stale one re-prepares.
+    pub fn schema_generation(&self) -> u64 {
+        self.schema_gen.load(Ordering::Acquire)
+    }
+
+    fn bump_schema_generation(&self) {
+        self.schema_gen.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn alloc_stamp(&self) -> u64 {
+        self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The open transaction's stamp — but only for its owning thread.
+    /// Any other thread gets 0 (matching no uncommitted marker), so a
+    /// concurrent plain read never observes a foreign transaction's
+    /// uncommitted writes.
+    fn current_stamp(&self) -> u64 {
+        let me = std::thread::current().id();
+        self.active_txn.lock().as_ref().filter(|t| t.owner == me).map_or(0, |t| t.stamp)
+    }
+
+    /// The view plain (unpinned) statements read under: latest committed
+    /// state plus the open transaction's own writes, if any.
+    fn read_view(&self) -> ReadView {
+        ReadView::latest(self.current_stamp())
+    }
+
+    /// Reclaim committed-dead versions no registered snapshot can see.
+    /// Runs automatically once enough garbage accumulates; callable
+    /// directly for tests and maintenance. Returns versions reclaimed.
+    pub fn vacuum(&self) -> usize {
+        let horizon = {
+            let active = self.snapshots.active.lock();
+            let current = self.commit_epoch.load(Ordering::Acquire);
+            active.keys().next().map_or(current, |&m| m.min(current))
+        };
+        let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+        tables.iter().map(|t| t.vacuum(horizon)).sum()
     }
 
     // ------------------------------------------------------------- catalog
@@ -103,6 +279,7 @@ impl Database {
     /// Register a polymorphic table function under a name.
     pub fn register_function(&self, name: &str, f: Arc<dyn TableFunction>) {
         self.functions.write().insert(Self::key(name), f);
+        self.bump_schema_generation();
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -126,7 +303,7 @@ impl Database {
             .ok_or_else(|| DbError::Catalog(format!("view '{name}' not found")))?;
         let mut q = view.query.clone();
         q.limit = Some(0);
-        Ok(execute_select(self, &q)?.columns)
+        Ok(execute_select(self, &q, &self.read_view())?.columns)
     }
 
     /// Create a table from a schema built in code.
@@ -138,6 +315,8 @@ impl Database {
             return Err(DbError::Catalog(format!("'{}' already exists", schema.name)));
         }
         tables.insert(key, Arc::new(Table::new(schema)?));
+        drop(tables);
+        self.bump_schema_generation();
         Ok(())
     }
 
@@ -184,31 +363,70 @@ impl Database {
         Ok(last)
     }
 
-    /// Prepare a statement for repeated execution.
+    /// Prepare a statement for repeated execution, stamped with the current
+    /// catalog generation so DDL that runs later forces a transparent
+    /// re-prepare instead of executing a stale plan.
     pub fn prepare(&self, sql: &str) -> DbResult<Prepared> {
-        Prepared::new(sql)
+        Ok(Prepared::new(sql)?.with_generation(self.schema_generation()))
     }
 
-    /// Execute a previously prepared statement.
+    /// Execute a previously prepared statement at latest-committed state.
     pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> DbResult<RowSet> {
-        let bound = prepared.bind(params)?;
-        self.execute_stmt(&bound)
+        self.execute_prepared_inner(prepared, params, None)
+    }
+
+    /// Execute a previously prepared statement pinned to a snapshot: every
+    /// read sees exactly the committed state of `snap.epoch()`, no matter
+    /// how many writers commit concurrently. DML statements still write at
+    /// latest (a snapshot governs reads, not writes).
+    pub fn execute_prepared_at(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+        snap: &Snapshot,
+    ) -> DbResult<RowSet> {
+        self.execute_prepared_inner(prepared, params, Some(snap))
+    }
+
+    fn execute_prepared_inner(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+        snap: Option<&Snapshot>,
+    ) -> DbResult<RowSet> {
+        let bound = if prepared.is_stale(self.schema_generation()) {
+            Prepared::new(&prepared.sql)?.bind(params)?
+        } else {
+            prepared.bind(params)?
+        };
+        self.execute_stmt_at(&bound, snap)
+    }
+
+    /// Execute an already-parsed statement at latest-committed state.
+    pub fn execute_stmt(&self, stmt: &Stmt) -> DbResult<RowSet> {
+        self.execute_stmt_at(stmt, None)
     }
 
     /// Execute an already-parsed statement, recording result size and wall
-    /// time into the engine stats.
-    pub fn execute_stmt(&self, stmt: &Stmt) -> DbResult<RowSet> {
+    /// time into the engine stats. Reads run against `snap` when given.
+    fn execute_stmt_at(&self, stmt: &Stmt, snap: Option<&Snapshot>) -> DbResult<RowSet> {
         self.stats.record_statement();
         let start = std::time::Instant::now();
-        let result = self.execute_stmt_inner(stmt);
+        let result = self.execute_stmt_inner(stmt, snap);
         let rows = result.as_ref().map(|rs| rs.rows.len() as u64).unwrap_or(0);
         self.stats.record_execution(rows, start.elapsed().as_nanos() as u64);
         result
     }
 
-    fn execute_stmt_inner(&self, stmt: &Stmt) -> DbResult<RowSet> {
+    fn execute_stmt_inner(&self, stmt: &Stmt, snap: Option<&Snapshot>) -> DbResult<RowSet> {
         match stmt {
-            Stmt::Select(q) => execute_select(self, q),
+            Stmt::Select(q) => {
+                let view = match snap {
+                    Some(s) => ReadView::committed(s.epoch()),
+                    None => self.read_view(),
+                };
+                execute_select(self, q, &view)
+            }
             Stmt::Explain(q) => {
                 let lines = explain_select(self, q)?;
                 Ok(RowSet::with_rows(
@@ -230,6 +448,7 @@ impl Database {
                     columns: columns.clone(),
                     unique: *unique,
                 })?;
+                self.bump_schema_generation();
                 Ok(count_result(0))
             }
             Stmt::CreateView { name, query, or_replace } => {
@@ -242,6 +461,8 @@ impl Database {
                     return Err(DbError::Catalog(format!("view '{name}' already exists")));
                 }
                 views.insert(key, ViewDef { name: name.clone(), query: (**query).clone() });
+                drop(views);
+                self.bump_schema_generation();
                 Ok(count_result(0))
             }
             Stmt::DropTable { name, if_exists } => {
@@ -249,12 +470,16 @@ impl Database {
                 if !removed && !*if_exists {
                     return Err(DbError::Catalog(format!("table '{name}' not found")));
                 }
+                if removed {
+                    self.bump_schema_generation();
+                }
                 Ok(count_result(0))
             }
             Stmt::DropView { name } => {
                 if self.views.write().remove(&Self::key(name)).is_none() {
                     return Err(DbError::Catalog(format!("view '{name}' not found")));
                 }
+                self.bump_schema_generation();
                 Ok(count_result(0))
             }
             Stmt::DropIndex { name } => {
@@ -262,6 +487,7 @@ impl Database {
                 for t in tables {
                     if t.read().indexes().iter().any(|ix| ix.def.name.eq_ignore_ascii_case(name)) {
                         t.drop_index(name)?;
+                        self.bump_schema_generation();
                         return Ok(count_result(0));
                     }
                 }
@@ -277,22 +503,23 @@ impl Database {
                 if txn.is_some() {
                     return Err(DbError::Txn("transaction already in progress".into()));
                 }
-                *txn = Some(UndoLog::default());
+                *txn = Some(TxnState::new(self.alloc_stamp()));
                 Ok(count_result(0))
             }
             Stmt::Commit => {
-                let mut txn = self.active_txn.lock();
-                if txn.take().is_none() {
-                    return Err(DbError::Txn("no transaction in progress".into()));
-                }
-                Ok(count_result(0))
-            }
-            Stmt::Rollback => {
-                let log = {
+                let st = {
                     let mut txn = self.active_txn.lock();
                     txn.take().ok_or_else(|| DbError::Txn("no transaction in progress".into()))?
                 };
-                self.apply_rollback(log)?;
+                self.commit_ops(&st.log, st.stamp);
+                Ok(count_result(0))
+            }
+            Stmt::Rollback => {
+                let st = {
+                    let mut txn = self.active_txn.lock();
+                    txn.take().ok_or_else(|| DbError::Txn("no transaction in progress".into()))?
+                };
+                self.rollback_ops(st.log, st.stamp)?;
                 Ok(count_result(0))
             }
         }
@@ -307,49 +534,142 @@ impl Database {
     }
 
     /// Run `f` inside a transaction: committed on `Ok`, rolled back on `Err`.
+    ///
+    /// Concurrent callers from other threads *block* on an internal gate and
+    /// run one after another instead of erroring, so multi-threaded writers
+    /// can all use this safely. A re-entrant call from the thread that
+    /// already holds a transaction (including an open SQL `BEGIN`) errors.
     pub fn transaction<T>(&self, f: impl FnOnce(&Database) -> DbResult<T>) -> DbResult<T> {
+        let me = std::thread::current().id();
+        if self.active_txn.lock().as_ref().is_some_and(|t| t.owner == me) {
+            return Err(DbError::Txn("transaction already in progress".into()));
+        }
+        let _gate = self.txn_gate.lock();
         {
             let mut txn = self.active_txn.lock();
             if txn.is_some() {
+                // An open SQL-level BEGIN; the gate only serializes other
+                // `transaction()` calls.
                 return Err(DbError::Txn("transaction already in progress".into()));
             }
-            *txn = Some(UndoLog::default());
+            *txn = Some(TxnState::new(self.alloc_stamp()));
         }
         match f(self) {
             Ok(v) => {
-                self.active_txn.lock().take();
+                if let Some(st) = self.active_txn.lock().take() {
+                    self.commit_ops(&st.log, st.stamp);
+                }
                 Ok(v)
             }
             Err(e) => {
-                let log = self.active_txn.lock().take();
-                if let Some(log) = log {
-                    self.apply_rollback(log)?;
+                let st = self.active_txn.lock().take();
+                if let Some(st) = st {
+                    self.rollback_ops(st.log, st.stamp)?;
                 }
                 Err(e)
             }
         }
     }
 
-    fn apply_rollback(&self, mut log: UndoLog) -> DbResult<()> {
+    /// Publish a transaction's writes: under the commit lock, finalize the
+    /// stamp markers of every touched version to one freshly allocated
+    /// epoch, then advance the published epoch. Readers observe either the
+    /// whole transaction or none of it.
+    fn commit_ops(&self, log: &UndoLog, stamp: u64) {
+        if log.is_empty() {
+            return;
+        }
+        {
+            let _commit = self.commit_lock.lock();
+            let epoch = self.commit_epoch.load(Ordering::Acquire) + 1;
+            let mut seen: HashSet<(&str, RowId)> = HashSet::new();
+            for op in log.ops() {
+                if !seen.insert((op.table(), op.rid())) {
+                    continue; // a multi-update chain finalizes in one pass
+                }
+                if let Some(t) = self.get_table(op.table()) {
+                    t.finalize_stamp(op.rid(), stamp, epoch);
+                }
+            }
+            self.commit_epoch.store(epoch, Ordering::Release);
+        }
+        let garbage = log.ops().iter().filter(|op| op.creates_garbage()).count();
+        if garbage > 0
+            && self.garbage_hint.fetch_add(garbage, Ordering::Relaxed) + garbage
+                >= VACUUM_THRESHOLD
+        {
+            self.garbage_hint.store(0, Ordering::Relaxed);
+            self.vacuum();
+        }
+    }
+
+    /// Undo a transaction's writes, most recent first.
+    fn rollback_ops(&self, mut log: UndoLog, stamp: u64) -> DbResult<()> {
         for op in log.drain_reverse() {
-            match op {
-                UndoOp::Insert { table, rid } => {
-                    self.require_table(&table)?.delete(rid)?;
-                }
-                UndoOp::Delete { table, rid, row } => {
-                    self.require_table(&table)?.restore(rid, row)?;
-                }
-                UndoOp::Update { table, rid, old } => {
-                    self.require_table(&table)?.update(rid, old)?;
-                }
+            let t = self.require_table(op.table())?;
+            match &op {
+                UndoOp::Insert { rid, .. } => t.rollback_insert(*rid, stamp)?,
+                UndoOp::Delete { rid, .. } => t.rollback_delete(*rid, stamp)?,
+                UndoOp::Update { rid, .. } => t.rollback_update(*rid, stamp)?,
             }
         }
         Ok(())
     }
 
-    fn record_undo(&self, op: UndoOp) {
-        if let Some(log) = self.active_txn.lock().as_mut() {
-            log.record(op);
+    /// Open the write context for one DML statement: join the transaction
+    /// this thread has open if any, otherwise start an auto-commit unit
+    /// with a fresh stamp.
+    fn begin_stmt_write(&self) -> WriteCtx {
+        let me = std::thread::current().id();
+        let txn = self.active_txn.lock();
+        match txn.as_ref().filter(|t| t.owner == me) {
+            Some(st) => WriteCtx { stamp: st.stamp, joined: true, local: UndoLog::default() },
+            None => {
+                WriteCtx { stamp: self.alloc_stamp(), joined: false, local: UndoLog::default() }
+            }
+        }
+    }
+
+    /// Record an undo op into the statement's context: the shared
+    /// transaction log when joined, the statement-private log otherwise.
+    fn record_write(&self, ctx: &mut WriteCtx, op: UndoOp) {
+        if ctx.joined {
+            if let Some(st) = self.active_txn.lock().as_mut() {
+                if st.stamp == ctx.stamp {
+                    st.log.record(op);
+                    return;
+                }
+            }
+        }
+        ctx.local.record(op);
+    }
+
+    /// Close the statement's write context. Auto-commit units commit on
+    /// success and roll back on failure — so a multi-row INSERT that fails
+    /// half-way leaves nothing behind (statement atomicity). Joined
+    /// statements leave commit/rollback to the enclosing transaction.
+    fn end_stmt_write<T>(&self, ctx: WriteCtx, result: DbResult<T>) -> DbResult<T> {
+        if ctx.joined {
+            // Normally empty — ops went to the shared log. If the
+            // transaction vanished mid-statement, settle the leftovers so
+            // they cannot linger as permanent uncommitted markers.
+            if !ctx.local.is_empty() {
+                match &result {
+                    Ok(_) => self.commit_ops(&ctx.local, ctx.stamp),
+                    Err(_) => self.rollback_ops(ctx.local, ctx.stamp)?,
+                }
+            }
+            return result;
+        }
+        match result {
+            Ok(v) => {
+                self.commit_ops(&ctx.local, ctx.stamp);
+                Ok(v)
+            }
+            Err(e) => {
+                self.rollback_ops(ctx.local, ctx.stamp)?;
+                Err(e)
+            }
         }
     }
 
@@ -377,32 +697,43 @@ impl Database {
         let empty_cols: Vec<ColRef> = Vec::new();
         let empty_row: Row = Vec::new();
         let env = RowEnv { cols: &empty_cols, row: &empty_row };
-        let mut n = 0i64;
-        for exprs in values {
-            if exprs.len() != positions.len() {
-                return Err(DbError::Type(format!(
-                    "INSERT expects {} values per row, got {}",
-                    positions.len(),
-                    exprs.len()
-                )));
+        let mut ctx = self.begin_stmt_write();
+        let result = (|| {
+            let mut n = 0i64;
+            for exprs in values {
+                if exprs.len() != positions.len() {
+                    return Err(DbError::Type(format!(
+                        "INSERT expects {} values per row, got {}",
+                        positions.len(),
+                        exprs.len()
+                    )));
+                }
+                let mut row: Row = vec![Value::Null; t.schema.columns.len()];
+                for (pos, e) in positions.iter().zip(exprs) {
+                    row[*pos] = eval(e, &env)?;
+                }
+                self.insert_row_ctx(&t, row, &mut ctx)?;
+                n += 1;
             }
-            let mut row: Row = vec![Value::Null; t.schema.columns.len()];
-            for (pos, e) in positions.iter().zip(exprs) {
-                row[*pos] = eval(e, &env)?;
-            }
-            self.insert_row(&t, row)?;
-            n += 1;
-        }
-        Ok(count_result(n))
+            Ok(count_result(n))
+        })();
+        self.end_stmt_write(ctx, result)
     }
 
     /// Insert a positional row directly (programmatic API used by loaders).
+    /// Auto-commits unless the calling thread has a transaction open.
     pub fn insert_row(&self, table: &Arc<Table>, row: Row) -> DbResult<usize> {
+        let mut ctx = self.begin_stmt_write();
+        let result = self.insert_row_ctx(table, row, &mut ctx);
+        self.end_stmt_write(ctx, result)
+    }
+
+    fn insert_row_ctx(&self, table: &Arc<Table>, row: Row, ctx: &mut WriteCtx) -> DbResult<usize> {
         if self.enforce_foreign_keys.load(Ordering::Relaxed) {
-            self.check_foreign_keys(table, &row)?;
+            self.check_foreign_keys(table, &row, ReadView::latest(ctx.stamp))?;
         }
-        let rid = table.insert(row)?;
-        self.record_undo(UndoOp::Insert { table: table.schema.name.clone(), rid });
+        let rid = table.insert(row, ctx.stamp)?;
+        self.record_write(ctx, UndoOp::Insert { table: table.schema.name.clone(), rid });
         Ok(rid)
     }
 
@@ -412,7 +743,7 @@ impl Database {
         self.insert_row(&t, row)
     }
 
-    fn check_foreign_keys(&self, table: &Arc<Table>, row: &Row) -> DbResult<()> {
+    fn check_foreign_keys(&self, table: &Arc<Table>, row: &Row, view: ReadView) -> DbResult<()> {
         for fk in &table.schema.foreign_keys {
             let vals: Vec<Value> = fk
                 .columns
@@ -428,16 +759,22 @@ impl Database {
                 self.require_table(&fk.ref_table)?
             };
             let guard = target.read();
+            let positions: Vec<usize> = fk
+                .ref_columns
+                .iter()
+                .map(|c| target.schema.require_column(c))
+                .collect::<DbResult<_>>()?;
             let found = if let Some(ix) = guard.find_index(&fk.ref_columns) {
-                !ix.lookup_eq(&vals).is_empty()
+                // Index entries may be stale under versioned storage, so
+                // verify each candidate against the row it resolves to.
+                ix.lookup_eq(&vals).into_iter().any(|rid| {
+                    guard.row_at(rid, &view).is_some_and(|r| {
+                        positions.iter().zip(&vals).all(|(&p, v)| r[p].sql_eq(v) == Some(true))
+                    })
+                })
             } else {
                 // No index on the referenced columns: scan.
-                let positions: Vec<usize> = fk
-                    .ref_columns
-                    .iter()
-                    .map(|c| target.schema.require_column(c))
-                    .collect::<DbResult<_>>()?;
-                guard.iter().any(|(_, r)| {
+                guard.iter_at(view).any(|(_, r)| {
                     positions.iter().zip(&vals).all(|(&p, v)| r[p].sql_eq(v) == Some(true))
                 })
             };
@@ -460,6 +797,7 @@ impl Database {
         &self,
         t: &Arc<Table>,
         where_clause: Option<&Expr>,
+        view: ReadView,
     ) -> DbResult<Vec<(usize, Row)>> {
         let binding = t.schema.name.clone();
         let cols: Vec<ColRef> = t
@@ -480,7 +818,7 @@ impl Database {
         let guard = t.read();
         let path = choose_access_path(&guard, &preds);
         let candidates: Vec<(usize, Row)> = match &path {
-            AccessPath::FullScan => guard.iter().map(|(rid, r)| (rid, r.clone())).collect(),
+            AccessPath::FullScan => guard.iter_at(view).map(|(rid, r)| (rid, r.clone())).collect(),
             AccessPath::IndexEq { index, key } => {
                 let ix = guard
                     .indexes()
@@ -489,7 +827,7 @@ impl Database {
                     .ok_or_else(|| DbError::Execution("index vanished".into()))?;
                 ix.lookup_eq(key)
                     .into_iter()
-                    .filter_map(|rid| guard.row(rid).map(|r| (rid, r.clone())))
+                    .filter_map(|rid| guard.row_at(rid, &view).map(|r| (rid, r.clone())))
                     .collect()
             }
             AccessPath::IndexIn { index, keys } => {
@@ -498,13 +836,17 @@ impl Database {
                     .iter()
                     .find(|i| i.def.name == *index)
                     .ok_or_else(|| DbError::Execution("index vanished".into()))?;
+                // A slot can be posted under several keys (one per version),
+                // so dedup rids or a row could be visited twice.
+                let mut seen: HashSet<RowId> = HashSet::new();
                 ix.lookup_in(keys)
                     .into_iter()
-                    .filter_map(|rid| guard.row(rid).map(|r| (rid, r.clone())))
+                    .filter(|rid| seen.insert(*rid))
+                    .filter_map(|rid| guard.row_at(rid, &view).map(|r| (rid, r.clone())))
                     .collect()
             }
             AccessPath::IndexRange { .. } => {
-                guard.iter().map(|(rid, r)| (rid, r.clone())).collect()
+                guard.iter_at(view).map(|(rid, r)| (rid, r.clone())).collect()
             }
         };
         drop(guard);
@@ -542,31 +884,39 @@ impl Database {
             .iter()
             .map(|(c, _)| t.schema.require_column(c))
             .collect::<DbResult<_>>()?;
-        let matches = self.matching_rows(&t, where_clause)?;
-        let mut n = 0i64;
-        for (rid, row) in matches {
-            let env = RowEnv { cols: &cols, row: &row };
-            let mut new_row = row.clone();
-            for (pos, (_, e)) in set_positions.iter().zip(sets) {
-                new_row[*pos] = eval(e, &env)?;
+        let mut ctx = self.begin_stmt_write();
+        let result = (|| {
+            let matches = self.matching_rows(&t, where_clause, ReadView::latest(ctx.stamp))?;
+            let mut n = 0i64;
+            for (rid, row) in matches {
+                let env = RowEnv { cols: &cols, row: &row };
+                let mut new_row = row.clone();
+                for (pos, (_, e)) in set_positions.iter().zip(sets) {
+                    new_row[*pos] = eval(e, &env)?;
+                }
+                let old = t.update(rid, new_row, ctx.stamp)?;
+                self.record_write(&mut ctx, UndoOp::Update { table: t.schema.name.clone(), rid, old });
+                n += 1;
             }
-            let old = t.update(rid, new_row)?;
-            self.record_undo(UndoOp::Update { table: t.schema.name.clone(), rid, old });
-            n += 1;
-        }
-        Ok(count_result(n))
+            Ok(count_result(n))
+        })();
+        self.end_stmt_write(ctx, result)
     }
 
     fn run_delete(&self, table: &str, where_clause: Option<&Expr>) -> DbResult<RowSet> {
         let t = self.require_table(table)?;
-        let matches = self.matching_rows(&t, where_clause)?;
-        let mut n = 0i64;
-        for (rid, _) in matches {
-            let row = t.delete(rid)?;
-            self.record_undo(UndoOp::Delete { table: t.schema.name.clone(), rid, row });
-            n += 1;
-        }
-        Ok(count_result(n))
+        let mut ctx = self.begin_stmt_write();
+        let result = (|| {
+            let matches = self.matching_rows(&t, where_clause, ReadView::latest(ctx.stamp))?;
+            let mut n = 0i64;
+            for (rid, _) in matches {
+                let row = t.delete(rid, ctx.stamp)?;
+                self.record_write(&mut ctx, UndoOp::Delete { table: t.schema.name.clone(), rid, row });
+                n += 1;
+            }
+            Ok(count_result(n))
+        })();
+        self.end_stmt_write(ctx, result)
     }
 }
 
@@ -780,6 +1130,200 @@ mod tests {
         assert!(db.execute("DROP TABLE nothere").is_err());
         db.execute("DROP TABLE IF EXISTS nothere").unwrap();
         db.execute("CREATE TABLE IF NOT EXISTS Patient (x BIGINT)").unwrap();
+    }
+
+    #[test]
+    fn snapshot_pins_one_committed_state() {
+        let db = setup();
+        let snap = db.snapshot();
+        let p = db.prepare("SELECT COUNT(*) FROM Patient").unwrap();
+        // Writers commit after the snapshot was taken…
+        db.execute("INSERT INTO Patient VALUES (7, 'Grace', NULL, NULL)").unwrap();
+        db.execute("DELETE FROM Patient WHERE patientID = 3").unwrap();
+        // …the pinned query still sees the old state; a fresh one does not.
+        let rs = db.execute_prepared_at(&p, &[], &snap).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(3)));
+        // The insert is invisible at the snapshot but visible at latest.
+        let p7 = db.prepare("SELECT COUNT(*) FROM Patient WHERE patientID = 7").unwrap();
+        assert_eq!(
+            db.execute_prepared_at(&p7, &[], &snap).unwrap().scalar(),
+            Some(&Value::Bigint(0))
+        );
+        assert_eq!(db.execute_prepared(&p7, &[]).unwrap().scalar(), Some(&Value::Bigint(1)));
+        let p2 = db.prepare("SELECT name FROM Patient WHERE patientID = 3").unwrap();
+        let rs = db.execute_prepared_at(&p2, &[], &snap).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("Carol".into())));
+        assert_eq!(db.execute_prepared(&p2, &[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn snapshot_shields_updates_and_clones_share_epoch() {
+        let db = setup();
+        let snap = db.snapshot();
+        db.execute("UPDATE Patient SET name = 'Alicia' WHERE patientID = 1").unwrap();
+        let clone = snap.clone();
+        assert_eq!(clone.epoch(), snap.epoch());
+        let p = db.prepare("SELECT name FROM Patient WHERE patientID = 1").unwrap();
+        let rs = db.execute_prepared_at(&p, &[], &clone).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("Alice".into())));
+        drop(snap);
+        // The clone still holds the epoch open.
+        let rs = db.execute_prepared_at(&p, &[], &clone).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("Alice".into())));
+    }
+
+    #[test]
+    fn stale_prepared_statement_reprepares_after_ddl() {
+        let db = setup();
+        let p = db.prepare("SELECT * FROM Disease WHERE conceptCode = 'E11'").unwrap();
+        assert!(!p.is_stale(db.schema_generation()));
+        // Drop and recreate the table with a *different column order*: a
+        // stale plan compiled against the old layout would misread rows.
+        db.execute("DROP TABLE Disease").unwrap();
+        db.execute(
+            "CREATE TABLE Disease (conceptName VARCHAR, conceptCode VARCHAR, diseaseID BIGINT PRIMARY KEY)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO Disease VALUES ('type 2 diabetes', 'E11', 10)").unwrap();
+        assert!(p.is_stale(db.schema_generation()));
+        let rs = db.execute_prepared(&p, &[]).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.get(0, "diseaseID"), Some(&Value::Bigint(10)));
+    }
+
+    #[test]
+    fn failed_multi_row_insert_leaves_nothing_behind() {
+        let db = setup();
+        // Third row violates the Patient PK: the whole statement must undo.
+        let err = db
+            .execute("INSERT INTO Patient VALUES (8, 'Hana', NULL, NULL), (9, 'Ivan', NULL, NULL), (1, 'Dup', NULL, NULL)")
+            .unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)), "{err}");
+        let rs = db.execute("SELECT COUNT(*) FROM Patient").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(3)));
+        let rs = db.execute("SELECT COUNT(*) FROM Patient WHERE patientID IN (8, 9)").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(0)));
+        // The aborted stamps left no index entries: the keys are reusable.
+        db.execute("INSERT INTO Patient VALUES (8, 'Hana', NULL, NULL)").unwrap();
+    }
+
+    #[test]
+    fn aborted_transaction_leaves_no_index_entries() {
+        let db = setup();
+        let res: DbResult<()> = db.transaction(|db| {
+            db.execute("INSERT INTO Patient VALUES (20, 'Tess', NULL, NULL)")?;
+            db.execute("UPDATE Patient SET subscriptionID = 999 WHERE patientID = 2")?;
+            db.execute("DELETE FROM Patient WHERE patientID = 3")?;
+            Err(DbError::Execution("abort".into()))
+        });
+        assert!(res.is_err());
+        let t = db.get_table("Patient").unwrap();
+        let guard = t.read();
+        // PK index has exactly the three original keys, each mapping to a
+        // row visible at latest.
+        let ix = guard.find_index_on("patientID").unwrap();
+        assert_eq!(ix.distinct_keys(), 3);
+        drop(guard);
+        let rs = db.execute("SELECT subscriptionID FROM Patient WHERE patientID = 2").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(101)));
+        db.execute("INSERT INTO Patient VALUES (20, 'Tess', NULL, NULL)").unwrap();
+    }
+
+    #[test]
+    fn vacuum_reclaims_only_unpinned_versions() {
+        let db = setup();
+        let snap = db.snapshot();
+        db.execute("UPDATE Patient SET address = 'x' WHERE patientID = 1").unwrap();
+        db.execute("DELETE FROM HasDisease WHERE patientID = 1").unwrap();
+        // The snapshot pins the pre-update state: nothing can be reclaimed.
+        assert_eq!(db.vacuum(), 0);
+        let p = db.prepare("SELECT address FROM Patient WHERE patientID = 1").unwrap();
+        let rs = db.execute_prepared_at(&p, &[], &snap).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("12 Oak St".into())));
+        drop(snap);
+        // 1 superseded Patient version + 2 deleted HasDisease versions.
+        assert_eq!(db.vacuum(), 3);
+        let rs = db.execute("SELECT address FROM Patient WHERE patientID = 1").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("x".into())));
+    }
+
+    #[test]
+    fn concurrent_transactions_serialize_through_gate() {
+        let db = Arc::new(Database::new());
+        db.execute("CREATE TABLE counter (id BIGINT PRIMARY KEY, n BIGINT)").unwrap();
+        db.execute("INSERT INTO counter VALUES (1, 0)").unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        db.transaction(|db| {
+                            let n = db
+                                .execute("SELECT n FROM counter WHERE id = 1")
+                                .unwrap()
+                                .scalar()
+                                .unwrap()
+                                .as_i64()
+                                .unwrap();
+                            db.execute(&format!("UPDATE counter SET n = {} WHERE id = 1", n + 1))
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let rs = db.execute("SELECT n FROM counter WHERE id = 1").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(100)));
+    }
+
+    #[test]
+    fn foreign_transaction_writes_stay_invisible_to_other_threads() {
+        // A plain read on thread B while thread A holds an open transaction
+        // must not adopt A's stamp — that would be a dirty read of A's
+        // uncommitted writes.
+        let db = Arc::new(Database::new());
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        let (inside_tx, inside_rx) = std::sync::mpsc::channel();
+        let (checked_tx, checked_rx) = std::sync::mpsc::channel();
+        let writer = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                db.transaction(|db| {
+                    db.execute("INSERT INTO t VALUES (2)")?;
+                    inside_tx.send(()).unwrap();
+                    // Hold the transaction open until the reader has looked.
+                    checked_rx.recv().unwrap();
+                    Ok(())
+                })
+                .unwrap();
+            })
+        };
+        inside_rx.recv().unwrap();
+        let n = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Bigint(1)), "dirty read of an uncommitted insert");
+        checked_tx.send(()).unwrap();
+        writer.join().unwrap();
+        let n = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Bigint(2)));
+    }
+
+    #[test]
+    fn reentrant_transaction_errors_instead_of_deadlocking() {
+        let db = setup();
+        let res: DbResult<()> = db.transaction(|db| {
+            let inner: DbResult<()> = db.transaction(|_| Ok(()));
+            assert!(matches!(inner, Err(DbError::Txn(_))));
+            Ok(())
+        });
+        res.unwrap();
+        // SQL BEGIN also blocks transaction() on the same thread.
+        db.execute("BEGIN").unwrap();
+        assert!(db.transaction(|_| Ok(())).is_err());
+        db.execute("ROLLBACK").unwrap();
     }
 
     #[test]

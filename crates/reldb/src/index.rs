@@ -9,7 +9,6 @@
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
-use crate::error::{DbError, DbResult};
 use crate::row::Row;
 use crate::value::Value;
 
@@ -45,20 +44,24 @@ impl Index {
         self.col_positions.iter().map(|&i| row[i].clone()).collect()
     }
 
-    /// Insert a row's key. Errors on duplicates for unique indexes
-    /// (NULL-containing keys are exempt, matching SQL semantics).
-    pub fn insert(&mut self, row: &Row, rid: RowId) -> DbResult<()> {
+    /// Add a posting for a row's key. Uniqueness is *not* checked here:
+    /// under versioned storage an entry may refer to a dead version, so
+    /// only the table (which sees the version chains) can decide whether a
+    /// key is genuinely taken — see `TableData::key_occupied`.
+    pub fn insert(&mut self, row: &Row, rid: RowId) {
         let key = self.key_of(row);
-        let has_null = key.iter().any(Value::is_null);
+        self.map.entry(key).or_default().push(rid);
+    }
+
+    /// Add a posting unless `(key, rid)` is already present — used when a
+    /// new version of an existing row re-introduces a key an older version
+    /// of the same row already indexed.
+    pub fn insert_unique_rid(&mut self, row: &Row, rid: RowId) {
+        let key = self.key_of(row);
         let entry = self.map.entry(key).or_default();
-        if self.def.unique && !has_null && !entry.is_empty() {
-            return Err(DbError::Constraint(format!(
-                "duplicate key in unique index '{}'",
-                self.def.name
-            )));
+        if !entry.contains(&rid) {
+            entry.push(rid);
         }
-        entry.push(rid);
-        Ok(())
     }
 
     /// Remove a row's key posting.
@@ -146,9 +149,9 @@ mod tests {
     #[test]
     fn insert_lookup_remove_roundtrip() {
         let mut i = idx(false);
-        i.insert(&vec![Value::Bigint(1), Value::Varchar("x".into())], 10).unwrap();
-        i.insert(&vec![Value::Bigint(1), Value::Varchar("y".into())], 11).unwrap();
-        i.insert(&vec![Value::Bigint(2), Value::Varchar("z".into())], 12).unwrap();
+        i.insert(&vec![Value::Bigint(1), Value::Varchar("x".into())], 10);
+        i.insert(&vec![Value::Bigint(1), Value::Varchar("y".into())], 11);
+        i.insert(&vec![Value::Bigint(2), Value::Varchar("z".into())], 12);
         assert_eq!(i.lookup_eq(&[Value::Bigint(1)]), vec![10, 11]);
         i.remove(&vec![Value::Bigint(1), Value::Varchar("x".into())], 10);
         assert_eq!(i.lookup_eq(&[Value::Bigint(1)]), vec![11]);
@@ -156,19 +159,22 @@ mod tests {
     }
 
     #[test]
-    fn unique_index_rejects_duplicates_but_allows_nulls() {
+    fn insert_unique_rid_dedups_per_row_postings() {
         let mut i = idx(true);
-        i.insert(&vec![Value::Bigint(1)], 0).unwrap();
-        assert!(i.insert(&vec![Value::Bigint(1)], 1).is_err());
-        i.insert(&vec![Value::Null], 2).unwrap();
-        i.insert(&vec![Value::Null], 3).unwrap();
+        i.insert(&vec![Value::Bigint(1)], 0);
+        i.insert_unique_rid(&vec![Value::Bigint(1)], 0);
+        assert_eq!(i.lookup_eq(&[Value::Bigint(1)]), vec![0]);
+        // A different row id under the same key is still recorded (two
+        // versions of different rows can share a key transiently).
+        i.insert_unique_rid(&vec![Value::Bigint(1)], 1);
+        assert_eq!(i.lookup_eq(&[Value::Bigint(1)]), vec![0, 1]);
     }
 
     #[test]
     fn in_list_probe_collects_all_matches() {
         let mut i = idx(false);
         for rid in 0..5 {
-            i.insert(&vec![Value::Bigint(rid as i64)], rid).unwrap();
+            i.insert(&vec![Value::Bigint(rid as i64)], rid);
         }
         let keys = vec![vec![Value::Bigint(1)], vec![Value::Bigint(3)], vec![Value::Bigint(9)]];
         assert_eq!(i.lookup_in(&keys), vec![1, 3]);
@@ -181,7 +187,7 @@ mod tests {
             vec![0, 1],
         );
         for (a, b, rid) in [(1, 1, 0), (1, 2, 1), (2, 1, 2), (3, 1, 3)] {
-            i.insert(&vec![Value::Bigint(a), Value::Bigint(b)], rid).unwrap();
+            i.insert(&vec![Value::Bigint(a), Value::Bigint(b)], rid);
         }
         let got = i.lookup_range(Bound::Excluded(&Value::Bigint(1)), Bound::Included(&Value::Bigint(3)));
         assert_eq!(got, vec![2, 3]);

@@ -19,8 +19,10 @@
 //! * prepared statements (the SQL-template cache of Section 6.1),
 //! * polymorphic table functions in FROM (the `graphQuery` hook of
 //!   Section 4),
-//! * transactions with rollback, and per-table reader-writer locking for
-//!   concurrent query throughput (Figure 6).
+//! * multi-version storage with epoch snapshots: transactions commit
+//!   atomically through an undo log, readers pin a [`Snapshot`] and see one
+//!   committed state across arbitrarily many statements while writers
+//!   proceed without blocking them (Figure 6; `docs/CONSISTENCY.md`).
 //!
 //! ## Quick example
 //!
@@ -47,7 +49,7 @@ pub mod storage;
 pub mod txn;
 pub mod value;
 
-pub use db::{Database, ViewDef};
+pub use db::{Database, Snapshot, ViewDef};
 pub use error::{DbError, DbResult};
 pub use func::TableFunction;
 pub use index::{IndexDef, RowId};
@@ -55,5 +57,5 @@ pub use prepared::Prepared;
 pub use row::{Row, RowSet};
 pub use schema::{ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ExecStats, StatsSnapshot};
-pub use storage::Table;
+pub use storage::{ReadView, Table};
 pub use value::{DataType, Value};

@@ -14,12 +14,22 @@ use crate::sql::ast::*;
 use crate::sql::parser::parse_statement;
 use crate::value::Value;
 
+/// Generation value meaning "not stamped against any catalog state" — a
+/// `Prepared` built directly (without a database) always executes as-is.
+pub const GENERATION_ANY: u64 = u64::MAX;
+
 /// A parsed statement ready for repeated parameterized execution.
 #[derive(Debug, Clone)]
 pub struct Prepared {
     pub sql: String,
     pub stmt: Arc<Stmt>,
     pub param_count: usize,
+    /// Catalog generation this statement was prepared under (see
+    /// [`crate::db::Database::schema_generation`]). Executing against a
+    /// database whose generation moved on (DDL ran in between) forces a
+    /// re-prepare, so cached plans can never read a dropped-and-recreated
+    /// table through a stale layout.
+    generation: u64,
 }
 
 impl Prepared {
@@ -27,7 +37,30 @@ impl Prepared {
     pub fn new(sql: &str) -> DbResult<Prepared> {
         let stmt = parse_statement(sql)?;
         let param_count = count_params(&stmt);
-        Ok(Prepared { sql: sql.to_string(), stmt: Arc::new(stmt), param_count })
+        Ok(Prepared {
+            sql: sql.to_string(),
+            stmt: Arc::new(stmt),
+            param_count,
+            generation: GENERATION_ANY,
+        })
+    }
+
+    /// Stamp this statement with the catalog generation it was prepared
+    /// under (`Database::prepare` does this automatically).
+    pub fn with_generation(mut self, generation: u64) -> Prepared {
+        self.generation = generation;
+        self
+    }
+
+    /// The catalog generation this statement was stamped with.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True when the statement was stamped under an older catalog
+    /// generation than `current` and must be re-prepared before execution.
+    pub fn is_stale(&self, current: u64) -> bool {
+        self.generation != GENERATION_ANY && self.generation != current
     }
 
     /// Produce an executable statement with all `?` parameters bound.

@@ -16,7 +16,7 @@ use crate::sql::eval::{eval, resolve_column, truth, ColRef, RowEnv};
 use crate::sql::planner::{
     as_simple_pred, choose_access_path, split_conjuncts, AccessPath, SimplePred,
 };
-use crate::storage::Table;
+use crate::storage::{ReadView, Table};
 use crate::value::Value;
 
 /// An intermediate relation: qualified columns plus materialized rows.
@@ -32,8 +32,10 @@ impl Relation {
     }
 }
 
-/// Execute a SELECT statement to completion.
-pub fn execute_select(db: &Database, stmt: &SelectStmt) -> DbResult<RowSet> {
+/// Execute a SELECT statement to completion. All table reads — including
+/// those inside views, subqueries, and joins — go through `view`, so a
+/// snapshot-pinned query can never mix two committed states.
+pub fn execute_select(db: &Database, stmt: &SelectStmt, view: &ReadView) -> DbResult<RowSet> {
     // FROM-less SELECT: evaluate items once against an empty row.
     if stmt.from.is_empty() {
         let cols: Vec<ColRef> = Vec::new();
@@ -53,7 +55,7 @@ pub fn execute_select(db: &Database, stmt: &SelectStmt) -> DbResult<RowSet> {
         return Ok(RowSet::with_rows(names, vec![out]));
     }
 
-    if let Some(n) = try_fast_count(db, stmt)? {
+    if let Some(n) = try_fast_count(db, stmt, view)? {
         let name = match &stmt.items[0] {
             SelectItem::Expr { expr, alias } => output_name(expr, alias, 0),
             _ => unreachable!("shape checked by try_fast_count"),
@@ -61,7 +63,7 @@ pub fn execute_select(db: &Database, stmt: &SelectStmt) -> DbResult<RowSet> {
         return Ok(RowSet::with_rows(vec![name], vec![vec![Value::Bigint(n)]]));
     }
 
-    let rel = build_from(db, stmt)?;
+    let rel = build_from(db, stmt, view)?;
     let rel = apply_where(rel, stmt.where_clause.as_ref())?;
 
     if is_aggregate_query(stmt) {
@@ -75,7 +77,7 @@ pub fn execute_select(db: &Database, stmt: &SelectStmt) -> DbResult<RowSet> {
 /// the index and evaluate the remaining simple predicates against borrowed
 /// rows — no row materialization at all. This is what keeps degree-count
 /// queries (the overlay's `countLinks` SQL) cheap on high-degree vertices.
-fn try_fast_count(db: &Database, stmt: &SelectStmt) -> DbResult<Option<i64>> {
+fn try_fast_count(db: &Database, stmt: &SelectStmt, view: &ReadView) -> DbResult<Option<i64>> {
     // Shape: COUNT(*) only, one base table, no other clauses.
     if stmt.items.len() != 1
         || stmt.distinct
@@ -113,7 +115,7 @@ fn try_fast_count(db: &Database, stmt: &SelectStmt) -> DbResult<Option<i64>> {
     let rids: Vec<crate::index::RowId> = match &path {
         AccessPath::FullScan => {
             db.stats().record_full_scan(guard.len() as u64);
-            guard.iter().map(|(rid, _)| rid).collect()
+            guard.iter_at(*view).map(|(rid, _)| rid).collect()
         }
         AccessPath::IndexEq { index, key } => {
             db.stats().record_index_probe(1);
@@ -121,7 +123,7 @@ fn try_fast_count(db: &Database, stmt: &SelectStmt) -> DbResult<Option<i64>> {
         }
         AccessPath::IndexIn { index, keys } => {
             db.stats().record_index_probe(keys.len() as u64);
-            find_index(&guard, index)?.lookup_in(keys)
+            dedup_rids(find_index(&guard, index)?.lookup_in(keys))
         }
         AccessPath::IndexRange { index, low, high } => {
             db.stats().record_index_probe(1);
@@ -135,7 +137,7 @@ fn try_fast_count(db: &Database, stmt: &SelectStmt) -> DbResult<Option<i64>> {
                 std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
                 std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
             };
-            find_index(&guard, index)?.lookup_range(low, high)
+            dedup_rids(find_index(&guard, index)?.lookup_range(low, high))
         }
     };
     db.stats().record_rows_read(rids.len() as u64);
@@ -147,7 +149,7 @@ fn try_fast_count(db: &Database, stmt: &SelectStmt) -> DbResult<Option<i64>> {
         .collect();
     let mut n = 0i64;
     for rid in rids {
-        let Some(row) = guard.row(rid) else { continue };
+        let Some(row) = guard.row_at(rid, view) else { continue };
         let ok = positions.iter().all(|(i, p)| {
             let v = &row[*i];
             match p {
@@ -236,7 +238,7 @@ fn describe_source(db: &Database, source: &TableSource, pushdown: Option<&Expr>)
 
 // ------------------------------------------------------------------- FROM
 
-fn build_from(db: &Database, stmt: &SelectStmt) -> DbResult<Relation> {
+fn build_from(db: &Database, stmt: &SelectStmt, view: &ReadView) -> DbResult<Relation> {
     let mut rel: Option<Relation> = None;
     for (idx, fi) in stmt.from.iter().enumerate() {
         // WHERE conjuncts that reference only the first source's binding
@@ -245,9 +247,9 @@ fn build_from(db: &Database, stmt: &SelectStmt) -> DbResult<Relation> {
         // optimization. Safe under INNER and LEFT joins alike because the
         // first source is never null-extended.
         let pushdown = if idx == 0 { stmt.where_clause.as_ref() } else { None };
-        let mut r = resolve_source(db, &fi.source, pushdown)?;
+        let mut r = resolve_source(db, &fi.source, pushdown, view)?;
         for join in &fi.joins {
-            r = apply_join(db, r, join)?;
+            r = apply_join(db, r, join, view)?;
         }
         rel = Some(match rel {
             None => r,
@@ -257,16 +259,21 @@ fn build_from(db: &Database, stmt: &SelectStmt) -> DbResult<Relation> {
     Ok(rel.unwrap_or_else(Relation::empty))
 }
 
-fn resolve_source(db: &Database, source: &TableSource, pushdown: Option<&Expr>) -> DbResult<Relation> {
+fn resolve_source(
+    db: &Database,
+    source: &TableSource,
+    pushdown: Option<&Expr>,
+    view: &ReadView,
+) -> DbResult<Relation> {
     match source {
         TableSource::Named { name, .. } => {
             let binding = source.binding_name().to_string();
             if let Some(table) = db.get_table(name) {
-                return scan_table(db, &table, &binding, pushdown);
+                return scan_table(db, &table, &binding, pushdown, view);
             }
-            if let Some(view) = db.get_view(name) {
-                let query = push_into_view(db, &view.query, &binding, pushdown);
-                let rs = execute_select(db, &query)?;
+            if let Some(vdef) = db.get_view(name) {
+                let query = push_into_view(db, &vdef.query, &binding, pushdown);
+                let rs = execute_select(db, &query, view)?;
                 return Ok(relabel(rs, &binding));
             }
             Err(DbError::Catalog(format!("table or view '{name}' not found")))
@@ -303,7 +310,7 @@ fn resolve_source(db: &Database, source: &TableSource, pushdown: Option<&Expr>) 
             })
         }
         TableSource::Subquery { query, alias } => {
-            let rs = execute_select(db, query)?;
+            let rs = execute_select(db, query, view)?;
             Ok(relabel(rs, alias))
         }
     }
@@ -334,6 +341,7 @@ fn scan_table(
     table: &Table,
     binding: &str,
     pushdown: Option<&Expr>,
+    view: &ReadView,
 ) -> DbResult<Relation> {
     let preds = collect_simple_preds(table, binding, pushdown);
     let guard = table.read();
@@ -341,22 +349,22 @@ fn scan_table(
     let rows: Vec<Row> = match &path {
         AccessPath::FullScan => {
             db.stats().record_full_scan(guard.len() as u64);
-            guard.iter().map(|(_, r)| r.clone()).collect()
+            guard.iter_at(*view).map(|(_, r)| r.clone()).collect()
         }
         AccessPath::IndexEq { index, key } => {
             db.stats().record_index_probe(1);
             let ix = find_index(&guard, index)?;
             ix.lookup_eq(key)
                 .into_iter()
-                .filter_map(|rid| guard.row(rid).cloned())
+                .filter_map(|rid| guard.row_at(rid, view).cloned())
                 .collect()
         }
         AccessPath::IndexIn { index, keys } => {
             db.stats().record_index_probe(keys.len() as u64);
             let ix = find_index(&guard, index)?;
-            ix.lookup_in(keys)
+            dedup_rids(ix.lookup_in(keys))
                 .into_iter()
-                .filter_map(|rid| guard.row(rid).cloned())
+                .filter_map(|rid| guard.row_at(rid, view).cloned())
                 .collect()
         }
         AccessPath::IndexRange { index, low, high } => {
@@ -372,9 +380,9 @@ fn scan_table(
                 std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
                 std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
             };
-            ix.lookup_range(low, high)
+            dedup_rids(ix.lookup_range(low, high))
                 .into_iter()
-                .filter_map(|rid| guard.row(rid).cloned())
+                .filter_map(|rid| guard.row_at(rid, view).cloned())
                 .collect()
         }
     };
@@ -398,6 +406,15 @@ fn find_index<'a>(
         .iter()
         .find(|ix| ix.def.name == name)
         .ok_or_else(|| DbError::Execution(format!("index '{name}' vanished during execution")))
+}
+
+/// Under versioned storage one row slot can be posted under several keys
+/// (one per version), so multi-key probes must dedup rids before visibility
+/// filtering or a row would be returned once per matching key.
+fn dedup_rids(rids: Vec<crate::index::RowId>) -> Vec<crate::index::RowId> {
+    let mut seen: std::collections::HashSet<crate::index::RowId> =
+        std::collections::HashSet::with_capacity(rids.len());
+    rids.into_iter().filter(|r| seen.insert(*r)).collect()
 }
 
 /// Push applicable outer conjuncts into a view's query so its own planning
@@ -485,8 +502,8 @@ fn rewrite_for_view(expr: &Expr, binding: &str, mapping: &HashMap<String, Expr>)
 
 // ------------------------------------------------------------------- joins
 
-fn apply_join(db: &Database, left: Relation, join: &Join) -> DbResult<Relation> {
-    let right = resolve_source(db, &join.source, None)?;
+fn apply_join(db: &Database, left: Relation, join: &Join, view: &ReadView) -> DbResult<Relation> {
+    let right = resolve_source(db, &join.source, None, view)?;
     join_relations(left, right, &join.on, join.left_outer)
 }
 

@@ -1,12 +1,24 @@
-//! In-memory table storage.
+//! In-memory versioned table storage (epoch-based MVCC).
 //!
-//! Each table is a slotted heap of rows guarded by a `parking_lot::RwLock`,
-//! with its secondary indexes maintained under the same lock so that readers
-//! always observe index entries consistent with row contents. Per-table
-//! locking is what lets many concurrent read-only graph queries proceed in
-//! parallel — the property the paper credits for Db2 Graph's throughput win
-//! in Figure 6 ("the underlying Db2 engine is extremely good at handling
-//! concurrent queries").
+//! Each table is a slotted heap guarded by a `parking_lot::RwLock`; every
+//! slot holds a small *version chain* rather than a single row. A version
+//! carries a `begin` and an `end` stamp: while its writing transaction is
+//! uncommitted both are *markers* (`TXN_BIT | txn_stamp`); at commit the
+//! database finalizes markers to a freshly allocated commit epoch. Readers
+//! evaluate visibility against a [`ReadView`] — either "latest committed
+//! plus my own writes" (the write path and plain statements) or a pinned
+//! commit epoch (snapshot reads used by the graph layer), so a multi-
+//! statement traversal observes one database state while writers proceed
+//! without blocking readers. This is what lets the overlay inherit the
+//! "strongest suit for RDBMSs" the paper claims for Db2 Graph (Section 1)
+//! and still keep the Figure 6 concurrency win: readers never block, and
+//! secondary indexes are maintained under the same lock so index entries
+//! are never *missing* for a visible version (stale extra entries are
+//! filtered by re-checking visibility and predicates at read time).
+//!
+//! Dead versions (committed `end` stamps) are retained until no registered
+//! snapshot could still see them, then reclaimed by [`Table::vacuum`]
+//! (driven by the database's garbage counter — see `docs/CONSISTENCY.md`).
 
 use parking_lot::{RwLock, RwLockReadGuard};
 
@@ -16,27 +28,139 @@ use crate::row::Row;
 use crate::schema::TableSchema;
 use crate::value::Value;
 
-/// Mutable state of a table: row slots plus all indexes.
+/// High bit marking an uncommitted begin/end stamp (`TXN_BIT | txn_stamp`).
+pub const TXN_BIT: u64 = 1 << 63;
+
+/// `end` value of a version that has not been deleted or superseded.
+pub const NO_END: u64 = u64::MAX;
+
+/// Snapshot value that admits every committed epoch ("read latest").
+pub const LATEST: u64 = TXN_BIT - 1;
+
+/// A reader's view of the database: which commit epochs are visible and
+/// which in-flight transaction (if any) counts as "my own writes".
+///
+/// `stamp == 0` means "no transaction" — only committed versions are seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadView {
+    /// Highest commit epoch visible to this view.
+    pub snap: u64,
+    /// Stamp of the transaction whose uncommitted writes are visible.
+    pub stamp: u64,
+}
+
+impl ReadView {
+    /// A view pinned to one commit epoch (snapshot isolation for reads).
+    pub fn committed(epoch: u64) -> ReadView {
+        ReadView { snap: epoch, stamp: 0 }
+    }
+
+    /// A view that sees every committed version plus the given
+    /// transaction's own uncommitted writes (read-latest; `stamp == 0`
+    /// for plain auto-commit reads).
+    pub fn latest(stamp: u64) -> ReadView {
+        ReadView { snap: LATEST, stamp }
+    }
+
+    fn marker(&self) -> u64 {
+        TXN_BIT | self.stamp
+    }
+}
+
+/// One version of a row: the payload plus its visibility interval.
+#[derive(Debug, Clone)]
+struct Version {
+    begin: u64,
+    end: u64,
+    row: Row,
+}
+
+impl Version {
+    /// True when `end` is a committed epoch (neither open nor a marker).
+    fn end_committed(&self) -> bool {
+        self.end & TXN_BIT == 0
+    }
+
+    /// True when this version is the slot's current image (not deleted or
+    /// superseded, committed or not).
+    fn is_current(&self) -> bool {
+        self.end == NO_END
+    }
+
+    /// Visibility under MVCC: the version must have begun within the view
+    /// (committed at or before `snap`, or written by the view's own
+    /// transaction) and must not have ended within it.
+    fn visible(&self, view: &ReadView) -> bool {
+        let begun = if self.begin & TXN_BIT != 0 {
+            view.stamp != 0 && self.begin == view.marker()
+        } else {
+            self.begin <= view.snap
+        };
+        if !begun {
+            return false;
+        }
+        if self.end == NO_END {
+            return true;
+        }
+        if self.end & TXN_BIT != 0 {
+            // Uncommitted delete: invisible only to the deleting transaction.
+            !(view.stamp != 0 && self.end == view.marker())
+        } else {
+            self.end > view.snap
+        }
+    }
+}
+
+/// Mutable state of a table: version chains plus all indexes.
 #[derive(Debug, Default)]
 pub struct TableData {
-    slots: Vec<Option<Row>>,
+    slots: Vec<Vec<Version>>,
     free: Vec<RowId>,
+    /// Count of current versions (committed or not) — the table cardinality
+    /// the planner and `row_count` report.
     live: usize,
+    /// Committed-dead versions retained for older snapshots; drives vacuum.
+    garbage: usize,
     indexes: Vec<Index>,
 }
 
+fn same_key(ix: &Index, a: &Row, b: &Row) -> bool {
+    ix.col_positions.iter().all(|&i| a[i] == b[i])
+}
+
 impl TableData {
-    /// Row by id, if the slot is live.
-    pub fn row(&self, rid: RowId) -> Option<&Row> {
-        self.slots.get(rid).and_then(|s| s.as_ref())
+    /// Row by id as seen from `view`.
+    pub fn row_at(&self, rid: RowId, view: &ReadView) -> Option<&Row> {
+        self.slots
+            .get(rid)?
+            .iter()
+            .rev()
+            .find(|v| v.visible(view))
+            .map(|v| &v.row)
     }
 
-    /// Iterate `(row_id, row)` over live rows.
-    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+    /// Iterate `(row_id, row)` over rows visible to `view`.
+    pub fn iter_at(&self, view: ReadView) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots.iter().enumerate().filter_map(move |(rid, slot)| {
+            slot.iter().rev().find(|v| v.visible(&view)).map(|v| (rid, &v.row))
+        })
+    }
+
+    /// Row by id, if the slot has a current (not deleted or superseded)
+    /// version — the write path's view of the table.
+    pub fn row(&self, rid: RowId) -> Option<&Row> {
         self.slots
+            .get(rid)?
             .iter()
-            .enumerate()
-            .filter_map(|(rid, s)| s.as_ref().map(|r| (rid, r)))
+            .rfind(|v| v.is_current())
+            .map(|v| &v.row)
+    }
+
+    /// Iterate `(row_id, row)` over current versions.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots.iter().enumerate().filter_map(|(rid, slot)| {
+            slot.iter().rfind(|v| v.is_current()).map(|v| (rid, &v.row))
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -45,6 +169,17 @@ impl TableData {
 
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// Total stored versions across all slots (introspection for tests and
+    /// vacuum accounting).
+    pub fn version_count(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Committed-dead versions awaiting vacuum.
+    pub fn garbage_versions(&self) -> usize {
+        self.garbage
     }
 
     /// Find an index whose column list (in order) equals `columns`
@@ -71,9 +206,27 @@ impl TableData {
     pub fn indexes(&self) -> &[Index] {
         &self.indexes
     }
+
+    /// Is `key` taken in unique index `ix_pos` by any version that is
+    /// current or uncommitted-deleted (a rolled-back delete would revive
+    /// it)? Index entries can be stale under MVCC, so each candidate's row
+    /// is re-checked against the key. Conservative: an uncommitted delete
+    /// still blocks re-use of its key until the deleting transaction
+    /// commits.
+    fn key_occupied(&self, ix_pos: usize, key: &[Value], exclude: Option<RowId>) -> bool {
+        let ix = &self.indexes[ix_pos];
+        ix.lookup_eq(key).into_iter().any(|rid| {
+            if exclude == Some(rid) {
+                return false;
+            }
+            self.slots[rid].iter().any(|v| {
+                v.end & TXN_BIT != 0 && ix.col_positions.iter().map(|&i| &v.row[i]).eq(key.iter())
+            })
+        })
+    }
 }
 
-/// A table: immutable schema plus lock-guarded data.
+/// A table: immutable schema plus lock-guarded versioned data.
 #[derive(Debug)]
 pub struct Table {
     pub schema: TableSchema,
@@ -154,110 +307,266 @@ impl Table {
         Ok(row)
     }
 
-    /// Insert a full-width row; returns its row id.
-    pub fn insert(&self, row: Row) -> DbResult<RowId> {
+    fn conflict_or_missing(&self, slot: &[Version], rid: RowId, marker: u64) -> DbError {
+        if slot.iter().any(|v| v.end & TXN_BIT != 0 && v.end != NO_END && v.end != marker) {
+            DbError::Txn(format!(
+                "row {rid} in table '{}' is write-locked by a concurrent transaction",
+                self.schema.name
+            ))
+        } else {
+            DbError::Execution(format!("row {rid} not found"))
+        }
+    }
+
+    /// Insert a full-width row with an uncommitted begin stamp; returns its
+    /// row id. The version becomes durable when the owning transaction
+    /// finalizes the stamp to a commit epoch.
+    pub fn insert(&self, row: Row, stamp: u64) -> DbResult<RowId> {
         let row = self.check_row(row)?;
         let mut data = self.data.write();
+        // Probe all unique indexes before mutating any of them so a
+        // duplicate-key failure leaves the table untouched.
+        for i in 0..data.indexes.len() {
+            if !data.indexes[i].def.unique {
+                continue;
+            }
+            let key: Vec<Value> =
+                data.indexes[i].col_positions.iter().map(|&c| row[c].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if data.key_occupied(i, &key, None) {
+                return Err(DbError::Constraint(format!(
+                    "duplicate key in unique index '{}' on table '{}'",
+                    data.indexes[i].def.name, self.schema.name
+                )));
+            }
+        }
         let rid = match data.free.pop() {
             Some(rid) => rid,
             None => {
-                data.slots.push(None);
+                data.slots.push(Vec::new());
                 data.slots.len() - 1
             }
         };
-        // Probe all unique indexes before mutating any of them so a
-        // duplicate-key failure leaves the table untouched.
-        let dup = data.indexes.iter().find_map(|ix| {
-            if ix.def.unique {
-                let key: Vec<Value> = ix.col_positions.iter().map(|&i| row[i].clone()).collect();
-                if !key.iter().any(Value::is_null) && !ix.lookup_eq(&key).is_empty() {
-                    return Some(ix.def.name.clone());
-                }
-            }
-            None
-        });
-        if let Some(index_name) = dup {
-            data.free.push(rid);
-            return Err(DbError::Constraint(format!(
-                "duplicate key in unique index '{index_name}' on table '{}'",
-                self.schema.name
-            )));
-        }
+        // Freed slots carry no versions and no index entries, so a plain
+        // posting insert cannot create a duplicate (key, rid) pair.
         for ix in &mut data.indexes {
-            ix.insert(&row, rid)?;
+            ix.insert(&row, rid);
         }
-        data.slots[rid] = Some(row);
+        data.slots[rid].push(Version { begin: TXN_BIT | stamp, end: NO_END, row });
         data.live += 1;
         Ok(rid)
     }
 
-    /// Delete a row by id; returns the removed row.
-    pub fn delete(&self, rid: RowId) -> DbResult<Row> {
+    /// Mark the current version of `rid` as deleted by `stamp`; returns the
+    /// deleted row image. Index entries are retained for older snapshots
+    /// and reclaimed by vacuum.
+    pub fn delete(&self, rid: RowId, stamp: u64) -> DbResult<Row> {
         let mut data = self.data.write();
-        let row = data
+        let slot = data
             .slots
             .get_mut(rid)
-            .and_then(Option::take)
             .ok_or_else(|| DbError::Execution(format!("row {rid} not found")))?;
-        for ix in &mut data.indexes {
-            ix.remove(&row, rid);
-        }
-        data.free.push(rid);
+        let row = match slot.iter_mut().rfind(|v| v.is_current()) {
+            Some(v) => {
+                v.end = TXN_BIT | stamp;
+                v.row.clone()
+            }
+            None => return Err(self.conflict_or_missing(slot, rid, TXN_BIT | stamp)),
+        };
         data.live -= 1;
         Ok(row)
     }
 
-    /// Replace a row in place; returns the previous contents.
-    pub fn update(&self, rid: RowId, new_row: Row) -> DbResult<Row> {
+    /// Supersede the current version of `rid` with `new_row` under `stamp`;
+    /// returns the previous image.
+    pub fn update(&self, rid: RowId, new_row: Row, stamp: u64) -> DbResult<Row> {
         let new_row = self.check_row(new_row)?;
+        let marker = TXN_BIT | stamp;
         let mut data = self.data.write();
-        let old = data
-            .slots
-            .get(rid)
-            .and_then(|s| s.clone())
-            .ok_or_else(|| DbError::Execution(format!("row {rid} not found")))?;
+        let cur_pos = match data.slots.get(rid) {
+            Some(slot) => match slot.iter().rposition(Version::is_current) {
+                Some(p) => p,
+                None => return Err(self.conflict_or_missing(slot, rid, marker)),
+            },
+            None => return Err(DbError::Execution(format!("row {rid} not found"))),
+        };
         // Unique checks against other rows.
-        for ix in &data.indexes {
-            if ix.def.unique {
-                let key: Vec<Value> =
-                    ix.col_positions.iter().map(|&i| new_row[i].clone()).collect();
-                if !key.iter().any(Value::is_null)
-                    && ix.lookup_eq(&key).iter().any(|&r| r != rid) {
-                        return Err(DbError::Constraint(format!(
-                            "duplicate key in unique index '{}' on table '{}'",
-                            ix.def.name, self.schema.name
-                        )));
-                    }
+        for i in 0..data.indexes.len() {
+            if !data.indexes[i].def.unique {
+                continue;
+            }
+            let key: Vec<Value> =
+                data.indexes[i].col_positions.iter().map(|&c| new_row[c].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if data.key_occupied(i, &key, Some(rid)) {
+                return Err(DbError::Constraint(format!(
+                    "duplicate key in unique index '{}' on table '{}'",
+                    data.indexes[i].def.name, self.schema.name
+                )));
             }
         }
-        for ix in &mut data.indexes {
-            ix.remove(&old, rid);
-            ix.insert(&new_row, rid)?;
+        let old = {
+            let v = &mut data.slots[rid][cur_pos];
+            v.end = marker;
+            v.row.clone()
+        };
+        // Postings for unchanged keys already exist; add entries only where
+        // the key changed, and dedup against entries left by even older
+        // versions of this slot.
+        for i in 0..data.indexes.len() {
+            if !same_key(&data.indexes[i], &old, &new_row) {
+                data.indexes[i].insert_unique_rid(&new_row, rid);
+            }
         }
-        data.slots[rid] = Some(new_row);
+        data.slots[rid].push(Version { begin: marker, end: NO_END, row: new_row });
         Ok(old)
     }
 
-    /// Re-insert a previously deleted row under its original id (used by
-    /// transaction rollback).
-    pub fn restore(&self, rid: RowId, row: Row) -> DbResult<()> {
+    /// Commit: rewrite `stamp`'s markers on `rid` to the allocated `epoch`.
+    pub(crate) fn finalize_stamp(&self, rid: RowId, stamp: u64, epoch: u64) {
+        let marker = TXN_BIT | stamp;
         let mut data = self.data.write();
-        if data.slots.len() <= rid {
-            data.slots.resize(rid + 1, None);
+        let mut ended = 0usize;
+        if let Some(slot) = data.slots.get_mut(rid) {
+            for v in slot.iter_mut() {
+                if v.begin == marker {
+                    v.begin = epoch;
+                }
+                if v.end == marker {
+                    v.end = epoch;
+                    ended += 1;
+                }
+            }
         }
-        if data.slots[rid].is_some() {
-            return Err(DbError::Txn(format!("slot {rid} occupied during restore")));
+        data.garbage += ended;
+    }
+
+    /// Roll back an insert: remove the uncommitted version `stamp` created
+    /// in `rid`, along with index entries no surviving version still needs.
+    pub(crate) fn rollback_insert(&self, rid: RowId, stamp: u64) -> DbResult<()> {
+        let marker = TXN_BIT | stamp;
+        let mut data = self.data.write();
+        let TableData { slots, free, live, indexes, .. } = &mut *data;
+        let slot = slots
+            .get_mut(rid)
+            .ok_or_else(|| DbError::Txn(format!("rollback: slot {rid} missing")))?;
+        let pos = slot
+            .iter()
+            .rposition(|v| v.begin == marker && v.end == NO_END)
+            .ok_or_else(|| {
+                DbError::Txn(format!("rollback: inserted version for row {rid} missing"))
+            })?;
+        let gone = slot.remove(pos);
+        for ix in indexes.iter_mut() {
+            if !slot.iter().any(|s| same_key(ix, &s.row, &gone.row)) {
+                ix.remove(&gone.row, rid);
+            }
         }
-        data.free.retain(|&r| r != rid);
-        for ix in &mut data.indexes {
-            ix.insert(&row, rid)?;
+        if slot.is_empty() {
+            free.push(rid);
         }
-        data.slots[rid] = Some(row);
+        *live -= 1;
+        Ok(())
+    }
+
+    /// Roll back a delete: re-open the version `stamp` end-marked in `rid`.
+    pub(crate) fn rollback_delete(&self, rid: RowId, stamp: u64) -> DbResult<()> {
+        let marker = TXN_BIT | stamp;
+        let mut data = self.data.write();
+        let slot = data
+            .slots
+            .get_mut(rid)
+            .ok_or_else(|| DbError::Txn(format!("rollback: slot {rid} missing")))?;
+        let v = slot.iter_mut().rfind(|v| v.end == marker).ok_or_else(|| {
+            DbError::Txn(format!("rollback: deleted version for row {rid} missing"))
+        })?;
+        v.end = NO_END;
         data.live += 1;
         Ok(())
     }
 
-    /// Create a new secondary index and backfill it from existing rows.
+    /// Roll back an update: drop the uncommitted new image and re-open the
+    /// version it superseded. Processing undo records in reverse order
+    /// unwinds multi-update chains one hop at a time.
+    pub(crate) fn rollback_update(&self, rid: RowId, stamp: u64) -> DbResult<()> {
+        let marker = TXN_BIT | stamp;
+        let mut data = self.data.write();
+        let TableData { slots, indexes, .. } = &mut *data;
+        let slot = slots
+            .get_mut(rid)
+            .ok_or_else(|| DbError::Txn(format!("rollback: slot {rid} missing")))?;
+        let pos = slot
+            .iter()
+            .rposition(|v| v.begin == marker && v.end == NO_END)
+            .ok_or_else(|| {
+                DbError::Txn(format!("rollback: updated version for row {rid} missing"))
+            })?;
+        let gone = slot.remove(pos);
+        for ix in indexes.iter_mut() {
+            if !slot.iter().any(|s| same_key(ix, &s.row, &gone.row)) {
+                ix.remove(&gone.row, rid);
+            }
+        }
+        let prev = slot.iter_mut().rfind(|v| v.end == marker).ok_or_else(|| {
+            DbError::Txn(format!("rollback: superseded version for row {rid} missing"))
+        })?;
+        prev.end = NO_END;
+        Ok(())
+    }
+
+    /// Reclaim committed-dead versions invisible to every snapshot at or
+    /// above `horizon`. Removes index entries no surviving version shares
+    /// and returns slots that became empty to the free list. Returns the
+    /// number of versions reclaimed.
+    pub fn vacuum(&self, horizon: u64) -> usize {
+        let mut data = self.data.write();
+        if data.garbage == 0 {
+            return 0;
+        }
+        let TableData { slots, free, garbage, indexes, .. } = &mut *data;
+        let mut removed = 0usize;
+        let mut remaining = 0usize;
+        for (rid, slot) in slots.iter_mut().enumerate() {
+            if slot.is_empty() {
+                continue;
+            }
+            if !slot.iter().any(|v| v.end_committed() && v.end <= horizon) {
+                remaining += slot.iter().filter(|v| v.end_committed()).count();
+                continue;
+            }
+            let mut kept = Vec::with_capacity(slot.len());
+            let mut dead = Vec::new();
+            for v in slot.drain(..) {
+                if v.end_committed() && v.end <= horizon {
+                    dead.push(v);
+                } else {
+                    kept.push(v);
+                }
+            }
+            *slot = kept;
+            removed += dead.len();
+            for v in &dead {
+                for ix in indexes.iter_mut() {
+                    if !slot.iter().any(|s| same_key(ix, &s.row, &v.row)) {
+                        ix.remove(&v.row, rid);
+                    }
+                }
+            }
+            if slot.is_empty() {
+                free.push(rid);
+            }
+            remaining += slot.iter().filter(|v| v.end_committed()).count();
+        }
+        *garbage = remaining;
+        removed
+    }
+
+    /// Create a new secondary index and backfill it from existing versions
+    /// (all of them, so probes under older snapshots stay complete).
     pub fn create_index(&self, def: IndexDef) -> DbResult<()> {
         let positions: Vec<usize> = def
             .columns
@@ -269,10 +578,27 @@ impl Table {
             return Err(DbError::Catalog(format!("index '{}' already exists", def.name)));
         }
         let mut ix = Index::new(def, positions);
-        let pairs: Vec<(RowId, Row)> =
-            data.iter().map(|(rid, row)| (rid, row.clone())).collect();
-        for (rid, row) in &pairs {
-            ix.insert(row, *rid)?;
+        if ix.def.unique {
+            // Uniqueness is enforced by the table (version-aware), so
+            // validate existing data here before accepting the definition.
+            let mut seen: std::collections::HashSet<Vec<Value>> = Default::default();
+            for (_, row) in data.iter() {
+                let key: Vec<Value> = ix.col_positions.iter().map(|&i| row[i].clone()).collect();
+                if !key.iter().any(Value::is_null) && !seen.insert(key) {
+                    return Err(DbError::Constraint(format!(
+                        "cannot create unique index '{}': duplicate key in table '{}'",
+                        ix.def.name, self.schema.name
+                    )));
+                }
+            }
+        }
+        for (rid, slot) in data.slots.iter().enumerate() {
+            for (vi, v) in slot.iter().enumerate() {
+                if slot[..vi].iter().any(|p| same_key(&ix, &p.row, &v.row)) {
+                    continue;
+                }
+                ix.insert(&v.row, rid);
+            }
         }
         data.indexes.push(ix);
         Ok(())
@@ -329,45 +655,119 @@ mod tests {
         .unwrap()
     }
 
+    /// Insert and immediately commit under a private epoch, mimicking what
+    /// the database's auto-commit path does.
+    fn put(t: &Table, row: Row, stamp: u64, epoch: u64) -> RowId {
+        let rid = t.insert(row, stamp).unwrap();
+        t.finalize_stamp(rid, stamp, epoch);
+        rid
+    }
+
     #[test]
     fn insert_scan_delete() {
         let t = table();
-        let r1 = t.insert(vec![Value::Bigint(1), Value::Varchar("a".into())]).unwrap();
-        let r2 = t.insert(vec![Value::Bigint(2), Value::Varchar("b".into())]).unwrap();
+        let r1 = put(&t, vec![Value::Bigint(1), Value::Varchar("a".into())], 1, 1);
+        let r2 = put(&t, vec![Value::Bigint(2), Value::Varchar("b".into())], 2, 2);
         assert_eq!(t.row_count(), 2);
         {
             let d = t.read();
             assert_eq!(d.row(r1).unwrap()[1], Value::Varchar("a".into()));
             assert_eq!(d.iter().count(), 2);
         }
-        let gone = t.delete(r2).unwrap();
+        let gone = t.delete(r2, 3).unwrap();
+        t.finalize_stamp(r2, 3, 3);
         assert_eq!(gone[0], Value::Bigint(2));
         assert_eq!(t.row_count(), 1);
-        // Slot is recycled.
-        let r3 = t.insert(vec![Value::Bigint(3), Value::Null]).unwrap();
-        assert_eq!(r3, r2);
+        // The dead version is retained for older snapshots until vacuum;
+        // only then is the slot recycled.
+        let r3 = put(&t, vec![Value::Bigint(3), Value::Null], 4, 4);
+        assert_ne!(r3, r2);
+        assert_eq!(t.vacuum(4), 1);
+        let r4 = put(&t, vec![Value::Bigint(4), Value::Null], 5, 5);
+        assert_eq!(r4, r2);
+    }
+
+    #[test]
+    fn snapshot_views_see_their_epoch() {
+        let t = table();
+        let rid = put(&t, vec![Value::Bigint(1), Value::Varchar("old".into())], 1, 1);
+        t.update(rid, vec![Value::Bigint(1), Value::Varchar("new".into())], 2).unwrap();
+        // Uncommitted: snapshot at epoch 1 and read-latest both see "old";
+        // the writer's own view sees "new".
+        let d = t.read();
+        let at1 = ReadView::committed(1);
+        assert_eq!(d.row_at(rid, &at1).unwrap()[1], Value::Varchar("old".into()));
+        assert_eq!(d.row_at(rid, &ReadView::latest(0)).unwrap()[1], Value::Varchar("old".into()));
+        assert_eq!(d.row_at(rid, &ReadView::latest(2)).unwrap()[1], Value::Varchar("new".into()));
+        drop(d);
+        t.finalize_stamp(rid, 2, 2);
+        let d = t.read();
+        // Committed: the pinned snapshot still sees "old", latest sees "new".
+        assert_eq!(d.row_at(rid, &at1).unwrap()[1], Value::Varchar("old".into()));
+        assert_eq!(d.row_at(rid, &ReadView::committed(2)).unwrap()[1], Value::Varchar("new".into()));
+        assert_eq!(d.iter_at(at1).count(), 1);
+    }
+
+    #[test]
+    fn deleted_row_stays_visible_to_older_snapshot() {
+        let t = table();
+        let rid = put(&t, vec![Value::Bigint(7), Value::Null], 1, 1);
+        t.delete(rid, 2).unwrap();
+        t.finalize_stamp(rid, 2, 2);
+        let d = t.read();
+        assert!(d.row_at(rid, &ReadView::committed(1)).is_some());
+        assert!(d.row_at(rid, &ReadView::committed(2)).is_none());
+        assert!(d.row_at(rid, &ReadView::latest(0)).is_none());
+        // The index still finds it for the old snapshot.
+        let ix = d.find_index_on("id").unwrap();
+        assert_eq!(ix.lookup_eq(&[Value::Bigint(7)]), vec![rid]);
     }
 
     #[test]
     fn pk_uniqueness_enforced_via_auto_index() {
         let t = table();
-        t.insert(vec![Value::Bigint(1), Value::Null]).unwrap();
-        let err = t.insert(vec![Value::Bigint(1), Value::Null]).unwrap_err();
+        put(&t, vec![Value::Bigint(1), Value::Null], 1, 1);
+        let err = t.insert(vec![Value::Bigint(1), Value::Null], 2).unwrap_err();
         assert!(matches!(err, DbError::Constraint(_)));
         // Failed insert must not leak a slot or index entry.
         assert_eq!(t.row_count(), 1);
-        t.insert(vec![Value::Bigint(2), Value::Null]).unwrap();
+        put(&t, vec![Value::Bigint(2), Value::Null], 3, 2);
+    }
+
+    #[test]
+    fn pk_reusable_after_committed_delete_before_vacuum() {
+        // A committed delete retains its version (and index entry) for old
+        // snapshots, but its key must be immediately reusable.
+        let t = table();
+        let rid = put(&t, vec![Value::Bigint(1), Value::Null], 1, 1);
+        t.delete(rid, 2).unwrap();
+        t.finalize_stamp(rid, 2, 2);
+        let r2 = put(&t, vec![Value::Bigint(1), Value::Varchar("again".into())], 3, 3);
+        assert_ne!(rid, r2);
+        let d = t.read();
+        assert_eq!(d.row_at(r2, &ReadView::committed(3)).unwrap()[1], Value::Varchar("again".into()));
+    }
+
+    #[test]
+    fn uncommitted_delete_blocks_key_reuse() {
+        let t = table();
+        let rid = put(&t, vec![Value::Bigint(1), Value::Null], 1, 1);
+        t.delete(rid, 2).unwrap(); // not finalized: could still roll back
+        let err = t.insert(vec![Value::Bigint(1), Value::Null], 3).unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)));
+        t.rollback_delete(rid, 2).unwrap();
+        assert_eq!(t.row_count(), 1);
     }
 
     #[test]
     fn pk_rejects_null_and_wrong_arity() {
         let t = table();
         assert!(matches!(
-            t.insert(vec![Value::Null, Value::Null]).unwrap_err(),
+            t.insert(vec![Value::Null, Value::Null], 1).unwrap_err(),
             DbError::Constraint(_)
         ));
         assert!(matches!(
-            t.insert(vec![Value::Bigint(1)]).unwrap_err(),
+            t.insert(vec![Value::Bigint(1)], 1).unwrap_err(),
             DbError::Type(_)
         ));
     }
@@ -375,22 +775,85 @@ mod tests {
     #[test]
     fn update_maintains_indexes() {
         let t = table();
-        let rid = t.insert(vec![Value::Bigint(1), Value::Varchar("a".into())]).unwrap();
-        t.insert(vec![Value::Bigint(2), Value::Null]).unwrap();
+        let rid = put(&t, vec![Value::Bigint(1), Value::Varchar("a".into())], 1, 1);
+        put(&t, vec![Value::Bigint(2), Value::Null], 2, 2);
         // Moving row 1 onto pk 2 must fail.
-        assert!(t.update(rid, vec![Value::Bigint(2), Value::Null]).is_err());
-        t.update(rid, vec![Value::Bigint(5), Value::Varchar("z".into())]).unwrap();
+        assert!(t.update(rid, vec![Value::Bigint(2), Value::Null], 3).is_err());
+        t.update(rid, vec![Value::Bigint(5), Value::Varchar("z".into())], 3).unwrap();
+        t.finalize_stamp(rid, 3, 3);
         let d = t.read();
         let ix = d.find_index_on("id").unwrap();
         assert_eq!(ix.lookup_eq(&[Value::Bigint(5)]), vec![rid]);
+        // The old key's entry survives for older snapshots...
+        assert_eq!(ix.lookup_eq(&[Value::Bigint(1)]), vec![rid]);
+        assert!(d.row_at(rid, &ReadView::committed(1)).is_some());
+        drop(d);
+        // ...and is reclaimed once no snapshot can reach it.
+        t.vacuum(3);
+        let d = t.read();
+        let ix = d.find_index_on("id").unwrap();
         assert!(ix.lookup_eq(&[Value::Bigint(1)]).is_empty());
+        assert_eq!(ix.lookup_eq(&[Value::Bigint(5)]), vec![rid]);
+    }
+
+    #[test]
+    fn rollback_insert_removes_version_entries_and_count() {
+        let t = table();
+        let rid = t.insert(vec![Value::Bigint(1), Value::Varchar("x".into())], 7).unwrap();
+        assert_eq!(t.row_count(), 1);
+        t.rollback_insert(rid, 7).unwrap();
+        assert_eq!(t.row_count(), 0);
+        let d = t.read();
+        assert!(d.find_index_on("id").unwrap().lookup_eq(&[Value::Bigint(1)]).is_empty());
+        assert_eq!(d.version_count(), 0);
+        drop(d);
+        // Key and slot are reusable immediately.
+        let r2 = t.insert(vec![Value::Bigint(1), Value::Null], 8).unwrap();
+        assert_eq!(r2, rid);
+    }
+
+    #[test]
+    fn rollback_update_chain_restores_original() {
+        let t = table();
+        let rid = put(&t, vec![Value::Bigint(1), Value::Varchar("v0".into())], 1, 1);
+        t.update(rid, vec![Value::Bigint(2), Value::Varchar("v1".into())], 5).unwrap();
+        t.update(rid, vec![Value::Bigint(3), Value::Varchar("v2".into())], 5).unwrap();
+        // Reverse order, as the undo log replays them.
+        t.rollback_update(rid, 5).unwrap();
+        t.rollback_update(rid, 5).unwrap();
+        let d = t.read();
+        assert_eq!(d.row(rid).unwrap()[0], Value::Bigint(1));
+        let ix = d.find_index_on("id").unwrap();
+        assert_eq!(ix.lookup_eq(&[Value::Bigint(1)]), vec![rid]);
+        assert!(ix.lookup_eq(&[Value::Bigint(2)]).is_empty());
+        assert!(ix.lookup_eq(&[Value::Bigint(3)]).is_empty());
+        assert_eq!(d.version_count(), 1);
+    }
+
+    #[test]
+    fn vacuum_respects_horizon() {
+        let t = table();
+        let rid = put(&t, vec![Value::Bigint(1), Value::Varchar("v0".into())], 1, 1);
+        for (stamp, epoch) in [(2u64, 2u64), (3, 3), (4, 4)] {
+            t.update(rid, vec![Value::Bigint(1), Value::Varchar(format!("v{}", epoch - 1))], stamp)
+                .unwrap();
+            t.finalize_stamp(rid, stamp, epoch);
+        }
+        assert_eq!(t.read().version_count(), 4);
+        // A snapshot pinned at epoch 2 keeps versions ending after 2.
+        assert_eq!(t.vacuum(2), 1);
+        assert_eq!(t.read().version_count(), 3);
+        assert!(t.read().row_at(rid, &ReadView::committed(2)).is_some());
+        assert_eq!(t.vacuum(4), 2);
+        assert_eq!(t.read().version_count(), 1);
+        assert_eq!(t.read().garbage_versions(), 0);
     }
 
     #[test]
     fn secondary_index_backfill_and_drop() {
         let t = table();
         for i in 0..10 {
-            t.insert(vec![Value::Bigint(i), Value::Varchar(format!("n{}", i % 3))]).unwrap();
+            put(&t, vec![Value::Bigint(i), Value::Varchar(format!("n{}", i % 3))], (i + 1) as u64, (i + 1) as u64);
         }
         t.create_index(IndexDef { name: "ix_name".into(), columns: vec!["name".into()], unique: false })
             .unwrap();
@@ -406,13 +869,26 @@ mod tests {
     }
 
     #[test]
-    fn restore_after_delete_roundtrips() {
+    fn unique_index_creation_validates_existing_rows() {
         let t = table();
-        let rid = t.insert(vec![Value::Bigint(7), Value::Varchar("x".into())]).unwrap();
-        let row = t.delete(rid).unwrap();
-        t.restore(rid, row).unwrap();
+        put(&t, vec![Value::Bigint(1), Value::Varchar("same".into())], 1, 1);
+        put(&t, vec![Value::Bigint(2), Value::Varchar("same".into())], 2, 2);
+        let err = t
+            .create_index(IndexDef { name: "uq_name".into(), columns: vec!["name".into()], unique: true })
+            .unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)));
+    }
+
+    #[test]
+    fn rollback_delete_restores_visibility() {
+        let t = table();
+        let rid = put(&t, vec![Value::Bigint(7), Value::Varchar("x".into())], 1, 1);
+        t.delete(rid, 2).unwrap();
+        assert_eq!(t.row_count(), 0);
+        t.rollback_delete(rid, 2).unwrap();
         assert_eq!(t.row_count(), 1);
         let d = t.read();
         assert_eq!(d.row(rid).unwrap()[0], Value::Bigint(7));
+        assert_eq!(d.row_at(rid, &ReadView::committed(1)).unwrap()[0], Value::Bigint(7));
     }
 }

@@ -1,13 +1,18 @@
-//! Transaction support: an undo log with rollback.
+//! Transaction support: write stamps plus an undo log.
 //!
 //! The engine runs statements in auto-commit mode unless a transaction is
 //! open (`BEGIN` ... `COMMIT`/`ROLLBACK`, or [`crate::db::Database::transaction`]).
-//! While a transaction is open, every data modification appends an undo
-//! record; rollback replays them in reverse. This gives atomicity for graph
-//! updates — the property the paper highlights as "the strongest suit for
-//! RDBMSs" that Db2 Graph inherits (Section 1). Isolation is
-//! read-committed-like: concurrent readers see committed per-statement
-//! states (each statement takes per-table locks).
+//! Every transaction — including the implicit one wrapping a single
+//! auto-commit statement — gets a unique *stamp*; its writes carry the
+//! stamp as an uncommitted marker in the version chains (see
+//! [`crate::storage`]) and append an undo record here. Commit walks the log
+//! forward finalizing markers to one freshly allocated epoch (so the whole
+//! transaction becomes visible atomically); rollback replays the log in
+//! reverse, surgically removing or re-opening exactly the versions the
+//! stamp touched. This gives the atomicity and snapshot-consistent reads
+//! the paper highlights as "the strongest suit for RDBMSs" that Db2 Graph
+//! inherits (Section 1); the full isolation model is documented in
+//! `docs/CONSISTENCY.md`.
 
 use crate::index::RowId;
 use crate::row::Row;
@@ -15,12 +20,40 @@ use crate::row::Row;
 /// One reversible data modification.
 #[derive(Debug, Clone)]
 pub enum UndoOp {
-    /// A row was inserted; undo deletes it.
+    /// A row was inserted; undo removes the created version.
     Insert { table: String, rid: RowId },
-    /// A row was deleted; undo restores it.
+    /// A row was deleted; undo re-opens the end-marked version. The old
+    /// image is retained for diagnostics (the version chain itself is the
+    /// source of truth for rollback).
     Delete { table: String, rid: RowId, row: Row },
-    /// A row was updated; undo writes back the old image.
+    /// A row was updated; undo drops the new version and re-opens the old.
     Update { table: String, rid: RowId, old: Row },
+}
+
+impl UndoOp {
+    /// Name of the table this operation touched.
+    pub fn table(&self) -> &str {
+        match self {
+            UndoOp::Insert { table, .. }
+            | UndoOp::Delete { table, .. }
+            | UndoOp::Update { table, .. } => table,
+        }
+    }
+
+    /// Row slot this operation touched.
+    pub fn rid(&self) -> RowId {
+        match self {
+            UndoOp::Insert { rid, .. } | UndoOp::Delete { rid, .. } | UndoOp::Update { rid, .. } => {
+                *rid
+            }
+        }
+    }
+
+    /// True for operations that leave a dead version behind on commit
+    /// (update/delete end-mark a version; insert does not).
+    pub fn creates_garbage(&self) -> bool {
+        !matches!(self, UndoOp::Insert { .. })
+    }
 }
 
 /// The undo log of an open transaction.
@@ -42,11 +75,32 @@ impl UndoLog {
         self.ops.is_empty()
     }
 
+    /// Operations in execution order (the commit path walks these forward).
+    pub fn ops(&self) -> &[UndoOp] {
+        &self.ops
+    }
+
     /// Drain operations in reverse (rollback) order.
     pub fn drain_reverse(&mut self) -> Vec<UndoOp> {
         let mut ops = std::mem::take(&mut self.ops);
         ops.reverse();
         ops
+    }
+}
+
+/// State of an open engine-level transaction: its write stamp, undo log,
+/// and the thread that opened it (so re-entrant `transaction()` calls can
+/// error instead of self-deadlocking on the writer gate).
+#[derive(Debug)]
+pub struct TxnState {
+    pub stamp: u64,
+    pub log: UndoLog,
+    pub owner: std::thread::ThreadId,
+}
+
+impl TxnState {
+    pub fn new(stamp: u64) -> TxnState {
+        TxnState { stamp, log: UndoLog::default(), owner: std::thread::current().id() }
     }
 }
 
@@ -61,9 +115,18 @@ mod tests {
         log.record(UndoOp::Insert { table: "t".into(), rid: 1 });
         log.record(UndoOp::Delete { table: "t".into(), rid: 2, row: vec![Value::Bigint(1)] });
         assert_eq!(log.len(), 2);
+        assert_eq!(log.ops()[0].table(), "t");
+        assert_eq!(log.ops()[1].rid(), 2);
         let ops = log.drain_reverse();
         assert!(matches!(ops[0], UndoOp::Delete { .. }));
         assert!(matches!(ops[1], UndoOp::Insert { .. }));
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn garbage_accounting_distinguishes_inserts() {
+        assert!(!UndoOp::Insert { table: "t".into(), rid: 0 }.creates_garbage());
+        assert!(UndoOp::Delete { table: "t".into(), rid: 0, row: vec![] }.creates_garbage());
+        assert!(UndoOp::Update { table: "t".into(), rid: 0, old: vec![] }.creates_garbage());
     }
 }

@@ -247,6 +247,156 @@ fn duplicate_frontier_vertices_keep_their_positions() {
     }
 }
 
+// ----------------------------------------------------- snapshot consistency
+
+/// Sort a result list into a canonical order for comparison.
+fn sorted(mut values: Vec<GValue>) -> Vec<GValue> {
+    values.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    values
+}
+
+#[test]
+fn writer_commit_mid_traversal_is_invisible_to_the_running_query() {
+    // Regression: each generated statement used to read the latest
+    // committed state, so a writer committing *between* the frontier scan
+    // and the adjacency probe leaked future rows into a running traversal
+    // (an anachronism: the query mixed two database states). The whole
+    // script now reads the snapshot pinned at run() entry — at any thread
+    // count, across every fan-out worker.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    for threads in [1, 2, 8] {
+        let db = social_db();
+        let g = open_with_threads(db.clone(), threads);
+        let traversal = "g.V().hasLabel('person').out('knows').values('name')";
+        let baseline = sorted(g.run(traversal).unwrap());
+
+        // Deterministic interleaving via the dialect's statement hook: the
+        // first statement touching the edge table means the Person frontier
+        // scan has already executed — exactly the window where a concurrent
+        // commit used to split the traversal across two states.
+        let fired = Arc::new(AtomicBool::new(false));
+        let hook_db = db.clone();
+        let hook_fired = fired.clone();
+        g.dialect().set_statement_hook(Some(Arc::new(move |template: &str| {
+            if template.contains("FROM Knows") && !hook_fired.swap(true, Ordering::SeqCst) {
+                hook_db.execute("INSERT INTO Person VALUES (9, 'Zed', 52)").unwrap();
+                hook_db
+                    .execute(
+                        "INSERT INTO Knows VALUES (1, 9, 'ZZ'), (2, 9, 'ZZ'), \
+                         (3, 9, 'ZZ'), (4, 9, 'ZZ')",
+                    )
+                    .unwrap();
+            }
+        })));
+        let mid = sorted(g.run(traversal).unwrap());
+        g.dialect().set_statement_hook(None);
+        assert!(fired.load(Ordering::SeqCst), "threads={threads}: the writer never ran");
+        assert_eq!(
+            mid, baseline,
+            "threads={threads}: a mid-traversal commit leaked into a running query"
+        );
+
+        // The commit is real — a *fresh* query (fresh snapshot) sees it.
+        let after = g
+            .run("g.V().hasLabel('person').out('knows').has('name', 'Zed').count()")
+            .unwrap();
+        assert_eq!(after, vec![GValue::Long(4)], "threads={threads}");
+    }
+}
+
+#[test]
+fn endpoint_delete_mid_traversal_leaves_no_dangling_edges() {
+    // Phantom-vertex regression: an endpoint deleted between the edge scan
+    // and the endpoint lookup used to produce a dangling edge — the edge
+    // row from one state, no vertex row from the next. Under the pinned
+    // snapshot the traversal sees both rows (the pre-delete state); a fresh
+    // query afterwards sees neither.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    for threads in [1, 2, 8] {
+        let db = social_db();
+        let g = open_with_threads(db.clone(), threads);
+        let fired = Arc::new(AtomicBool::new(false));
+        let hook_db = db.clone();
+        let hook_fired = fired.clone();
+        // The first Person statement of this traversal is the endpoint
+        // lookup — the edge scan has already run. Delete vertex Di and her
+        // incident edge atomically right in that window.
+        g.dialect().set_statement_hook(Some(Arc::new(move |template: &str| {
+            if template.contains("FROM Person") && !hook_fired.swap(true, Ordering::SeqCst) {
+                hook_db
+                    .transaction(|db| {
+                        db.execute("DELETE FROM Knows WHERE b = 4")?;
+                        db.execute("DELETE FROM Person WHERE pid = 4")?;
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        })));
+        let names = sorted(g.run("g.E().hasLabel('knows').inV().values('name')").unwrap());
+        g.dialect().set_statement_hook(None);
+        assert!(fired.load(Ordering::SeqCst), "threads={threads}: the deleter never ran");
+        // All five edges resolve an endpoint, including 3 -> Di.
+        assert_eq!(
+            names,
+            vec![
+                GValue::Str("Ann".into()),
+                GValue::Str("Bo".into()),
+                GValue::Str("Cy".into()),
+                GValue::Str("Cy".into()),
+                GValue::Str("Di".into()),
+            ],
+            "threads={threads}: endpoint lookup must see the same state as the edge scan"
+        );
+        // A fresh snapshot sees both rows gone — never an edge without its
+        // endpoint or vice versa.
+        assert_eq!(
+            g.run("g.E().hasLabel('knows').count()").unwrap(),
+            vec![GValue::Long(4)],
+            "threads={threads}"
+        );
+        assert_eq!(
+            g.run("g.V().hasId('person::4').count()").unwrap(),
+            vec![GValue::Long(0)],
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn ddl_between_queries_reprepares_cached_templates() {
+    // The dialect's template cache is stamped with the catalog generation;
+    // DDL (here: drop + recreate a table with a different column order)
+    // must transparently re-prepare the cached entry instead of executing
+    // a statement compiled against the dropped catalog state.
+    let db = social_db();
+    let g = open_with_threads(db.clone(), 2);
+    let traversal = "g.V().hasLabel('person').values('name')";
+    let before = sorted(g.run(traversal).unwrap());
+    assert_eq!(before.len(), 4);
+    assert_eq!(g.metrics().template_invalidations, 0);
+
+    db.execute("DROP TABLE Knows").unwrap();
+    db.execute("DROP TABLE WorksAt").unwrap();
+    db.execute("DROP TABLE Person").unwrap();
+    db.execute("CREATE TABLE Person (name VARCHAR, age BIGINT, pid BIGINT PRIMARY KEY)")
+        .unwrap();
+    db.execute("INSERT INTO Person VALUES ('Ned', 61, 1), ('Oz', 25, 2)").unwrap();
+
+    // Same Gremlin, same SQL template text — but the cached entry is stale.
+    let after = sorted(g.run(traversal).unwrap());
+    assert_eq!(after, vec![GValue::Str("Ned".into()), GValue::Str("Oz".into())]);
+    let m = g.metrics();
+    assert!(
+        m.template_invalidations >= 1,
+        "expected a recorded template invalidation: {m:?}"
+    );
+    // Re-running is served by the refreshed cache entry — no further
+    // invalidations without further DDL.
+    let again = sorted(g.run(traversal).unwrap());
+    assert_eq!(again, after);
+    assert_eq!(g.metrics().template_invalidations, m.template_invalidations);
+}
+
 // ------------------------------------------------------------- large graphs
 
 /// A chain of `n` nodes: i -> i+1.

@@ -1,0 +1,280 @@
+//! Concurrency stress: writer threads commit transactional mutations while
+//! reader threads traverse the graph and probe SQL under pinned snapshots.
+//! Every single read — graph-level or SQL-level — must observe a conserved
+//! invariant, proving that a query never mixes two database states (the
+//! multi-statement anachronism this suite guards against).
+//!
+//! Scale knobs: `DB2GRAPH_STRESS_ROUNDS` (writer iterations per thread,
+//! default 200) and `DB2GRAPH_THREADS` (intra-query fan-out width). CI
+//! runs this suite in release mode with `DB2GRAPH_THREADS=8`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use db2graph::core::{Db2Graph, ETableConfig, GraphOptions, OverlayConfig, VTableConfig};
+use db2graph::gremlin::GValue;
+use db2graph::reldb::Database;
+
+fn stress_rounds() -> usize {
+    std::env::var("DB2GRAPH_STRESS_ROUNDS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(200)
+}
+
+fn open_with_threads(
+    db: Arc<Database>,
+    overlay: &OverlayConfig,
+    threads: usize,
+) -> Arc<Db2Graph> {
+    let options = GraphOptions { threads: Some(threads), ..Default::default() };
+    Db2Graph::open_with_options(db, overlay, options).unwrap()
+}
+
+// --------------------------------------------------------- value conservation
+
+fn account_overlay() -> OverlayConfig {
+    OverlayConfig {
+        v_tables: vec![VTableConfig {
+            table_name: "Account".into(),
+            prefixed_id: true,
+            id: "'acct'::aid".into(),
+            fix_label: true,
+            label: "'acct'".into(),
+            properties: Some(vec!["balance".into()]),
+        }],
+        e_tables: vec![],
+    }
+}
+
+/// N writer threads transfer balance between accounts inside transactions;
+/// M reader threads sum all balances through Gremlin traversals at several
+/// fan-out widths. Money is conserved: *every* read sums to the initial
+/// total, never to a state where one leg of a transfer has landed and the
+/// other has not.
+#[test]
+fn transfers_conserve_the_total_balance_under_concurrent_readers() {
+    const ACCOUNTS: i64 = 16;
+    const TOTAL: i64 = ACCOUNTS * 100;
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE Account (aid BIGINT PRIMARY KEY, balance BIGINT)").unwrap();
+    let rows: Vec<String> = (0..ACCOUNTS).map(|i| format!("({i}, 100)")).collect();
+    db.execute(&format!("INSERT INTO Account VALUES {}", rows.join(", "))).unwrap();
+
+    let overlay = account_overlay();
+    let graphs: Vec<Arc<Db2Graph>> =
+        [1, 2, 8].iter().map(|&t| open_with_threads(db.clone(), &overlay, t)).collect();
+
+    let rounds = stress_rounds();
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        let writers: Vec<_> = (0..3usize)
+            .map(|w| {
+                let db = db.clone();
+                s.spawn(move || {
+                    for r in 0..rounds {
+                        let from = (r as i64 + w as i64) % ACCOUNTS;
+                        let to = (r as i64 * 7 + w as i64 * 3 + 1) % ACCOUNTS;
+                        db.transaction(|db| {
+                            db.execute(&format!(
+                                "UPDATE Account SET balance = balance - 1 WHERE aid = {from}"
+                            ))?;
+                            db.execute(&format!(
+                                "UPDATE Account SET balance = balance + 1 WHERE aid = {to}"
+                            ))?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for g in &graphs {
+            let g = g.clone();
+            let stop = stop.clone();
+            let reads = reads.clone();
+            s.spawn(move || {
+                // Each reader performs at least one full read, then keeps
+                // going until the writers finish.
+                let mut looked = false;
+                while !looked || !stop.load(Ordering::Relaxed) {
+                    let sum = g.run("g.V().values('balance').sum()").unwrap();
+                    assert_eq!(
+                        sum,
+                        vec![GValue::Long(TOTAL)],
+                        "a read observed a half-applied transfer (threads={})",
+                        g.threads()
+                    );
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    looked = true;
+                }
+            });
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(reads.load(Ordering::Relaxed) >= 3);
+    let sum = graphs[0].run("g.V().values('balance').sum()").unwrap();
+    assert_eq!(sum, vec![GValue::Long(TOTAL)]);
+}
+
+// ---------------------------------------------------- structure conservation
+
+fn tree_overlay() -> OverlayConfig {
+    OverlayConfig {
+        v_tables: vec![VTableConfig {
+            table_name: "Node".into(),
+            prefixed_id: true,
+            id: "'node'::nid".into(),
+            fix_label: true,
+            label: "'node'".into(),
+            properties: Some(vec!["val".into()]),
+        }],
+        e_tables: vec![ETableConfig {
+            table_name: "Edge".into(),
+            src_v_table: Some("Node".into()),
+            src_v: "'node'::src".into(),
+            dst_v_table: Some("Node".into()),
+            dst_v: "'node'::dst".into(),
+            prefixed_edge_id: false,
+            implicit_edge_id: true,
+            id: None,
+            fix_label: true,
+            label: "'child'".into(),
+            properties: None,
+        }],
+    }
+}
+
+/// Writers grow and prune a tree — each commit inserts (node + edge to it)
+/// or deletes (edge + node) atomically, so `nodes == edges + 1` holds in
+/// every committed state. Readers verify the invariant two ways, both
+/// under one pinned snapshot per read:
+///
+/// * SQL-level: both `COUNT(*)` statements run via
+///   [`Database::execute_prepared_at`] against the same [`Snapshot`];
+/// * graph-level: `.profile()` of `g.E().inV()` — the endpoint-resolution
+///   step must emit exactly one vertex per edge (no dangling endpoints).
+#[test]
+fn tree_invariant_holds_at_every_snapshot_under_churn() {
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE Node (nid BIGINT PRIMARY KEY, val BIGINT);
+         CREATE TABLE Edge (src BIGINT, dst BIGINT,
+            FOREIGN KEY (src) REFERENCES Node(nid),
+            FOREIGN KEY (dst) REFERENCES Node(nid));
+         CREATE INDEX ix_edge_src ON Edge (src);
+         CREATE INDEX ix_edge_dst ON Edge (dst);
+         INSERT INTO Node VALUES (0, 0), (1, 1), (2, 2);
+         INSERT INTO Edge VALUES (0, 1), (0, 2);",
+    )
+    .unwrap();
+
+    let overlay = tree_overlay();
+    let graphs: Vec<Arc<Db2Graph>> =
+        [1, 2, 8].iter().map(|&t| open_with_threads(db.clone(), &overlay, t)).collect();
+
+    const WRITERS: usize = 3;
+    let rounds = stress_rounds();
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Each writer owns a disjoint id range and alternates: attach a
+        // leaf under the root, then remove it — always node+edge in one
+        // transaction, so every commit preserves nodes == edges + 1.
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let db = db.clone();
+                s.spawn(move || {
+                    let base = 1_000 * (w as i64 + 1);
+                    for r in 0..rounds {
+                        let nid = base + r as i64;
+                        db.transaction(|db| {
+                            db.execute(&format!("INSERT INTO Node VALUES ({nid}, {r})"))?;
+                            db.execute(&format!("INSERT INTO Edge VALUES (0, {nid})"))?;
+                            Ok(())
+                        })
+                        .unwrap();
+                        if r % 2 == 0 {
+                            db.transaction(|db| {
+                                db.execute(&format!("DELETE FROM Edge WHERE dst = {nid}"))?;
+                                db.execute(&format!("DELETE FROM Node WHERE nid = {nid}"))?;
+                                Ok(())
+                            })
+                            .unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // SQL-level readers: one pinned snapshot covers both counts.
+        for _ in 0..2 {
+            let db = db.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let nodes = db.prepare("SELECT COUNT(*) FROM Node").unwrap();
+                let edges = db.prepare("SELECT COUNT(*) FROM Edge").unwrap();
+                let mut looked = false;
+                while !looked || !stop.load(Ordering::Relaxed) {
+                    let snap = db.snapshot();
+                    let n = db
+                        .execute_prepared_at(&nodes, &[], &snap)
+                        .unwrap()
+                        .scalar()
+                        .unwrap()
+                        .as_i64()
+                        .unwrap();
+                    let e = db
+                        .execute_prepared_at(&edges, &[], &snap)
+                        .unwrap()
+                        .scalar()
+                        .unwrap()
+                        .as_i64()
+                        .unwrap();
+                    assert_eq!(n, e + 1, "snapshot mixed two committed states");
+                    looked = true;
+                }
+            });
+        }
+        // Graph-level readers: endpoint resolution never dangles.
+        for g in &graphs {
+            let g = g.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut looked = false;
+                while !looked || !stop.load(Ordering::Relaxed) {
+                    let (_, report) = g.profile("g.E().hasLabel('child').inV()").unwrap();
+                    // inV() profiles as the endpoint-resolution step
+                    // `EdgeVertex(In)`.
+                    let inv = report
+                        .steps
+                        .iter()
+                        .find(|s| s.description.contains("EdgeVertex"))
+                        .expect("inV step profiled");
+                    assert_eq!(
+                        inv.out_count,
+                        inv.in_count,
+                        "dangling endpoint: {} edges resolved {} vertices (threads={})",
+                        inv.in_count,
+                        inv.out_count,
+                        g.threads()
+                    );
+                    looked = true;
+                }
+            });
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Quiesced end state still satisfies the invariant, and versions dead
+    // to every snapshot are reclaimable.
+    let n = db.execute("SELECT COUNT(*) FROM Node").unwrap().scalar().unwrap().as_i64().unwrap();
+    let e = db.execute("SELECT COUNT(*) FROM Edge").unwrap().scalar().unwrap().as_i64().unwrap();
+    assert_eq!(n, e + 1);
+    db.vacuum();
+}
