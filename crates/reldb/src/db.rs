@@ -239,10 +239,19 @@ impl Database {
         self.active_txn.lock().as_ref().filter(|t| t.owner == me).map_or(0, |t| t.stamp)
     }
 
-    /// The view plain (unpinned) statements read under: latest committed
-    /// state plus the open transaction's own writes, if any.
+    /// The view plain (unpinned) statements read under: the highest
+    /// *published* commit epoch plus the open transaction's own writes, if
+    /// any. Reading at the published epoch — not "anything committed" —
+    /// matters because `commit_ops` finalizes a multi-row transaction's
+    /// markers one row at a time: a half-finalized epoch is above the
+    /// published one and stays invisible until the atomic
+    /// `commit_epoch.store`, so even plain statements observe whole
+    /// transactions or none of them.
     fn read_view(&self) -> ReadView {
-        ReadView::latest(self.current_stamp())
+        ReadView {
+            snap: self.commit_epoch.load(Ordering::Acquire),
+            stamp: self.current_stamp(),
+        }
     }
 
     /// Reclaim committed-dead versions no registered snapshot can see.
@@ -507,18 +516,12 @@ impl Database {
                 Ok(count_result(0))
             }
             Stmt::Commit => {
-                let st = {
-                    let mut txn = self.active_txn.lock();
-                    txn.take().ok_or_else(|| DbError::Txn("no transaction in progress".into()))?
-                };
+                let st = self.take_owned_txn("COMMIT")?;
                 self.commit_ops(&st.log, st.stamp);
                 Ok(count_result(0))
             }
             Stmt::Rollback => {
-                let st = {
-                    let mut txn = self.active_txn.lock();
-                    txn.take().ok_or_else(|| DbError::Txn("no transaction in progress".into()))?
-                };
+                let st = self.take_owned_txn("ROLLBACK")?;
                 self.rollback_ops(st.log, st.stamp)?;
                 Ok(count_result(0))
             }
@@ -563,11 +566,26 @@ impl Database {
             }
             Err(e) => {
                 let st = self.active_txn.lock().take();
-                if let Some(st) = st {
-                    self.rollback_ops(st.log, st.stamp)?;
+                match st {
+                    Some(st) => Err(self.rollback_preserving(st.log, st.stamp, e)),
+                    None => Err(e),
                 }
-                Err(e)
             }
+        }
+    }
+
+    /// Take the open transaction for COMMIT/ROLLBACK — but only on the
+    /// thread that opened it, consistent with the owner-aware stamp and
+    /// write-context model. A stray COMMIT from another thread must not
+    /// publish a transaction its owner is still mid-way through.
+    fn take_owned_txn(&self, verb: &str) -> DbResult<TxnState> {
+        let mut txn = self.active_txn.lock();
+        match txn.as_ref() {
+            None => Err(DbError::Txn("no transaction in progress".into())),
+            Some(t) if t.owner != std::thread::current().id() => Err(DbError::Txn(format!(
+                "{verb}: the open transaction belongs to another thread"
+            ))),
+            Some(_) => Ok(txn.take().expect("checked above")),
         }
     }
 
@@ -603,17 +621,37 @@ impl Database {
         }
     }
 
-    /// Undo a transaction's writes, most recent first.
+    /// Undo a transaction's writes, most recent first. A per-op failure
+    /// does not stop the walk: every remaining record still settles its own
+    /// independent marker (bailing early would strand them as permanent
+    /// uncommitted markers — rows invisible forever). The first failure is
+    /// reported after the whole log is drained.
     fn rollback_ops(&self, mut log: UndoLog, stamp: u64) -> DbResult<()> {
+        let mut first_err: Option<DbError> = None;
         for op in log.drain_reverse() {
-            let t = self.require_table(op.table())?;
-            match &op {
-                UndoOp::Insert { rid, .. } => t.rollback_insert(*rid, stamp)?,
-                UndoOp::Delete { rid, .. } => t.rollback_delete(*rid, stamp)?,
-                UndoOp::Update { rid, .. } => t.rollback_update(*rid, stamp)?,
+            let result = match self.get_table(op.table()) {
+                None => Err(DbError::Txn(format!("rollback: table '{}' missing", op.table()))),
+                Some(t) => match &op {
+                    UndoOp::Insert { rid, .. } => t.rollback_insert(*rid, stamp),
+                    UndoOp::Delete { rid, .. } => t.rollback_delete(*rid, stamp),
+                    UndoOp::Update { rid, .. } => t.rollback_update(*rid, stamp),
+                },
+            };
+            if let Err(e) = result {
+                first_err.get_or_insert(e);
             }
         }
-        Ok(())
+        first_err.map_or(Ok(()), Err)
+    }
+
+    /// Roll back a failed unit's log while preserving the unit's original
+    /// error; a rollback failure is attached to its message rather than
+    /// replacing it.
+    fn rollback_preserving(&self, log: UndoLog, stamp: u64, err: DbError) -> DbError {
+        match self.rollback_ops(log, stamp) {
+            Ok(()) => err,
+            Err(rb) => DbError::Txn(format!("{err}; rollback also failed: {rb}")),
+        }
     }
 
     /// Open the write context for one DML statement: join the transaction
@@ -654,10 +692,13 @@ impl Database {
             // transaction vanished mid-statement, settle the leftovers so
             // they cannot linger as permanent uncommitted markers.
             if !ctx.local.is_empty() {
-                match &result {
-                    Ok(_) => self.commit_ops(&ctx.local, ctx.stamp),
-                    Err(_) => self.rollback_ops(ctx.local, ctx.stamp)?,
-                }
+                return match result {
+                    Ok(v) => {
+                        self.commit_ops(&ctx.local, ctx.stamp);
+                        Ok(v)
+                    }
+                    Err(e) => Err(self.rollback_preserving(ctx.local, ctx.stamp, e)),
+                };
             }
             return result;
         }
@@ -666,10 +707,7 @@ impl Database {
                 self.commit_ops(&ctx.local, ctx.stamp);
                 Ok(v)
             }
-            Err(e) => {
-                self.rollback_ops(ctx.local, ctx.stamp)?;
-                Err(e)
-            }
+            Err(e) => Err(self.rollback_preserving(ctx.local, ctx.stamp, e)),
         }
     }
 
@@ -1309,6 +1347,90 @@ mod tests {
         writer.join().unwrap();
         let n = db.execute("SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(n.scalar(), Some(&Value::Bigint(2)));
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_key_inside_transaction() {
+        // Pre-MVCC behavior that must keep working: a transaction deletes a
+        // key and re-inserts it before committing. The uncommitted delete
+        // belongs to the same stamp, so it must not count as "occupied".
+        let db = setup();
+        db.execute("BEGIN").unwrap();
+        db.execute("DELETE FROM Disease WHERE diseaseID = 10").unwrap();
+        db.execute("INSERT INTO Disease VALUES (10, 'E11.9', 'type 2 diabetes, new code')").unwrap();
+        db.execute("COMMIT").unwrap();
+        let rs = db.execute("SELECT conceptCode FROM Disease WHERE diseaseID = 10").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("E11.9".into())));
+        // The rollback variant restores the original row.
+        db.execute("BEGIN").unwrap();
+        db.execute("DELETE FROM Disease WHERE diseaseID = 11").unwrap();
+        db.execute("INSERT INTO Disease VALUES (11, 'X', 'replaced')").unwrap();
+        db.execute("ROLLBACK").unwrap();
+        let rs = db.execute("SELECT conceptCode FROM Disease WHERE diseaseID = 11").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("E10".into())));
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM Disease").unwrap().scalar(),
+            Some(&Value::Bigint(3))
+        );
+    }
+
+    #[test]
+    fn autocommit_dml_conflicts_with_foreign_uncommitted_write() {
+        // An auto-commit UPDATE/DELETE racing an open transaction's write
+        // on the same row must error as a write conflict — not end-mark the
+        // uncommitted version (which would break the owner's rollback and
+        // silently drop its update).
+        let db = Arc::new(Database::new());
+        db.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, n BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+        let (inside_tx, inside_rx) = std::sync::mpsc::channel();
+        let (checked_tx, checked_rx) = std::sync::mpsc::channel();
+        let writer = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let res: DbResult<()> = db.transaction(|db| {
+                    db.execute("UPDATE t SET n = 10 WHERE id = 1")?;
+                    inside_tx.send(()).unwrap();
+                    checked_rx.recv().unwrap();
+                    Err(DbError::Execution("abort".into()))
+                });
+                assert!(res.is_err());
+            })
+        };
+        inside_rx.recv().unwrap();
+        let err = db.execute("UPDATE t SET n = 99 WHERE id = 1").unwrap_err();
+        assert!(matches!(err, DbError::Txn(_)), "{err}");
+        let err = db.execute("DELETE FROM t WHERE id = 1").unwrap_err();
+        assert!(matches!(err, DbError::Txn(_)), "{err}");
+        checked_tx.send(()).unwrap();
+        writer.join().unwrap();
+        // The owner rolled back cleanly: the original row is intact and
+        // writable again (no stranded uncommitted markers).
+        let rs = db.execute("SELECT n FROM t WHERE id = 1").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(0)));
+        db.execute("UPDATE t SET n = 99 WHERE id = 1").unwrap();
+        let rs = db.execute("SELECT n FROM t WHERE id = 1").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(99)));
+    }
+
+    #[test]
+    fn commit_and_rollback_rejected_from_non_owner_thread() {
+        let db = Arc::new(setup());
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO Patient VALUES (30, 'Uma', NULL, NULL)").unwrap();
+        {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                assert!(matches!(db.execute("COMMIT"), Err(DbError::Txn(_))));
+                assert!(matches!(db.execute("ROLLBACK"), Err(DbError::Txn(_))));
+            })
+            .join()
+            .unwrap();
+        }
+        // The owner's transaction is still open and still rolls back.
+        db.execute("ROLLBACK").unwrap();
+        let rs = db.execute("SELECT COUNT(*) FROM Patient WHERE patientID = 30").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Bigint(0)));
     }
 
     #[test]

@@ -210,17 +210,22 @@ impl TableData {
     /// Is `key` taken in unique index `ix_pos` by any version that is
     /// current or uncommitted-deleted (a rolled-back delete would revive
     /// it)? Index entries can be stale under MVCC, so each candidate's row
-    /// is re-checked against the key. Conservative: an uncommitted delete
-    /// still blocks re-use of its key until the deleting transaction
-    /// commits.
-    fn key_occupied(&self, ix_pos: usize, key: &[Value], exclude: Option<RowId>) -> bool {
+    /// is re-checked against the key. Conservative: a *foreign*
+    /// uncommitted delete still blocks re-use of its key until the
+    /// deleting transaction commits — but a version the inserting
+    /// transaction (`stamp`) end-marked itself does not occupy the key, so
+    /// DELETE-then-INSERT of the same key inside one transaction works.
+    fn key_occupied(&self, ix_pos: usize, key: &[Value], exclude: Option<RowId>, stamp: u64) -> bool {
+        let own_delete = TXN_BIT | stamp;
         let ix = &self.indexes[ix_pos];
         ix.lookup_eq(key).into_iter().any(|rid| {
             if exclude == Some(rid) {
                 return false;
             }
             self.slots[rid].iter().any(|v| {
-                v.end & TXN_BIT != 0 && ix.col_positions.iter().map(|&i| &v.row[i]).eq(key.iter())
+                v.end & TXN_BIT != 0
+                    && v.end != own_delete
+                    && ix.col_positions.iter().map(|&i| &v.row[i]).eq(key.iter())
             })
         })
     }
@@ -307,12 +312,16 @@ impl Table {
         Ok(row)
     }
 
+    fn write_locked(&self, rid: RowId) -> DbError {
+        DbError::Txn(format!(
+            "row {rid} in table '{}' is write-locked by a concurrent transaction",
+            self.schema.name
+        ))
+    }
+
     fn conflict_or_missing(&self, slot: &[Version], rid: RowId, marker: u64) -> DbError {
         if slot.iter().any(|v| v.end & TXN_BIT != 0 && v.end != NO_END && v.end != marker) {
-            DbError::Txn(format!(
-                "row {rid} in table '{}' is write-locked by a concurrent transaction",
-                self.schema.name
-            ))
+            self.write_locked(rid)
         } else {
             DbError::Execution(format!("row {rid} not found"))
         }
@@ -335,7 +344,7 @@ impl Table {
             if key.iter().any(Value::is_null) {
                 continue;
             }
-            if data.key_occupied(i, &key, None) {
+            if data.key_occupied(i, &key, None, stamp) {
                 return Err(DbError::Constraint(format!(
                     "duplicate key in unique index '{}' on table '{}'",
                     data.indexes[i].def.name, self.schema.name
@@ -361,8 +370,11 @@ impl Table {
 
     /// Mark the current version of `rid` as deleted by `stamp`; returns the
     /// deleted row image. Index entries are retained for older snapshots
-    /// and reclaimed by vacuum.
+    /// and reclaimed by vacuum. A current version another transaction
+    /// created and has not yet committed is a write conflict: end-marking
+    /// it would orphan that transaction's rollback.
     pub fn delete(&self, rid: RowId, stamp: u64) -> DbResult<Row> {
+        let marker = TXN_BIT | stamp;
         let mut data = self.data.write();
         let slot = data
             .slots
@@ -370,24 +382,34 @@ impl Table {
             .ok_or_else(|| DbError::Execution(format!("row {rid} not found")))?;
         let row = match slot.iter_mut().rfind(|v| v.is_current()) {
             Some(v) => {
-                v.end = TXN_BIT | stamp;
+                if v.begin & TXN_BIT != 0 && v.begin != marker {
+                    return Err(self.write_locked(rid));
+                }
+                v.end = marker;
                 v.row.clone()
             }
-            None => return Err(self.conflict_or_missing(slot, rid, TXN_BIT | stamp)),
+            None => return Err(self.conflict_or_missing(slot, rid, marker)),
         };
         data.live -= 1;
         Ok(row)
     }
 
     /// Supersede the current version of `rid` with `new_row` under `stamp`;
-    /// returns the previous image.
+    /// returns the previous image. As with [`Table::delete`], a current
+    /// version belonging to another uncommitted transaction is a write
+    /// conflict, not a silent overwrite.
     pub fn update(&self, rid: RowId, new_row: Row, stamp: u64) -> DbResult<Row> {
         let new_row = self.check_row(new_row)?;
         let marker = TXN_BIT | stamp;
         let mut data = self.data.write();
         let cur_pos = match data.slots.get(rid) {
             Some(slot) => match slot.iter().rposition(Version::is_current) {
-                Some(p) => p,
+                Some(p) => {
+                    if slot[p].begin & TXN_BIT != 0 && slot[p].begin != marker {
+                        return Err(self.write_locked(rid));
+                    }
+                    p
+                }
                 None => return Err(self.conflict_or_missing(slot, rid, marker)),
             },
             None => return Err(DbError::Execution(format!("row {rid} not found"))),
@@ -402,7 +424,7 @@ impl Table {
             if key.iter().any(Value::is_null) {
                 continue;
             }
-            if data.key_occupied(i, &key, Some(rid)) {
+            if data.key_occupied(i, &key, Some(rid), stamp) {
                 return Err(DbError::Constraint(format!(
                     "duplicate key in unique index '{}' on table '{}'",
                     data.indexes[i].def.name, self.schema.name
@@ -757,6 +779,57 @@ mod tests {
         assert!(matches!(err, DbError::Constraint(_)));
         t.rollback_delete(rid, 2).unwrap();
         assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn own_uncommitted_delete_allows_key_reuse() {
+        // DELETE-then-INSERT of the same key inside one transaction: the
+        // deleting stamp may re-take its own key while others stay blocked.
+        let t = table();
+        let rid = put(&t, vec![Value::Bigint(1), Value::Varchar("old".into())], 1, 1);
+        t.delete(rid, 2).unwrap();
+        let r2 = t.insert(vec![Value::Bigint(1), Value::Varchar("new".into())], 2).unwrap();
+        t.finalize_stamp(rid, 2, 2);
+        t.finalize_stamp(r2, 2, 2);
+        let d = t.read();
+        assert_eq!(d.row_at(r2, &ReadView::committed(2)).unwrap()[1], Value::Varchar("new".into()));
+        assert_eq!(d.row_at(rid, &ReadView::committed(1)).unwrap()[1], Value::Varchar("old".into()));
+        assert_eq!(d.iter_at(ReadView::committed(2)).count(), 1);
+    }
+
+    #[test]
+    fn foreign_uncommitted_write_locks_update_and_delete() {
+        // A current version created by an uncommitted transaction (insert
+        // or update) must reject end-marking by any other stamp — otherwise
+        // the owner's rollback can no longer find its versions and aborts
+        // half-done, stranding permanent uncommitted markers.
+        let t = table();
+        let rid = put(&t, vec![Value::Bigint(1), Value::Varchar("v0".into())], 1, 1);
+        t.update(rid, vec![Value::Bigint(1), Value::Varchar("v1".into())], 5).unwrap();
+        assert!(matches!(
+            t.update(rid, vec![Value::Bigint(1), Value::Varchar("x".into())], 6).unwrap_err(),
+            DbError::Txn(_)
+        ));
+        assert!(matches!(t.delete(rid, 6).unwrap_err(), DbError::Txn(_)));
+        // The owner itself can keep going, and its rollback still unwinds.
+        t.update(rid, vec![Value::Bigint(1), Value::Varchar("v2".into())], 5).unwrap();
+        t.rollback_update(rid, 5).unwrap();
+        t.rollback_update(rid, 5).unwrap();
+        assert_eq!(t.read().row(rid).unwrap()[1], Value::Varchar("v0".into()));
+        // Once the owner is gone, other stamps can write again.
+        t.delete(rid, 7).unwrap();
+        t.finalize_stamp(rid, 7, 2);
+        assert_eq!(t.row_count(), 0);
+
+        // Same for an uncommitted *insert*: its current version is locked.
+        let r2 = t.insert(vec![Value::Bigint(9), Value::Null], 8).unwrap();
+        assert!(matches!(t.delete(r2, 9).unwrap_err(), DbError::Txn(_)));
+        assert!(matches!(
+            t.update(r2, vec![Value::Bigint(9), Value::Null], 9).unwrap_err(),
+            DbError::Txn(_)
+        ));
+        t.rollback_insert(r2, 8).unwrap();
+        assert_eq!(t.row_count(), 0);
     }
 
     #[test]
