@@ -1,0 +1,112 @@
+//! Load driver for the HTTP serving layer: N client threads hammer
+//! `POST /query` over real sockets against an in-process `GraphServer`
+//! and report throughput plus p50/p90/p99 latency per query shape —
+//! the serving-layer analogue of the paper's Figure 6 concurrency story
+//! (the RDBMS engine, and now the service in front of it, is good at
+//! handling concurrent queries).
+//!
+//! Knobs: `SRV_CLIENTS` (default 2x cores), `SRV_REQUESTS` (per client,
+//! default 200), `SRV_ACCOUNTS` (dataset size, default 1 000),
+//! `DB2GRAPH_THREADS` (intra-query fan-out).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use db2graph_core::{Db2Graph, GraphOptions, Histogram, OverlayConfig, VTableConfig};
+use db2graph_server::{http_call, GraphServer, ServerConfig};
+use reldb::Database;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn build_graph(accounts: usize) -> Arc<Db2Graph> {
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE Account (aid BIGINT PRIMARY KEY, balance BIGINT)").unwrap();
+    // Insert in chunks to keep statement size bounded.
+    for chunk in (0..accounts).collect::<Vec<_>>().chunks(1000) {
+        let rows: Vec<String> =
+            chunk.iter().map(|i| format!("({i}, {})", 100 + i % 17)).collect();
+        db.execute(&format!("INSERT INTO Account VALUES {}", rows.join(", "))).unwrap();
+    }
+    let overlay = OverlayConfig {
+        v_tables: vec![VTableConfig {
+            table_name: "Account".into(),
+            prefixed_id: true,
+            id: "'acct'::aid".into(),
+            fix_label: true,
+            label: "'acct'".into(),
+            properties: Some(vec!["balance".into()]),
+        }],
+        e_tables: vec![],
+    };
+    Db2Graph::open_with_options(db, &overlay, GraphOptions::default()).unwrap()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let clients = env_usize("SRV_CLIENTS", (2 * cores).max(2));
+    let requests = env_usize("SRV_REQUESTS", 200);
+    let accounts = env_usize("SRV_ACCOUNTS", 1_000);
+    let graph = build_graph(accounts);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: clients.min(cores.max(2)),
+        queue_depth: clients * 2,
+        ..Default::default()
+    };
+    let workers = config.workers;
+    let handle = GraphServer::start(graph, config).expect("bind");
+    let addr = handle.addr();
+    println!(
+        "\n=== Server load: {clients} clients x {requests} requests, {workers} workers, {accounts} accounts ===\n"
+    );
+
+    let shapes: &[(&str, &str)] = &[
+        ("point lookup", "g.V().hasLabel('acct').limit(1).values('balance')"),
+        ("full aggregate", "g.V().values('balance').sum()"),
+        ("filter + count", "g.V().has('balance', 105).count()"),
+    ];
+    for (name, gremlin) in shapes {
+        let hist = Histogram::default();
+        let errors = std::sync::atomic::AtomicUsize::new(0);
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..clients {
+                s.spawn(|| {
+                    for _ in 0..requests {
+                        let t = Instant::now();
+                        match http_call(addr, "POST", "/query", gremlin, Duration::from_secs(30))
+                        {
+                            Ok(r) if r.status == 200 => {
+                                hist.record(t.elapsed().as_nanos() as u64)
+                            }
+                            _ => {
+                                errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let wall = started.elapsed();
+        let (p50, p90, p99) = hist.percentiles();
+        let total = clients * requests;
+        println!(
+            "{name:>15}: {:>8.0} req/s | p50 {:>7.3} ms | p90 {:>7.3} ms | p99 {:>7.3} ms | {} ok, {} failed",
+            total as f64 / wall.as_secs_f64(),
+            p50 as f64 / 1e6,
+            p90 as f64 / 1e6,
+            p99 as f64 / 1e6,
+            hist.count(),
+            errors.load(std::sync::atomic::Ordering::Relaxed),
+        );
+    }
+
+    let report = handle.shutdown();
+    println!(
+        "\nserver drained: {} admitted, {} completed, {} shed with 429\n",
+        report.admitted, report.completed, report.rejected
+    );
+    assert_eq!(report.admitted, report.completed, "drain invariant");
+}

@@ -16,7 +16,15 @@ pub enum GraphError {
     Db(DbError),
     /// An error from the Gremlin layer.
     Gremlin(GremlinError),
+    /// The query's deadline expired; execution was aborted between
+    /// statements (see [`Db2Graph::run_with_deadline`]).
+    Timeout,
 }
+
+/// Marker message used to round-trip [`GraphError::Timeout`] through the
+/// `GraphBackend` trait, which erases backend errors into
+/// `GremlinError::Backend(String)`. [`from_gremlin`] maps it back.
+pub(crate) const TIMEOUT_MARKER: &str = "query deadline exceeded";
 
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -24,6 +32,7 @@ impl fmt::Display for GraphError {
             GraphError::Config(m) => write!(f, "overlay config error: {m}"),
             GraphError::Db(e) => write!(f, "{e}"),
             GraphError::Gremlin(e) => write!(f, "{e}"),
+            GraphError::Timeout => write!(f, "{TIMEOUT_MARKER}"),
         }
     }
 }
@@ -54,6 +63,15 @@ pub fn to_gremlin(e: GraphError) -> GremlinError {
     }
 }
 
+/// Recover a [`GraphError`] from the Gremlin layer, un-erasing the timeout
+/// marker that [`to_gremlin`] collapsed into a backend-error string.
+pub(crate) fn from_gremlin(e: GremlinError) -> GraphError {
+    match e {
+        GremlinError::Backend(ref m) if m == TIMEOUT_MARKER => GraphError::Timeout,
+        other => GraphError::Gremlin(other),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +86,14 @@ mod tests {
         assert!(matches!(g, GremlinError::Backend(_)));
         let g = to_gremlin(GraphError::Gremlin(GremlinError::Parse("p".into())));
         assert!(matches!(g, GremlinError::Parse(_)));
+    }
+
+    #[test]
+    fn timeout_round_trips_through_the_backend_trait() {
+        let g = to_gremlin(GraphError::Timeout);
+        assert_eq!(from_gremlin(g), GraphError::Timeout);
+        // Non-marker backend errors stay Gremlin errors.
+        let e = from_gremlin(GremlinError::Backend("disk on fire".into()));
+        assert!(matches!(e, GraphError::Gremlin(GremlinError::Backend(_))));
     }
 }

@@ -10,7 +10,7 @@ use gremlin::ScriptRunner;
 use reldb::{DataType, Database, DbError, DbResult, RowSet, TableFunction, Value};
 
 use crate::config::OverlayConfig;
-use crate::error::{GraphError, GraphResult};
+use crate::error::{from_gremlin, GraphError, GraphResult};
 use crate::graph_structure::{to_value, Db2GraphBackend};
 use crate::metrics::{
     step_kind, ExplainReport, MetricsSnapshot, ProfileReport, Profiler, SlowQueryEntry,
@@ -172,6 +172,12 @@ impl Db2Graph {
             snap.trace_spans = sink.len() as u64;
             snap.dropped_spans = sink.dropped();
         }
+        // MVCC gauges read live from the database: where commits have
+        // advanced to, the oldest epoch any active snapshot still pins
+        // (the vacuum horizon), and how many snapshots pin it there.
+        snap.commit_epoch = self.db.commit_epoch();
+        snap.snapshot_horizon = self.db.snapshot_horizon();
+        snap.active_snapshots = self.db.active_snapshots() as u64;
         snap
     }
 
@@ -190,20 +196,37 @@ impl Db2Graph {
     /// `docs/CONSISTENCY.md`). A nested `graphQuery` call issued *by SQL*
     /// pins its own snapshot at its own start time.
     pub fn run(&self, gremlin: &str) -> GraphResult<Vec<GValue>> {
+        self.run_with_deadline(gremlin, None)
+    }
+
+    /// [`Self::run`] with a cooperative deadline: once `deadline` passes,
+    /// the next SQL-issuing operation (in any traversal step, statement,
+    /// or fan-out worker) aborts the script with [`GraphError::Timeout`]
+    /// instead of touching storage. The snapshot pinned at entry is
+    /// released on abort like on any other error path. `None` never times
+    /// out.
+    pub fn run_with_deadline(
+        &self,
+        gremlin: &str,
+        deadline: Option<std::time::Instant>,
+    ) -> GraphResult<Vec<GValue>> {
         self.backend.registry().record_traversal();
         // A `.profile()` terminator needs an observing pipeline; the
         // substring check may rarely false-positive (e.g. inside a string
         // literal), which only costs the observation overhead. Tracing and
         // the slow-query log likewise need per-step observation.
         if gremlin.contains(".profile()") || self.observing() {
-            return self.run_observed(gremlin).map(|(values, _)| values);
+            return self.run_observed(gremlin, deadline).map(|(values, _)| values);
         }
         let start = std::time::Instant::now();
-        let backend = self.backend.with_snapshot(Some(self.db.snapshot()));
+        let backend = self
+            .backend
+            .with_snapshot(Some(self.db.snapshot()))
+            .with_deadline(deadline);
         let runner = ScriptRunner::new(&backend)
             .with_strategies(self.registry.clone())
             .with_options(self.options.exec.clone());
-        let out = runner.run(gremlin).map_err(GraphError::Gremlin);
+        let out = runner.run(gremlin).map_err(from_gremlin);
         self.backend.registry().record_query_latency(start.elapsed().as_nanos() as u64);
         out
     }
@@ -212,8 +235,18 @@ impl Db2Graph {
     /// and the structured per-step report (strategy rewrites, step
     /// timings, table decisions, SQL statements).
     pub fn profile(&self, gremlin: &str) -> GraphResult<(Vec<GValue>, ProfileReport)> {
+        self.profile_with_deadline(gremlin, None)
+    }
+
+    /// [`Self::profile`] under a cooperative deadline (see
+    /// [`Self::run_with_deadline`]).
+    pub fn profile_with_deadline(
+        &self,
+        gremlin: &str,
+        deadline: Option<std::time::Instant>,
+    ) -> GraphResult<(Vec<GValue>, ProfileReport)> {
         self.backend.registry().record_traversal();
-        self.run_observed(gremlin)
+        self.run_observed(gremlin, deadline)
     }
 
     /// The observing pipeline behind [`Self::profile`], `.profile()`,
@@ -221,7 +254,11 @@ impl Db2Graph {
     /// `Tracer` when a sink exists) observes strategies, steps, table
     /// decisions and SQL; afterwards the span batch lands in the sink and
     /// the query is offered to the slow-query log with its full report.
-    fn run_observed(&self, gremlin: &str) -> GraphResult<(Vec<GValue>, ProfileReport)> {
+    fn run_observed(
+        &self,
+        gremlin: &str,
+        deadline: Option<std::time::Instant>,
+    ) -> GraphResult<(Vec<GValue>, ProfileReport)> {
         let tracer = if self.sink.is_some() { Tracer::enabled() } else { Tracer::disabled() };
         let profiler = Profiler::enabled().with_tracer(tracer.clone());
         let root = tracer.start_with("query", SpanKind::Query, || {
@@ -230,13 +267,14 @@ impl Db2Graph {
         let backend = self
             .backend
             .with_snapshot(Some(self.db.snapshot()))
+            .with_deadline(deadline)
             .with_profiler(profiler.clone());
         let runner = ScriptRunner::new(&backend)
             .with_strategies(self.registry.clone())
             .with_options(self.options.exec.clone())
             .with_observer(Arc::new(profiler.clone()));
         let start = std::time::Instant::now();
-        let result = runner.run(gremlin).map_err(GraphError::Gremlin);
+        let result = runner.run(gremlin).map_err(from_gremlin);
         let wall_nanos = start.elapsed().as_nanos() as u64;
         tracer.end(root);
         let registry = self.backend.registry();
@@ -289,6 +327,15 @@ impl Db2Graph {
     /// configured).
     pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
         self.slow_log.as_ref().map(|l| l.entries()).unwrap_or_default()
+    }
+
+    /// The slow-query log as JSON, slowest first (`[]` when no threshold
+    /// is configured) — the payload behind the server's `/slow-queries`.
+    pub fn slow_queries_json(&self) -> crate::json::Json {
+        self.slow_log
+            .as_ref()
+            .map(|l| l.to_json())
+            .unwrap_or_else(|| crate::json::Json::Arr(Vec::new()))
     }
 
     /// The advisor's workload view: cost-sorted pattern stats plus index

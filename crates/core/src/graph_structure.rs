@@ -100,6 +100,12 @@ pub struct Db2GraphBackend {
     /// traversals observe a single committed database state even while
     /// writers commit concurrently.
     pub(crate) read_view: Option<Snapshot>,
+    /// Cooperative cancellation point: when set, every SQL-issuing
+    /// operation checks the clock before touching storage and aborts with
+    /// [`GraphError::Timeout`] once the instant has passed. Bound per
+    /// query by [`Db2Graph::run_with_deadline`]; the serving layer uses it
+    /// to shed requests that outlive their budget.
+    pub(crate) deadline: Option<std::time::Instant>,
 }
 
 impl Db2GraphBackend {
@@ -113,6 +119,7 @@ impl Db2GraphBackend {
             profiler: Profiler::disabled(),
             threads: pool::configured_threads(),
             read_view: None,
+            deadline: None,
         }
     }
 
@@ -126,6 +133,7 @@ impl Db2GraphBackend {
             profiler,
             threads: self.threads,
             read_view: self.read_view.clone(),
+            deadline: self.deadline,
         }
     }
 
@@ -141,6 +149,34 @@ impl Db2GraphBackend {
             profiler: self.profiler.clone(),
             threads: self.threads,
             read_view: snapshot,
+            deadline: self.deadline,
+        }
+    }
+
+    /// A shallow clone whose SQL-issuing operations abort with
+    /// [`GraphError::Timeout`] once `deadline` passes. `None` removes any
+    /// deadline.
+    pub fn with_deadline(&self, deadline: Option<std::time::Instant>) -> Db2GraphBackend {
+        Db2GraphBackend {
+            topo: self.topo.clone(),
+            dialect: self.dialect.clone(),
+            stats: self.stats.clone(),
+            profiler: self.profiler.clone(),
+            threads: self.threads,
+            read_view: self.read_view.clone(),
+            deadline,
+        }
+    }
+
+    /// Cooperative cancellation check, called on every SQL-issuing path
+    /// (table scans, adjacency probes, endpoint lookups, aggregates) so a
+    /// traversal's statement loop stops within one statement of the
+    /// deadline passing — including inside fan-out worker jobs, which
+    /// inherit the deadline through the shallow clones above.
+    fn check_deadline(&self) -> GraphResult<()> {
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => Err(GraphError::Timeout),
+            _ => Ok(()),
         }
     }
 
@@ -492,6 +528,7 @@ impl Db2GraphBackend {
         filter: &ElementFilter,
         pinned: bool,
     ) -> GraphResult<TableResult> {
+        self.check_deadline()?;
         let ScanPlan { conjuncts, params, mut pattern_cols, .. } =
             match self.vertex_table_access(vt, filter)? {
                 TableAccess::Pruned(reason) => {
@@ -826,6 +863,7 @@ impl Db2GraphBackend {
     }
 
     fn query_edge_table(&self, et: &EdgeTable, filter: &ElementFilter) -> GraphResult<TableResult> {
+        self.check_deadline()?;
         let ScanPlan { conjuncts, params, mut pattern_cols, post_filter_ids } =
             match self.edge_table_access(et, filter)? {
                 TableAccess::Pruned(reason) => {
@@ -1011,6 +1049,7 @@ impl Db2GraphBackend {
         if ids.is_empty() {
             return Ok(out);
         }
+        self.check_deadline()?;
         let unique_ids: Vec<ElementId> = {
             // An id constraint already on the filter (a pushed-down hasId)
             // intersects with the requested endpoint ids.
@@ -1465,6 +1504,7 @@ impl Db2GraphBackend {
         if sources.is_empty() {
             return Ok(groups);
         }
+        self.check_deadline()?;
         // Map source vertex id -> positions (a vertex can appear several
         // times in the frontier).
         let mut src_positions: HashMap<ElementId, Vec<usize>> = HashMap::new();

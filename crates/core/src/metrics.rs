@@ -957,6 +957,8 @@ pub struct MetricsRegistry {
     template_invalidations: AtomicU64,
     pattern_evictions: AtomicU64,
     slow_queries: AtomicU64,
+    vacuum_runs: AtomicU64,
+    vacuumed_versions: AtomicU64,
     query_latency: Histogram,
     sql_latency: Histogram,
     sql_templates: HistogramSet,
@@ -1017,6 +1019,14 @@ impl MetricsRegistry {
         self.slow_queries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One `Database::vacuum` pass reclaimed `versions` dead row versions
+    /// (recorded by the vacuum daemon so MVCC garbage collection shows up
+    /// in `/metrics`).
+    pub fn record_vacuum(&self, versions: u64) {
+        self.vacuum_runs.fetch_add(1, Ordering::Relaxed);
+        self.vacuumed_versions.fetch_add(versions, Ordering::Relaxed);
+    }
+
     pub fn query_latency(&self) -> &Histogram {
         &self.query_latency
     }
@@ -1059,8 +1069,13 @@ impl MetricsRegistry {
             template_invalidations: self.template_invalidations.load(Ordering::Relaxed),
             pattern_evictions: self.pattern_evictions.load(Ordering::Relaxed),
             slow_queries: self.slow_queries.load(Ordering::Relaxed),
+            vacuum_runs: self.vacuum_runs.load(Ordering::Relaxed),
+            vacuumed_versions: self.vacuumed_versions.load(Ordering::Relaxed),
             trace_spans: 0,
             dropped_spans: 0,
+            commit_epoch: 0,
+            snapshot_horizon: 0,
+            active_snapshots: 0,
             query_p50_nanos: query_p50,
             query_p90_nanos: query_p90,
             query_p99_nanos: query_p99,
@@ -1091,10 +1106,24 @@ pub struct MetricsSnapshot {
     pub pattern_evictions: u64,
     /// Completed queries whose wall time crossed the slow-query threshold.
     pub slow_queries: u64,
+    /// `Database::vacuum` passes run by the vacuum daemon (or manually
+    /// recorded via [`MetricsRegistry::record_vacuum`]).
+    pub vacuum_runs: u64,
+    /// Dead row versions reclaimed across those passes.
+    pub vacuumed_versions: u64,
     /// Spans retained in the trace ring buffer (0 when tracing is off).
     pub trace_spans: u64,
     /// Spans evicted because the trace ring buffer wrapped.
     pub dropped_spans: u64,
+    /// Gauge: the database's highest published commit epoch (filled by
+    /// [`Db2Graph::metrics`]; 0 from a bare registry snapshot).
+    pub commit_epoch: u64,
+    /// Gauge: the oldest epoch a live snapshot pins — the vacuum horizon.
+    /// A horizon far behind `commit_epoch` means a snapshot is holding
+    /// garbage alive.
+    pub snapshot_horizon: u64,
+    /// Gauge: currently registered snapshots.
+    pub active_snapshots: u64,
     /// End-to-end traversal latency percentiles (log2-bucket upper bounds).
     pub query_p50_nanos: u64,
     pub query_p90_nanos: u64,
@@ -1124,8 +1153,14 @@ impl MetricsSnapshot {
             template_invalidations: self.template_invalidations - earlier.template_invalidations,
             pattern_evictions: self.pattern_evictions - earlier.pattern_evictions,
             slow_queries: self.slow_queries - earlier.slow_queries,
+            vacuum_runs: self.vacuum_runs - earlier.vacuum_runs,
+            vacuumed_versions: self.vacuumed_versions - earlier.vacuumed_versions,
             trace_spans: self.trace_spans,
             dropped_spans: self.dropped_spans,
+            // Gauges carry the latest values, like the percentiles.
+            commit_epoch: self.commit_epoch,
+            snapshot_horizon: self.snapshot_horizon,
+            active_snapshots: self.active_snapshots,
             query_p50_nanos: self.query_p50_nanos,
             query_p90_nanos: self.query_p90_nanos,
             query_p99_nanos: self.query_p99_nanos,
@@ -1150,8 +1185,13 @@ impl MetricsSnapshot {
             ("template_invalidations", Json::u64(self.template_invalidations)),
             ("pattern_evictions", Json::u64(self.pattern_evictions)),
             ("slow_queries", Json::u64(self.slow_queries)),
+            ("vacuum_runs", Json::u64(self.vacuum_runs)),
+            ("vacuumed_versions", Json::u64(self.vacuumed_versions)),
             ("trace_spans", Json::u64(self.trace_spans)),
             ("dropped_spans", Json::u64(self.dropped_spans)),
+            ("commit_epoch", Json::u64(self.commit_epoch)),
+            ("snapshot_horizon", Json::u64(self.snapshot_horizon)),
+            ("active_snapshots", Json::u64(self.active_snapshots)),
             ("query_p50_nanos", Json::u64(self.query_p50_nanos)),
             ("query_p90_nanos", Json::u64(self.query_p90_nanos)),
             ("query_p99_nanos", Json::u64(self.query_p99_nanos)),

@@ -179,10 +179,17 @@ fn tokenize(input: &str) -> GResult<Vec<Token>> {
     Ok(out)
 }
 
+/// Maximum nesting depth of step calls (anonymous traversals, predicates)
+/// the parser accepts. The recursive descent otherwise recurses once per
+/// nesting level, so adversarial input like `f(f(f(…)))` would overflow
+/// the stack — an abort, not an error a server can map to 400. Real
+/// queries nest a handful of levels; 64 is far beyond any of them.
+pub const MAX_NESTING_DEPTH: usize = 64;
+
 /// Parse a Gremlin script (one or more `;`-separated statements).
 pub fn parse(input: &str) -> GResult<Script> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let mut statements = Vec::new();
     while !p.at_end() {
         if p.eat(&Token::Semicolon) {
@@ -207,6 +214,8 @@ fn is_pred_name(name: &str) -> bool {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current step-call nesting depth (see [`MAX_NESTING_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -308,6 +317,18 @@ impl Parser {
     }
 
     fn step_call(&mut self) -> GResult<StepCall> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(GremlinError::Parse(format!(
+                "query nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"
+            )));
+        }
+        self.depth += 1;
+        let out = self.step_call_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn step_call_inner(&mut self) -> GResult<StepCall> {
         let name = match self.next() {
             Some(Token::Ident(n)) => n,
             other => return Err(GremlinError::Parse(format!("expected step name, found {other:?}"))),
@@ -524,6 +545,20 @@ mod tests {
         assert!(parse("").is_err());
         assert!(parse("g.V(").is_err());
         assert!(parse("g.V().has('unterminated").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // f(f(f(…))) used to recurse once per level; past the guard it is
+        // a structured parse error a server can turn into a 400.
+        let deep = format!("g.V().where({}out(){}", "not(".repeat(10_000), ")".repeat(10_000));
+        match parse(&deep) {
+            Err(GremlinError::Parse(m)) => assert!(m.contains("nesting"), "{m}"),
+            other => panic!("expected nesting error, got {other:?}"),
+        }
+        // Nesting below the limit still parses.
+        let ok = format!("g.V().where({}out(){})", "not(".repeat(20), ")".repeat(20));
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

@@ -215,6 +215,22 @@ impl Database {
         self.commit_epoch.load(Ordering::Acquire)
     }
 
+    /// The vacuum horizon: the oldest epoch a registered snapshot still
+    /// pins, or the current commit epoch when nothing is pinned. Versions
+    /// dead before this epoch are reclaimable. Exposed as a gauge so
+    /// operators can spot a stuck snapshot holding garbage alive.
+    pub fn snapshot_horizon(&self) -> u64 {
+        let active = self.snapshots.active.lock();
+        let current = self.commit_epoch.load(Ordering::Acquire);
+        active.keys().next().map_or(current, |&m| m.min(current))
+    }
+
+    /// Number of currently registered (live) snapshots, counting clones
+    /// once per [`Database::snapshot`] call.
+    pub fn active_snapshots(&self) -> usize {
+        self.snapshots.active.lock().values().sum()
+    }
+
     /// Monotone counter bumped by every DDL statement (CREATE/DROP of
     /// tables, views, indexes, and function registration). Prepared
     /// statements are stamped with it; executing a stale one re-prepares.

@@ -1,0 +1,60 @@
+//! A minimal blocking HTTP/1.1 client for the query service: the load
+//! driver, the smoke/stress tests, and scripts all speak to the server
+//! through this one code path, so client-side framing bugs can't hide in
+//! per-test copies.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A complete response: status code and body text.
+#[derive(Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub body: String,
+}
+
+/// Open a connection, send one request, and read the response to EOF
+/// (the server always closes after one exchange). `timeout` bounds both
+/// connect and socket reads.
+pub fn http_call(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// POST a Gremlin script to `/query` (the common case in tests/benches).
+pub fn post_query(addr: SocketAddr, gremlin: &str, timeout: Duration) -> std::io::Result<HttpResponse> {
+    http_call(addr, "POST", "/query", gremlin, timeout)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header terminator"))?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(&format!("bad status line '{status_line}'")))?;
+    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+    Ok(HttpResponse { status, body })
+}

@@ -1,0 +1,99 @@
+//! Wire serialization of Gremlin results using the repo's own JSON type.
+
+use db2graph_core::json::Json;
+use gremlin::structure::{Edge, ElementId, GValue, Vertex};
+
+fn id_json(id: &ElementId) -> Json {
+    match id {
+        // i64 ids ride through f64 like every other number in the JSON
+        // layer; ids beyond 2^53 would lose precision, so they are sent
+        // as strings instead.
+        ElementId::Long(v) if v.unsigned_abs() <= (1u64 << 53) => Json::num(*v as f64),
+        ElementId::Long(v) => Json::str(v.to_string()),
+        ElementId::Str(s) => Json::str(s.clone()),
+    }
+}
+
+fn vertex_json(v: &Vertex) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("vertex")),
+        ("id", id_json(&v.id)),
+        ("label", Json::str(&v.label)),
+        (
+            "properties",
+            Json::Obj(v.properties.iter().map(|(k, gv)| (k.clone(), gvalue_to_json(gv))).collect()),
+        ),
+    ])
+}
+
+fn edge_json(e: &Edge) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("edge")),
+        ("id", id_json(&e.id)),
+        ("label", Json::str(&e.label)),
+        ("src", id_json(&e.src)),
+        ("dst", id_json(&e.dst)),
+        (
+            "properties",
+            Json::Obj(e.properties.iter().map(|(k, gv)| (k.clone(), gvalue_to_json(gv))).collect()),
+        ),
+    ])
+}
+
+/// Convert one traversal result value to JSON. Longs past 2^53 degrade to
+/// strings (same rationale as ids); everything else maps structurally.
+pub fn gvalue_to_json(v: &GValue) -> Json {
+    match v {
+        GValue::Null => Json::Null,
+        GValue::Long(x) if x.unsigned_abs() <= (1u64 << 53) => Json::num(*x as f64),
+        GValue::Long(x) => Json::str(x.to_string()),
+        GValue::Double(x) => Json::num(*x),
+        GValue::Str(s) => Json::str(s.clone()),
+        GValue::Bool(b) => Json::Bool(*b),
+        GValue::List(items) => Json::arr(items.iter().map(gvalue_to_json).collect()),
+        GValue::Map(m) => {
+            Json::Obj(m.iter().map(|(k, gv)| (k.clone(), gvalue_to_json(gv))).collect())
+        }
+        GValue::Vertex(vx) => vertex_json(vx),
+        GValue::Edge(e) => edge_json(e),
+        GValue::Path(objs) => Json::obj(vec![(
+            "path",
+            Json::arr(objs.iter().map(gvalue_to_json).collect()),
+        )]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_structures_round_trip_shape() {
+        let v = GValue::List(vec![
+            GValue::Long(42),
+            GValue::Str("x".into()),
+            GValue::Bool(true),
+            GValue::Null,
+        ]);
+        assert_eq!(gvalue_to_json(&v).to_compact(), r#"[42,"x",true,null]"#);
+    }
+
+    #[test]
+    fn big_longs_become_strings() {
+        let big = 1i64 << 60;
+        assert_eq!(gvalue_to_json(&GValue::Long(big)).as_str(), Some(big.to_string().as_str()));
+        assert_eq!(gvalue_to_json(&GValue::Long(7)).as_u64(), Some(7));
+    }
+
+    #[test]
+    fn vertex_shape() {
+        let vx = Vertex::new(1i64, "patient").with_property("name", GValue::Str("Alice".into()));
+        let j = gvalue_to_json(&GValue::Vertex(vx));
+        assert_eq!(j.get("type").and_then(Json::as_str), Some("vertex"));
+        assert_eq!(j.get("label").and_then(Json::as_str), Some("patient"));
+        assert_eq!(
+            j.get("properties").and_then(|p| p.get("name")).and_then(Json::as_str),
+            Some("Alice")
+        );
+    }
+}

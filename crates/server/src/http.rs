@@ -1,0 +1,174 @@
+//! Minimal HTTP/1.1 request reader and response writer over `std::net`.
+//!
+//! Only what the query service needs: one request per connection
+//! (`Connection: close`), a method + path + body, hard limits on header
+//! and body size, and socket read timeouts against slow clients. Anything
+//! malformed becomes a structured [`HttpError`] the worker maps to a 4xx
+//! response — never a panic.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Read-side failure classification; each variant maps to one status code.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed before sending a full request head; nothing to
+    /// answer.
+    Closed,
+    /// The socket read timed out before the request completed (408).
+    Timeout,
+    /// The request head exceeded the header budget (431).
+    HeadersTooLarge,
+    /// The declared or delivered body exceeded the body budget (413).
+    BodyTooLarge,
+    /// Unparseable request line, header, or length (400).
+    Malformed(String),
+    /// Transport error mid-read; connection is unusable.
+    Io(std::io::Error),
+}
+
+/// A parsed request: just enough surface for routing.
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+    /// Total bytes read off the wire (head + body), for ingress metering.
+    pub wire_bytes: u64,
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Read one full request from the stream under the given limits. The
+/// caller is responsible for having set a read timeout on the socket.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_header_bytes: usize,
+    max_body_bytes: usize,
+) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > max_header_bytes {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Err(HttpError::Closed)
+                } else {
+                    Err(HttpError::Malformed("connection closed mid-request".into()))
+                }
+            }
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol {:?}",
+                other.unwrap_or("")
+            )))
+        }
+    }
+    // Strip any query string; the service routes on the path alone.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("malformed header line '{line}'")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length '{value}'")))?;
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    let body_start = head_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    if body.len() > content_length {
+        // Pipelined extra bytes: this server is strictly one request per
+        // connection, so anything past the declared body is an error.
+        return Err(HttpError::Malformed("unexpected bytes after request body".into()));
+    }
+    while body.len() < content_length {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Malformed("connection closed mid-body".into())),
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(HttpError::Malformed("body longer than content-length".into()));
+        }
+    }
+    let wire_bytes = (body_start + body.len()) as u64;
+    Ok(Request { method, path, body, wire_bytes })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete JSON response and return the bytes put on the wire.
+/// Every response closes the connection — admission control is per
+/// request, so connection reuse would let one client squat a worker.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<u64> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok((head.len() + body.len()) as u64)
+}

@@ -1,0 +1,526 @@
+//! # db2graph-server — the network surface of the graph
+//!
+//! A dependency-free HTTP/1.1 query service over `std::net`, fronting a
+//! [`Db2Graph`] the way a Gremlin server fronts the paper's TinkerPop
+//! stack. Design points, all load-bearing:
+//!
+//! * **Fixed acceptor + worker pool.** One thread accepts; `workers`
+//!   threads execute. Max in-flight requests is exactly the worker
+//!   count — queries never oversubscribe the process.
+//! * **Admission control.** Accepted connections enter a bounded queue;
+//!   when it is full the acceptor sheds the connection with `429`
+//!   immediately instead of queuing unboundedly.
+//! * **Per-request snapshot.** Every `/query` pins one committed MVCC
+//!   snapshot for its whole script (via `Db2Graph::run`'s existing
+//!   pinning), so a response can never observe half of a concurrent
+//!   writer's transaction.
+//! * **Per-request deadline.** `query_timeout` converts to a deadline the
+//!   backend checks before every SQL statement; an expired query aborts
+//!   with `503` and counts in `query_timeouts`.
+//! * **Hostile-input limits.** Read timeout, header budget, body budget;
+//!   malformed HTTP, JSON, or Gremlin is a structured `400`, never a
+//!   panic.
+//! * **Graceful shutdown.** Stop accepting, drain everything already
+//!   admitted, join every thread. After shutdown,
+//!   `completed == admitted`: zero dropped in-flight queries.
+//! * **Vacuum daemon.** MVCC garbage collection runs on the server's
+//!   clock (see [`vacuum::VacuumDaemon`]) and reports through `/metrics`.
+//!
+//! See `docs/SERVER.md` for the endpoint reference and curl examples.
+
+pub mod client;
+pub mod gjson;
+pub mod http;
+pub mod metrics;
+pub mod vacuum;
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use db2graph_core::json::Json;
+use db2graph_core::{Db2Graph, GraphError};
+
+use crate::gjson::gvalue_to_json;
+use crate::http::{HttpError, Request};
+use crate::metrics::ServerMetrics;
+use crate::vacuum::VacuumDaemon;
+
+pub use crate::client::{http_call, post_query, HttpResponse};
+
+/// Serving knobs. `Default` is production-shaped; [`ServerConfig::from_env`]
+/// layers the `DB2GRAPH_*` environment on top.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; `:0` picks an ephemeral port (see
+    /// [`ServerHandle::addr`]). Env: `DB2GRAPH_HTTP_ADDR`.
+    pub addr: String,
+    /// Worker threads — the hard cap on in-flight requests.
+    /// Env: `DB2GRAPH_MAX_INFLIGHT`.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker beyond the in-flight
+    /// cap; when full, new arrivals are shed with 429 (clamped ≥ 1).
+    pub queue_depth: usize,
+    /// Per-query execution budget; `None` disables deadlines.
+    /// Env: `DB2GRAPH_QUERY_TIMEOUT_MS` (0 disables).
+    pub query_timeout: Option<Duration>,
+    /// Socket read timeout against slow or stalled clients (408).
+    pub read_timeout: Duration,
+    /// Request head budget (431 beyond it).
+    pub max_header_bytes: usize,
+    /// Request body budget (413 beyond it).
+    pub max_body_bytes: usize,
+    /// Vacuum daemon period; `None` disables the daemon.
+    pub vacuum_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8182".into(),
+            workers: 8,
+            queue_depth: 64,
+            query_timeout: Some(Duration::from_secs(30)),
+            read_timeout: Duration::from_secs(10),
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            vacuum_interval: Some(Duration::from_secs(1)),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden by `DB2GRAPH_HTTP_ADDR`, `DB2GRAPH_MAX_INFLIGHT`
+    /// and `DB2GRAPH_QUERY_TIMEOUT_MS`.
+    pub fn from_env() -> ServerConfig {
+        let mut c = ServerConfig::default();
+        if let Ok(addr) = std::env::var("DB2GRAPH_HTTP_ADDR") {
+            if !addr.is_empty() {
+                c.addr = addr;
+            }
+        }
+        if let Some(n) = env_parse::<usize>("DB2GRAPH_MAX_INFLIGHT") {
+            c.workers = n.max(1);
+        }
+        if let Some(ms) = env_parse::<u64>("DB2GRAPH_QUERY_TIMEOUT_MS") {
+            c.query_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        c
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    graph: Arc<Db2Graph>,
+    config: ServerConfig,
+    metrics: ServerMetrics,
+    /// Admitted connections waiting for a worker.
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    /// Once true: the acceptor exits, workers drain the queue and exit.
+    shutdown: AtomicBool,
+    /// Live `http-shed` courtesy threads (bounded; see [`shed`]).
+    shedding: AtomicUsize,
+}
+
+/// The graph query service. [`GraphServer::start`] binds, spawns the
+/// thread pool and the vacuum daemon, and returns a [`ServerHandle`].
+pub struct GraphServer;
+
+impl GraphServer {
+    pub fn start(graph: Arc<Db2Graph>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let vacuum = config.vacuum_interval.map(|interval| {
+            VacuumDaemon::start(
+                graph.database().clone(),
+                graph.dialect().registry().clone(),
+                interval,
+            )
+        });
+        let shared = Arc::new(Shared {
+            graph,
+            config: config.clone(),
+            metrics: ServerMetrics::default(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            shedding: AtomicUsize::new(0),
+        });
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("http-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("http-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(ServerHandle { shared, addr, acceptor: Some(acceptor), workers, vacuum })
+    }
+}
+
+/// Owner of the serving threads. Dropping the handle performs a graceful
+/// shutdown (prefer calling [`ServerHandle::shutdown`] explicitly).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    vacuum: Option<VacuumDaemon>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving-layer counters (admission, shedding, bytes).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Block until the acceptor thread exits (it never does on its own —
+    /// this is for serve-forever binaries that end via process signal).
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // The acceptor is gone; drop-time shutdown joins the rest.
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted
+    /// connection, join all threads, run a final vacuum pass. Returns
+    /// once everything is down, with the final counters — a drained
+    /// server always reports `completed == admitted`.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shutdown_impl();
+        let m = &self.shared.metrics;
+        DrainReport {
+            admitted: m.admitted(),
+            completed: m.completed(),
+            rejected: m.rejected(),
+            query_timeouts: m.query_timeouts(),
+        }
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept()` by dialing it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Wake every idle worker; busy ones re-check the flag after
+        // finishing their request and after the queue runs dry.
+        self.shared.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(v) = self.vacuum.take() {
+            v.stop();
+        }
+    }
+}
+
+/// Final counter values from [`ServerHandle::shutdown`]. The drain
+/// guarantee is `completed == admitted`: no connection that made it past
+/// admission was abandoned without a response.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    pub admitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub query_timeouts: u64,
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The shutdown wake-up call (or a late client): drop without
+            // admitting. Admitted work is still drained by the workers.
+            return;
+        }
+        shared.metrics.record_accepted();
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= shared.config.queue_depth.max(1) {
+            drop(q);
+            shed(shared, stream);
+            continue;
+        }
+        q.push_back(stream);
+        drop(q);
+        shared.metrics.record_admitted();
+        shared.queue_cv.notify_one();
+    }
+}
+
+/// Upper bound on concurrent courtesy-429 threads. Past this the server
+/// is under a flood, not mere saturation, and connections are dropped
+/// outright — shedding must never become its own resource sink.
+const MAX_SHED_THREADS: usize = 32;
+
+/// Saturated: answer 429 without occupying a worker or the acceptor.
+///
+/// The reject happens on a short-lived side thread because it must
+/// *read the request before closing* — closing a socket with unread
+/// input makes the kernel send RST, which discards the in-flight 429 —
+/// and the acceptor cannot afford to block on a client's upload.
+fn shed(shared: &Arc<Shared>, stream: TcpStream) {
+    shared.metrics.record_rejected();
+    if shared.shedding.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
+        shared.shedding.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    let cloned = shared.clone();
+    let spawned = std::thread::Builder::new().name("http-shed".into()).spawn(move || {
+        answer_429(&cloned, stream);
+        cloned.shedding.fetch_sub(1, Ordering::SeqCst);
+    });
+    if spawned.is_err() {
+        shared.shedding.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn answer_429(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    // Consume the request (bounded by the same limits as real requests)
+    // so the close below is clean; ignore whatever it contained.
+    if let Ok(req) = http::read_request(
+        &mut stream,
+        shared.config.max_header_bytes,
+        shared.config.max_body_bytes,
+    ) {
+        shared.metrics.record_bytes_in(req.wire_bytes);
+    }
+    let body = Json::obj(vec![
+        ("error", Json::str("server saturated, retry later")),
+        ("rejected", Json::Bool(true)),
+    ])
+    .to_compact();
+    if let Ok(n) = http::write_response(&mut stream, 429, &body) {
+        shared.metrics.record_bytes_out(n);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match stream {
+            Some(s) => handle_connection(shared, s),
+            // Queue drained after shutdown: the worker may exit.
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _gauge = shared.metrics.enter();
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let (status, body) = match http::read_request(
+        &mut stream,
+        shared.config.max_header_bytes,
+        shared.config.max_body_bytes,
+    ) {
+        Ok(req) => {
+            shared.metrics.record_bytes_in(req.wire_bytes);
+            route(shared, &req)
+        }
+        Err(HttpError::Closed) => {
+            // Nothing arrived; nothing to answer.
+            shared.metrics.record_completed();
+            return;
+        }
+        Err(e) => {
+            let (status, msg) = match e {
+                HttpError::Timeout => (408, "request read timed out".to_string()),
+                HttpError::HeadersTooLarge => (431, "request head too large".to_string()),
+                HttpError::BodyTooLarge => (413, "request body too large".to_string()),
+                HttpError::Malformed(m) => (400, m),
+                HttpError::Io(e) => (400, format!("transport error: {e}")),
+                HttpError::Closed => unreachable!("handled above"),
+            };
+            if status == 400 || status == 413 || status == 431 {
+                shared.metrics.record_bad_request();
+            }
+            (status, Json::obj(vec![("error", Json::str(msg))]))
+        }
+    };
+    if let Ok(n) = http::write_response(&mut stream, status, &body.to_compact()) {
+        shared.metrics.record_bytes_out(n);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    shared.metrics.record_completed();
+}
+
+/// Pull the Gremlin script out of a request body: either a JSON object
+/// `{"gremlin": "..."}` / JSON string, or the raw body verbatim. Raw
+/// Gremlin can't start with `{` or `"`, so the sniff is unambiguous.
+fn extract_gremlin(body: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let trimmed = text.trim_start();
+    if trimmed.starts_with('{') || trimmed.starts_with('"') {
+        let json = Json::parse(text).map_err(|e| format!("bad JSON body: {e}"))?;
+        match &json {
+            Json::Str(s) => Ok(s.clone()),
+            Json::Obj(_) => json
+                .get("gremlin")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "JSON body must have a string 'gremlin' field".to_string()),
+            _ => Err("JSON body must be an object or a string".to_string()),
+        }
+    } else if text.trim().is_empty() {
+        Err("empty query body".to_string())
+    } else {
+        Ok(text.to_string())
+    }
+}
+
+/// Classify a graph error into a response. Parse/config/runtime-usage
+/// errors are the client's fault (400); deadline expiry is 503 so retry
+/// policies treat it as load, not as a bad query; storage errors are 500.
+fn graph_error_response(shared: &Shared, e: GraphError) -> (u16, Json) {
+    let status = match &e {
+        GraphError::Timeout => {
+            shared.metrics.record_query_timeout();
+            503
+        }
+        GraphError::Gremlin(_) | GraphError::Config(_) => {
+            shared.metrics.record_bad_request();
+            400
+        }
+        GraphError::Db(_) => 500,
+    };
+    let mut fields = vec![("error", Json::str(e.to_string()))];
+    if status == 503 {
+        fields.push(("timeout", Json::Bool(true)));
+    }
+    (status, Json::obj(fields))
+}
+
+fn route(shared: &Shared, req: &Request) -> (u16, Json) {
+    let deadline = shared.config.query_timeout.map(|t| Instant::now() + t);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => match extract_gremlin(&req.body) {
+            Ok(g) => match shared.graph.run_with_deadline(&g, deadline) {
+                Ok(values) => {
+                    let results: Vec<Json> = values.iter().map(gvalue_to_json).collect();
+                    (
+                        200,
+                        Json::obj(vec![
+                            ("count", Json::u64(results.len() as u64)),
+                            ("result", Json::arr(results)),
+                        ]),
+                    )
+                }
+                Err(e) => graph_error_response(shared, e),
+            },
+            Err(m) => bad_request(shared, m),
+        },
+        ("POST", "/explain") => match extract_gremlin(&req.body) {
+            Ok(g) => match shared.graph.explain_report(&g) {
+                Ok(report) => (200, report.to_json()),
+                Err(e) => graph_error_response(shared, e),
+            },
+            Err(m) => bad_request(shared, m),
+        },
+        ("POST", "/profile") => match extract_gremlin(&req.body) {
+            Ok(g) => match shared.graph.profile_with_deadline(&g, deadline) {
+                Ok((values, report)) => {
+                    let results: Vec<Json> = values.iter().map(gvalue_to_json).collect();
+                    (
+                        200,
+                        Json::obj(vec![
+                            ("count", Json::u64(results.len() as u64)),
+                            ("result", Json::arr(results)),
+                            ("profile", report.to_json()),
+                        ]),
+                    )
+                }
+                Err(e) => graph_error_response(shared, e),
+            },
+            Err(m) => bad_request(shared, m),
+        },
+        ("GET", "/metrics") => {
+            let queued = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+            (
+                200,
+                Json::obj(vec![
+                    ("graph", shared.graph.metrics().to_json()),
+                    ("server", shared.metrics.to_json(queued)),
+                ]),
+            )
+        }
+        ("GET", "/slow-queries") => {
+            (200, Json::obj(vec![("slow_queries", shared.graph.slow_queries_json())]))
+        }
+        ("GET", "/workload") => (200, shared.graph.workload_report().to_json()),
+        ("GET", "/healthz") => (
+            200,
+            Json::obj(vec![
+                ("status", Json::str("ok")),
+                ("commit_epoch", Json::u64(shared.graph.database().commit_epoch())),
+                ("in_flight", Json::u64(shared.metrics.in_flight())),
+            ]),
+        ),
+        (_, "/query" | "/explain" | "/profile" | "/metrics" | "/slow-queries" | "/workload"
+        | "/healthz") => (
+            405,
+            Json::obj(vec![("error", Json::str(format!("method {} not allowed", req.method)))]),
+        ),
+        (_, path) => {
+            (404, Json::obj(vec![("error", Json::str(format!("no such endpoint '{path}'")))]))
+        }
+    }
+}
+
+fn bad_request(shared: &Shared, msg: String) -> (u16, Json) {
+    shared.metrics.record_bad_request();
+    (400, Json::obj(vec![("error", Json::str(msg))]))
+}

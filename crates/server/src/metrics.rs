@@ -1,0 +1,129 @@
+//! Serving-layer counters, separate from the graph's [`MetricsRegistry`]:
+//! these measure the network surface (admission, shedding, deadlines,
+//! bytes), not query execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use db2graph_core::json::Json;
+
+/// Atomic counters shared by the acceptor, every worker, and `/metrics`.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections the acceptor pulled off the listener.
+    accepted: AtomicU64,
+    /// Connections admitted into the bounded queue.
+    admitted: AtomicU64,
+    /// Connections shed with 429 because the queue was full.
+    rejected: AtomicU64,
+    /// Requests a worker finished (response written or write failed);
+    /// after a graceful shutdown `completed == admitted` — zero dropped
+    /// in-flight queries.
+    completed: AtomicU64,
+    /// Requests answered 4xx (malformed HTTP, bad JSON, bad Gremlin).
+    bad_requests: AtomicU64,
+    /// Queries aborted by the per-request deadline (503).
+    query_timeouts: AtomicU64,
+    /// Request bytes read off the wire.
+    bytes_in: AtomicU64,
+    /// Response bytes written to the wire.
+    bytes_out: AtomicU64,
+    /// Gauge: requests currently being handled by workers.
+    in_flight: AtomicU64,
+}
+
+impl ServerMetrics {
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_bad_request(&self) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_query_timeout(&self) {
+        self.query_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// RAII in-flight gauge increment; decrements on drop so early
+    /// returns and write failures can't leak the gauge.
+    pub fn enter(&self) -> InFlight<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlight { metrics: self }
+    }
+
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    pub fn bad_requests(&self) -> u64 {
+        self.bad_requests.load(Ordering::Relaxed)
+    }
+
+    pub fn query_timeouts(&self) -> u64 {
+        self.query_timeouts.load(Ordering::Relaxed)
+    }
+
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// JSON for the `server` section of `/metrics`. `queued` is passed in
+    /// by the caller, which owns the admission queue.
+    pub fn to_json(&self, queued: usize) -> Json {
+        Json::obj(vec![
+            ("accepted", Json::u64(self.accepted())),
+            ("admitted", Json::u64(self.admitted())),
+            ("rejected", Json::u64(self.rejected())),
+            ("completed", Json::u64(self.completed())),
+            ("bad_requests", Json::u64(self.bad_requests())),
+            ("query_timeouts", Json::u64(self.query_timeouts())),
+            ("bytes_in", Json::u64(self.bytes_in.load(Ordering::Relaxed))),
+            ("bytes_out", Json::u64(self.bytes_out.load(Ordering::Relaxed))),
+            ("in_flight", Json::u64(self.in_flight())),
+            ("queued", Json::u64(queued as u64)),
+        ])
+    }
+}
+
+/// See [`ServerMetrics::enter`].
+pub struct InFlight<'a> {
+    metrics: &'a ServerMetrics,
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}

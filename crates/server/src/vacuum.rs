@@ -1,0 +1,90 @@
+//! Background MVCC garbage collection: a daemon thread that periodically
+//! reclaims row versions dead to every registered snapshot.
+//!
+//! PR 4 added `Database::vacuum()` but nothing scheduled it — under a
+//! steady write load the version chains only ever grew between the
+//! opportunistic per-table threshold sweeps. The serving layer owns the
+//! process lifecycle, so it owns the schedule too; each pass's reclaimed
+//! count lands in the graph's metrics registry as `vacuumed_versions`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use db2graph_core::MetricsRegistry;
+use reldb::Database;
+
+/// Periodically calls [`Database::vacuum`] until stopped. Stopping is
+/// prompt (condvar wakeup, no interval-long sleep to drain) and runs one
+/// final pass so a clean shutdown leaves no reclaimable garbage behind.
+pub struct VacuumDaemon {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+    reclaimed: Arc<AtomicU64>,
+}
+
+impl VacuumDaemon {
+    pub fn start(
+        db: Arc<Database>,
+        registry: Arc<MetricsRegistry>,
+        interval: Duration,
+    ) -> VacuumDaemon {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let reclaimed = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let stop = stop.clone();
+            let reclaimed = reclaimed.clone();
+            std::thread::Builder::new()
+                .name("vacuum-daemon".into())
+                .spawn(move || {
+                    let (lock, cv) = &*stop;
+                    let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        let run_pass = |reclaimed: &AtomicU64| {
+                            let n = db.vacuum() as u64;
+                            registry.record_vacuum(n);
+                            reclaimed.fetch_add(n, Ordering::Relaxed);
+                        };
+                        if *stopped {
+                            run_pass(&reclaimed);
+                            return;
+                        }
+                        let (guard, _) = cv
+                            .wait_timeout(stopped, interval)
+                            .unwrap_or_else(|e| e.into_inner());
+                        stopped = guard;
+                        if !*stopped {
+                            run_pass(&reclaimed);
+                        }
+                    }
+                })
+                .expect("spawn vacuum daemon")
+        };
+        VacuumDaemon { stop, handle: Some(handle), reclaimed }
+    }
+
+    /// Total versions this daemon has reclaimed.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Signal the thread, wait for its final pass, and join it.
+    pub fn stop(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        let Some(handle) = self.handle.take() else { return };
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+        let _ = handle.join();
+    }
+}
+
+impl Drop for VacuumDaemon {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}

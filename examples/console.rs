@@ -9,33 +9,33 @@
 //!
 //! Run with: `cargo run --example console`
 //! (or pipe a script: `echo "g.V().count()" | cargo run --example console`)
+//!
+//! `--serve` starts the HTTP query service (see `docs/SERVER.md`) on the
+//! same seeded overlay instead of the REPL, so the interactive demo and
+//! the network path share one setup.
+
+#[path = "common/seed.rs"]
+mod seed;
 
 use std::io::{self, BufRead, Write};
-use std::sync::Arc;
 
-use db2graph::core::config::healthcare_example_json;
-use db2graph::core::Db2Graph;
-use db2graph::reldb::Database;
+use db2graph::server::{GraphServer, ServerConfig};
 
 fn main() {
-    let db = Arc::new(Database::new());
-    db.execute_script(
-        "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, address VARCHAR, subscriptionID BIGINT);
-         CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, conceptName VARCHAR);
-         CREATE TABLE DiseaseOntology (sourceID BIGINT, targetID BIGINT, type VARCHAR,
-            FOREIGN KEY (sourceID) REFERENCES Disease(diseaseID),
-            FOREIGN KEY (targetID) REFERENCES Disease(diseaseID));
-         CREATE TABLE HasDisease (patientID BIGINT, diseaseID BIGINT, description VARCHAR,
-            FOREIGN KEY (patientID) REFERENCES Patient(patientID),
-            FOREIGN KEY (diseaseID) REFERENCES Disease(diseaseID));
-         INSERT INTO Patient VALUES (1, 'Alice', '12 Oak St', 100), (2, 'Bob', '9 Elm St', 101);
-         INSERT INTO Disease VALUES (10, 'E11', 'type 2 diabetes'), (11, 'E10', 'type 1 diabetes'), (12, 'E08', 'diabetes');
-         INSERT INTO DiseaseOntology VALUES (10, 12, 'isa'), (11, 12, 'isa');
-         INSERT INTO HasDisease VALUES (1, 10, 'diagnosed 2019'), (2, 11, NULL);",
-    )
-    .expect("seed data");
-    let graph = Db2Graph::open_json(db.clone(), healthcare_example_json()).expect("overlay");
-    graph.register_graph_query("graphQuery");
+    let (db, graph) = seed::open_healthcare(Default::default());
+
+    if std::env::args().any(|a| a == "--serve") {
+        let handle = match GraphServer::start(graph, ServerConfig::from_env()) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("console --serve failed to start: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("db2graph console serving on http://{}", handle.addr());
+        handle.wait();
+        return;
+    }
 
     println!("db2graph console — SQL and Gremlin over the same tables.");
     println!("  g.<...>        Gremlin   |  SELECT/INSERT/...  SQL");

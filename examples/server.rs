@@ -1,0 +1,39 @@
+//! The graph query service over the healthcare overlay — the network
+//! face of the paper's stack, the way a Gremlin server fronts TinkerPop.
+//!
+//! Run with: `cargo run --release --example server`
+//!
+//! Knobs (environment): `DB2GRAPH_HTTP_ADDR` (default `127.0.0.1:8182`),
+//! `DB2GRAPH_MAX_INFLIGHT`, `DB2GRAPH_QUERY_TIMEOUT_MS`. Then:
+//!
+//! ```sh
+//! curl -s localhost:8182/healthz
+//! curl -s localhost:8182/query -d "g.V().hasLabel('patient').values('name')"
+//! curl -s localhost:8182/metrics
+//! ```
+//!
+//! See `docs/SERVER.md` for the full endpoint reference.
+
+#[path = "common/seed.rs"]
+mod seed;
+
+use db2graph::core::GraphOptions;
+use db2graph::server::{GraphServer, ServerConfig};
+
+fn main() {
+    // Log every query as "slow" so /slow-queries has content to show in a
+    // demo; production deployments set a real threshold instead.
+    let options = GraphOptions { slow_query_nanos: Some(0), ..Default::default() };
+    let (_db, graph) = seed::open_healthcare(options);
+    let config = ServerConfig::from_env();
+    let handle = match GraphServer::start(graph, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("db2graph server failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("db2graph server listening on http://{}", handle.addr());
+    println!("endpoints: POST /query /explain /profile · GET /metrics /slow-queries /workload /healthz");
+    handle.wait();
+}

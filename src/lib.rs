@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the full public API of the workspace.
 pub use db2graph_core as core;
+pub use db2graph_server as server;
 pub use gremlin;
 pub use gstore;
 pub use linkbench;

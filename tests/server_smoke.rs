@@ -1,0 +1,221 @@
+//! In-process smoke tests for the HTTP query service: every endpoint,
+//! every error class, over a real socket — plus the env-gated validator
+//! the `server-smoke` CI job uses to check curl-produced artifacts with
+//! the repo's own JSON parser.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use db2graph::core::config::healthcare_example_json;
+use db2graph::core::json::Json;
+use db2graph::core::{Db2Graph, GraphOptions};
+use db2graph::reldb::Database;
+use db2graph::server::{http_call, GraphServer, ServerConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn healthcare_graph(options: GraphOptions) -> Arc<Db2Graph> {
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, address VARCHAR, subscriptionID BIGINT);
+         CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, conceptName VARCHAR);
+         CREATE TABLE DiseaseOntology (sourceID BIGINT, targetID BIGINT, type VARCHAR);
+         CREATE TABLE HasDisease (patientID BIGINT, diseaseID BIGINT, description VARCHAR);
+         INSERT INTO Patient VALUES (1, 'Alice', '12 Oak St', 100), (2, 'Bob', '9 Elm St', 101);
+         INSERT INTO Disease VALUES (10, 'E11', 'type 2 diabetes'), (11, 'E10', 'type 1 diabetes');
+         INSERT INTO HasDisease VALUES (1, 10, 'diagnosed 2019'), (2, 11, NULL);",
+    )
+    .unwrap();
+    Db2Graph::open_with_options(
+        db,
+        &db2graph::core::OverlayConfig::from_json(healthcare_example_json()).unwrap(),
+        options,
+    )
+    .unwrap()
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_depth: 16,
+        query_timeout: Some(Duration::from_secs(5)),
+        read_timeout: Duration::from_secs(2),
+        max_header_bytes: 4096,
+        max_body_bytes: 4096,
+        vacuum_interval: Some(Duration::from_millis(50)),
+    }
+}
+
+#[test]
+fn every_endpoint_answers_over_a_real_socket() {
+    let options = GraphOptions { slow_query_nanos: Some(0), ..Default::default() };
+    let graph = healthcare_graph(options);
+    let handle = GraphServer::start(graph, test_config()).unwrap();
+    let addr = handle.addr();
+
+    // /healthz
+    let r = http_call(addr, "GET", "/healthz", "", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200);
+    let j = Json::parse(&r.body).unwrap();
+    assert_eq!(j.get("status").and_then(Json::as_str), Some("ok"));
+
+    // /query with a raw-Gremlin body.
+    let r = http_call(addr, "POST", "/query", "g.V().hasLabel('patient').values('name')", TIMEOUT)
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let j = Json::parse(&r.body).unwrap();
+    assert_eq!(j.get("count").and_then(Json::as_u64), Some(2));
+    let names: Vec<&str> = j.get("result").unwrap().as_array().unwrap()
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(names, ["Alice", "Bob"]);
+
+    // /query with a JSON envelope.
+    let r = http_call(addr, "POST", "/query", r#"{"gremlin": "g.V().count()"}"#, TIMEOUT).unwrap();
+    assert_eq!(r.status, 200);
+    let j = Json::parse(&r.body).unwrap();
+    assert_eq!(
+        j.get("result").and_then(|v| v.as_array()).and_then(|a| a[0].as_u64()),
+        Some(4)
+    );
+
+    // Element serialization: vertices come back structured.
+    let r = http_call(addr, "POST", "/query", "g.V().hasLabel('patient').limit(1)", TIMEOUT).unwrap();
+    let j = Json::parse(&r.body).unwrap();
+    let v = &j.get("result").unwrap().as_array().unwrap()[0];
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("vertex"));
+    assert_eq!(v.get("label").and_then(Json::as_str), Some("patient"));
+
+    // /explain and /profile reuse the observability reports.
+    let r = http_call(addr, "POST", "/explain", "g.V().hasLabel('patient').count()", TIMEOUT)
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert!(Json::parse(&r.body).unwrap().get("plan").is_some());
+    let r = http_call(addr, "POST", "/profile", "g.V().count()", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200);
+    let j = Json::parse(&r.body).unwrap();
+    assert!(j.get("profile").and_then(|p| p.get("steps")).is_some());
+
+    // Malformed Gremlin, malformed JSON, empty body: structured 400s.
+    for body in ["g.V().has((", "{\"gremlin\": 7}", "{not json", ""] {
+        let r = http_call(addr, "POST", "/query", body, TIMEOUT).unwrap();
+        assert_eq!(r.status, 400, "body {body:?} → {}", r.body);
+        assert!(Json::parse(&r.body).unwrap().get("error").is_some());
+    }
+    // Adversarial nesting from the wire is a 400, not a stack overflow.
+    let deep = format!("g.V().where({}out(){})", "not(".repeat(400), ")".repeat(400));
+    let r = http_call(addr, "POST", "/query", &deep, TIMEOUT).unwrap();
+    assert_eq!(r.status, 400);
+
+    // Unknown path, wrong method, oversized body.
+    let r = http_call(addr, "GET", "/nope", "", TIMEOUT).unwrap();
+    assert_eq!(r.status, 404);
+    let r = http_call(addr, "DELETE", "/query", "", TIMEOUT).unwrap();
+    assert_eq!(r.status, 405);
+    let r = http_call(addr, "POST", "/query", &"x".repeat(5000), TIMEOUT).unwrap();
+    assert_eq!(r.status, 413);
+
+    // /slow-queries (threshold 0 ⇒ everything above is logged).
+    let r = http_call(addr, "GET", "/slow-queries", "", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200);
+    let j = Json::parse(&r.body).unwrap();
+    assert!(!j.get("slow_queries").unwrap().as_array().unwrap().is_empty());
+
+    // /workload parses.
+    let r = http_call(addr, "GET", "/workload", "", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(Json::parse(&r.body).unwrap().get("patterns").is_some());
+
+    // /metrics: graph section (with the new vacuum/horizon fields) plus
+    // the server section.
+    std::thread::sleep(Duration::from_millis(120)); // let the daemon tick
+    let r = http_call(addr, "GET", "/metrics", "", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200);
+    let j = Json::parse(&r.body).unwrap();
+    let graph = j.get("graph").unwrap();
+    assert!(graph.get("traversals").and_then(Json::as_u64).unwrap() >= 4);
+    assert!(graph.get("vacuum_runs").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(graph.get("commit_epoch").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(graph.get("snapshot_horizon").is_some());
+    assert!(graph.get("vacuumed_versions").is_some());
+    let server = j.get("server").unwrap();
+    assert!(server.get("completed").and_then(Json::as_u64).unwrap() >= 10);
+    assert!(server.get("bad_requests").and_then(Json::as_u64).unwrap() >= 4);
+    assert!(server.get("bytes_in").and_then(Json::as_u64).unwrap() > 0);
+    assert!(server.get("bytes_out").and_then(Json::as_u64).unwrap() > 0);
+
+    let report = handle.shutdown();
+    assert!(report.admitted >= 10);
+    assert_eq!(report.completed, report.admitted, "graceful drain answered everything");
+}
+
+/// A zero query budget expires before the first SQL statement: the
+/// statement loop aborts with 503 and the timeout counter moves. (Zero
+/// keeps the test deterministic — no racing a real clock.)
+#[test]
+fn expired_deadline_maps_to_503_and_counts() {
+    let graph = healthcare_graph(Default::default());
+    let config = ServerConfig { query_timeout: Some(Duration::ZERO), ..test_config() };
+    let handle = GraphServer::start(graph, config).unwrap();
+    let addr = handle.addr();
+    let r = http_call(addr, "POST", "/query", "g.V().count()", TIMEOUT).unwrap();
+    assert_eq!(r.status, 503, "{}", r.body);
+    let j = Json::parse(&r.body).unwrap();
+    assert_eq!(j.get("timeout").and_then(Json::as_bool), Some(true));
+    let r = http_call(addr, "GET", "/metrics", "", TIMEOUT).unwrap();
+    let j = Json::parse(&r.body).unwrap();
+    assert!(j.get("server").unwrap().get("query_timeouts").and_then(Json::as_u64).unwrap() >= 1);
+    handle.shutdown();
+}
+
+/// A stalled client (connects, sends nothing) is bounded by the read
+/// timeout and answered 408 — it cannot hold a worker forever.
+#[test]
+fn stalled_client_is_timed_out() {
+    let graph = healthcare_graph(Default::default());
+    let config = ServerConfig { read_timeout: Duration::from_millis(150), ..test_config() };
+    let handle = GraphServer::start(graph, config).unwrap();
+    let addr = handle.addr();
+    let stalled = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    // The worker must be free again for real requests.
+    let r = http_call(addr, "POST", "/query", "g.V().count()", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200);
+    drop(stalled);
+    handle.shutdown();
+}
+
+/// Validates the artifacts the `server-smoke` CI job captured with curl,
+/// using the repo's own JSON parser. Gated on `DB2GRAPH_SMOKE_DIR`; a
+/// plain `cargo test` skips it.
+#[test]
+fn ci_smoke_artifacts_are_valid() {
+    let Ok(dir) = std::env::var("DB2GRAPH_SMOKE_DIR") else { return };
+    let read = |name: &str| {
+        let path = format!("{dir}/{name}");
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+    };
+    let healthz = Json::parse(&read("healthz.json")).expect("healthz is valid JSON");
+    assert_eq!(healthz.get("status").and_then(Json::as_str), Some("ok"));
+
+    let query = Json::parse(&read("query.json")).expect("query is valid JSON");
+    let names: Vec<&str> = query
+        .get("result")
+        .and_then(|r| r.as_array())
+        .expect("query result array")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(names, ["Alice", "Bob"], "healthcare overlay answered over HTTP");
+
+    let metrics = Json::parse(&read("metrics.json")).expect("metrics is valid JSON");
+    let graph = metrics.get("graph").expect("graph metrics section");
+    assert!(graph.get("traversals").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(graph.get("vacuum_runs").is_some());
+    assert!(graph.get("snapshot_horizon").is_some());
+    let server = metrics.get("server").expect("server metrics section");
+    assert!(server.get("completed").and_then(Json::as_u64).unwrap() >= 1);
+    assert_eq!(server.get("rejected").and_then(Json::as_u64), Some(0));
+}
