@@ -23,8 +23,12 @@ pub enum GraphError {
 
 /// Marker message used to round-trip [`GraphError::Timeout`] through the
 /// `GraphBackend` trait, which erases backend errors into
-/// `GremlinError::Backend(String)`. [`from_gremlin`] maps it back.
-pub(crate) const TIMEOUT_MARKER: &str = "query deadline exceeded";
+/// `GremlinError::Backend(String)`. [`from_gremlin`] maps it back. The
+/// `__db2graph_timeout__` prefix keeps an ordinary Db/backend error whose
+/// rendered message happens to say "query deadline exceeded" from being
+/// misclassified as a timeout; the marker never reaches clients —
+/// [`GraphError::Timeout`] renders the human-readable message instead.
+pub(crate) const TIMEOUT_MARKER: &str = "__db2graph_timeout__";
 
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -32,7 +36,7 @@ impl fmt::Display for GraphError {
             GraphError::Config(m) => write!(f, "overlay config error: {m}"),
             GraphError::Db(e) => write!(f, "{e}"),
             GraphError::Gremlin(e) => write!(f, "{e}"),
-            GraphError::Timeout => write!(f, "{TIMEOUT_MARKER}"),
+            GraphError::Timeout => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -59,6 +63,7 @@ pub type GraphResult<T> = Result<T, GraphError>;
 pub fn to_gremlin(e: GraphError) -> GremlinError {
     match e {
         GraphError::Gremlin(g) => g,
+        GraphError::Timeout => GremlinError::Backend(TIMEOUT_MARKER.into()),
         other => GremlinError::Backend(other.to_string()),
     }
 }
@@ -92,8 +97,11 @@ mod tests {
     fn timeout_round_trips_through_the_backend_trait() {
         let g = to_gremlin(GraphError::Timeout);
         assert_eq!(from_gremlin(g), GraphError::Timeout);
-        // Non-marker backend errors stay Gremlin errors.
+        // Non-marker backend errors stay Gremlin errors — even one whose
+        // rendered message coincides with the human-readable timeout text.
         let e = from_gremlin(GremlinError::Backend("disk on fire".into()));
+        assert!(matches!(e, GraphError::Gremlin(GremlinError::Backend(_))));
+        let e = from_gremlin(GremlinError::Backend("query deadline exceeded".into()));
         assert!(matches!(e, GraphError::Gremlin(GremlinError::Backend(_))));
     }
 }

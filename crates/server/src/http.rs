@@ -8,6 +8,7 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Read-side failure classification; each variant maps to one status code.
 #[derive(Debug)]
@@ -40,13 +41,39 @@ fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
-/// Read one full request from the stream under the given limits. The
-/// caller is responsible for having set a read timeout on the socket.
+/// One `read()` charged against the request's total deadline: the socket
+/// timeout is shrunk to the remaining budget before every read, so a
+/// slow-loris client dripping one byte per read cannot renew the clock —
+/// the whole request must arrive within `read_timeout` of the first read.
+fn read_some(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+) -> Result<usize, HttpError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(HttpError::Timeout);
+    }
+    // `set_read_timeout(Some(0))` is an error, and `remaining` is nonzero
+    // here; any other failure surfaces on the read itself.
+    let _ = stream.set_read_timeout(Some(remaining));
+    match stream.read(chunk) {
+        Ok(n) => Ok(n),
+        Err(e) if is_timeout(&e) => Err(HttpError::Timeout),
+        Err(e) => Err(HttpError::Io(e)),
+    }
+}
+
+/// Read one full request from the stream under the given limits.
+/// `read_timeout` is the total budget for the whole request (head and
+/// body together), not a per-read idle timeout.
 pub fn read_request(
     stream: &mut TcpStream,
     max_header_bytes: usize,
     max_body_bytes: usize,
+    read_timeout: Duration,
 ) -> Result<Request, HttpError> {
+    let deadline = Instant::now() + read_timeout;
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     // Accumulate until the blank line ending the head.
@@ -57,17 +84,15 @@ pub fn read_request(
         if buf.len() > max_header_bytes {
             return Err(HttpError::HeadersTooLarge);
         }
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => {
+        let n = match read_some(stream, &mut chunk, deadline)? {
+            0 => {
                 return if buf.is_empty() {
                     Err(HttpError::Closed)
                 } else {
                     Err(HttpError::Malformed("connection closed mid-request".into()))
                 }
             }
-            Ok(n) => n,
-            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
-            Err(e) => return Err(HttpError::Io(e)),
+            n => n,
         };
         buf.extend_from_slice(&chunk[..n]);
     };
@@ -122,11 +147,9 @@ pub fn read_request(
         return Err(HttpError::Malformed("unexpected bytes after request body".into()));
     }
     while body.len() < content_length {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => return Err(HttpError::Malformed("connection closed mid-body".into())),
-            Ok(n) => n,
-            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
-            Err(e) => return Err(HttpError::Io(e)),
+        let n = match read_some(stream, &mut chunk, deadline)? {
+            0 => return Err(HttpError::Malformed("connection closed mid-body".into())),
+            n => n,
         };
         body.extend_from_slice(&chunk[..n]);
         if body.len() > content_length {

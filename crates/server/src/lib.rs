@@ -67,7 +67,9 @@ pub struct ServerConfig {
     /// Per-query execution budget; `None` disables deadlines.
     /// Env: `DB2GRAPH_QUERY_TIMEOUT_MS` (0 disables).
     pub query_timeout: Option<Duration>,
-    /// Socket read timeout against slow or stalled clients (408).
+    /// Total budget for reading one request — head and body together —
+    /// against slow or stalled clients (408). A per-request deadline, not
+    /// a per-read idle timeout: dripping bytes does not renew it.
     pub read_timeout: Duration,
     /// Request head budget (431 beyond it).
     pub max_header_bytes: usize,
@@ -128,6 +130,10 @@ struct Shared {
     shutdown: AtomicBool,
     /// Live `http-shed` courtesy threads (bounded; see [`shed`]).
     shedding: AtomicUsize,
+    /// Join handles for shed threads, pruned as they finish; shutdown
+    /// joins the stragglers so in-flight 429s complete before the
+    /// [`DrainReport`] is final.
+    shed_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// The graph query service. [`GraphServer::start`] binds, spawns the
@@ -153,6 +159,7 @@ impl GraphServer {
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             shedding: AtomicUsize::new(0),
+            shed_threads: Mutex::new(Vec::new()),
         });
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
@@ -220,8 +227,21 @@ impl ServerHandle {
     }
 
     fn shutdown_impl(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor's blocking `accept()` by dialing it.
+        // Store the flag while holding the queue mutex. A worker decides
+        // to wait only after checking the flag under this same lock, so
+        // once the store below completes, any worker that read `false` has
+        // already released the lock by entering `wait()` (where the later
+        // notify_all reaches it), and any worker checking afterwards sees
+        // `true`. Storing without the lock loses the wakeup when the
+        // store+notify lands between a worker's flag check and its wait,
+        // hanging shutdown forever.
+        {
+            let _q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        // Unblock the acceptor's blocking `accept()` by dialing it, and
+        // join it *before* waking the workers: anything it admitted in the
+        // meantime must still find live workers to drain it.
         let _ = TcpStream::connect(self.addr);
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
@@ -231,6 +251,16 @@ impl ServerHandle {
         self.shared.queue_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Let in-flight 429 courtesy threads finish writing (each is
+        // bounded by the read/write timeouts) so the drain report's
+        // rejected/bytes counters are final when shutdown returns.
+        let stragglers: Vec<JoinHandle<()>> = {
+            let mut v = self.shared.shed_threads.lock().unwrap_or_else(|e| e.into_inner());
+            v.drain(..).collect()
+        };
+        for h in stragglers {
+            let _ = h.join();
         }
         if let Some(v) = self.vacuum.take() {
             v.stop();
@@ -263,6 +293,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                // A persistent accept error (e.g. EMFILE under an fd
+                // flood) would otherwise spin this loop at 100% CPU;
+                // pause briefly before retrying.
+                std::thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
@@ -307,20 +341,31 @@ fn shed(shared: &Arc<Shared>, stream: TcpStream) {
         answer_429(&cloned, stream);
         cloned.shedding.fetch_sub(1, Ordering::SeqCst);
     });
-    if spawned.is_err() {
-        shared.shedding.fetch_sub(1, Ordering::SeqCst);
+    match spawned {
+        Ok(handle) => {
+            // Keep the handle so shutdown can join stragglers; prune
+            // finished ones here so the vec stays bounded by
+            // MAX_SHED_THREADS plus a few already-exited entries.
+            let mut v = shared.shed_threads.lock().unwrap_or_else(|e| e.into_inner());
+            v.retain(|h| !h.is_finished());
+            v.push(handle);
+        }
+        Err(_) => {
+            shared.shedding.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
 fn answer_429(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
-    // Consume the request (bounded by the same limits as real requests)
-    // so the close below is clean; ignore whatever it contained.
+    // Consume the request (bounded by the same limits and total read
+    // deadline as real requests) so the close below is clean; ignore
+    // whatever it contained.
     if let Ok(req) = http::read_request(
         &mut stream,
         shared.config.max_header_bytes,
         shared.config.max_body_bytes,
+        shared.config.read_timeout,
     ) {
         shared.metrics.record_bytes_in(req.wire_bytes);
     }
@@ -359,13 +404,13 @@ fn worker_loop(shared: &Shared) {
 
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _gauge = shared.metrics.enter();
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_nodelay(true);
     let (status, body) = match http::read_request(
         &mut stream,
         shared.config.max_header_bytes,
         shared.config.max_body_bytes,
+        shared.config.read_timeout,
     ) {
         Ok(req) => {
             shared.metrics.record_bytes_in(req.wire_bytes);

@@ -187,6 +187,40 @@ fn stalled_client_is_timed_out() {
     handle.shutdown();
 }
 
+/// A slow-loris client dripping one byte at a time cannot renew the read
+/// clock: `read_timeout` is a total per-request budget, so the lone
+/// worker is freed at the deadline and real traffic proceeds while the
+/// drip is still going. (With a per-read timeout, each byte would arrive
+/// well inside the window and the drip would hold the worker for the
+/// whole three seconds, timing out the real query below.)
+#[test]
+fn slow_loris_drip_cannot_renew_the_read_deadline() {
+    let graph = healthcare_graph(Default::default());
+    let config = ServerConfig {
+        workers: 1,
+        read_timeout: Duration::from_millis(250),
+        ..test_config()
+    };
+    let handle = GraphServer::start(graph, config).unwrap();
+    let addr = handle.addr();
+    let dripper = std::thread::spawn(move || {
+        use std::io::Write;
+        let Ok(mut s) = std::net::TcpStream::connect(addr) else { return };
+        for b in b"POST /query HTTP/1.1\r\nContent-Length: 4096\r\n\r\n".iter().cycle().take(30) {
+            if s.write_all(&[*b]).is_err() {
+                break; // the server gave up on us — exactly the point
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    });
+    // Well past the 250ms budget, with the drip still running.
+    std::thread::sleep(Duration::from_millis(600));
+    let r = http_call(addr, "POST", "/query", "g.V().count()", Duration::from_secs(2)).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    dripper.join().unwrap();
+    handle.shutdown();
+}
+
 /// Validates the artifacts the `server-smoke` CI job captured with curl,
 /// using the repo's own JSON parser. Gated on `DB2GRAPH_SMOKE_DIR`; a
 /// plain `cargo test` skips it.
