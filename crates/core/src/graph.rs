@@ -49,6 +49,35 @@ pub struct GraphOptions {
     /// Worst-N capacity of the slow-query log; default
     /// [`DEFAULT_SLOW_LOG_CAPACITY`].
     pub slow_log_capacity: Option<usize>,
+    /// Directory the underlying database persists to (WAL + checkpoints);
+    /// consumed by [`GraphOptions::open_database`]. `None` defers to
+    /// `DB2GRAPH_DATA_DIR`; unset means a purely in-memory database.
+    pub data_dir: Option<String>,
+    /// Durability mode for the data directory. `None` defers to
+    /// `DB2GRAPH_DURABILITY` (`always`/`batch`/`off`), then `always`.
+    pub durability: Option<reldb::Durability>,
+}
+
+impl GraphOptions {
+    /// Open the database these options describe: durable (with crash
+    /// recovery) when a data directory is configured here or via
+    /// `DB2GRAPH_DATA_DIR`, in-memory otherwise.
+    pub fn open_database(&self) -> DbResult<Arc<Database>> {
+        let dir = self
+            .data_dir
+            .clone()
+            .or_else(|| std::env::var("DB2GRAPH_DATA_DIR").ok().filter(|s| !s.is_empty()));
+        let Some(dir) = dir else {
+            return Ok(Arc::new(Database::new()));
+        };
+        let mode = self
+            .durability
+            .or_else(|| {
+                std::env::var("DB2GRAPH_DURABILITY").ok().and_then(|s| reldb::Durability::parse(&s))
+            })
+            .unwrap_or_default();
+        Ok(Arc::new(Database::open_with(dir, mode)?))
+    }
 }
 
 /// A property graph overlaid on a relational database.
@@ -178,6 +207,12 @@ impl Db2Graph {
         snap.commit_epoch = self.db.commit_epoch();
         snap.snapshot_horizon = self.db.snapshot_horizon();
         snap.active_snapshots = self.db.active_snapshots() as u64;
+        // Durability gauges (all zero for an in-memory database): WAL
+        // volume, checkpoints completed, and what the last recovery did.
+        snap.wal_records = self.db.wal_records();
+        snap.wal_bytes = self.db.wal_bytes();
+        snap.checkpoints = self.db.checkpoints();
+        snap.recovery_replayed_epochs = self.db.recovery_replayed_epochs();
         snap
     }
 

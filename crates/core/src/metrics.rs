@@ -1076,6 +1076,10 @@ impl MetricsRegistry {
             commit_epoch: 0,
             snapshot_horizon: 0,
             active_snapshots: 0,
+            wal_records: 0,
+            wal_bytes: 0,
+            checkpoints: 0,
+            recovery_replayed_epochs: 0,
             query_p50_nanos: query_p50,
             query_p90_nanos: query_p90,
             query_p99_nanos: query_p99,
@@ -1124,6 +1128,16 @@ pub struct MetricsSnapshot {
     pub snapshot_horizon: u64,
     /// Gauge: currently registered snapshots.
     pub active_snapshots: u64,
+    /// Gauge: WAL records appended since the database opened (filled by
+    /// [`Db2Graph::metrics`]; 0 for an in-memory database).
+    pub wal_records: u64,
+    /// Gauge: WAL bytes appended since the database opened.
+    pub wal_bytes: u64,
+    /// Gauge: checkpoints completed since the database opened.
+    pub checkpoints: u64,
+    /// Gauge: commit epochs the last `Database::open` replayed from the
+    /// WAL during crash recovery.
+    pub recovery_replayed_epochs: u64,
     /// End-to-end traversal latency percentiles (log2-bucket upper bounds).
     pub query_p50_nanos: u64,
     pub query_p90_nanos: u64,
@@ -1161,6 +1175,10 @@ impl MetricsSnapshot {
             commit_epoch: self.commit_epoch,
             snapshot_horizon: self.snapshot_horizon,
             active_snapshots: self.active_snapshots,
+            wal_records: self.wal_records,
+            wal_bytes: self.wal_bytes,
+            checkpoints: self.checkpoints,
+            recovery_replayed_epochs: self.recovery_replayed_epochs,
             query_p50_nanos: self.query_p50_nanos,
             query_p90_nanos: self.query_p90_nanos,
             query_p99_nanos: self.query_p99_nanos,
@@ -1192,6 +1210,10 @@ impl MetricsSnapshot {
             ("commit_epoch", Json::u64(self.commit_epoch)),
             ("snapshot_horizon", Json::u64(self.snapshot_horizon)),
             ("active_snapshots", Json::u64(self.active_snapshots)),
+            ("wal_records", Json::u64(self.wal_records)),
+            ("wal_bytes", Json::u64(self.wal_bytes)),
+            ("checkpoints", Json::u64(self.checkpoints)),
+            ("recovery_replayed_epochs", Json::u64(self.recovery_replayed_epochs)),
             ("query_p50_nanos", Json::u64(self.query_p50_nanos)),
             ("query_p90_nanos", Json::u64(self.query_p90_nanos)),
             ("query_p99_nanos", Json::u64(self.query_p99_nanos)),

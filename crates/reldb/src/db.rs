@@ -15,6 +15,10 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use crate::checkpoint;
+use crate::durability::{
+    CrashHook, CrashPoint, Durability, DurabilityState, NetChange, Wal, WalRecord, NO_FLOOR,
+};
 use crate::error::{DbError, DbResult};
 use crate::func::TableFunction;
 use crate::index::{IndexDef, RowId};
@@ -25,6 +29,7 @@ use crate::sql::ast::*;
 use crate::sql::eval::{eval, truth, ColRef, RowEnv};
 use crate::sql::exec::{execute_select, explain_select};
 use crate::sql::parser::{parse_script, parse_statement};
+use crate::sql::render;
 use crate::sql::planner::{as_simple_pred, choose_access_path, split_conjuncts, AccessPath};
 use crate::stats::ExecStats;
 use crate::storage::{ReadView, Table};
@@ -147,6 +152,9 @@ pub struct Database {
     garbage_hint: AtomicUsize,
     enforce_foreign_keys: AtomicBool,
     stats: ExecStats,
+    /// WAL + checkpoint machinery; `None` for a purely in-memory database
+    /// (and during recovery replay, which must not re-log itself).
+    durability: Option<Arc<DurabilityState>>,
 }
 
 impl Default for Database {
@@ -180,6 +188,7 @@ impl Database {
             garbage_hint: AtomicUsize::new(0),
             enforce_foreign_keys: AtomicBool::new(true),
             stats: ExecStats::default(),
+            durability: None,
         }
     }
 
@@ -274,13 +283,264 @@ impl Database {
     /// Runs automatically once enough garbage accumulates; callable
     /// directly for tests and maintenance. Returns versions reclaimed.
     pub fn vacuum(&self) -> usize {
-        let horizon = {
+        let mut horizon = {
             let active = self.snapshots.active.lock();
             let current = self.commit_epoch.load(Ordering::Acquire);
             active.keys().next().map_or(current, |&m| m.min(current))
         };
+        if let Some(d) = &self.durability {
+            // A running checkpoint serializes the version chains at its
+            // capture epoch *outside* any lock; until its image is
+            // installed, versions visible at that epoch must survive or a
+            // crash right after would lose committed history on replay.
+            horizon = horizon.min(d.checkpoint_floor.load(Ordering::Acquire));
+        }
         let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
         tables.iter().map(|t| t.vacuum(horizon)).sum()
+    }
+
+    // ---------------------------------------------------------- durability
+
+    /// Open (or create) a durable database at `dir` with
+    /// [`Durability::Always`]. See [`Database::open_with`].
+    pub fn open(dir: impl AsRef<std::path::Path>) -> DbResult<Database> {
+        Self::open_with(dir, Durability::Always)
+    }
+
+    /// Open (or create) a durable database at `dir`.
+    ///
+    /// Recovery: load the latest installed checkpoint (if any), scan the
+    /// WAL — truncating a torn or corrupt tail in place, it is never
+    /// replayed — and re-apply every record past the checkpoint's
+    /// coverage. Each replayed commit record advances the published epoch,
+    /// so the recovered database always lands exactly on a commit-epoch
+    /// boundary: a transaction whose record made it to the log in full is
+    /// replayed whole, one whose record was cut off never happened.
+    pub fn open_with(dir: impl AsRef<std::path::Path>, mode: Durability) -> DbResult<Database> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DbError::Io(format!("create data dir {}: {e}", dir.display())))?;
+        let mut db = Database::new();
+
+        let image = checkpoint::load(&dir)?;
+        let (start_seq, ckpt_epoch) = match &image {
+            Some(img) => (img.wal_seq, img.epoch),
+            None => (0, 0),
+        };
+        if let Some(img) = image {
+            db.restore_checkpoint(img)?;
+        }
+        let mut last_epoch = ckpt_epoch;
+
+        // Scan (and scrub) the log even in `Off` mode — an operator can
+        // downgrade durability without losing what an earlier run logged.
+        let (wal, scan) = Wal::open(&dir.join("wal.log"), start_seq)?;
+
+        // Replay with `db.durability` still `None`: nothing re-logs itself.
+        let mut replayed = 0u64;
+        for (seq, rec) in scan.records {
+            if seq < start_seq {
+                continue; // already folded into the checkpoint
+            }
+            match rec {
+                WalRecord::Commit { epoch, changes } => {
+                    for (table, rid, change) in changes {
+                        let Some(t) = db.get_table(&table) else { continue };
+                        match change {
+                            NetChange::Put(row) => t.replay_put(rid, row, epoch),
+                            NetChange::Del => t.replay_del(rid, epoch),
+                        }
+                    }
+                    last_epoch = epoch;
+                    replayed += 1;
+                }
+                WalRecord::Ddl { sql } => {
+                    db.commit_epoch.store(last_epoch, Ordering::Release);
+                    // A replayed statement that fails did so identically
+                    // before the crash (the log reproduces the exact data
+                    // state it ran against) and left no catalog change.
+                    let _ = db.execute(&sql);
+                }
+            }
+        }
+        db.commit_epoch.store(last_epoch, Ordering::Release);
+
+        // Replay applied raw version chains; build the derived structures
+        // once at the end (this also absorbs CREATE INDEX statements that
+        // were interleaved with the data records).
+        for t in db.tables.read().values() {
+            t.rebuild_indexes();
+            t.recompute_bookkeeping();
+        }
+
+        let state = DurabilityState::new(dir, mode, if mode == Durability::Off { None } else { Some(wal) });
+        state.last_checkpoint_epoch.store(ckpt_epoch, Ordering::Relaxed);
+        state.counters.recovery_replayed_epochs.store(replayed, Ordering::Relaxed);
+        state
+            .counters
+            .recovery_truncated_bytes
+            .store(scan.truncated_bytes, Ordering::Relaxed);
+        db.durability = Some(Arc::new(state));
+        Ok(db)
+    }
+
+    /// Install a checkpoint image into a fresh database: raw version
+    /// loads, no WAL, no index maintenance (rebuilt after WAL replay).
+    fn restore_checkpoint(&self, img: checkpoint::CheckpointImage) -> DbResult<()> {
+        {
+            let mut tables = self.tables.write();
+            for ti in img.tables {
+                let table = Table::new(ti.schema)?;
+                for def in ti.secondary {
+                    table.create_index(def)?; // empty table: trivially valid
+                }
+                table.ensure_slots(ti.slots as usize);
+                for (rid, begin, row) in ti.rows {
+                    table.load_version(rid, begin, row);
+                }
+                tables.insert(Self::key(&table.schema.name), Arc::new(table));
+            }
+        }
+        let mut views = self.views.write();
+        for (name, sql) in img.views {
+            match parse_statement(&sql) {
+                Ok(Stmt::Select(q)) => {
+                    views.insert(Self::key(&name), ViewDef { name, query: *q });
+                }
+                _ => {
+                    return Err(DbError::Io(format!(
+                        "checkpoint view '{name}' failed to re-parse"
+                    )))
+                }
+            }
+        }
+        self.commit_epoch.store(img.epoch, Ordering::Release);
+        Ok(())
+    }
+
+    /// Write a checkpoint: serialize every table at the current published
+    /// epoch, install the image atomically, and drop the WAL prefix it
+    /// covers. Returns the epoch the image captured.
+    ///
+    /// Only the `(epoch, wal position, catalog)` capture runs under the
+    /// commit lock; serialization proceeds concurrently with readers and
+    /// writers, protected from vacuum by the checkpoint floor.
+    pub fn checkpoint(&self) -> DbResult<u64> {
+        let Some(d) = self.durability.clone() else {
+            return Err(DbError::Unsupported(
+                "checkpoint requires a durable database (Database::open)".into(),
+            ));
+        };
+        let _gate = d.checkpoint_gate.lock();
+        let (epoch, wal_seq, wal_off, tables, views) = {
+            let _commit = self.commit_lock.lock();
+            let epoch = self.commit_epoch.load(Ordering::Acquire);
+            let (wal_seq, wal_off) = d.capture_position();
+            d.checkpoint_floor.store(epoch, Ordering::Release);
+            let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+            let views: Vec<ViewDef> = self.views.read().values().cloned().collect();
+            (epoch, wal_seq, wal_off, tables, views)
+        };
+        // Lift the floor however this function exits — holding it past an
+        // error would pin garbage forever.
+        struct FloorGuard<'a>(&'a DurabilityState);
+        impl Drop for FloorGuard<'_> {
+            fn drop(&mut self) {
+                self.0.checkpoint_floor.store(NO_FLOOR, Ordering::Release);
+            }
+        }
+        let _floor = FloorGuard(&d);
+        d.crash_gate(CrashPoint::CheckpointBegin)?;
+        let mut images = Vec::with_capacity(tables.len());
+        for t in &tables {
+            let (slots, rows) = t.checkpoint_rows(epoch);
+            images.push(checkpoint::TableImage {
+                schema: t.schema.clone(),
+                secondary: t.secondary_index_defs(),
+                slots,
+                rows,
+            });
+        }
+        let view_images = views
+            .iter()
+            .map(|v| (v.name.clone(), render::select_sql(&v.query)))
+            .collect();
+        let image =
+            checkpoint::CheckpointImage { epoch, wal_seq, tables: images, views: view_images };
+        checkpoint::write(&d, &image)?;
+        d.last_checkpoint_epoch.store(epoch, Ordering::Release);
+        d.rotate(wal_seq, wal_off)?;
+        d.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
+    }
+
+    /// `true` when this database persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The configured durability mode, if durable.
+    pub fn durability_mode(&self) -> Option<Durability> {
+        self.durability.as_ref().map(|d| d.mode)
+    }
+
+    /// WAL records appended since open.
+    pub fn wal_records(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.counters.wal_records.load(Ordering::Relaxed))
+    }
+
+    /// WAL bytes appended since open.
+    pub fn wal_bytes(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.counters.wal_bytes.load(Ordering::Relaxed))
+    }
+
+    /// Checkpoints completed since open.
+    pub fn checkpoints(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.counters.checkpoints.load(Ordering::Relaxed))
+    }
+
+    /// Commit epochs replayed from the WAL by the last `open`.
+    pub fn recovery_replayed_epochs(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.counters.recovery_replayed_epochs.load(Ordering::Relaxed))
+    }
+
+    /// Torn/corrupt WAL tail bytes truncated by the last `open`.
+    pub fn recovery_truncated_bytes(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.counters.recovery_truncated_bytes.load(Ordering::Relaxed))
+    }
+
+    /// Epoch of the last installed checkpoint (0 if none).
+    pub fn last_checkpoint_epoch(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.last_checkpoint_epoch.load(Ordering::Relaxed))
+    }
+
+    /// Install (or clear) the crash-injection hook the recovery test
+    /// harness uses to kill the durability layer at an exact I/O boundary.
+    /// No-op for in-memory databases.
+    pub fn set_crash_hook(&self, hook: Option<CrashHook>) {
+        if let Some(d) = &self.durability {
+            d.set_crash_hook(hook);
+        }
+    }
+
+    /// Flush any buffered WAL bytes to disk (meaningful in `Batch` mode).
+    pub fn sync_wal(&self) -> DbResult<()> {
+        match &self.durability {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
     }
 
     // ------------------------------------------------------------- catalog
@@ -332,17 +592,36 @@ impl Database {
     }
 
     /// Create a table from a schema built in code.
+    ///
+    /// DDL is serialized with commit publication (the commit lock) so a
+    /// checkpoint's `(catalog, epoch, wal position)` capture is atomic,
+    /// and logged *before* it is applied — a logged statement that then
+    /// fails does so identically on replay, where it is ignored.
     pub fn create_table(&self, schema: TableSchema) -> DbResult<()> {
         self.validate_foreign_keys(&schema)?;
+        let table = Arc::new(Table::new(schema)?);
+        let ddl = self.commit_lock.lock();
         let mut tables = self.tables.write();
-        let key = Self::key(&schema.name);
+        let key = Self::key(&table.schema.name);
         if tables.contains_key(&key) || self.views.read().contains_key(&key) {
-            return Err(DbError::Catalog(format!("'{}' already exists", schema.name)));
+            return Err(DbError::Catalog(format!("'{}' already exists", table.schema.name)));
         }
-        tables.insert(key, Arc::new(Table::new(schema)?));
+        self.log_ddl(render::create_table_sql(&table.schema))?;
+        tables.insert(key, table);
         drop(tables);
+        drop(ddl);
         self.bump_schema_generation();
         Ok(())
+    }
+
+    /// Append a DDL statement to the WAL (no-op for in-memory databases
+    /// and during recovery replay, when `durability` is still unset).
+    /// Callers hold the commit lock.
+    fn log_ddl(&self, sql: String) -> DbResult<()> {
+        match &self.durability {
+            Some(d) => d.append(&WalRecord::Ddl { sql }),
+            None => Ok(()),
+        }
     }
 
     fn validate_foreign_keys(&self, schema: &TableSchema) -> DbResult<()> {
@@ -468,11 +747,18 @@ impl Database {
             }
             Stmt::CreateIndex { name, table, columns, unique } => {
                 let t = self.require_table(table)?;
-                t.create_index(IndexDef {
-                    name: name.clone(),
-                    columns: columns.clone(),
-                    unique: *unique,
-                })?;
+                for c in columns {
+                    t.schema.require_column(c)?; // cheap pre-check before logging
+                }
+                let def =
+                    IndexDef { name: name.clone(), columns: columns.clone(), unique: *unique };
+                let ddl = self.commit_lock.lock();
+                // Log-then-apply: a unique violation after logging fails
+                // identically on replay (replay reproduces the same data
+                // state) and replayed DDL errors are ignored.
+                self.log_ddl(render::create_index_sql(&t.schema.name, &def))?;
+                t.create_index(def)?;
+                drop(ddl);
                 self.bump_schema_generation();
                 Ok(count_result(0))
             }
@@ -481,29 +767,46 @@ impl Database {
                 if self.tables.read().contains_key(&key) {
                     return Err(DbError::Catalog(format!("'{name}' is a table")));
                 }
+                let ddl = self.commit_lock.lock();
                 let mut views = self.views.write();
                 if views.contains_key(&key) && !*or_replace {
                     return Err(DbError::Catalog(format!("view '{name}' already exists")));
                 }
+                self.log_ddl(render::create_view_sql(name, query))?;
                 views.insert(key, ViewDef { name: name.clone(), query: (**query).clone() });
                 drop(views);
+                drop(ddl);
                 self.bump_schema_generation();
                 Ok(count_result(0))
             }
             Stmt::DropTable { name, if_exists } => {
-                let removed = self.tables.write().remove(&Self::key(name)).is_some();
-                if !removed && !*if_exists {
+                let ddl = self.commit_lock.lock();
+                let mut tables = self.tables.write();
+                let key = Self::key(name);
+                if !tables.contains_key(&key) {
+                    if *if_exists {
+                        return Ok(count_result(0));
+                    }
                     return Err(DbError::Catalog(format!("table '{name}' not found")));
                 }
-                if removed {
-                    self.bump_schema_generation();
-                }
+                self.log_ddl(format!("DROP TABLE {name}"))?;
+                tables.remove(&key);
+                drop(tables);
+                drop(ddl);
+                self.bump_schema_generation();
                 Ok(count_result(0))
             }
             Stmt::DropView { name } => {
-                if self.views.write().remove(&Self::key(name)).is_none() {
+                let ddl = self.commit_lock.lock();
+                let mut views = self.views.write();
+                let key = Self::key(name);
+                if !views.contains_key(&key) {
                     return Err(DbError::Catalog(format!("view '{name}' not found")));
                 }
+                self.log_ddl(format!("DROP VIEW {name}"))?;
+                views.remove(&key);
+                drop(views);
+                drop(ddl);
                 self.bump_schema_generation();
                 Ok(count_result(0))
             }
@@ -511,7 +814,10 @@ impl Database {
                 let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
                 for t in tables {
                     if t.read().indexes().iter().any(|ix| ix.def.name.eq_ignore_ascii_case(name)) {
+                        let ddl = self.commit_lock.lock();
+                        self.log_ddl(format!("DROP INDEX {name}"))?;
                         t.drop_index(name)?;
+                        drop(ddl);
                         self.bump_schema_generation();
                         return Ok(count_result(0));
                     }
@@ -533,8 +839,10 @@ impl Database {
             }
             Stmt::Commit => {
                 let st = self.take_owned_txn("COMMIT")?;
-                self.commit_ops(&st.log, st.stamp);
-                Ok(count_result(0))
+                match self.commit_ops(&st.log, st.stamp) {
+                    Ok(()) => Ok(count_result(0)),
+                    Err(e) => Err(self.rollback_preserving(st.log, st.stamp, e)),
+                }
             }
             Stmt::Rollback => {
                 let st = self.take_owned_txn("ROLLBACK")?;
@@ -576,7 +884,9 @@ impl Database {
         match f(self) {
             Ok(v) => {
                 if let Some(st) = self.active_txn.lock().take() {
-                    self.commit_ops(&st.log, st.stamp);
+                    if let Err(e) = self.commit_ops(&st.log, st.stamp) {
+                        return Err(self.rollback_preserving(st.log, st.stamp, e));
+                    }
                 }
                 Ok(v)
             }
@@ -605,17 +915,38 @@ impl Database {
         }
     }
 
-    /// Publish a transaction's writes: under the commit lock, finalize the
-    /// stamp markers of every touched version to one freshly allocated
-    /// epoch, then advance the published epoch. Readers observe either the
-    /// whole transaction or none of it.
-    fn commit_ops(&self, log: &UndoLog, stamp: u64) {
+    /// Publish a transaction's writes: under the commit lock, seal the
+    /// transaction's net changes into the WAL, finalize the stamp markers
+    /// of every touched version to one freshly allocated epoch, then
+    /// advance the published epoch. Readers observe either the whole
+    /// transaction or none of it.
+    ///
+    /// The WAL append happens strictly *before* any finalization: if it
+    /// fails (an I/O error, or a crash injected by the test harness),
+    /// nothing has been published and the caller rolls the stamp markers
+    /// back — the database and the log stay consistent.
+    fn commit_ops(&self, log: &UndoLog, stamp: u64) -> DbResult<()> {
         if log.is_empty() {
-            return;
+            return Ok(());
         }
         {
             let _commit = self.commit_lock.lock();
             let epoch = self.commit_epoch.load(Ordering::Acquire) + 1;
+            if let Some(d) = &self.durability {
+                let mut seen: HashSet<(&str, RowId)> = HashSet::new();
+                let mut changes = Vec::new();
+                for op in log.ops() {
+                    if !seen.insert((op.table(), op.rid())) {
+                        continue;
+                    }
+                    if let Some(t) = self.get_table(op.table()) {
+                        if let Some(change) = t.net_change(op.rid(), stamp) {
+                            changes.push((op.table().to_string(), op.rid(), change));
+                        }
+                    }
+                }
+                d.append(&WalRecord::Commit { epoch, changes })?;
+            }
             let mut seen: HashSet<(&str, RowId)> = HashSet::new();
             for op in log.ops() {
                 if !seen.insert((op.table(), op.rid())) {
@@ -635,6 +966,7 @@ impl Database {
             self.garbage_hint.store(0, Ordering::Relaxed);
             self.vacuum();
         }
+        Ok(())
     }
 
     /// Undo a transaction's writes, most recent first. A per-op failure
@@ -709,20 +1041,20 @@ impl Database {
             // they cannot linger as permanent uncommitted markers.
             if !ctx.local.is_empty() {
                 return match result {
-                    Ok(v) => {
-                        self.commit_ops(&ctx.local, ctx.stamp);
-                        Ok(v)
-                    }
+                    Ok(v) => match self.commit_ops(&ctx.local, ctx.stamp) {
+                        Ok(()) => Ok(v),
+                        Err(e) => Err(self.rollback_preserving(ctx.local, ctx.stamp, e)),
+                    },
                     Err(e) => Err(self.rollback_preserving(ctx.local, ctx.stamp, e)),
                 };
             }
             return result;
         }
         match result {
-            Ok(v) => {
-                self.commit_ops(&ctx.local, ctx.stamp);
-                Ok(v)
-            }
+            Ok(v) => match self.commit_ops(&ctx.local, ctx.stamp) {
+                Ok(()) => Ok(v),
+                Err(e) => Err(self.rollback_preserving(ctx.local, ctx.stamp, e)),
+            },
             Err(e) => Err(self.rollback_preserving(ctx.local, ctx.stamp, e)),
         }
     }

@@ -1,0 +1,803 @@
+//! Durability layer: binary write-ahead log, crash-injection harness, and
+//! the shared state commits and checkpoints thread through.
+//!
+//! The WAL is the paper's "retrofit onto a durable host" premise made real
+//! for our embedded engine: one record per committed statement batch,
+//! sealed at the commit-epoch publication point (the same instant
+//! `commit_epoch` is stored with `Release` ordering), so the log's record
+//! sequence *is* the epoch sequence. Records are length-prefixed and
+//! CRC-checksummed; recovery replays the longest valid prefix and
+//! truncates a torn or corrupt tail in place — it never replays it.
+//!
+//! Because this layer exists to be proven by tests, every I/O boundary is
+//! enumerable as a [`CrashPoint`]: a hook (same style as the dialect's
+//! statement hook) decides per point whether the "process" dies there.
+//! Dying poisons the layer — all later durable I/O fails — so a test can
+//! drop the database and reopen it from disk exactly as a real crash
+//! would. See `docs/DURABILITY.md` for the on-disk format.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{DbError, DbResult};
+use crate::index::RowId;
+use crate::row::Row;
+use crate::value::Value;
+
+// ---------------------------------------------------------------- modes
+
+/// How eagerly committed work reaches disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// fsync the WAL before every commit publishes. A crash loses nothing
+    /// that was acknowledged.
+    #[default]
+    Always,
+    /// Append without fsync; sync every [`BATCH_SYNC_EVERY`] records and
+    /// at checkpoints. An OS crash may lose the newest few commits but the
+    /// surviving prefix is always consistent.
+    Batch,
+    /// No WAL at all; checkpoints are the only durable state.
+    Off,
+}
+
+impl Durability {
+    /// Parse a mode name as used by config/env (`always`/`batch`/`off`).
+    pub fn parse(s: &str) -> Option<Durability> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "always" => Some(Durability::Always),
+            "batch" => Some(Durability::Batch),
+            "off" => Some(Durability::Off),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Durability::Always => "always",
+            Durability::Batch => "batch",
+            Durability::Off => "off",
+        })
+    }
+}
+
+/// In `Batch` mode, fsync after this many appends.
+pub const BATCH_SYNC_EVERY: u32 = 32;
+
+// --------------------------------------------------------- crash points
+
+/// Every I/O boundary of the durability layer, in the order a commit and
+/// a checkpoint pass through them. Tests install a [`CrashHook`] to die
+/// deterministically at any of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// About to append a WAL record; no bytes written yet.
+    WalAppend,
+    /// Mid-append: only a prefix of the record reached the file (a torn
+    /// write). Recovery must truncate it.
+    WalTorn,
+    /// Record fully written (and fsynced under `Always`), but the commit
+    /// has not yet published in memory.
+    WalSynced,
+    /// Checkpoint captured its (epoch, WAL position) pair; serialization
+    /// of table data is about to start.
+    CheckpointBegin,
+    /// Temp checkpoint file fully written and fsynced, not yet renamed
+    /// into place.
+    CheckpointWritten,
+    /// Checkpoint renamed into place; the WAL prefix it covers has not
+    /// been dropped yet.
+    CheckpointInstalled,
+    /// WAL rotated: the prefix covered by the checkpoint is gone.
+    WalRotated,
+}
+
+impl CrashPoint {
+    /// All crash points, for matrix-style test enumeration.
+    pub const ALL: [CrashPoint; 7] = [
+        CrashPoint::WalAppend,
+        CrashPoint::WalTorn,
+        CrashPoint::WalSynced,
+        CrashPoint::CheckpointBegin,
+        CrashPoint::CheckpointWritten,
+        CrashPoint::CheckpointInstalled,
+        CrashPoint::WalRotated,
+    ];
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Decides, per crash point, whether the simulated process dies there.
+/// Returning `true` poisons the durability layer and fails the operation.
+///
+/// The hook runs while the WAL lock is held for the `Wal*` points, so it
+/// must not call back into the database; the `Checkpoint*` points run
+/// lock-free and may (tests use this to race commits and vacuum against a
+/// checkpoint in progress).
+pub type CrashHook = Arc<dyn Fn(CrashPoint) -> bool + Send + Sync>;
+
+// -------------------------------------------------------------- counters
+
+/// Monotonic durability counters, surfaced through `MetricsSnapshot`.
+#[derive(Debug, Default)]
+pub struct DurabilityCounters {
+    pub wal_records: AtomicU64,
+    pub wal_bytes: AtomicU64,
+    pub checkpoints: AtomicU64,
+    pub recovery_replayed_epochs: AtomicU64,
+    pub recovery_truncated_bytes: AtomicU64,
+}
+
+// ----------------------------------------------------------------- crc32
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE, reflected) — the checksum guarding every WAL record body
+/// and the checkpoint body.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ----------------------------------------------------------------- codec
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_BIGINT: u8 = 1;
+const TAG_DOUBLE: u8 = 2;
+const TAG_VARCHAR: u8 = 3;
+const TAG_BOOLEAN: u8 = 4;
+
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bigint(i) => {
+            out.push(TAG_BIGINT);
+            put_u64(out, *i as u64);
+        }
+        Value::Double(d) => {
+            out.push(TAG_DOUBLE);
+            put_u64(out, d.to_bits());
+        }
+        Value::Varchar(s) => {
+            out.push(TAG_VARCHAR);
+            put_str(out, s);
+        }
+        Value::Boolean(b) => {
+            out.push(TAG_BOOLEAN);
+            out.push(*b as u8);
+        }
+    }
+}
+
+pub(crate) fn put_row(out: &mut Vec<u8>, row: &Row) {
+    put_u32(out, row.len() as u32);
+    for v in row {
+        put_value(out, v);
+    }
+}
+
+/// Bounded reader over an untrusted byte slice: every accessor fails
+/// cleanly instead of panicking, so a corrupt record can never take the
+/// process down.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> DbResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| DbError::Io("truncated record".into()))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> DbResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> DbResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> DbResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn str(&mut self) -> DbResult<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DbError::Io("invalid utf-8 in record".into()))
+    }
+
+    pub fn value(&mut self) -> DbResult<Value> {
+        match self.u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_BIGINT => Ok(Value::Bigint(self.u64()? as i64)),
+            TAG_DOUBLE => Ok(Value::Double(f64::from_bits(self.u64()?))),
+            TAG_VARCHAR => Ok(Value::Varchar(self.str()?)),
+            TAG_BOOLEAN => Ok(Value::Boolean(self.u8()? != 0)),
+            t => Err(DbError::Io(format!("unknown value tag {t}"))),
+        }
+    }
+
+    pub fn row(&mut self) -> DbResult<Row> {
+        let n = self.u32()? as usize;
+        if n > MAX_RECORD_LEN {
+            return Err(DbError::Io("row length out of range".into()));
+        }
+        (0..n).map(|_| self.value()).collect()
+    }
+}
+
+// --------------------------------------------------------------- records
+
+/// The durable effect of one commit on a single row: the final image
+/// (covering insert and any number of updates) or a deletion. Intermediate
+/// versions inside one transaction are invisible to every post-recovery
+/// reader, so the WAL never carries them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetChange {
+    Put(Row),
+    Del,
+}
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalRecord {
+    /// All net row changes of one transaction, published at `epoch`.
+    Commit { epoch: u64, changes: Vec<(String, RowId, NetChange)> },
+    /// A committed DDL statement, replayed as SQL text.
+    Ddl { sql: String },
+}
+
+const KIND_COMMIT: u8 = 1;
+const KIND_DDL: u8 = 2;
+const OP_PUT: u8 = 0;
+const OP_DEL: u8 = 1;
+
+/// Upper bound on a sane record length; anything larger in a length
+/// prefix means the tail is garbage.
+const MAX_RECORD_LEN: usize = 1 << 30;
+
+pub(crate) fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rec {
+        WalRecord::Commit { epoch, changes } => {
+            out.push(KIND_COMMIT);
+            put_u64(&mut out, *epoch);
+            put_u32(&mut out, changes.len() as u32);
+            for (table, rid, change) in changes {
+                match change {
+                    NetChange::Put(row) => {
+                        out.push(OP_PUT);
+                        put_str(&mut out, table);
+                        put_u64(&mut out, *rid as u64);
+                        put_row(&mut out, row);
+                    }
+                    NetChange::Del => {
+                        out.push(OP_DEL);
+                        put_str(&mut out, table);
+                        put_u64(&mut out, *rid as u64);
+                    }
+                }
+            }
+        }
+        WalRecord::Ddl { sql } => {
+            out.push(KIND_DDL);
+            put_str(&mut out, sql);
+        }
+    }
+    out
+}
+
+pub(crate) fn decode_record(body: &[u8]) -> DbResult<WalRecord> {
+    let mut c = Cursor::new(body);
+    let rec = match c.u8()? {
+        KIND_COMMIT => {
+            let epoch = c.u64()?;
+            let n = c.u32()? as usize;
+            if n > MAX_RECORD_LEN {
+                return Err(DbError::Io("change count out of range".into()));
+            }
+            let mut changes = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let op = c.u8()?;
+                let table = c.str()?;
+                let rid = c.u64()? as RowId;
+                let change = match op {
+                    OP_PUT => NetChange::Put(c.row()?),
+                    OP_DEL => NetChange::Del,
+                    o => return Err(DbError::Io(format!("unknown change op {o}"))),
+                };
+                changes.push((table, rid, change));
+            }
+            WalRecord::Commit { epoch, changes }
+        }
+        KIND_DDL => WalRecord::Ddl { sql: c.str()? },
+        k => return Err(DbError::Io(format!("unknown record kind {k}"))),
+    };
+    if !c.is_empty() {
+        return Err(DbError::Io("trailing bytes in record".into()));
+    }
+    Ok(rec)
+}
+
+// -------------------------------------------------------------- WAL file
+
+const WAL_MAGIC: &[u8; 8] = b"D2GWAL1\n";
+const WAL_HEADER_LEN: u64 = 16; // magic + u64 base_seq
+
+fn io_err(ctx: &str, e: std::io::Error) -> DbError {
+    DbError::Io(format!("{ctx}: {e}"))
+}
+
+/// fsync a directory so a rename inside it is durable.
+fn sync_dir(dir: &Path) -> DbResult<()> {
+    // Directory fsync is not available on every platform; opening may fail
+    // (e.g. on Windows), in which case rename durability rides on the OS.
+    if let Ok(f) = File::open(dir) {
+        f.sync_all().map_err(|e| io_err("sync dir", e))?;
+    }
+    Ok(())
+}
+
+/// The open WAL file handle plus its position bookkeeping. Record `i` in
+/// the file has sequence number `base_seq + i`; rotation after a
+/// checkpoint rewrites the file to start at the checkpoint's sequence.
+pub(crate) struct Wal {
+    file: File,
+    base_seq: u64,
+    records: u64,
+    len: u64,
+    unsynced: u32,
+}
+
+/// What a WAL scan found on open: the surviving records (each paired with
+/// its sequence number) and how many torn/corrupt tail bytes were cut.
+pub(crate) struct WalScan {
+    pub records: Vec<(u64, WalRecord)>,
+    pub truncated_bytes: u64,
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path`, validate every record,
+    /// and truncate any torn or corrupt tail in place. `fallback_base` is
+    /// the sequence to restart from when the file header itself is
+    /// unreadable (the latest checkpoint's WAL sequence).
+    pub fn open(path: &Path, fallback_base: u64) -> DbResult<(Wal, WalScan)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| io_err("open wal", e))?;
+        let mut buf = Vec::new();
+        file.seek(SeekFrom::Start(0)).map_err(|e| io_err("seek wal", e))?;
+        file.read_to_end(&mut buf).map_err(|e| io_err("read wal", e))?;
+
+        if buf.len() < WAL_HEADER_LEN as usize || &buf[..8] != WAL_MAGIC {
+            // Empty, torn, or foreign header: start a fresh log. Anything
+            // that was in the file is unreadable, so it is dropped — the
+            // checkpoint (whose sequence seeds `fallback_base`) is the
+            // recovery source.
+            let dropped = buf.len() as u64;
+            file.set_len(0).map_err(|e| io_err("truncate wal", e))?;
+            let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+            header.extend_from_slice(WAL_MAGIC);
+            put_u64(&mut header, fallback_base);
+            file.write_all(&header).map_err(|e| io_err("write wal header", e))?;
+            file.sync_data().map_err(|e| io_err("sync wal", e))?;
+            let wal = Wal {
+                file,
+                base_seq: fallback_base,
+                records: 0,
+                len: WAL_HEADER_LEN,
+                unsynced: 0,
+            };
+            return Ok((wal, WalScan { records: Vec::new(), truncated_bytes: dropped }));
+        }
+
+        let base_seq = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let region = &buf[WAL_HEADER_LEN as usize..];
+        let mut off = 0usize;
+        let mut records = Vec::new();
+        loop {
+            let rem = &region[off..];
+            if rem.len() < 8 {
+                break; // incomplete frame header: torn tail
+            }
+            let len = u32::from_le_bytes(rem[..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(rem[4..8].try_into().unwrap());
+            if len == 0 || len > MAX_RECORD_LEN || rem.len() < 8 + len {
+                break; // insane or incomplete body: torn tail
+            }
+            let body = &rem[8..8 + len];
+            if crc32(body) != crc {
+                break; // bit rot or torn write inside the body
+            }
+            match decode_record(body) {
+                Ok(rec) => records.push((base_seq + records.len() as u64, rec)),
+                Err(_) => break, // checksummed but unparseable: treat as tail
+            }
+            off += 8 + len;
+        }
+        let valid_len = WAL_HEADER_LEN + off as u64;
+        let truncated_bytes = buf.len() as u64 - valid_len;
+        if truncated_bytes > 0 {
+            file.set_len(valid_len).map_err(|e| io_err("truncate wal tail", e))?;
+            file.sync_data().map_err(|e| io_err("sync wal", e))?;
+        }
+        let wal = Wal {
+            file,
+            base_seq,
+            records: records.len() as u64,
+            len: valid_len,
+            unsynced: 0,
+        };
+        Ok((wal, WalScan { records, truncated_bytes }))
+    }
+
+    /// Sequence number the next appended record will get.
+    pub fn next_seq(&self) -> u64 {
+        self.base_seq + self.records
+    }
+
+    /// Current byte length of the file (all records valid).
+    pub fn byte_len(&self) -> u64 {
+        self.len
+    }
+}
+
+// --------------------------------------------------------- shared state
+
+/// Everything the database shares with its WAL and checkpoint machinery.
+pub(crate) struct DurabilityState {
+    pub dir: PathBuf,
+    pub mode: Durability,
+    /// `None` iff `mode == Off`.
+    wal: Mutex<Option<Wal>>,
+    pub counters: DurabilityCounters,
+    crash: RwLock<Option<CrashHook>>,
+    /// Set after a simulated crash: all further durable I/O fails, exactly
+    /// as if the process were gone.
+    dead: AtomicBool,
+    /// Epoch a running checkpoint is serializing at (`u64::MAX` when
+    /// none): vacuum must not reclaim versions still visible at it.
+    pub checkpoint_floor: AtomicU64,
+    /// Snapshot epoch of the last completed checkpoint.
+    pub last_checkpoint_epoch: AtomicU64,
+    /// Serializes whole checkpoints (capture → write → rotate).
+    pub checkpoint_gate: Mutex<()>,
+}
+
+/// No checkpoint in progress.
+pub(crate) const NO_FLOOR: u64 = u64::MAX;
+
+impl DurabilityState {
+    pub fn new(dir: PathBuf, mode: Durability, wal: Option<Wal>) -> DurabilityState {
+        DurabilityState {
+            dir,
+            mode,
+            wal: Mutex::new(wal),
+            counters: DurabilityCounters::default(),
+            crash: RwLock::new(None),
+            dead: AtomicBool::new(false),
+            checkpoint_floor: AtomicU64::new(NO_FLOOR),
+            last_checkpoint_epoch: AtomicU64::new(0),
+            checkpoint_gate: Mutex::new(()),
+        }
+    }
+
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    pub fn set_crash_hook(&self, hook: Option<CrashHook>) {
+        *self.crash.write() = hook;
+    }
+
+    fn fire(&self, point: CrashPoint) -> bool {
+        let hook = self.crash.read().clone();
+        hook.map(|h| h(point)).unwrap_or(false)
+    }
+
+    fn die(&self, point: CrashPoint) -> DbError {
+        self.dead.store(true, Ordering::Release);
+        DbError::Io(format!("simulated crash at {point}"))
+    }
+
+    fn check_alive(&self) -> DbResult<()> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(DbError::Io("durability layer is down (crashed)".into()));
+        }
+        Ok(())
+    }
+
+    /// Evaluate a crash point outside the WAL lock (checkpoint-side).
+    pub fn crash_gate(&self, point: CrashPoint) -> DbResult<()> {
+        self.check_alive()?;
+        if self.fire(point) {
+            return Err(self.die(point));
+        }
+        Ok(())
+    }
+
+    /// Append one record, observing the `Wal*` crash points. Under
+    /// `Always` the record is fsynced before this returns; the caller
+    /// publishes the commit only on `Ok`.
+    pub fn append(&self, rec: &WalRecord) -> DbResult<()> {
+        if self.mode == Durability::Off {
+            return Ok(());
+        }
+        self.check_alive()?;
+        let mut guard = self.wal.lock();
+        let Some(w) = guard.as_mut() else { return Ok(()) };
+        if self.fire(CrashPoint::WalAppend) {
+            return Err(self.die(CrashPoint::WalAppend));
+        }
+        let body = encode_record(rec);
+        let mut frame = Vec::with_capacity(8 + body.len());
+        put_u32(&mut frame, body.len() as u32);
+        put_u32(&mut frame, crc32(&body));
+        frame.extend_from_slice(&body);
+        if self.fire(CrashPoint::WalTorn) {
+            // A genuine torn write: half the frame reaches the file, then
+            // the process is gone. Recovery must cut this tail.
+            let cut = (frame.len() / 2).max(1);
+            let _ = w.file.write_all(&frame[..cut]);
+            let _ = w.file.sync_data();
+            return Err(self.die(CrashPoint::WalTorn));
+        }
+        w.file.write_all(&frame).map_err(|e| io_err("append wal", e))?;
+        match self.mode {
+            Durability::Always => w.file.sync_data().map_err(|e| io_err("sync wal", e))?,
+            Durability::Batch => {
+                w.unsynced += 1;
+                if w.unsynced >= BATCH_SYNC_EVERY {
+                    w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
+                    w.unsynced = 0;
+                }
+            }
+            Durability::Off => unreachable!(),
+        }
+        w.records += 1;
+        w.len += frame.len() as u64;
+        self.counters.wal_records.fetch_add(1, Ordering::Relaxed);
+        self.counters.wal_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        if self.fire(CrashPoint::WalSynced) {
+            return Err(self.die(CrashPoint::WalSynced));
+        }
+        Ok(())
+    }
+
+    /// Capture the WAL position a checkpoint will cut at: the next
+    /// sequence number and its byte offset. Must run while no commit can
+    /// append (the caller holds the commit lock).
+    pub fn capture_position(&self) -> (u64, u64) {
+        let guard = self.wal.lock();
+        match guard.as_ref() {
+            Some(w) => (w.next_seq(), w.byte_len()),
+            None => (0, 0),
+        }
+    }
+
+    /// Drop the WAL prefix covered by a checkpoint: rewrite the file so
+    /// it starts at `cut_seq`, whose first frame byte was at `cut_off`.
+    /// Appends that landed after capture are carried over verbatim.
+    pub fn rotate(&self, cut_seq: u64, cut_off: u64) -> DbResult<()> {
+        if self.mode == Durability::Off {
+            return Ok(());
+        }
+        self.check_alive()?;
+        let mut guard = self.wal.lock();
+        let Some(w) = guard.as_mut() else { return Ok(()) };
+        // Make the suffix durable before switching files (Batch mode may
+        // still owe an fsync for it).
+        w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
+        w.file.seek(SeekFrom::Start(cut_off)).map_err(|e| io_err("seek wal", e))?;
+        let mut tail = Vec::new();
+        w.file.read_to_end(&mut tail).map_err(|e| io_err("read wal tail", e))?;
+
+        let tmp = self.dir.join("wal.log.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err("create wal.tmp", e))?;
+            let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+            header.extend_from_slice(WAL_MAGIC);
+            put_u64(&mut header, cut_seq);
+            f.write_all(&header).map_err(|e| io_err("write wal.tmp", e))?;
+            f.write_all(&tail).map_err(|e| io_err("write wal.tmp", e))?;
+            f.sync_data().map_err(|e| io_err("sync wal.tmp", e))?;
+        }
+        std::fs::rename(&tmp, self.wal_path()).map_err(|e| io_err("rename wal", e))?;
+        sync_dir(&self.dir)?;
+
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(self.wal_path())
+            .map_err(|e| io_err("reopen wal", e))?;
+        let carried = w.records - (cut_seq - w.base_seq);
+        *w = Wal {
+            file,
+            base_seq: cut_seq,
+            records: carried,
+            len: WAL_HEADER_LEN + tail.len() as u64,
+            unsynced: 0,
+        };
+        drop(guard);
+        if self.fire(CrashPoint::WalRotated) {
+            return Err(self.die(CrashPoint::WalRotated));
+        }
+        Ok(())
+    }
+
+    /// Force any buffered WAL bytes to disk (used by `Batch` mode at
+    /// checkpoint and shutdown boundaries).
+    pub fn sync(&self) -> DbResult<()> {
+        if self.mode == Durability::Off {
+            return Ok(());
+        }
+        self.check_alive()?;
+        let mut guard = self.wal.lock();
+        if let Some(w) = guard.as_mut() {
+            w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
+            w.unsynced = 0;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_codec_round_trips() {
+        let recs = [
+            WalRecord::Commit {
+                epoch: 42,
+                changes: vec![
+                    (
+                        "Account".into(),
+                        7,
+                        NetChange::Put(vec![
+                            Value::Bigint(-1),
+                            Value::Null,
+                            Value::Varchar("x''y".into()),
+                            Value::Double(2.5),
+                            Value::Boolean(true),
+                        ]),
+                    ),
+                    ("Account".into(), 8, NetChange::Del),
+                ],
+            },
+            WalRecord::Ddl { sql: "CREATE TABLE t (a BIGINT)".into() },
+            WalRecord::Commit { epoch: 1, changes: vec![] },
+        ];
+        for rec in &recs {
+            let body = encode_record(rec);
+            assert_eq!(&decode_record(&body).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_garbage_without_panicking() {
+        // Every prefix of a valid body, plus pure noise, must fail cleanly.
+        let body = encode_record(&WalRecord::Commit {
+            epoch: 3,
+            changes: vec![("t".into(), 0, NetChange::Put(vec![Value::Bigint(9)]))],
+        });
+        for cut in 0..body.len() {
+            let _ = decode_record(&body[..cut]); // must not panic
+        }
+        assert!(decode_record(&[0xFF; 32]).is_err());
+        assert!(decode_record(&[]).is_err());
+    }
+
+    #[test]
+    fn wal_survives_reopen_and_truncates_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("reldb-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+
+        let state = DurabilityState::new(dir.clone(), Durability::Always, None);
+        let (wal, scan) = Wal::open(&path, 0).unwrap();
+        assert!(scan.records.is_empty());
+        *state.wal.lock() = Some(wal);
+        for epoch in 1..=3u64 {
+            state
+                .append(&WalRecord::Commit {
+                    epoch,
+                    changes: vec![("t".into(), 0, NetChange::Del)],
+                })
+                .unwrap();
+        }
+        drop(state);
+
+        // Clean reopen sees all three records with consecutive sequences.
+        let (_, scan) = Wal::open(&path, 0).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.records[0].0, 0);
+        assert_eq!(scan.records[2].0, 2);
+
+        // Tear off the last 3 bytes: the final record must be cut, the
+        // prefix preserved, and a further reopen must be clean.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let (_, scan) = Wal::open(&path, 0).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(scan.truncated_bytes > 0);
+        let (_, scan) = Wal::open(&path, 0).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

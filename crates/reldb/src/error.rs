@@ -25,6 +25,9 @@ pub enum DbError {
     Unsupported(String),
     /// A transaction could not be completed and has been rolled back.
     Txn(String),
+    /// A durability-layer I/O failure (WAL append, checkpoint write, or a
+    /// simulated crash injected by the test harness).
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -37,6 +40,7 @@ impl fmt::Display for DbError {
             DbError::Execution(m) => write!(f, "execution error: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
+            DbError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }

@@ -36,7 +36,9 @@
 //! assert_eq!(rs.scalar(), Some(&Value::Varchar("Bob".into())));
 //! ```
 
+pub mod checkpoint;
 pub mod db;
+pub mod durability;
 pub mod error;
 pub mod func;
 pub mod index;
@@ -50,6 +52,7 @@ pub mod txn;
 pub mod value;
 
 pub use db::{Database, Snapshot, ViewDef};
+pub use durability::{CrashHook, CrashPoint, Durability, NetChange};
 pub use error::{DbError, DbResult};
 pub use func::TableFunction;
 pub use index::{IndexDef, RowId};

@@ -6,3 +6,4 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
+pub mod render;

@@ -641,6 +641,152 @@ impl Table {
         Ok(())
     }
 
+    // ------------------------------------------------ durability support
+
+    /// Net effect of transaction `stamp` on `rid`, read *before* the
+    /// stamp is finalized: the final row image if a version written by
+    /// `stamp` is current, a deletion if `stamp` end-marked a pre-existing
+    /// version, or nothing (insert-then-delete inside one transaction).
+    /// Intermediate versions of a multi-update chain are invisible to
+    /// every post-recovery reader, so the WAL never carries them.
+    pub(crate) fn net_change(&self, rid: RowId, stamp: u64) -> Option<crate::durability::NetChange> {
+        use crate::durability::NetChange;
+        let marker = TXN_BIT | stamp;
+        let data = self.data.read();
+        let slot = data.slots.get(rid)?;
+        if let Some(v) = slot.iter().rev().find(|v| v.begin == marker && v.end == NO_END) {
+            return Some(NetChange::Put(v.row.clone()));
+        }
+        if slot.iter().any(|v| v.end == marker && v.begin != marker) {
+            return Some(NetChange::Del);
+        }
+        None
+    }
+
+    /// Serialize for a checkpoint: slot-array length plus `(rid, begin,
+    /// row)` for every version visible at commit epoch `epoch`. The
+    /// caller guarantees (via the checkpoint floor) that vacuum cannot
+    /// reclaim those versions while this runs.
+    pub(crate) fn checkpoint_rows(&self, epoch: u64) -> (u64, Vec<(RowId, u64, Row)>) {
+        let view = ReadView::committed(epoch);
+        let data = self.data.read();
+        let rows = data
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(rid, slot)| {
+                slot.iter()
+                    .rev()
+                    .find(|v| v.visible(&view))
+                    .map(|v| (rid, v.begin, v.row.clone()))
+            })
+            .collect();
+        (data.slots.len() as u64, rows)
+    }
+
+    /// Index definitions beyond the schema-implied ones (`pk_*`/`uq_*_<n>`
+    /// auto-created by [`Table::new`]) — what a checkpoint must persist so
+    /// `CREATE INDEX` statements already rotated out of the WAL survive.
+    pub(crate) fn secondary_index_defs(&self) -> Vec<IndexDef> {
+        let mut auto: Vec<String> = Vec::new();
+        let lower = self.schema.name.to_ascii_lowercase();
+        if self.schema.primary_key.is_some() {
+            auto.push(format!("pk_{lower}"));
+        }
+        for n in 0..self.schema.uniques.len() {
+            auto.push(format!("uq_{lower}_{n}"));
+        }
+        self.data
+            .read()
+            .indexes
+            .iter()
+            .filter(|ix| !auto.iter().any(|a| a == &ix.def.name))
+            .map(|ix| ix.def.clone())
+            .collect()
+    }
+
+    /// Grow the slot array to `n` entries (checkpoint restore preserves
+    /// row-id positions even for trailing empty slots).
+    pub(crate) fn ensure_slots(&self, n: usize) {
+        let mut data = self.data.write();
+        if data.slots.len() < n {
+            data.slots.resize_with(n, Vec::new);
+        }
+    }
+
+    /// Load one committed version verbatim (checkpoint restore). Indexes
+    /// and bookkeeping are rebuilt afterwards by
+    /// [`Table::rebuild_indexes`] / [`Table::recompute_bookkeeping`].
+    pub(crate) fn load_version(&self, rid: RowId, begin: u64, row: Row) {
+        let mut data = self.data.write();
+        if data.slots.len() <= rid {
+            data.slots.resize_with(rid + 1, Vec::new);
+        }
+        data.slots[rid].push(Version { begin, end: NO_END, row });
+    }
+
+    /// Replay a committed put from the WAL: end-mark the current version
+    /// (an update) or start a fresh chain (an insert) at `epoch`.
+    pub(crate) fn replay_put(&self, rid: RowId, row: Row, epoch: u64) {
+        let mut data = self.data.write();
+        if data.slots.len() <= rid {
+            data.slots.resize_with(rid + 1, Vec::new);
+        }
+        if let Some(v) = data.slots[rid].iter_mut().rfind(|v| v.is_current()) {
+            v.end = epoch;
+        }
+        data.slots[rid].push(Version { begin: epoch, end: NO_END, row });
+    }
+
+    /// Replay a committed delete from the WAL. A missing current version
+    /// is a no-op (the row was already gone at checkpoint time).
+    pub(crate) fn replay_del(&self, rid: RowId, epoch: u64) {
+        let mut data = self.data.write();
+        if let Some(slot) = data.slots.get_mut(rid) {
+            if let Some(v) = slot.iter_mut().rfind(|v| v.is_current()) {
+                v.end = epoch;
+            }
+        }
+    }
+
+    /// Rebuild every index from scratch over all stored versions (same
+    /// per-slot key dedup as [`Table::create_index`] backfill).
+    pub(crate) fn rebuild_indexes(&self) {
+        let mut data = self.data.write();
+        let TableData { slots, indexes, .. } = &mut *data;
+        for ix in indexes.iter_mut() {
+            *ix = Index::new(ix.def.clone(), ix.col_positions.clone());
+            for (rid, slot) in slots.iter().enumerate() {
+                for (vi, v) in slot.iter().enumerate() {
+                    if slot[..vi].iter().any(|p| same_key(ix, &p.row, &v.row)) {
+                        continue;
+                    }
+                    ix.insert(&v.row, rid);
+                }
+            }
+        }
+    }
+
+    /// Recompute free list, live count, and garbage count from the
+    /// version chains (after checkpoint restore + WAL replay).
+    pub(crate) fn recompute_bookkeeping(&self) {
+        let mut data = self.data.write();
+        let TableData { slots, free, live, garbage, .. } = &mut *data;
+        free.clear();
+        *live = 0;
+        *garbage = 0;
+        for (rid, slot) in slots.iter().enumerate() {
+            if slot.is_empty() {
+                free.push(rid);
+                continue;
+            }
+            if slot.iter().any(Version::is_current) {
+                *live += 1;
+            }
+            *garbage += slot.iter().filter(|v| v.end_committed()).count();
+        }
+    }
+
     /// Approximate bytes used by live rows (storage accounting for Table 3).
     pub fn approx_bytes(&self) -> usize {
         let data = self.data.read();

@@ -77,6 +77,16 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Vacuum daemon period; `None` disables the daemon.
     pub vacuum_interval: Option<Duration>,
+    /// Checkpoint cadence, driven by the vacuum daemon; `None` disables
+    /// periodic checkpoints. Ignored for an in-memory database.
+    /// Env: `DB2GRAPH_CHECKPOINT_MS` (0 disables).
+    pub checkpoint_interval: Option<Duration>,
+    /// Directory the database persists to (WAL + checkpoints). `None`
+    /// serves a purely in-memory database. Env: `DB2GRAPH_DATA_DIR`.
+    pub data_dir: Option<String>,
+    /// Durability mode for `data_dir`. Env: `DB2GRAPH_DURABILITY`
+    /// (`always`/`batch`/`off`).
+    pub durability: reldb::Durability,
 }
 
 impl Default for ServerConfig {
@@ -90,13 +100,17 @@ impl Default for ServerConfig {
             max_header_bytes: 8 * 1024,
             max_body_bytes: 1024 * 1024,
             vacuum_interval: Some(Duration::from_secs(1)),
+            checkpoint_interval: Some(Duration::from_secs(60)),
+            data_dir: None,
+            durability: reldb::Durability::Always,
         }
     }
 }
 
 impl ServerConfig {
-    /// Defaults overridden by `DB2GRAPH_HTTP_ADDR`, `DB2GRAPH_MAX_INFLIGHT`
-    /// and `DB2GRAPH_QUERY_TIMEOUT_MS`.
+    /// Defaults overridden by `DB2GRAPH_HTTP_ADDR`, `DB2GRAPH_MAX_INFLIGHT`,
+    /// `DB2GRAPH_QUERY_TIMEOUT_MS`, `DB2GRAPH_DATA_DIR`,
+    /// `DB2GRAPH_DURABILITY`, and `DB2GRAPH_CHECKPOINT_MS`.
     pub fn from_env() -> ServerConfig {
         let mut c = ServerConfig::default();
         if let Ok(addr) = std::env::var("DB2GRAPH_HTTP_ADDR") {
@@ -110,7 +124,29 @@ impl ServerConfig {
         if let Some(ms) = env_parse::<u64>("DB2GRAPH_QUERY_TIMEOUT_MS") {
             c.query_timeout = (ms > 0).then(|| Duration::from_millis(ms));
         }
+        if let Ok(dir) = std::env::var("DB2GRAPH_DATA_DIR") {
+            if !dir.is_empty() {
+                c.data_dir = Some(dir);
+            }
+        }
+        if let Ok(mode) = std::env::var("DB2GRAPH_DURABILITY") {
+            if let Some(m) = reldb::Durability::parse(&mode) {
+                c.durability = m;
+            }
+        }
+        if let Some(ms) = env_parse::<u64>("DB2GRAPH_CHECKPOINT_MS") {
+            c.checkpoint_interval = (ms > 0).then(|| Duration::from_millis(ms));
+        }
         c
+    }
+
+    /// Open the database this configuration describes: durable (running
+    /// crash recovery) when `data_dir` is set, in-memory otherwise.
+    pub fn open_database(&self) -> reldb::DbResult<Arc<reldb::Database>> {
+        match &self.data_dir {
+            Some(dir) => Ok(Arc::new(reldb::Database::open_with(dir, self.durability)?)),
+            None => Ok(Arc::new(reldb::Database::new())),
+        }
     }
 }
 
@@ -149,6 +185,7 @@ impl GraphServer {
                 graph.database().clone(),
                 graph.dialect().registry().clone(),
                 interval,
+                config.checkpoint_interval,
             )
         });
         let shared = Arc::new(Shared {
@@ -532,6 +569,37 @@ fn route(shared: &Shared, req: &Request) -> (u16, Json) {
             },
             Err(m) => bad_request(shared, m),
         },
+        ("POST", "/sql") => {
+            // Raw SQL against the underlying database — the seeding and
+            // administration channel (the graph endpoints stay read-only
+            // Gremlin). Returns the last statement's result set.
+            let Ok(sql) = std::str::from_utf8(&req.body) else {
+                return bad_request(shared, "SQL body is not valid UTF-8".into());
+            };
+            if sql.trim().is_empty() {
+                return bad_request(shared, "empty SQL body".into());
+            }
+            match shared.graph.database().execute_script(sql) {
+                Ok(rs) => {
+                    let columns: Vec<Json> =
+                        rs.columns.iter().map(|c| Json::str(c.clone())).collect();
+                    let rows: Vec<Json> = rs
+                        .rows
+                        .iter()
+                        .map(|row| Json::arr(row.iter().map(sql_value_to_json).collect()))
+                        .collect();
+                    (
+                        200,
+                        Json::obj(vec![
+                            ("count", Json::u64(rows.len() as u64)),
+                            ("columns", Json::arr(columns)),
+                            ("rows", Json::arr(rows)),
+                        ]),
+                    )
+                }
+                Err(e) => bad_request(shared, e.to_string()),
+            }
+        }
         ("GET", "/metrics") => {
             let queued = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
             (
@@ -554,8 +622,8 @@ fn route(shared: &Shared, req: &Request) -> (u16, Json) {
                 ("in_flight", Json::u64(shared.metrics.in_flight())),
             ]),
         ),
-        (_, "/query" | "/explain" | "/profile" | "/metrics" | "/slow-queries" | "/workload"
-        | "/healthz") => (
+        (_, "/query" | "/sql" | "/explain" | "/profile" | "/metrics" | "/slow-queries"
+        | "/workload" | "/healthz") => (
             405,
             Json::obj(vec![("error", Json::str(format!("method {} not allowed", req.method)))]),
         ),
@@ -568,4 +636,14 @@ fn route(shared: &Shared, req: &Request) -> (u16, Json) {
 fn bad_request(shared: &Shared, msg: String) -> (u16, Json) {
     shared.metrics.record_bad_request();
     (400, Json::obj(vec![("error", Json::str(msg))]))
+}
+
+fn sql_value_to_json(v: &reldb::Value) -> Json {
+    match v {
+        reldb::Value::Null => Json::Null,
+        reldb::Value::Bigint(i) => Json::num(*i as f64),
+        reldb::Value::Double(d) => Json::num(*d),
+        reldb::Value::Varchar(s) => Json::str(s.clone()),
+        reldb::Value::Boolean(b) => Json::Bool(*b),
+    }
 }

@@ -1,23 +1,29 @@
-//! Background MVCC garbage collection: a daemon thread that periodically
-//! reclaims row versions dead to every registered snapshot.
+//! Background MVCC maintenance: a daemon thread that periodically
+//! reclaims row versions dead to every registered snapshot, and — when
+//! the database is durable and a cadence is configured — writes
+//! checkpoints so the WAL stays short and recovery stays fast.
 //!
 //! PR 4 added `Database::vacuum()` but nothing scheduled it — under a
 //! steady write load the version chains only ever grew between the
 //! opportunistic per-table threshold sweeps. The serving layer owns the
 //! process lifecycle, so it owns the schedule too; each pass's reclaimed
-//! count lands in the graph's metrics registry as `vacuumed_versions`.
+//! count lands in the graph's metrics registry as `vacuumed_versions`,
+//! and checkpoint counts surface through the database's own durability
+//! counters (`checkpoints` in `/metrics`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use db2graph_core::MetricsRegistry;
 use reldb::Database;
 
-/// Periodically calls [`Database::vacuum`] until stopped. Stopping is
-/// prompt (condvar wakeup, no interval-long sleep to drain) and runs one
-/// final pass so a clean shutdown leaves no reclaimable garbage behind.
+/// Periodically calls [`Database::vacuum`] (and, on its own slower
+/// cadence, [`Database::checkpoint`]) until stopped. Stopping is prompt
+/// (condvar wakeup, no interval-long sleep to drain) and runs one final
+/// pass — including a final checkpoint when configured — so a clean
+/// shutdown leaves no reclaimable garbage and a short WAL behind.
 pub struct VacuumDaemon {
     stop: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<JoinHandle<()>>,
@@ -29,9 +35,14 @@ impl VacuumDaemon {
         db: Arc<Database>,
         registry: Arc<MetricsRegistry>,
         interval: Duration,
+        checkpoint_interval: Option<Duration>,
     ) -> VacuumDaemon {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let reclaimed = Arc::new(AtomicU64::new(0));
+        // Checkpoints only make sense against a durable database; a
+        // cadence on an in-memory one is ignored rather than erroring
+        // every tick.
+        let checkpoint_interval = checkpoint_interval.filter(|_| db.is_durable());
         let handle = {
             let stop = stop.clone();
             let reclaimed = reclaimed.clone();
@@ -39,15 +50,27 @@ impl VacuumDaemon {
                 .name("vacuum-daemon".into())
                 .spawn(move || {
                     let (lock, cv) = &*stop;
+                    let mut last_checkpoint = Instant::now();
                     let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
                     loop {
-                        let run_pass = |reclaimed: &AtomicU64| {
+                        let mut run_pass = |reclaimed: &AtomicU64, final_pass: bool| {
                             let n = db.vacuum() as u64;
                             registry.record_vacuum(n);
                             reclaimed.fetch_add(n, Ordering::Relaxed);
+                            if let Some(every) = checkpoint_interval {
+                                if final_pass || last_checkpoint.elapsed() >= every {
+                                    // A checkpoint failure (disk full, or a
+                                    // test-injected crash) must not kill the
+                                    // vacuum schedule; recovery still has the
+                                    // previous checkpoint plus the full WAL.
+                                    if db.checkpoint().is_ok() {
+                                        last_checkpoint = Instant::now();
+                                    }
+                                }
+                            }
                         };
                         if *stopped {
-                            run_pass(&reclaimed);
+                            run_pass(&reclaimed, true);
                             return;
                         }
                         let (guard, _) = cv
@@ -55,7 +78,7 @@ impl VacuumDaemon {
                             .unwrap_or_else(|e| e.into_inner());
                         stopped = guard;
                         if !*stopped {
-                            run_pass(&reclaimed);
+                            run_pass(&reclaimed, false);
                         }
                     }
                 })

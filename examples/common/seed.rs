@@ -10,7 +10,25 @@ use db2graph::core::{Db2Graph, GraphOptions};
 use db2graph::reldb::Database;
 
 pub fn open_healthcare(options: GraphOptions) -> (Arc<Database>, Arc<Db2Graph>) {
-    let db = Arc::new(Database::new());
+    // In-memory by default; durable (WAL + checkpoints, with crash
+    // recovery) when `options.data_dir` / `DB2GRAPH_DATA_DIR` is set.
+    let db = options.open_database().expect("open database");
+    // A recovered data directory already holds the schema and data —
+    // reseeding would collide with the primary keys.
+    if db.get_table("Patient").is_none() {
+        seed_healthcare(&db);
+    }
+    let graph = Db2Graph::open_with_options(
+        db.clone(),
+        &db2graph::core::OverlayConfig::from_json(healthcare_example_json()).expect("overlay json"),
+        options,
+    )
+    .expect("overlay");
+    graph.register_graph_query("graphQuery");
+    (db, graph)
+}
+
+fn seed_healthcare(db: &Database) {
     db.execute_script(
         "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, address VARCHAR, subscriptionID BIGINT);
          CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, conceptName VARCHAR);
@@ -26,12 +44,4 @@ pub fn open_healthcare(options: GraphOptions) -> (Arc<Database>, Arc<Db2Graph>) 
          INSERT INTO HasDisease VALUES (1, 10, 'diagnosed 2019'), (2, 11, NULL);",
     )
     .expect("seed data");
-    let graph = Db2Graph::open_with_options(
-        db.clone(),
-        &db2graph::core::OverlayConfig::from_json(healthcare_example_json()).expect("overlay json"),
-        options,
-    )
-    .expect("overlay");
-    graph.register_graph_query("graphQuery");
-    (db, graph)
 }

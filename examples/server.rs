@@ -4,7 +4,11 @@
 //! Run with: `cargo run --release --example server`
 //!
 //! Knobs (environment): `DB2GRAPH_HTTP_ADDR` (default `127.0.0.1:8182`),
-//! `DB2GRAPH_MAX_INFLIGHT`, `DB2GRAPH_QUERY_TIMEOUT_MS`. Then:
+//! `DB2GRAPH_MAX_INFLIGHT`, `DB2GRAPH_QUERY_TIMEOUT_MS`; set
+//! `DB2GRAPH_DATA_DIR` (plus optionally `DB2GRAPH_DURABILITY` and
+//! `DB2GRAPH_CHECKPOINT_MS`) to persist across restarts — a reopened
+//! directory recovers from its checkpoint + WAL instead of reseeding.
+//! Then:
 //!
 //! ```sh
 //! curl -s localhost:8182/healthz
@@ -34,6 +38,6 @@ fn main() {
         }
     };
     println!("db2graph server listening on http://{}", handle.addr());
-    println!("endpoints: POST /query /explain /profile · GET /metrics /slow-queries /workload /healthz");
+    println!("endpoints: POST /query /sql /explain /profile · GET /metrics /slow-queries /workload /healthz");
     handle.wait();
 }

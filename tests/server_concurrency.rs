@@ -68,6 +68,9 @@ fn config(workers: usize, queue_depth: usize) -> ServerConfig {
         max_header_bytes: 8192,
         max_body_bytes: 65536,
         vacuum_interval: Some(Duration::from_millis(20)),
+        checkpoint_interval: None,
+        data_dir: None,
+        durability: db2graph::reldb::Durability::Always,
     }
 }
 

@@ -44,6 +44,9 @@ fn test_config() -> ServerConfig {
         max_header_bytes: 4096,
         max_body_bytes: 4096,
         vacuum_interval: Some(Duration::from_millis(50)),
+        checkpoint_interval: None,
+        data_dir: None,
+        durability: db2graph::reldb::Durability::Always,
     }
 }
 
@@ -219,6 +222,104 @@ fn slow_loris_drip_cannot_renew_the_read_deadline() {
     assert_eq!(r.status, 200, "{}", r.body);
     dripper.join().unwrap();
     handle.shutdown();
+}
+
+/// Full durable round trip over the wire: start a server on a fresh data
+/// directory, seed rows over `POST /sql`, query them, kill the server,
+/// reopen a second server from the *same* directory, and check that (a)
+/// `/query` answers identically from recovered state and (b) `/metrics`
+/// reports the recovery (`recovery_replayed_epochs`, `wal_records`).
+#[test]
+fn server_restart_recovers_from_data_dir() {
+    use db2graph::core::config::healthcare_example_json;
+    use db2graph::core::OverlayConfig;
+    use db2graph::reldb::Database;
+
+    static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "db2graph-restart-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overlay = OverlayConfig::from_json(healthcare_example_json()).unwrap();
+    let query = "g.V().hasLabel('patient').values('name')";
+    let run_query = |addr| {
+        let r = http_call(addr, "POST", "/query", query, TIMEOUT).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        r.body
+    };
+
+    // ---- First life: durable database, schema at open, rows over HTTP.
+    let first_body;
+    {
+        let db = Arc::new(Database::open(&dir).unwrap());
+        db.execute_script(
+            "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, address VARCHAR, subscriptionID BIGINT);
+             CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, conceptName VARCHAR);
+             CREATE TABLE DiseaseOntology (sourceID BIGINT, targetID BIGINT, type VARCHAR);
+             CREATE TABLE HasDisease (patientID BIGINT, diseaseID BIGINT, description VARCHAR);",
+        )
+        .unwrap();
+        let graph = Db2Graph::open_with_options(db, &overlay, Default::default()).unwrap();
+        let handle = GraphServer::start(graph, test_config()).unwrap();
+        let addr = handle.addr();
+
+        let r = http_call(
+            addr,
+            "POST",
+            "/sql",
+            "INSERT INTO Patient VALUES (1, 'Alice', '12 Oak St', 100), (2, 'Bob', '9 Elm St', 101);
+             INSERT INTO Disease VALUES (10, 'E11', 'type 2 diabetes');
+             INSERT INTO HasDisease VALUES (1, 10, 'diagnosed 2019'), (2, 10, NULL);
+             SELECT COUNT(*) AS n FROM Patient",
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let j = Json::parse(&r.body).unwrap();
+        let first_row = &j.get("rows").unwrap().as_array().unwrap()[0];
+        assert_eq!(first_row.as_array().unwrap()[0].as_u64(), Some(2));
+
+        first_body = run_query(addr);
+        let names = Json::parse(&first_body).unwrap();
+        assert_eq!(names.get("count").and_then(Json::as_u64), Some(2));
+
+        let r = http_call(addr, "GET", "/metrics", "", TIMEOUT).unwrap();
+        let j = Json::parse(&r.body).unwrap();
+        let g = j.get("graph").unwrap();
+        assert!(g.get("wal_records").and_then(Json::as_u64).unwrap() >= 6, "DDL + inserts logged");
+        assert_eq!(g.get("recovery_replayed_epochs").and_then(Json::as_u64), Some(0));
+
+        handle.shutdown(); // drops the server AND the database
+    }
+
+    // ---- Second life: same directory, recovered purely from disk.
+    {
+        let db = Arc::new(Database::open(&dir).unwrap());
+        assert!(db.recovery_replayed_epochs() > 0, "WAL had commits to replay");
+        let graph = Db2Graph::open_with_options(db, &overlay, Default::default()).unwrap();
+        let handle = GraphServer::start(graph, test_config()).unwrap();
+        let addr = handle.addr();
+
+        let second_body = run_query(addr);
+        assert_eq!(
+            Json::parse(&first_body).unwrap(),
+            Json::parse(&second_body).unwrap(),
+            "recovered server answers /query identically"
+        );
+
+        let r = http_call(addr, "GET", "/metrics", "", TIMEOUT).unwrap();
+        let j = Json::parse(&r.body).unwrap();
+        let g = j.get("graph").unwrap();
+        assert!(
+            g.get("recovery_replayed_epochs").and_then(Json::as_u64).unwrap() > 0,
+            "metrics surface the recovery"
+        );
+        handle.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Validates the artifacts the `server-smoke` CI job captured with curl,
