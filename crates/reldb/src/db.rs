@@ -373,7 +373,12 @@ impl Database {
             t.recompute_bookkeeping();
         }
 
-        let state = DurabilityState::new(dir, mode, if mode == Durability::Off { None } else { Some(wal) });
+        // Keep the WAL handle in every mode. `Off` never appends, but a
+        // checkpoint must still capture the file's real position and
+        // rotate it — otherwise records already folded into a newer image
+        // would sit on disk and be replayed on top of it next open,
+        // silently reverting checkpointed data.
+        let state = DurabilityState::new(dir, mode, Some(wal));
         state.last_checkpoint_epoch.store(ckpt_epoch, Ordering::Relaxed);
         state.counters.recovery_replayed_epochs.store(replayed, Ordering::Relaxed);
         state

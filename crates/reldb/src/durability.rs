@@ -511,7 +511,10 @@ impl Wal {
 pub(crate) struct DurabilityState {
     pub dir: PathBuf,
     pub mode: Durability,
-    /// `None` iff `mode == Off`.
+    /// Open in every mode. `Off` never appends, but checkpoints still
+    /// capture the real file position and rotate it, so records an image
+    /// already covers can never be replayed on top of it. `None` only in
+    /// unit tests that drive the WAL by hand.
     wal: Mutex<Option<Wal>>,
     pub counters: DurabilityCounters,
     crash: RwLock<Option<CrashHook>>,
@@ -642,9 +645,6 @@ impl DurabilityState {
     /// it starts at `cut_seq`, whose first frame byte was at `cut_off`.
     /// Appends that landed after capture are carried over verbatim.
     pub fn rotate(&self, cut_seq: u64, cut_off: u64) -> DbResult<()> {
-        if self.mode == Durability::Off {
-            return Ok(());
-        }
         self.check_alive()?;
         let mut guard = self.wal.lock();
         let Some(w) = guard.as_mut() else { return Ok(()) };

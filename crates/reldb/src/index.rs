@@ -32,12 +32,29 @@ pub struct Index {
     pub def: IndexDef,
     /// Positions of the indexed columns within the table schema.
     pub col_positions: Vec<usize>,
+    /// Created implicitly for a schema constraint (PRIMARY KEY / UNIQUE)
+    /// rather than by `CREATE INDEX`. Auto indexes are rebuilt from the
+    /// schema on checkpoint restore, so checkpoints skip them — tracked
+    /// as a flag, never inferred from the name, which a user index is
+    /// free to collide with.
+    pub auto: bool,
     map: BTreeMap<Vec<Value>, Vec<RowId>>,
 }
 
 impl Index {
     pub fn new(def: IndexDef, col_positions: Vec<usize>) -> Self {
-        Index { def, col_positions, map: BTreeMap::new() }
+        Index { def, col_positions, auto: false, map: BTreeMap::new() }
+    }
+
+    /// An index implied by the schema (see [`Index::auto`]).
+    pub fn new_auto(def: IndexDef, col_positions: Vec<usize>) -> Self {
+        Index { auto: true, ..Self::new(def, col_positions) }
+    }
+
+    /// A fresh, empty index with the same definition and provenance —
+    /// for rebuilds that re-insert every key from storage.
+    pub fn cleared(&self) -> Index {
+        Index { auto: self.auto, ..Self::new(self.def.clone(), self.col_positions.clone()) }
     }
 
     fn key_of(&self, row: &Row) -> Vec<Value> {

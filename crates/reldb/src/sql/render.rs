@@ -168,12 +168,23 @@ pub fn value_sql(v: &Value) -> String {
         Value::Null => "NULL".into(),
         Value::Bigint(i) => i.to_string(),
         Value::Double(d) => {
-            // Keep a decimal point so the literal re-parses as a double.
-            let s = d.to_string();
-            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
-                s
+            // Non-finite doubles have no literal of their own but must
+            // still re-parse (a checkpointed view containing one would
+            // otherwise make the data directory unopenable): `1e999`
+            // overflows to infinity in the lexer, and inf - inf gives NaN
+            // back at evaluation.
+            if d.is_nan() {
+                "(1e999 - 1e999)".into()
+            } else if d.is_infinite() {
+                if *d > 0.0 { "1e999" } else { "-1e999" }.into()
             } else {
-                format!("{s}.0")
+                // Keep a decimal point so the literal re-parses as a double.
+                let s = d.to_string();
+                if s.contains('.') || s.contains('e') {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
             }
         }
         Value::Varchar(s) => format!("'{}'", s.replace('\'', "''")),
@@ -252,6 +263,41 @@ mod tests {
         );
         round_trip_select("SELECT x FROM (SELECT a + 1 AS x FROM T) AS s WHERE NOT x = 3");
         round_trip_select("SELECT SUM(DISTINCT b) FROM T WHERE c = 'it''s'");
+    }
+
+    /// A view whose AST holds a non-finite literal must still render to
+    /// SQL the parser accepts — a checkpoint that stored `inf`/`NaN` text
+    /// would make the whole data directory unopenable on restore.
+    #[test]
+    fn non_finite_doubles_render_parseably() {
+        // `1e999` overflows to infinity in the lexer, so the round trip
+        // lands on the identical literal.
+        round_trip_select("SELECT x FROM T WHERE x < 1e999");
+        let item_expr = |sql: String| -> Expr {
+            let Ok(Stmt::Select(q)) = parse_statement(&sql) else {
+                panic!("rendered non-finite double did not re-parse: {sql}");
+            };
+            let SelectItem::Expr { expr, .. } = q.items.into_iter().next().unwrap() else {
+                panic!("not an expression item: {sql}");
+            };
+            expr
+        };
+        let select = |v: f64| format!("SELECT {} FROM T", value_sql(&Value::Double(v)));
+        assert!(matches!(
+            item_expr(select(f64::INFINITY)),
+            Expr::Literal(Value::Double(d)) if d == f64::INFINITY
+        ));
+        // The parser folds the sign into the literal.
+        assert!(matches!(
+            item_expr(select(f64::NEG_INFINITY)),
+            Expr::Literal(Value::Double(d)) if d == f64::NEG_INFINITY
+        ));
+        // NaN has no literal; its rendering is inf - inf, which evaluates
+        // back to NaN.
+        assert!(matches!(
+            item_expr(select(f64::NAN)),
+            Expr::Binary { op: BinOp::Sub, .. }
+        ));
     }
 
     #[test]

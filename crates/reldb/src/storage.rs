@@ -250,7 +250,7 @@ impl Table {
                 .iter()
                 .map(|c| schema.require_column(c))
                 .collect::<DbResult<_>>()?;
-            data.indexes.push(Index::new(
+            data.indexes.push(Index::new_auto(
                 IndexDef {
                     name: format!("pk_{}", schema.name.to_ascii_lowercase()),
                     columns: pk,
@@ -264,7 +264,7 @@ impl Table {
                 .iter()
                 .map(|c| schema.require_column(c))
                 .collect::<DbResult<_>>()?;
-            data.indexes.push(Index::new(
+            data.indexes.push(Index::new_auto(
                 IndexDef {
                     name: format!("uq_{}_{}", schema.name.to_ascii_lowercase(), n),
                     columns: u.clone(),
@@ -626,7 +626,8 @@ impl Table {
         Ok(())
     }
 
-    /// Drop a secondary index by name. The implicit PK index cannot be dropped.
+    /// Drop a secondary index by name. Indexes implied by the schema
+    /// (primary key / UNIQUE) enforce constraints and cannot be dropped.
     pub fn drop_index(&self, name: &str) -> DbResult<()> {
         let mut data = self.data.write();
         let pos = data
@@ -634,8 +635,10 @@ impl Table {
             .iter()
             .position(|ix| ix.def.name.eq_ignore_ascii_case(name))
             .ok_or_else(|| DbError::Catalog(format!("index '{name}' not found")))?;
-        if data.indexes[pos].def.name.starts_with("pk_") {
-            return Err(DbError::Catalog("cannot drop primary key index".into()));
+        if data.indexes[pos].auto {
+            return Err(DbError::Catalog(format!(
+                "cannot drop index '{name}': it enforces a schema constraint"
+            )));
         }
         data.indexes.remove(pos);
         Ok(())
@@ -684,23 +687,17 @@ impl Table {
         (data.slots.len() as u64, rows)
     }
 
-    /// Index definitions beyond the schema-implied ones (`pk_*`/`uq_*_<n>`
-    /// auto-created by [`Table::new`]) — what a checkpoint must persist so
-    /// `CREATE INDEX` statements already rotated out of the WAL survive.
+    /// Index definitions beyond the schema-implied ones auto-created by
+    /// [`Table::new`] — what a checkpoint must persist so `CREATE INDEX`
+    /// statements already rotated out of the WAL survive. Provenance is
+    /// the [`Index::auto`] flag, not the `pk_*`/`uq_*_<n>` naming scheme:
+    /// a user index that happens to use such a name is still persisted.
     pub(crate) fn secondary_index_defs(&self) -> Vec<IndexDef> {
-        let mut auto: Vec<String> = Vec::new();
-        let lower = self.schema.name.to_ascii_lowercase();
-        if self.schema.primary_key.is_some() {
-            auto.push(format!("pk_{lower}"));
-        }
-        for n in 0..self.schema.uniques.len() {
-            auto.push(format!("uq_{lower}_{n}"));
-        }
         self.data
             .read()
             .indexes
             .iter()
-            .filter(|ix| !auto.iter().any(|a| a == &ix.def.name))
+            .filter(|ix| !ix.auto)
             .map(|ix| ix.def.clone())
             .collect()
     }
@@ -755,7 +752,7 @@ impl Table {
         let mut data = self.data.write();
         let TableData { slots, indexes, .. } = &mut *data;
         for ix in indexes.iter_mut() {
-            *ix = Index::new(ix.def.clone(), ix.col_positions.clone());
+            *ix = ix.cleared();
             for (rid, slot) in slots.iter().enumerate() {
                 for (vi, v) in slot.iter().enumerate() {
                     if slot[..vi].iter().any(|p| same_key(ix, &p.row, &v.row)) {

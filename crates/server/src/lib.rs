@@ -87,6 +87,12 @@ pub struct ServerConfig {
     /// Durability mode for `data_dir`. Env: `DB2GRAPH_DURABILITY`
     /// (`always`/`batch`/`off`).
     pub durability: reldb::Durability,
+    /// Enable `POST /sql`, the raw-SQL administration channel. It can
+    /// mutate or drop any table and carries no authentication, so it is
+    /// opt-in and off by default — the graph endpoints stay read-only.
+    /// When disabled the endpoint answers 403.
+    /// Env: `DB2GRAPH_SQL_ENDPOINT` (`1`/`true` to enable).
+    pub sql_endpoint: bool,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +109,7 @@ impl Default for ServerConfig {
             checkpoint_interval: Some(Duration::from_secs(60)),
             data_dir: None,
             durability: reldb::Durability::Always,
+            sql_endpoint: false,
         }
     }
 }
@@ -110,7 +117,8 @@ impl Default for ServerConfig {
 impl ServerConfig {
     /// Defaults overridden by `DB2GRAPH_HTTP_ADDR`, `DB2GRAPH_MAX_INFLIGHT`,
     /// `DB2GRAPH_QUERY_TIMEOUT_MS`, `DB2GRAPH_DATA_DIR`,
-    /// `DB2GRAPH_DURABILITY`, and `DB2GRAPH_CHECKPOINT_MS`.
+    /// `DB2GRAPH_DURABILITY`, `DB2GRAPH_CHECKPOINT_MS`, and
+    /// `DB2GRAPH_SQL_ENDPOINT`.
     pub fn from_env() -> ServerConfig {
         let mut c = ServerConfig::default();
         if let Ok(addr) = std::env::var("DB2GRAPH_HTTP_ADDR") {
@@ -136,6 +144,9 @@ impl ServerConfig {
         }
         if let Some(ms) = env_parse::<u64>("DB2GRAPH_CHECKPOINT_MS") {
             c.checkpoint_interval = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Ok(v) = std::env::var("DB2GRAPH_SQL_ENDPOINT") {
+            c.sql_endpoint = matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
         }
         c
     }
@@ -572,7 +583,20 @@ fn route(shared: &Shared, req: &Request) -> (u16, Json) {
         ("POST", "/sql") => {
             // Raw SQL against the underlying database — the seeding and
             // administration channel (the graph endpoints stay read-only
-            // Gremlin). Returns the last statement's result set.
+            // Gremlin). Returns the last statement's result set. Because
+            // it can mutate or drop anything, it must be opted into.
+            if !shared.config.sql_endpoint {
+                return (
+                    403,
+                    Json::obj(vec![(
+                        "error",
+                        Json::str(
+                            "SQL endpoint disabled; opt in with \
+                             ServerConfig::sql_endpoint or DB2GRAPH_SQL_ENDPOINT=1",
+                        ),
+                    )]),
+                );
+            }
             let Ok(sql) = std::str::from_utf8(&req.body) else {
                 return bad_request(shared, "SQL body is not valid UTF-8".into());
             };
@@ -641,9 +665,29 @@ fn bad_request(shared: &Shared, msg: String) -> (u16, Json) {
 fn sql_value_to_json(v: &reldb::Value) -> Json {
     match v {
         reldb::Value::Null => Json::Null,
-        reldb::Value::Bigint(i) => Json::num(*i as f64),
+        // Numbers ride through f64 in the JSON layer; a BIGINT beyond
+        // 2^53 would silently lose precision there, so it degrades to a
+        // string instead — the same convention as element ids and Longs
+        // in `gjson`.
+        reldb::Value::Bigint(i) if i.unsigned_abs() <= (1u64 << 53) => Json::num(*i as f64),
+        reldb::Value::Bigint(i) => Json::str(i.to_string()),
         reldb::Value::Double(d) => Json::num(*d),
         reldb::Value::Varchar(s) => Json::str(s.clone()),
         reldb::Value::Boolean(b) => Json::Bool(*b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_bigints_past_2_53_degrade_to_strings() {
+        let exact = 1i64 << 53;
+        assert_eq!(sql_value_to_json(&reldb::Value::Bigint(exact)).to_compact(), "9007199254740992");
+        for i in [exact + 1, -(exact + 1), i64::MAX, i64::MIN] {
+            let json = sql_value_to_json(&reldb::Value::Bigint(i));
+            assert_eq!(json, Json::Str(i.to_string()), "{i} must not round through f64");
+        }
     }
 }

@@ -8,7 +8,9 @@
 //! `DB2GRAPH_DATA_DIR` (plus optionally `DB2GRAPH_DURABILITY` and
 //! `DB2GRAPH_CHECKPOINT_MS`) to persist across restarts — a reopened
 //! directory recovers from its checkpoint + WAL instead of reseeding.
-//! Then:
+//! `DB2GRAPH_SQL_ENDPOINT=1` enables the raw-SQL admin endpoint
+//! (`POST /sql`), which is off by default because it can mutate
+//! anything. Then:
 //!
 //! ```sh
 //! curl -s localhost:8182/healthz
@@ -38,6 +40,6 @@ fn main() {
         }
     };
     println!("db2graph server listening on http://{}", handle.addr());
-    println!("endpoints: POST /query /sql /explain /profile · GET /metrics /slow-queries /workload /healthz");
+    println!("endpoints: POST /query /explain /profile (/sql if DB2GRAPH_SQL_ENDPOINT=1) · GET /metrics /slow-queries /workload /healthz");
     handle.wait();
 }

@@ -412,6 +412,66 @@ fn off_mode_recovers_to_last_checkpoint() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Regression: a checkpoint taken while running in `Off` mode must cut
+/// the WAL records an earlier (logging) run left behind. Without the
+/// rotation the image would record `wal_seq = 0` and the next open would
+/// replay the stale records — carrying older epochs — on top of the newer
+/// image, silently reverting checkpointed commits.
+#[test]
+fn off_mode_checkpoint_cuts_stale_wal_from_earlier_run() {
+    let dir = temp_dir("off-stale-wal");
+
+    // First life logs under `Always`: the WAL holds the seed + transfers.
+    let db = Database::open(&dir).unwrap();
+    seed_accounts(&db);
+    transfer(&db, 0, 1).unwrap();
+    transfer(&db, 1, 2).unwrap();
+    drop(db);
+
+    // Second life downgrades to `Off`, commits more (unlogged) work, and
+    // checkpoints: the image now supersedes everything in the old WAL.
+    let db = Database::open_with(&dir, Durability::Off).unwrap();
+    assert_eq!(total_balance(&db), Some(TOTAL), "old WAL replayed on downgrade");
+    transfer(&db, 3, 4).unwrap();
+    let ckpt = db.checkpoint().unwrap();
+    drop(db);
+
+    // Third life must recover the image verbatim — zero stale replays.
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(db.commit_epoch(), ckpt, "stale WAL records replayed over the image");
+    assert_eq!(db.recovery_replayed_epochs(), 0);
+    assert_eq!(total_balance(&db), Some(TOTAL));
+    // And the recovered database logs + recovers normally from here on.
+    transfer(&db, 5, 6).unwrap();
+    let published = db.commit_epoch();
+    drop(db);
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(db.commit_epoch(), published);
+    assert_eq!(total_balance(&db), Some(TOTAL));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: a user index whose name collides with the auto-generated
+/// `pk_*`/`uq_*_<n>` scheme is still checkpointed — provenance is a flag
+/// on the index, not a name pattern. `Account` has no UNIQUE columns, so
+/// `uq_account_0` is exactly the name the old filter silently dropped.
+#[test]
+fn user_index_with_auto_like_name_survives_checkpoint() {
+    let dir = temp_dir("ixname");
+    let db = Database::open(&dir).unwrap();
+    seed_accounts(&db);
+    db.execute("CREATE INDEX uq_account_0 ON Account (balance)").unwrap();
+    db.checkpoint().unwrap(); // rotates the CREATE INDEX out of the WAL
+    drop(db);
+    let db = Database::open(&dir).unwrap();
+    db.execute("DROP INDEX uq_account_0")
+        .expect("user index survived the checkpoint despite its auto-like name");
+    // The schema-implied PK index is not a user index: never persisted as
+    // one, always rebuilt, never droppable.
+    assert!(db.execute("DROP INDEX pk_account").is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// DDL (tables, secondary indexes, views) round-trips through WAL replay
 /// and checkpoint images alike, and the durability counters tell the
 /// recovery's story.

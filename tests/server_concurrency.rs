@@ -71,6 +71,7 @@ fn config(workers: usize, queue_depth: usize) -> ServerConfig {
         checkpoint_interval: None,
         data_dir: None,
         durability: db2graph::reldb::Durability::Always,
+        sql_endpoint: false,
     }
 }
 

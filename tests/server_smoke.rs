@@ -47,6 +47,7 @@ fn test_config() -> ServerConfig {
         checkpoint_interval: None,
         data_dir: None,
         durability: db2graph::reldb::Durability::Always,
+        sql_endpoint: false,
     }
 }
 
@@ -111,6 +112,14 @@ fn every_endpoint_answers_over_a_real_socket() {
     let deep = format!("g.V().where({}out(){})", "not(".repeat(400), ")".repeat(400));
     let r = http_call(addr, "POST", "/query", &deep, TIMEOUT).unwrap();
     assert_eq!(r.status, 400);
+
+    // /sql is opt-in (it can mutate anything): disabled here, so even a
+    // well-formed statement is refused before it reaches the database.
+    let r = http_call(addr, "POST", "/sql", "DROP TABLE Patient", TIMEOUT).unwrap();
+    assert_eq!(r.status, 403, "{}", r.body);
+    assert!(Json::parse(&r.body).unwrap().get("error").is_some());
+    let r = http_call(addr, "POST", "/query", "g.V().hasLabel('patient').count()", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200, "table untouched by the refused DROP");
 
     // Unknown path, wrong method, oversized body.
     let r = http_call(addr, "GET", "/nope", "", TIMEOUT).unwrap();
@@ -263,7 +272,8 @@ fn server_restart_recovers_from_data_dir() {
         )
         .unwrap();
         let graph = Db2Graph::open_with_options(db, &overlay, Default::default()).unwrap();
-        let handle = GraphServer::start(graph, test_config()).unwrap();
+        let config = ServerConfig { sql_endpoint: true, ..test_config() };
+        let handle = GraphServer::start(graph, config).unwrap();
         let addr = handle.addr();
 
         let r = http_call(
