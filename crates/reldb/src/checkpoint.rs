@@ -217,10 +217,23 @@ pub(crate) fn write(d: &DurabilityState, image: &CheckpointImage) -> DbResult<u6
     Ok((body.len() + 12) as u64)
 }
 
-/// Load the installed checkpoint, if any. A missing file is `Ok(None)`;
-/// a present but corrupt file is an error — it means installed state was
-/// damaged, which recovery must not paper over silently.
-pub(crate) fn load(dir: &Path) -> DbResult<Option<CheckpointImage>> {
+/// Validate a checkpoint file's framing (magic + CRC) and return its body.
+fn verified_body(buf: &[u8]) -> DbResult<&[u8]> {
+    if buf.len() < 12 || &buf[..8] != CKPT_MAGIC {
+        return Err(DbError::Io("checkpoint header is corrupt".into()));
+    }
+    let crc = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let body = &buf[12..];
+    if crc32(body) != crc {
+        return Err(DbError::Io("checkpoint checksum mismatch".into()));
+    }
+    Ok(body)
+}
+
+/// Read the installed checkpoint file verbatim (magic + crc + body) after
+/// verifying its integrity — the primary serves exactly these bytes to a
+/// bootstrapping follower. `Ok(None)` when no checkpoint is installed.
+pub(crate) fn verified_bytes(dir: &Path) -> DbResult<Option<Vec<u8>>> {
     let path = checkpoint_path(dir);
     let mut buf = Vec::new();
     match File::open(&path) {
@@ -230,15 +243,24 @@ pub(crate) fn load(dir: &Path) -> DbResult<Option<CheckpointImage>> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(DbError::Io(format!("open checkpoint: {e}"))),
     };
-    if buf.len() < 12 || &buf[..8] != CKPT_MAGIC {
-        return Err(DbError::Io("checkpoint header is corrupt".into()));
+    verified_body(&buf)?;
+    Ok(Some(buf))
+}
+
+/// Decode a full checkpoint file image (as produced by [`write`] or
+/// shipped by a primary), verifying magic and checksum first.
+pub(crate) fn decode_file(buf: &[u8]) -> DbResult<CheckpointImage> {
+    decode(verified_body(buf)?)
+}
+
+/// Load the installed checkpoint, if any. A missing file is `Ok(None)`;
+/// a present but corrupt file is an error — it means installed state was
+/// damaged, which recovery must not paper over silently.
+pub(crate) fn load(dir: &Path) -> DbResult<Option<CheckpointImage>> {
+    match verified_bytes(dir)? {
+        Some(buf) => decode_file(&buf).map(Some),
+        None => Ok(None),
     }
-    let crc = u32::from_le_bytes(buf[8..12].try_into().unwrap());
-    let body = &buf[12..];
-    if crc32(body) != crc {
-        return Err(DbError::Io("checkpoint checksum mismatch".into()));
-    }
-    decode(body).map(Some)
 }
 
 #[cfg(test)]

@@ -17,7 +17,8 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::checkpoint;
 use crate::durability::{
-    CrashHook, CrashPoint, Durability, DurabilityState, NetChange, Wal, WalRecord, NO_FLOOR,
+    parse_frames, CrashHook, CrashPoint, Durability, DurabilityState, NetChange, Wal, WalRecord,
+    WalTailResult, NO_FLOOR,
 };
 use crate::error::{DbError, DbResult};
 use crate::func::TableFunction;
@@ -155,6 +156,10 @@ pub struct Database {
     /// WAL + checkpoint machinery; `None` for a purely in-memory database
     /// (and during recovery replay, which must not re-log itself).
     durability: Option<Arc<DurabilityState>>,
+    /// Replication position when this database is a follower: the next
+    /// primary WAL sequence [`Database::apply_wal_frames`] expects. Always
+    /// 0 on a primary or standalone database.
+    applied_wal_seq: AtomicU64,
 }
 
 impl Default for Database {
@@ -189,6 +194,7 @@ impl Database {
             enforce_foreign_keys: AtomicBool::new(true),
             stats: ExecStats::default(),
             durability: None,
+            applied_wal_seq: AtomicU64::new(0),
         }
     }
 
@@ -546,6 +552,119 @@ impl Database {
             Some(d) => d.sync(),
             None => Ok(()),
         }
+    }
+
+    /// Byte length of the WAL prefix known to be fsynced. In `Batch` mode
+    /// this lags the appended length by up to `BATCH_SYNC_EVERY - 1`
+    /// records; the durability-contract test truncates to it to simulate
+    /// worst-case loss of the OS page cache.
+    pub fn wal_synced_bytes(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.synced_len.load(Ordering::Acquire))
+    }
+
+    // ---------------------------------------------------------- replication
+
+    /// Primary side of log shipping: read committed WAL frames for a
+    /// follower positioned at `from_seq` (see
+    /// [`crate::durability::WalTailResult`] for the gap/bootstrap
+    /// contract). `max_bytes` caps the returned frame bytes, always
+    /// shipping at least one whole frame when any is available.
+    pub fn wal_tail(&self, from_seq: u64, max_bytes: usize) -> DbResult<WalTailResult> {
+        let Some(d) = &self.durability else {
+            return Err(DbError::Unsupported(
+                "wal tailing requires a durable database (Database::open)".into(),
+            ));
+        };
+        d.tail_since(from_seq, max_bytes)
+    }
+
+    /// The installed checkpoint file verbatim (magic + crc + body), integrity
+    /// verified — what the primary serves to a bootstrapping follower.
+    /// `Ok(None)` when no checkpoint has been written yet.
+    pub fn checkpoint_bytes(&self) -> DbResult<Option<Vec<u8>>> {
+        let Some(d) = &self.durability else {
+            return Err(DbError::Unsupported(
+                "checkpoint shipping requires a durable database (Database::open)".into(),
+            ));
+        };
+        checkpoint::verified_bytes(&d.dir)
+    }
+
+    /// Follower bootstrap: replace this database's entire state with a
+    /// primary's checkpoint image and position the apply stream at the
+    /// image's WAL sequence, which is returned.
+    ///
+    /// This is wholesale replacement, not an MVCC transition — it is the
+    /// replica-side equivalent of a process restart, used both for first
+    /// contact and for re-bootstrapping after the primary rotated past the
+    /// follower's position. Requests racing a re-bootstrap observe it as
+    /// such (tables swap under them); the schema generation is bumped so
+    /// every cached plan re-prepares.
+    pub fn install_checkpoint_image(&self, bytes: &[u8]) -> DbResult<u64> {
+        let img = checkpoint::decode_file(bytes)?;
+        let (epoch, wal_seq) = (img.epoch, img.wal_seq);
+        let _commit = self.commit_lock.lock();
+        self.tables.write().clear();
+        self.views.write().clear();
+        self.restore_checkpoint(img)?;
+        for t in self.tables.read().values() {
+            t.rebuild_indexes();
+            t.recompute_bookkeeping();
+        }
+        self.commit_epoch.store(epoch, Ordering::Release);
+        self.applied_wal_seq.store(wal_seq, Ordering::Release);
+        self.bump_schema_generation();
+        Ok(wal_seq)
+    }
+
+    /// Follower apply: decode a shipped run of WAL frames starting at
+    /// `from_seq` (which must equal [`Database::applied_wal_seq`]) and
+    /// apply each record through the same idempotent net-change path
+    /// recovery replays, publishing each commit's epoch as it lands.
+    /// Indexes and bookkeeping are maintained incrementally so concurrent
+    /// readers stay consistent at every published epoch. Returns the
+    /// number of records applied.
+    pub fn apply_wal_frames(&self, from_seq: u64, frames: &[u8]) -> DbResult<u64> {
+        let expected = self.applied_wal_seq.load(Ordering::Acquire);
+        if from_seq != expected {
+            return Err(DbError::Recovery(format!(
+                "apply stream out of order: got frames at sequence {from_seq}, expected {expected}"
+            )));
+        }
+        let records = parse_frames(frames, from_seq)?;
+        let applied = records.len() as u64;
+        for (_, rec) in records {
+            match rec {
+                WalRecord::Commit { epoch, changes } => {
+                    // Same publication discipline as `commit_ops`: mutate
+                    // version chains first, then advance the published
+                    // epoch atomically, so a reader either sees the whole
+                    // commit or none of it.
+                    let _commit = self.commit_lock.lock();
+                    for (table, rid, change) in changes {
+                        let Some(t) = self.get_table(&table) else { continue };
+                        match change {
+                            NetChange::Put(row) => t.apply_put(rid, row, epoch),
+                            NetChange::Del => t.apply_del(rid, epoch),
+                        }
+                    }
+                    self.commit_epoch.store(epoch, Ordering::Release);
+                }
+                WalRecord::Ddl { sql } => {
+                    // A replayed DDL that fails did so identically on the
+                    // primary against the same data state (see recovery).
+                    let _ = self.execute(&sql);
+                }
+            }
+        }
+        self.applied_wal_seq.store(from_seq + applied, Ordering::Release);
+        Ok(applied)
+    }
+
+    /// The next primary WAL sequence this follower expects (0 when this
+    /// database has never bootstrapped as a replica).
+    pub fn applied_wal_seq(&self) -> u64 {
+        self.applied_wal_seq.load(Ordering::Acquire)
     }
 
     // ------------------------------------------------------------- catalog

@@ -528,6 +528,12 @@ pub(crate) struct DurabilityState {
     pub last_checkpoint_epoch: AtomicU64,
     /// Serializes whole checkpoints (capture → write → rotate).
     pub checkpoint_gate: Mutex<()>,
+    /// Byte length of the WAL prefix known to be fsynced (updated after
+    /// every successful `sync_data`). In `Batch` mode this lags `len` by up
+    /// to [`BATCH_SYNC_EVERY`] - 1 records; the durability-contract test
+    /// truncates a copied WAL to this length to simulate worst-case OS
+    /// loss of the page cache.
+    pub synced_len: AtomicU64,
 }
 
 /// No checkpoint in progress.
@@ -535,6 +541,7 @@ pub(crate) const NO_FLOOR: u64 = u64::MAX;
 
 impl DurabilityState {
     pub fn new(dir: PathBuf, mode: Durability, wal: Option<Wal>) -> DurabilityState {
+        let synced = wal.as_ref().map(Wal::byte_len).unwrap_or(0);
         DurabilityState {
             dir,
             mode,
@@ -545,6 +552,7 @@ impl DurabilityState {
             checkpoint_floor: AtomicU64::new(NO_FLOOR),
             last_checkpoint_epoch: AtomicU64::new(0),
             checkpoint_gate: Mutex::new(()),
+            synced_len: AtomicU64::new(synced),
         }
     }
 
@@ -609,19 +617,23 @@ impl DurabilityState {
             return Err(self.die(CrashPoint::WalTorn));
         }
         w.file.write_all(&frame).map_err(|e| io_err("append wal", e))?;
+        w.records += 1;
+        w.len += frame.len() as u64;
         match self.mode {
-            Durability::Always => w.file.sync_data().map_err(|e| io_err("sync wal", e))?,
+            Durability::Always => {
+                w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
+                self.synced_len.store(w.len, Ordering::Release);
+            }
             Durability::Batch => {
                 w.unsynced += 1;
                 if w.unsynced >= BATCH_SYNC_EVERY {
                     w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
                     w.unsynced = 0;
+                    self.synced_len.store(w.len, Ordering::Release);
                 }
             }
             Durability::Off => unreachable!(),
         }
-        w.records += 1;
-        w.len += frame.len() as u64;
         self.counters.wal_records.fetch_add(1, Ordering::Relaxed);
         self.counters.wal_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
         if self.fire(CrashPoint::WalSynced) {
@@ -648,6 +660,24 @@ impl DurabilityState {
         self.check_alive()?;
         let mut guard = self.wal.lock();
         let Some(w) = guard.as_mut() else { return Ok(()) };
+        // Validate the cut against the live log *before* touching the file:
+        // a corrupt or stale checkpoint META can hand us a cut sequence the
+        // log does not cover, and rewriting the WAL from it would silently
+        // drop committed records (or wrap the arithmetic below).
+        let cut_records = cut_seq.checked_sub(w.base_seq).ok_or_else(|| {
+            DbError::Recovery(format!(
+                "checkpoint cut sequence {cut_seq} precedes wal base sequence {}; \
+                 refusing to rotate a log the checkpoint does not cover",
+                w.base_seq
+            ))
+        })?;
+        let carried = w.records.checked_sub(cut_records).ok_or_else(|| {
+            DbError::Recovery(format!(
+                "checkpoint cut sequence {cut_seq} is beyond the wal end {}; \
+                 refusing to rotate past records that were never logged",
+                w.next_seq()
+            ))
+        })?;
         // Make the suffix durable before switching files (Batch mode may
         // still owe an fsync for it).
         w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
@@ -673,7 +703,6 @@ impl DurabilityState {
             .append(true)
             .open(self.wal_path())
             .map_err(|e| io_err("reopen wal", e))?;
-        let carried = w.records - (cut_seq - w.base_seq);
         *w = Wal {
             file,
             base_seq: cut_seq,
@@ -681,6 +710,7 @@ impl DurabilityState {
             len: WAL_HEADER_LEN + tail.len() as u64,
             unsynced: 0,
         };
+        self.synced_len.store(w.len, Ordering::Release);
         drop(guard);
         if self.fire(CrashPoint::WalRotated) {
             return Err(self.die(CrashPoint::WalRotated));
@@ -699,9 +729,137 @@ impl DurabilityState {
         if let Some(w) = guard.as_mut() {
             w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
             w.unsynced = 0;
+            self.synced_len.store(w.len, Ordering::Release);
         }
         Ok(())
     }
+
+    /// Read committed WAL frames for a follower, starting at `from_seq`,
+    /// capped at roughly `max_bytes` of frame data (at least one whole
+    /// frame is returned when any is available). Returns
+    /// [`WalTailResult::Gap`] when the log no longer (or does not yet)
+    /// cover `from_seq` — after a rotation dropped it, or when the
+    /// follower is ahead of a primary that lost state — in which case the
+    /// follower must re-bootstrap from the checkpoint image.
+    pub fn tail_since(&self, from_seq: u64, max_bytes: usize) -> DbResult<WalTailResult> {
+        self.check_alive()?;
+        let mut guard = self.wal.lock();
+        let Some(w) = guard.as_mut() else {
+            return Err(DbError::Io("wal is not open".into()));
+        };
+        let primary_next = w.next_seq();
+        if from_seq < w.base_seq || from_seq > primary_next {
+            return Ok(WalTailResult::Gap { base_seq: w.base_seq });
+        }
+        // Frames are variable-length, so the only way to locate `from_seq`
+        // is to walk headers from the start. The read happens under the WAL
+        // lock, so no append can race it; append mode keeps writes pinned
+        // to the end regardless of the read cursor (rotation relies on the
+        // same property).
+        w.file
+            .seek(SeekFrom::Start(WAL_HEADER_LEN))
+            .map_err(|e| io_err("seek wal", e))?;
+        let mut region = Vec::new();
+        w.file.read_to_end(&mut region).map_err(|e| io_err("read wal", e))?;
+        let corrupt = |what: &str| {
+            DbError::Recovery(format!("wal frame walk failed at a {what}; log is corrupt in memory"))
+        };
+        let mut off = 0usize;
+        for _ in 0..(from_seq - w.base_seq) {
+            off += frame_span(&region, off).ok_or_else(|| corrupt("skipped frame"))?;
+        }
+        let start = off;
+        let mut records = 0u64;
+        while from_seq + records < primary_next {
+            let span = frame_span(&region, off).ok_or_else(|| corrupt("shipped frame"))?;
+            off += span;
+            records += 1;
+            if off - start >= max_bytes {
+                break;
+            }
+        }
+        Ok(WalTailResult::Tail(WalTail {
+            from_seq,
+            records,
+            next_seq: from_seq + records,
+            primary_next_seq: primary_next,
+            frames: region[start..off].to_vec(),
+        }))
+    }
+}
+
+/// Byte span (header + body) of the frame at `off`, or `None` if the
+/// region does not hold a whole valid-looking frame there.
+fn frame_span(region: &[u8], off: usize) -> Option<usize> {
+    let rem = region.get(off..)?;
+    if rem.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(rem[..4].try_into().unwrap()) as usize;
+    if len == 0 || len > MAX_RECORD_LEN || rem.len() < 8 + len {
+        return None;
+    }
+    Some(8 + len)
+}
+
+/// Strictly parse a shipped run of WAL frames: every frame must be whole,
+/// CRC-clean, and decodable, and no partial trailing bytes are tolerated.
+/// Unlike the lenient open-time scan (which treats a bad tail as a torn
+/// write to truncate), a replica received these bytes over a verified
+/// HTTP body — anything malformed means the stream is corrupt and the
+/// batch must be rejected, not silently shortened.
+pub(crate) fn parse_frames(frames: &[u8], start_seq: u64) -> DbResult<Vec<(u64, WalRecord)>> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < frames.len() {
+        let rem = &frames[off..];
+        if rem.len() < 8 {
+            return Err(DbError::Recovery("truncated frame header in shipped wal batch".into()));
+        }
+        let len = u32::from_le_bytes(rem[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(rem[4..8].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD_LEN || rem.len() < 8 + len {
+            return Err(DbError::Recovery("truncated frame body in shipped wal batch".into()));
+        }
+        let body = &rem[8..8 + len];
+        if crc32(body) != crc {
+            return Err(DbError::Recovery("crc mismatch in shipped wal batch".into()));
+        }
+        let rec = decode_record(body)
+            .map_err(|e| DbError::Recovery(format!("undecodable shipped wal record: {e}")))?;
+        out.push((start_seq + out.len() as u64, rec));
+        off += 8 + len;
+    }
+    Ok(out)
+}
+
+/// A run of committed WAL frames read for a follower, still in on-disk
+/// framing (`[u32 len][u32 crc][body]` per record).
+#[derive(Debug, Clone)]
+pub struct WalTail {
+    /// Sequence of the first frame in `frames`.
+    pub from_seq: u64,
+    /// Number of whole frames in `frames`.
+    pub records: u64,
+    /// Sequence the follower should request next (`from_seq + records`).
+    pub next_seq: u64,
+    /// The primary's own next sequence at read time; the follower's lag in
+    /// records is `primary_next_seq - next_seq`.
+    pub primary_next_seq: u64,
+    /// Raw frame bytes, exactly as they sit in the log file.
+    pub frames: Vec<u8>,
+}
+
+/// Outcome of a follower's tail request.
+#[derive(Debug, Clone)]
+pub enum WalTailResult {
+    /// Frames starting at the requested sequence (possibly zero frames if
+    /// the follower is already caught up).
+    Tail(WalTail),
+    /// The log does not cover the requested sequence: rotation dropped it,
+    /// or the follower is ahead of this primary. Re-bootstrap from the
+    /// checkpoint image; `base_seq` is the oldest sequence still held.
+    Gap { base_seq: u64 },
 }
 
 #[cfg(test)]
@@ -756,6 +914,85 @@ mod tests {
         }
         assert!(decode_record(&[0xFF; 32]).is_err());
         assert!(decode_record(&[]).is_err());
+    }
+
+    fn commit_rec(epoch: u64) -> WalRecord {
+        WalRecord::Commit { epoch, changes: vec![("t".into(), 0, NetChange::Del)] }
+    }
+
+    #[test]
+    fn rotate_rejects_cut_outside_log() {
+        let dir = std::env::temp_dir().join(format!("reldb-rotate-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (wal, _) = Wal::open(&dir.join("wal.log"), 5).unwrap();
+        let state = DurabilityState::new(dir.clone(), Durability::Always, Some(wal));
+        for epoch in 1..=2u64 {
+            state.append(&commit_rec(epoch)).unwrap();
+        }
+        // base_seq = 5, records = 2, next = 7. A stale/corrupt checkpoint
+        // pointing before the base or past the end must fail with a
+        // structured recovery error, not a panic or a wrapped subtraction.
+        for bad_cut in [3u64, 8] {
+            match state.rotate(bad_cut, WAL_HEADER_LEN) {
+                Err(DbError::Recovery(_)) => {}
+                other => panic!("rotate({bad_cut}) => {other:?}, want Recovery error"),
+            }
+        }
+        // The refusal must leave the log intact and the layer alive: more
+        // appends and a *valid* rotation still work.
+        state.append(&commit_rec(3)).unwrap();
+        let (next, off) = state.capture_position();
+        assert_eq!(next, 8);
+        state.rotate(next, off).unwrap();
+        assert!(matches!(state.tail_since(7, usize::MAX).unwrap(), WalTailResult::Gap { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tail_reads_frames_and_reports_gap_after_rotation() {
+        let dir = std::env::temp_dir().join(format!("reldb-tail-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (wal, _) = Wal::open(&dir.join("wal.log"), 0).unwrap();
+        let state = DurabilityState::new(dir.clone(), Durability::Always, Some(wal));
+        for epoch in 1..=4u64 {
+            state.append(&commit_rec(epoch)).unwrap();
+        }
+        // Full tail from 0: all four records round-trip through the strict
+        // parser with consecutive sequences.
+        let WalTailResult::Tail(t) = state.tail_since(0, usize::MAX).unwrap() else {
+            panic!("expected frames");
+        };
+        assert_eq!((t.from_seq, t.records, t.next_seq, t.primary_next_seq), (0, 4, 4, 4));
+        let parsed = parse_frames(&t.frames, t.from_seq).unwrap();
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed[3].0, 3);
+        assert_eq!(parsed[2].1, commit_rec(3));
+        // A 1-byte budget still ships one whole frame; the next poll
+        // resumes where it left off.
+        let WalTailResult::Tail(t) = state.tail_since(1, 1).unwrap() else {
+            panic!("expected frames");
+        };
+        assert_eq!((t.from_seq, t.records, t.next_seq), (1, 1, 2));
+        // Caught-up follower gets an empty tail, not a gap.
+        let WalTailResult::Tail(t) = state.tail_since(4, usize::MAX).unwrap() else {
+            panic!("expected empty tail");
+        };
+        assert_eq!(t.records, 0);
+        assert!(t.frames.is_empty());
+        // Ahead of the log (primary lost state) and behind the base after
+        // rotation both demand a re-bootstrap.
+        assert!(matches!(state.tail_since(9, usize::MAX).unwrap(), WalTailResult::Gap { .. }));
+        let (_, cut_off) = state.capture_position();
+        state.rotate(4, cut_off).unwrap();
+        match state.tail_since(0, usize::MAX).unwrap() {
+            WalTailResult::Gap { base_seq } => assert_eq!(base_seq, 4),
+            other => panic!("expected gap after rotation, got {other:?}"),
+        }
+        // Corrupt shipped bytes are rejected outright by the strict parser.
+        assert!(parse_frames(&[1, 2, 3], 0).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

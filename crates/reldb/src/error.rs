@@ -28,6 +28,11 @@ pub enum DbError {
     /// A durability-layer I/O failure (WAL append, checkpoint write, or a
     /// simulated crash injected by the test harness).
     Io(String),
+    /// Recovery or replication state is internally inconsistent (e.g. a
+    /// checkpoint META that disagrees with the WAL it claims to cover).
+    /// Unlike [`DbError::Io`], this is not transient: the on-disk or
+    /// streamed state itself is wrong and must not be trusted.
+    Recovery(String),
 }
 
 impl fmt::Display for DbError {
@@ -41,6 +46,7 @@ impl fmt::Display for DbError {
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
             DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::Recovery(m) => write!(f, "recovery error: {m}"),
         }
     }
 }

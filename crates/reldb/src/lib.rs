@@ -52,7 +52,7 @@ pub mod txn;
 pub mod value;
 
 pub use db::{Database, Snapshot, ViewDef};
-pub use durability::{CrashHook, CrashPoint, Durability, NetChange};
+pub use durability::{CrashHook, CrashPoint, Durability, NetChange, WalTail, WalTailResult};
 pub use error::{DbError, DbResult};
 pub use func::TableFunction;
 pub use index::{IndexDef, RowId};

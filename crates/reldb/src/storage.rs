@@ -735,6 +735,52 @@ impl Table {
         data.slots[rid].push(Version { begin: epoch, end: NO_END, row });
     }
 
+    /// Apply a committed put on a *live* replica: same version-chain
+    /// effect as [`Table::replay_put`], but indexes and bookkeeping are
+    /// maintained incrementally — a serving follower cannot afford the
+    /// full [`Table::rebuild_indexes`] sweep recovery runs once at the
+    /// end, and concurrent readers at older epochs need index entries for
+    /// every version (same per-slot key dedup as the rebuild).
+    pub(crate) fn apply_put(&self, rid: RowId, row: Row, epoch: u64) {
+        let mut data = self.data.write();
+        if data.slots.len() <= rid {
+            data.slots.resize_with(rid + 1, Vec::new);
+        }
+        let TableData { slots, free, live, garbage, indexes } = &mut *data;
+        let slot = &mut slots[rid];
+        if slot.is_empty() {
+            free.retain(|&r| r != rid);
+        }
+        match slot.iter_mut().rfind(|v| v.is_current()) {
+            Some(v) => {
+                v.end = epoch;
+                *garbage += 1;
+            }
+            None => *live += 1,
+        }
+        for ix in indexes.iter_mut() {
+            if !slot.iter().any(|p| same_key(ix, &p.row, &row)) {
+                ix.insert(&row, rid);
+            }
+        }
+        slot.push(Version { begin: epoch, end: NO_END, row });
+    }
+
+    /// Apply a committed delete on a live replica (see [`Table::apply_put`]
+    /// for why this maintains bookkeeping inline). Index entries stay: they
+    /// cover all stored versions and vacuum reclaims them with the chain.
+    pub(crate) fn apply_del(&self, rid: RowId, epoch: u64) {
+        let mut data = self.data.write();
+        let TableData { slots, live, garbage, .. } = &mut *data;
+        if let Some(slot) = slots.get_mut(rid) {
+            if let Some(v) = slot.iter_mut().rfind(|v| v.is_current()) {
+                v.end = epoch;
+                *live -= 1;
+                *garbage += 1;
+            }
+        }
+    }
+
     /// Replay a committed delete from the WAL. A missing current version
     /// is a no-op (the row was already gone at checkpoint time).
     pub(crate) fn replay_del(&self, rid: RowId, epoch: u64) {

@@ -1,22 +1,35 @@
 //! A minimal blocking HTTP/1.1 client for the query service: the load
-//! driver, the smoke/stress tests, and scripts all speak to the server
-//! through this one code path, so client-side framing bugs can't hide in
-//! per-test copies.
+//! driver, the smoke/stress tests, the replication apply loop, and
+//! scripts all speak to the server through this one code path, so
+//! client-side framing bugs can't hide in per-test copies.
+//!
+//! Responses are framed by `Content-Length`, and a body shorter than the
+//! header promises is an *error*, never a silent short read: the replica
+//! apply loop feeds these bytes straight into WAL replay, where a
+//! truncated-but-"successful" body would corrupt catch-up.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A complete response: status code and body text.
+/// A complete textual response: status code and body text.
 #[derive(Debug)]
 pub struct HttpResponse {
     pub status: u16,
     pub body: String,
 }
 
-/// Open a connection, send one request, and read the response to EOF
-/// (the server always closes after one exchange). `timeout` bounds both
-/// connect and socket reads.
+/// A complete response with the body kept as raw bytes (the replication
+/// endpoints ship binary WAL frames and checkpoint images).
+#[derive(Debug)]
+pub struct HttpBytesResponse {
+    pub status: u16,
+    pub bytes: Vec<u8>,
+}
+
+/// Open a connection, send one request, and read the response (the server
+/// always closes after one exchange). `timeout` bounds connect and every
+/// socket read/write. The body is validated against `Content-Length`.
 pub fn http_call(
     addr: SocketAddr,
     method: &str,
@@ -24,17 +37,31 @@ pub fn http_call(
     body: &str,
     timeout: Duration,
 ) -> std::io::Result<HttpResponse> {
+    let r = http_call_bytes(addr, method, path, body.as_bytes(), timeout)?;
+    Ok(HttpResponse { status: r.status, body: String::from_utf8_lossy(&r.bytes).into_owned() })
+}
+
+/// [`http_call`] with a binary request body and the response body returned
+/// as raw bytes.
+pub fn http_call_bytes(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<HttpBytesResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
-    stream.write_all(request.as_bytes())?;
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
+    parse_response(&raw, method)
 }
 
 /// POST a Gremlin script to `/query` (the common case in tests/benches).
@@ -42,19 +69,85 @@ pub fn post_query(addr: SocketAddr, gremlin: &str, timeout: Duration) -> std::io
     http_call(addr, "POST", "/query", gremlin, timeout)
 }
 
-fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
-    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+fn parse_response(raw: &[u8], method: &str) -> std::io::Result<HttpBytesResponse> {
+    let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
     let head_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| bad("response has no header terminator"))?;
+        .ok_or_else(|| bad("response has no header terminator".into()))?;
     let head = String::from_utf8_lossy(&raw[..head_end]);
-    let status_line = head.lines().next().unwrap_or("");
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or("");
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad(&format!("bad status line '{status_line}'")))?;
-    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
-    Ok(HttpResponse { status, body })
+        .ok_or_else(|| bad(format!("bad status line '{status_line}'")))?;
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad content-length '{}'", value.trim())))?,
+                );
+            }
+        }
+    }
+    let bytes = raw[head_end + 4..].to_vec();
+    // A HEAD response carries the Content-Length of the GET it mirrors but
+    // no body bytes — the header describes the hypothetical body, not the
+    // wire.
+    if method.eq_ignore_ascii_case("HEAD") {
+        if !bytes.is_empty() {
+            return Err(bad(format!("HEAD response carried {} body bytes", bytes.len())));
+        }
+        return Ok(HttpBytesResponse { status, bytes });
+    }
+    match content_length {
+        // The connection closed before the declared body arrived (or a
+        // confused server sent more): the response is *corrupt*, not short.
+        Some(n) if bytes.len() != n => Err(bad(format!(
+            "truncated response body: got {} of {} declared bytes",
+            bytes.len(),
+            n
+        ))),
+        // No Content-Length: fall back to read-to-EOF framing (foreign
+        // servers; ours always declares it).
+        _ => Ok(HttpBytesResponse { status, bytes }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_body_is_an_error_not_a_short_success() {
+        let full = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n0123456789";
+        let r = parse_response(full, "GET").unwrap();
+        assert_eq!((r.status, r.bytes.as_slice()), (200, &b"0123456789"[..]));
+        // Every proper prefix of the body must fail loudly.
+        for cut in 0..10 {
+            let err = parse_response(&full[..full.len() - 10 + cut], "GET").unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn missing_content_length_falls_back_to_eof() {
+        let raw = b"HTTP/1.1 200 OK\r\nX: y\r\n\r\npartial";
+        let r = parse_response(raw, "GET").unwrap();
+        assert_eq!(r.bytes, b"partial");
+    }
+
+    #[test]
+    fn head_response_has_length_but_no_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 42\r\n\r\n";
+        let r = parse_response(raw, "HEAD").unwrap();
+        assert_eq!((r.status, r.bytes.len()), (200, 0));
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nxx", "HEAD").is_err());
+    }
 }

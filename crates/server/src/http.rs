@@ -32,9 +32,23 @@ pub enum HttpError {
 pub struct Request {
     pub method: String,
     pub path: String,
+    /// Raw query string (without the `?`); empty when absent. The service
+    /// routes on the path alone, but `/wal` reads its position from here.
+    pub query: String,
     pub body: Vec<u8>,
     /// Total bytes read off the wire (head + body), for ingress metering.
     pub wire_bytes: u64,
+}
+
+impl Request {
+    /// The value of query parameter `name`, if present (no percent
+    /// decoding — replication positions are plain integers).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {
@@ -117,8 +131,11 @@ pub fn read_request(
             )))
         }
     }
-    // Strip any query string; the service routes on the path alone.
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    // Split off the query string; the service routes on the path alone.
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length: usize = 0;
     for line in lines {
@@ -157,7 +174,7 @@ pub fn read_request(
         }
     }
     let wire_bytes = (body_start + body.len()) as u64;
-    Ok(Request { method, path, body, wire_bytes })
+    Ok(Request { method, path, query, body, wire_bytes })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -168,8 +185,11 @@ fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
         408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -184,14 +204,33 @@ fn reason(status: u16) -> &'static str {
 /// Every response closes the connection — admission control is per
 /// request, so connection reuse would let one client squat a worker.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<u64> {
+    write_response_raw(stream, status, "application/json", body.as_bytes(), false)
+}
+
+/// Write a complete response with an explicit content type, optionally
+/// headers-only (a `HEAD` answer: the `Content-Length` still describes
+/// the body a `GET` would have returned, but no body bytes follow).
+/// Returns the bytes put on the wire.
+pub fn write_response_raw(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    head_only: bool,
+) -> std::io::Result<u64> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         status,
         reason(status),
+        content_type,
         body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    if head_only {
+        stream.flush()?;
+        return Ok(head.len() as u64);
+    }
+    stream.write_all(body)?;
     stream.flush()?;
     Ok((head.len() + body.len()) as u64)
 }

@@ -32,6 +32,7 @@ pub mod client;
 pub mod gjson;
 pub mod http;
 pub mod metrics;
+pub mod replica;
 pub mod vacuum;
 
 use std::collections::VecDeque;
@@ -47,9 +48,10 @@ use db2graph_core::{Db2Graph, GraphError};
 use crate::gjson::gvalue_to_json;
 use crate::http::{HttpError, Request};
 use crate::metrics::ServerMetrics;
+use crate::replica::{ReplicaDaemon, ReplicaMetrics};
 use crate::vacuum::VacuumDaemon;
 
-pub use crate::client::{http_call, post_query, HttpResponse};
+pub use crate::client::{http_call, http_call_bytes, post_query, HttpBytesResponse, HttpResponse};
 
 /// Serving knobs. `Default` is production-shaped; [`ServerConfig::from_env`]
 /// layers the `DB2GRAPH_*` environment on top.
@@ -93,6 +95,17 @@ pub struct ServerConfig {
     /// When disabled the endpoint answers 403.
     /// Env: `DB2GRAPH_SQL_ENDPOINT` (`1`/`true` to enable).
     pub sql_endpoint: bool,
+    /// Follow a primary at `host:port` instead of serving standalone: the
+    /// server becomes a log-shipping read replica — it bootstraps from the
+    /// primary's checkpoint, tails its WAL, serves every read endpoint at
+    /// the applied epoch, and answers writes 403 pointing at the primary.
+    /// Replicas serve from memory; `data_dir`/`durability` are ignored (a
+    /// restarted replica re-bootstraps). Env: `DB2GRAPH_REPLICA_OF`.
+    pub replica_of: Option<String>,
+    /// How often a caught-up replica polls the primary for new WAL
+    /// records (while behind it streams without pausing).
+    /// Env: `DB2GRAPH_REPLICA_POLL_MS`.
+    pub replica_poll: Duration,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +123,8 @@ impl Default for ServerConfig {
             data_dir: None,
             durability: reldb::Durability::Always,
             sql_endpoint: false,
+            replica_of: None,
+            replica_poll: Duration::from_millis(100),
         }
     }
 }
@@ -117,8 +132,9 @@ impl Default for ServerConfig {
 impl ServerConfig {
     /// Defaults overridden by `DB2GRAPH_HTTP_ADDR`, `DB2GRAPH_MAX_INFLIGHT`,
     /// `DB2GRAPH_QUERY_TIMEOUT_MS`, `DB2GRAPH_DATA_DIR`,
-    /// `DB2GRAPH_DURABILITY`, `DB2GRAPH_CHECKPOINT_MS`, and
-    /// `DB2GRAPH_SQL_ENDPOINT`.
+    /// `DB2GRAPH_DURABILITY`, `DB2GRAPH_CHECKPOINT_MS`,
+    /// `DB2GRAPH_SQL_ENDPOINT`, `DB2GRAPH_REPLICA_OF`, and
+    /// `DB2GRAPH_REPLICA_POLL_MS`.
     pub fn from_env() -> ServerConfig {
         let mut c = ServerConfig::default();
         if let Ok(addr) = std::env::var("DB2GRAPH_HTTP_ADDR") {
@@ -148,12 +164,31 @@ impl ServerConfig {
         if let Ok(v) = std::env::var("DB2GRAPH_SQL_ENDPOINT") {
             c.sql_endpoint = matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
         }
+        if let Ok(primary) = std::env::var("DB2GRAPH_REPLICA_OF") {
+            if !primary.is_empty() {
+                c.replica_of = Some(primary);
+            }
+        }
+        if let Some(ms) = env_parse::<u64>("DB2GRAPH_REPLICA_POLL_MS") {
+            c.replica_poll = Duration::from_millis(ms.max(1));
+        }
         c
     }
 
     /// Open the database this configuration describes: durable (running
-    /// crash recovery) when `data_dir` is set, in-memory otherwise.
+    /// crash recovery) when `data_dir` is set, in-memory otherwise. A
+    /// replica (`replica_of`) always serves from memory — its durability
+    /// story is re-bootstrapping from the primary, so `data_dir` is
+    /// ignored — and is synchronized with the primary before returning,
+    /// so the graph overlay constructed over it reads a populated
+    /// catalog.
     pub fn open_database(&self) -> reldb::DbResult<Arc<reldb::Database>> {
+        if let Some(primary) = &self.replica_of {
+            let db = Arc::new(reldb::Database::new());
+            replica::sync_once(&db, primary, self.read_timeout, Duration::from_secs(30))
+                .map_err(reldb::DbError::Io)?;
+            return Ok(db);
+        }
         match &self.data_dir {
             Some(dir) => Ok(Arc::new(reldb::Database::open_with(dir, self.durability)?)),
             None => Ok(Arc::new(reldb::Database::new())),
@@ -165,11 +200,21 @@ fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
     std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
 }
 
+/// Follower identity, present only when serving as a read replica: who
+/// the primary is (for 403 redirects and metrics labels) and the apply
+/// loop's counters.
+struct ReplicaInfo {
+    primary: String,
+    metrics: Arc<ReplicaMetrics>,
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     graph: Arc<Db2Graph>,
     config: ServerConfig,
     metrics: ServerMetrics,
+    /// `Some` when this server is a log-shipping follower.
+    replica: Option<ReplicaInfo>,
     /// Admitted connections waiting for a worker.
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
@@ -199,10 +244,26 @@ impl GraphServer {
                 config.checkpoint_interval,
             )
         });
+        // A follower keeps itself current on its own clock: the daemon
+        // tails the primary's WAL and applies commits while the workers
+        // serve reads at whatever epoch has been applied so far.
+        let replica_daemon = config.replica_of.clone().map(|primary| {
+            ReplicaDaemon::start(
+                graph.database().clone(),
+                primary,
+                config.replica_poll,
+                config.read_timeout,
+            )
+        });
+        let replica = replica_daemon.as_ref().map(|d| ReplicaInfo {
+            primary: d.primary().to_string(),
+            metrics: d.metrics().clone(),
+        });
         let shared = Arc::new(Shared {
             graph,
             config: config.clone(),
             metrics: ServerMetrics::default(),
+            replica,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -225,7 +286,7 @@ impl GraphServer {
                 .spawn(move || accept_loop(&listener, &shared))
                 .expect("spawn acceptor")
         };
-        Ok(ServerHandle { shared, addr, acceptor: Some(acceptor), workers, vacuum })
+        Ok(ServerHandle { shared, addr, acceptor: Some(acceptor), workers, vacuum, replica_daemon })
     }
 }
 
@@ -237,6 +298,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     vacuum: Option<VacuumDaemon>,
+    replica_daemon: Option<ReplicaDaemon>,
 }
 
 impl ServerHandle {
@@ -312,6 +374,9 @@ impl ServerHandle {
         }
         if let Some(v) = self.vacuum.take() {
             v.stop();
+        }
+        if let Some(r) = self.replica_daemon.take() {
+            r.stop();
         }
     }
 }
@@ -450,11 +515,19 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// A routed response body: JSON everywhere except the replication
+/// endpoints, which ship binary WAL frames and checkpoint images.
+enum Payload {
+    Json(Json),
+    Bytes { content_type: &'static str, data: Vec<u8> },
+}
+
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _gauge = shared.metrics.enter();
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_nodelay(true);
-    let (status, body) = match http::read_request(
+    let mut head_only = false;
+    let (status, payload) = match http::read_request(
         &mut stream,
         shared.config.max_header_bytes,
         shared.config.max_body_bytes,
@@ -462,6 +535,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     ) {
         Ok(req) => {
             shared.metrics.record_bytes_in(req.wire_bytes);
+            head_only = req.method == "HEAD";
             route(shared, &req)
         }
         Err(HttpError::Closed) => {
@@ -481,10 +555,14 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             if status == 400 || status == 413 || status == 431 {
                 shared.metrics.record_bad_request();
             }
-            (status, Json::obj(vec![("error", Json::str(msg))]))
+            (status, Payload::Json(Json::obj(vec![("error", Json::str(msg))])))
         }
     };
-    if let Ok(n) = http::write_response(&mut stream, status, &body.to_compact()) {
+    let (content_type, body) = match payload {
+        Payload::Json(j) => ("application/json", j.to_compact().into_bytes()),
+        Payload::Bytes { content_type, data } => (content_type, data),
+    };
+    if let Ok(n) = http::write_response_raw(&mut stream, status, content_type, &body, head_only) {
         shared.metrics.record_bytes_out(n);
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -537,9 +615,99 @@ fn graph_error_response(shared: &Shared, e: GraphError) -> (u16, Json) {
     (status, Json::obj(fields))
 }
 
-fn route(shared: &Shared, req: &Request) -> (u16, Json) {
+fn route(shared: &Shared, req: &Request) -> (u16, Payload) {
+    // HEAD is answered as a headers-only GET: same status and
+    // Content-Length as the GET would carry, no body bytes
+    // (`handle_connection` suppresses them).
+    let method = if req.method == "HEAD" { "GET" } else { req.method.as_str() };
+    match (method, req.path.as_str()) {
+        ("GET", "/wal") => route_wal(shared, req),
+        ("GET", "/checkpoint") => route_checkpoint(shared),
+        _ => {
+            let (status, json) = route_json(shared, req, method);
+            (status, Payload::Json(json))
+        }
+    }
+}
+
+/// Primary side of log shipping: ship committed WAL frames from
+/// `from_seq` as a binary batch (see [`replica::encode_ship`]). `410`
+/// tells the follower its position has rotated out of the log — it must
+/// re-bootstrap from `/checkpoint`; `403` means this server has no WAL
+/// to ship (in-memory, or itself a replica).
+fn route_wal(shared: &Shared, req: &Request) -> (u16, Payload) {
+    let Some(from_seq) = req.query_param("from_seq").and_then(|s| s.parse::<u64>().ok()) else {
+        let (status, json) =
+            bad_request(shared, "GET /wal requires an integer from_seq query parameter".into());
+        return (status, Payload::Json(json));
+    };
+    match shared.graph.database().wal_tail(from_seq, replica::MAX_SHIP_BYTES) {
+        Ok(reldb::WalTailResult::Tail(tail)) => (
+            200,
+            Payload::Bytes {
+                content_type: "application/octet-stream",
+                data: replica::encode_ship(&tail),
+            },
+        ),
+        Ok(reldb::WalTailResult::Gap { base_seq }) => (
+            410,
+            Payload::Json(Json::obj(vec![
+                (
+                    "error",
+                    Json::str("requested wal position is gone; bootstrap from /checkpoint"),
+                ),
+                ("base_seq", Json::u64(base_seq)),
+            ])),
+        ),
+        Err(e) => {
+            let status = match e {
+                reldb::DbError::Unsupported(_) => 403,
+                _ => 500,
+            };
+            (status, Payload::Json(Json::obj(vec![("error", Json::str(e.to_string()))])))
+        }
+    }
+}
+
+/// Serve the installed checkpoint image verbatim for follower bootstrap,
+/// writing one first if the primary has never checkpointed.
+fn route_checkpoint(shared: &Shared) -> (u16, Payload) {
+    let db = shared.graph.database();
+    let fetch = || -> reldb::DbResult<Option<Vec<u8>>> {
+        if let Some(bytes) = db.checkpoint_bytes()? {
+            return Ok(Some(bytes));
+        }
+        // Fresh primary with no image on disk yet: take a checkpoint now
+        // so a follower can always bootstrap.
+        db.checkpoint()?;
+        db.checkpoint_bytes()
+    };
+    match fetch() {
+        Ok(Some(data)) => {
+            (200, Payload::Bytes { content_type: "application/octet-stream", data })
+        }
+        Ok(None) => (
+            500,
+            Payload::Json(Json::obj(vec![(
+                "error",
+                Json::str("checkpoint produced no image"),
+            )])),
+        ),
+        Err(e) => {
+            let status = match e {
+                reldb::DbError::Unsupported(_) => 403,
+                _ => 500,
+            };
+            (status, Payload::Json(Json::obj(vec![("error", Json::str(e.to_string()))])))
+        }
+    }
+}
+
+/// Every JSON endpoint. `method` is the request method with HEAD already
+/// normalized to GET.
+fn route_json(shared: &Shared, req: &Request, method: &str) -> (u16, Json) {
     let deadline = shared.config.query_timeout.map(|t| Instant::now() + t);
-    match (req.method.as_str(), req.path.as_str()) {
+    match (method, req.path.as_str()) {
         ("POST", "/query") => match extract_gremlin(&req.body) {
             Ok(g) => match shared.graph.run_with_deadline(&g, deadline) {
                 Ok(values) => {
@@ -585,6 +753,23 @@ fn route(shared: &Shared, req: &Request) -> (u16, Json) {
             // administration channel (the graph endpoints stay read-only
             // Gremlin). Returns the last statement's result set. Because
             // it can mutate or drop anything, it must be opted into.
+            if let Some(rep) = &shared.replica {
+                // A follower's state is a function of the primary's log;
+                // local writes would silently diverge it.
+                return (
+                    403,
+                    Json::obj(vec![
+                        (
+                            "error",
+                            Json::str(format!(
+                                "read-only replica: writes must go to the primary at {}",
+                                rep.primary
+                            )),
+                        ),
+                        ("primary", Json::str(rep.primary.clone())),
+                    ]),
+                );
+            }
             if !shared.config.sql_endpoint {
                 return (
                     403,
@@ -626,13 +811,14 @@ fn route(shared: &Shared, req: &Request) -> (u16, Json) {
         }
         ("GET", "/metrics") => {
             let queued = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
-            (
-                200,
-                Json::obj(vec![
-                    ("graph", shared.graph.metrics().to_json()),
-                    ("server", shared.metrics.to_json(queued)),
-                ]),
-            )
+            let mut sections = vec![
+                ("graph", shared.graph.metrics().to_json()),
+                ("server", shared.metrics.to_json(queued)),
+            ];
+            if let Some(rep) = &shared.replica {
+                sections.push(("replication", rep.metrics.to_json(&rep.primary)));
+            }
+            (200, Json::obj(sections))
         }
         ("GET", "/slow-queries") => {
             (200, Json::obj(vec![("slow_queries", shared.graph.slow_queries_json())]))
@@ -642,12 +828,16 @@ fn route(shared: &Shared, req: &Request) -> (u16, Json) {
             200,
             Json::obj(vec![
                 ("status", Json::str("ok")),
+                (
+                    "role",
+                    Json::str(if shared.replica.is_some() { "replica" } else { "primary" }),
+                ),
                 ("commit_epoch", Json::u64(shared.graph.database().commit_epoch())),
                 ("in_flight", Json::u64(shared.metrics.in_flight())),
             ]),
         ),
         (_, "/query" | "/sql" | "/explain" | "/profile" | "/metrics" | "/slow-queries"
-        | "/workload" | "/healthz") => (
+        | "/workload" | "/healthz" | "/wal" | "/checkpoint") => (
             405,
             Json::obj(vec![("error", Json::str(format!("method {} not allowed", req.method)))]),
         ),

@@ -10,7 +10,10 @@
 //! directory recovers from its checkpoint + WAL instead of reseeding.
 //! `DB2GRAPH_SQL_ENDPOINT=1` enables the raw-SQL admin endpoint
 //! (`POST /sql`), which is off by default because it can mutate
-//! anything. Then:
+//! anything. `DB2GRAPH_REPLICA_OF=host:port` turns the server into a
+//! log-shipping read replica of a durable primary (see
+//! `docs/REPLICATION.md`) — it bootstraps from the primary instead of
+//! seeding and refuses writes. Then:
 //!
 //! ```sh
 //! curl -s localhost:8182/healthz
@@ -23,15 +26,32 @@
 #[path = "common/seed.rs"]
 mod seed;
 
-use db2graph::core::GraphOptions;
+use db2graph::core::config::healthcare_example_json;
+use db2graph::core::{Db2Graph, GraphOptions, OverlayConfig};
 use db2graph::server::{GraphServer, ServerConfig};
 
 fn main() {
     // Log every query as "slow" so /slow-queries has content to show in a
     // demo; production deployments set a real threshold instead.
     let options = GraphOptions { slow_query_nanos: Some(0), ..Default::default() };
-    let (_db, graph) = seed::open_healthcare(options);
     let config = ServerConfig::from_env();
+    let graph = if config.replica_of.is_some() {
+        // A follower never seeds: its state is a mirror of the primary's,
+        // pulled over /checkpoint + /wal before the overlay reads the
+        // catalog (ServerConfig::open_database runs the initial sync).
+        let db = match config.open_database() {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("db2graph replica failed its initial sync: {e}");
+                std::process::exit(1);
+            }
+        };
+        let overlay = OverlayConfig::from_json(healthcare_example_json()).expect("overlay json");
+        Db2Graph::open_with_options(db, &overlay, options).expect("overlay")
+    } else {
+        let (_db, graph) = seed::open_healthcare(options);
+        graph
+    };
     let handle = match GraphServer::start(graph, config) {
         Ok(h) => h,
         Err(e) => {
@@ -40,6 +60,6 @@ fn main() {
         }
     };
     println!("db2graph server listening on http://{}", handle.addr());
-    println!("endpoints: POST /query /explain /profile (/sql if DB2GRAPH_SQL_ENDPOINT=1) · GET /metrics /slow-queries /workload /healthz");
+    println!("endpoints: POST /query /explain /profile (/sql if DB2GRAPH_SQL_ENDPOINT=1) · GET /metrics /slow-queries /workload /healthz /wal /checkpoint");
     handle.wait();
 }

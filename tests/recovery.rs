@@ -393,6 +393,40 @@ fn batch_mode_reopens_cleanly() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `Batch` durability contract, made exact: the WAL fsyncs every
+/// 32nd append, so a crash can lose at most the 31 commits after the
+/// last fsync — never more, and never half of one. We drive the record
+/// count to the worst case (31 appends past a sync boundary), simulate
+/// losing the OS page cache by truncating a copy of the WAL to the
+/// fsynced prefix (`wal_synced_bytes`), and reopen.
+#[test]
+fn batch_mode_loses_at_most_thirty_one_commits() {
+    let dir = temp_dir("batch-contract");
+    let db = Database::open_with(&dir, Durability::Batch).unwrap();
+    seed_accounts(&db);
+    let mut rng = Lcg(7);
+    // Seed writes 2 records (DDL + insert); 125 transfers land the log at
+    // 127 records with the last fsync at 96 — 31 unsynced commits.
+    for _ in 0..125 {
+        let from = rng.below(ACCOUNTS);
+        let to = (from + 1 + rng.below(ACCOUNTS - 1)) % ACCOUNTS;
+        transfer(&db, from, to).unwrap();
+    }
+    let published = db.commit_epoch();
+    let synced = db.wal_synced_bytes() as usize;
+    let full = std::fs::read(dir.join("wal.log")).unwrap();
+    assert!(synced <= full.len(), "synced prefix within the file");
+    drop(db);
+
+    let db = open_wal_image("batch-contract-img", &full[..synced]);
+    let recovered = db.commit_epoch();
+    let lost = published - recovered;
+    assert!(lost > 0, "worst case actually exercises unsynced commits");
+    assert!(lost <= 31, "batch mode lost {lost} commits; the contract is at most 31");
+    assert_eq!(total_balance(&db), Some(TOTAL), "every surviving commit is whole");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `Off` mode: no WAL — checkpoints are the only durable state. Work
 /// after the last checkpoint is (by contract) lost; the recovered state
 /// is exactly the checkpoint, still whole and conserved.

@@ -72,6 +72,7 @@ fn config(workers: usize, queue_depth: usize) -> ServerConfig {
         data_dir: None,
         durability: db2graph::reldb::Durability::Always,
         sql_endpoint: false,
+        ..Default::default()
     }
 }
 

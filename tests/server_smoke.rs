@@ -48,6 +48,7 @@ fn test_config() -> ServerConfig {
         data_dir: None,
         durability: db2graph::reldb::Durability::Always,
         sql_endpoint: false,
+        ..Default::default()
     }
 }
 
@@ -161,6 +162,44 @@ fn every_endpoint_answers_over_a_real_socket() {
     let report = handle.shutdown();
     assert!(report.admitted >= 10);
     assert_eq!(report.completed, report.admitted, "graceful drain answered everything");
+}
+
+/// `HEAD` on any read endpoint is a headers-only `GET`: same status, a
+/// `Content-Length` describing the body the `GET` would return, zero
+/// body bytes on the wire. Unknown paths mirror the GET's 404.
+#[test]
+fn head_is_answered_as_a_headers_only_get() {
+    use std::io::{Read, Write};
+
+    let graph = healthcare_graph(Default::default());
+    let handle = GraphServer::start(graph, test_config()).unwrap();
+    let addr = handle.addr();
+
+    // Through the client (which enforces the no-body contract)…
+    let r = http_call(addr, "HEAD", "/healthz", "", TIMEOUT).unwrap();
+    assert_eq!((r.status, r.body.len()), (200, 0));
+    let r = http_call(addr, "HEAD", "/metrics", "", TIMEOUT).unwrap();
+    assert_eq!((r.status, r.body.len()), (200, 0));
+    let r = http_call(addr, "HEAD", "/nope", "", TIMEOUT).unwrap();
+    assert_eq!(r.status, 404);
+
+    // …and on the raw wire: a nonzero Content-Length, nothing after the
+    // blank line.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(b"HEAD /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    let head_end = raw.find("\r\n\r\n").unwrap();
+    assert_eq!(head_end + 4, raw.len(), "body bytes after a HEAD response: {raw}");
+    let declared: usize = raw
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(declared > 0, "Content-Length still describes the GET body");
+    handle.shutdown();
 }
 
 /// A zero query budget expires before the first SQL statement: the
