@@ -5,10 +5,14 @@
 //! slowest.
 
 use bench::harness::{build_env, fmt_duration, print_table, Dataset, Scale, SystemKind};
+use bench::report::BenchReport;
+use db2graph_core::json::Json;
 use linkbench::QueryKind;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut report = BenchReport::new("fig5_latency");
+    report.meta("iters", Json::u64(scale.iters as u64));
     println!("\n=== Figure 5: Latency of LinkBench queries (Table 1 shapes) ===");
     println!("getNode:     g.V(id).hasLabel(lbl)");
     println!("countLinks:  g.V(id1).outE(lbl).count()");
@@ -29,6 +33,12 @@ fn main() {
             let mut lat = Vec::new();
             for sys in SystemKind::ALL {
                 let d = env.measure_latency(sys, kind, scale.iters);
+                report.push(Json::obj(vec![
+                    ("dataset", Json::str(dataset.name())),
+                    ("query", Json::str(kind.name())),
+                    ("system", Json::str(sys.name())),
+                    ("mean_latency_ms", Json::num(d.as_secs_f64() * 1e3)),
+                ]));
                 lat.push(d);
                 row.push(fmt_duration(d));
             }
@@ -50,4 +60,5 @@ fn main() {
     }
     println!("Paper reference: on 10M GDB-X leads (Db2 Graph within 1.5x, better on getNode);");
     println!("on 100M Db2 Graph beats GDB-X up to 1.7x; JanusGraph up to 2.7x slower than Db2 Graph.\n");
+    report.write();
 }

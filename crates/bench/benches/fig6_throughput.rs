@@ -5,11 +5,16 @@
 //! and the Janus-like store's per-query blob decoding do not.
 
 use bench::harness::{build_env, print_table, Dataset, Scale, SystemKind};
+use bench::report::BenchReport;
+use db2graph_core::json::Json;
 use linkbench::QueryKind;
 
 fn main() {
     let scale = Scale::from_env();
     let cores = Scale::cores();
+    let mut report = BenchReport::new("fig6_throughput");
+    report.meta("clients", Json::u64(scale.threads as u64));
+    report.meta("cores", Json::u64(cores as u64));
     println!("\n=== Figure 6: Throughput of LinkBench queries ({} clients, {} cores) ===\n", scale.threads, cores);
     if cores < 4 {
         println!("CAVEAT: only {cores} core(s) available. The paper's Figure 6 measures how");
@@ -34,6 +39,12 @@ fn main() {
             let mut qps = Vec::new();
             for sys in SystemKind::ALL {
                 let t = env.measure_throughput(sys, kind, scale.threads, per_client);
+                report.push(Json::obj(vec![
+                    ("dataset", Json::str(dataset.name())),
+                    ("query", Json::str(kind.name())),
+                    ("system", Json::str(sys.name())),
+                    ("queries_per_sec", Json::num(t)),
+                ]));
                 qps.push(t);
                 row.push(format!("{t:.0} q/s"));
             }
@@ -55,4 +66,5 @@ fn main() {
     println!("Paper reference: Db2 Graph is the clear winner in all cases, beating GDB-X up");
     println!("to 1.6x and JanusGraph up to 4.2x, because the RDBMS engine is extremely good");
     println!("at handling concurrent queries.\n");
+    report.write();
 }

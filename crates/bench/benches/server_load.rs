@@ -12,6 +12,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bench::report::BenchReport;
+use db2graph_core::json::Json;
 use db2graph_core::{Db2Graph, GraphOptions, Histogram, OverlayConfig, VTableConfig};
 use db2graph_server::{http_call, GraphServer, ServerConfig};
 use reldb::Database;
@@ -62,6 +64,12 @@ fn main() {
         "\n=== Server load: {clients} clients x {requests} requests, {workers} workers, {accounts} accounts ===\n"
     );
 
+    let mut report = BenchReport::new("server_load");
+    report.meta("clients", Json::u64(clients as u64));
+    report.meta("requests_per_client", Json::u64(requests as u64));
+    report.meta("workers", Json::u64(workers as u64));
+    report.meta("accounts", Json::u64(accounts as u64));
+
     let shapes: &[(&str, &str)] = &[
         ("point lookup", "g.V().hasLabel('acct').limit(1).values('balance')"),
         ("full aggregate", "g.V().values('balance').sum()"),
@@ -92,16 +100,28 @@ fn main() {
         let wall = started.elapsed();
         let (p50, p90, p99) = hist.percentiles();
         let total = clients * requests;
+        let req_per_sec = total as f64 / wall.as_secs_f64();
+        let failed = errors.load(std::sync::atomic::Ordering::Relaxed);
         println!(
             "{name:>15}: {:>8.0} req/s | p50 {:>7.3} ms | p90 {:>7.3} ms | p99 {:>7.3} ms | {} ok, {} failed",
-            total as f64 / wall.as_secs_f64(),
+            req_per_sec,
             p50 as f64 / 1e6,
             p90 as f64 / 1e6,
             p99 as f64 / 1e6,
             hist.count(),
-            errors.load(std::sync::atomic::Ordering::Relaxed),
+            failed,
         );
+        report.push(Json::obj(vec![
+            ("shape", Json::str(*name)),
+            ("req_per_sec", Json::num(req_per_sec)),
+            ("p50_ms", Json::num(p50 as f64 / 1e6)),
+            ("p90_ms", Json::num(p90 as f64 / 1e6)),
+            ("p99_ms", Json::num(p99 as f64 / 1e6)),
+            ("ok", Json::u64(hist.count())),
+            ("failed", Json::u64(failed as u64)),
+        ]));
     }
+    report.write();
 
     let report = handle.shutdown();
     println!(

@@ -1,1 +1,2 @@
 pub mod harness;
+pub mod report;

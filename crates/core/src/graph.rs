@@ -251,7 +251,7 @@ impl Db2Graph {
         // literal), which only costs the observation overhead. Tracing and
         // the slow-query log likewise need per-step observation.
         if gremlin.contains(".profile()") || self.observing() {
-            return self.run_observed(gremlin, deadline).map(|(values, _)| values);
+            return self.run_observed(gremlin, deadline, None).map(|(values, _)| values);
         }
         let start = std::time::Instant::now();
         let backend = self
@@ -281,7 +281,47 @@ impl Db2Graph {
         deadline: Option<std::time::Instant>,
     ) -> GraphResult<(Vec<GValue>, ProfileReport)> {
         self.backend.registry().record_traversal();
-        self.run_observed(gremlin, deadline)
+        self.run_observed(gremlin, deadline, None)
+    }
+
+    /// [`Self::run_with_deadline`] carrying the serving layer's request
+    /// id: the observed pipeline stamps it on the trace span root and the
+    /// slow-query entry, so one id correlates the HTTP response with its
+    /// spans and its slow-query record. On the fast (non-observing) path
+    /// the id has nothing to attach to and is simply unused.
+    pub fn run_for_request(
+        &self,
+        gremlin: &str,
+        deadline: Option<std::time::Instant>,
+        request_id: Option<&str>,
+    ) -> GraphResult<Vec<GValue>> {
+        self.backend.registry().record_traversal();
+        if gremlin.contains(".profile()") || self.observing() {
+            return self.run_observed(gremlin, deadline, request_id).map(|(values, _)| values);
+        }
+        let start = std::time::Instant::now();
+        let backend = self
+            .backend
+            .with_snapshot(Some(self.db.snapshot()))
+            .with_deadline(deadline);
+        let runner = ScriptRunner::new(&backend)
+            .with_strategies(self.registry.clone())
+            .with_options(self.options.exec.clone());
+        let out = runner.run(gremlin).map_err(from_gremlin);
+        self.backend.registry().record_query_latency(start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// [`Self::profile_with_deadline`] carrying the serving layer's
+    /// request id (see [`Self::run_for_request`]).
+    pub fn profile_for_request(
+        &self,
+        gremlin: &str,
+        deadline: Option<std::time::Instant>,
+        request_id: Option<&str>,
+    ) -> GraphResult<(Vec<GValue>, ProfileReport)> {
+        self.backend.registry().record_traversal();
+        self.run_observed(gremlin, deadline, request_id)
     }
 
     /// The observing pipeline behind [`Self::profile`], `.profile()`,
@@ -293,11 +333,16 @@ impl Db2Graph {
         &self,
         gremlin: &str,
         deadline: Option<std::time::Instant>,
+        request_id: Option<&str>,
     ) -> GraphResult<(Vec<GValue>, ProfileReport)> {
         let tracer = if self.sink.is_some() { Tracer::enabled() } else { Tracer::disabled() };
         let profiler = Profiler::enabled().with_tracer(tracer.clone());
         let root = tracer.start_with("query", SpanKind::Query, || {
-            vec![("gremlin".to_string(), gremlin.to_string())]
+            let mut attrs = vec![("gremlin".to_string(), gremlin.to_string())];
+            if let Some(id) = request_id {
+                attrs.push(("request_id".to_string(), id.to_string()));
+            }
+            attrs
         });
         let backend = self
             .backend
@@ -319,7 +364,7 @@ impl Db2Graph {
             registry.record_step_latency(step_kind(&step.description), step.nanos);
         }
         if let Some(log) = &self.slow_log {
-            if log.offer(gremlin, wall_nanos, &report) {
+            if log.offer_with_id(gremlin, wall_nanos, &report, request_id) {
                 registry.record_slow_query();
             }
         }

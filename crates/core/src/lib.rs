@@ -64,6 +64,7 @@
 pub mod auto_overlay;
 pub mod config;
 pub mod error;
+pub mod events;
 pub mod graph;
 pub mod graph_structure;
 pub mod ids;
@@ -79,6 +80,7 @@ pub mod trace;
 pub use auto_overlay::{auto_overlay, generate_overlay, identify_tables};
 pub use config::{ETableConfig, OverlayConfig, VTableConfig};
 pub use error::{GraphError, GraphResult};
+pub use events::{Event, EventLog, DEFAULT_EVENT_CAPACITY, DEFAULT_ROTATE_BYTES};
 pub use graph::{Db2Graph, GraphOptions};
 pub use graph_structure::Db2GraphBackend;
 pub use metrics::{

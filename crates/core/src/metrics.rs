@@ -776,6 +776,25 @@ impl Histogram {
         (self.percentile(0.50), self.percentile(0.90), self.percentile(0.99))
     }
 
+    /// Cumulative `(upper_bound, count <= upper_bound)` pairs up to and
+    /// including the highest non-empty bucket — the shape a Prometheus
+    /// `le`-bucket exposition needs (the caller appends `+Inf`). Empty
+    /// histograms yield no pairs.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let last = match counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut running = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(last + 1) {
+            running += c;
+            out.push((bucket_upper(i), running));
+        }
+        out
+    }
+
     /// `{"count", "sum_nanos", "p50_nanos", "p90_nanos", "p99_nanos"}`.
     pub fn to_json(&self) -> Json {
         let (p50, p90, p99) = self.percentiles();
@@ -857,6 +876,10 @@ pub struct SlowQueryEntry {
     pub gremlin: String,
     pub wall_nanos: u64,
     pub report: ProfileReport,
+    /// The serving layer's correlation id, when the query arrived over
+    /// HTTP — links this entry to the response header, error body, trace
+    /// span root, and event log.
+    pub request_id: Option<String>,
 }
 
 struct SlowLogInner {
@@ -892,6 +915,18 @@ impl SlowQueryLog {
     /// (and was therefore counted slow, even if a worse entry kept its
     /// ring slot).
     pub fn offer(&self, gremlin: &str, wall_nanos: u64, report: &ProfileReport) -> bool {
+        self.offer_with_id(gremlin, wall_nanos, report, None)
+    }
+
+    /// [`SlowQueryLog::offer`] carrying the serving layer's request id so
+    /// the retained entry stays correlatable with the HTTP response.
+    pub fn offer_with_id(
+        &self,
+        gremlin: &str,
+        wall_nanos: u64,
+        report: &ProfileReport,
+        request_id: Option<&str>,
+    ) -> bool {
         if wall_nanos < self.threshold_nanos {
             return false;
         }
@@ -902,6 +937,7 @@ impl SlowQueryLog {
             gremlin: gremlin.to_string(),
             wall_nanos,
             report: report.clone(),
+            request_id: request_id.map(str::to_string),
         };
         if g.entries.len() < self.capacity {
             g.entries.push(entry);
@@ -933,6 +969,13 @@ impl SlowQueryLog {
                         ("seq", Json::u64(e.seq)),
                         ("gremlin", Json::str(&e.gremlin)),
                         ("wall_nanos", Json::u64(e.wall_nanos)),
+                        (
+                            "request_id",
+                            match &e.request_id {
+                                Some(id) => Json::str(id),
+                                None => Json::Null,
+                            },
+                        ),
                         ("profile", e.report.to_json()),
                     ])
                 })

@@ -160,7 +160,36 @@ pub struct Database {
     /// primary WAL sequence [`Database::apply_wal_frames`] expects. Always
     /// 0 on a primary or standalone database.
     applied_wal_seq: AtomicU64,
+    /// Write conflicts surfaced to statements (`DbError::Txn`), for the
+    /// serving layer's metrics and event log.
+    txn_conflicts: AtomicU64,
+    /// Observer for operational events (checkpoints, WAL rotations, txn
+    /// conflicts). Installed by an embedding layer — reldb sits below the
+    /// observability crates, so the event vocabulary lives here and the
+    /// transport lives above.
+    event_hook: RwLock<Option<DbEventHook>>,
 }
+
+/// Operational events a [`Database`] reports to an installed
+/// [`DbEventHook`]. These are narrative ("a checkpoint just finished"),
+/// not numeric — counters stay in [`crate::stats`] / durability counters.
+#[derive(Debug, Clone)]
+pub enum DbEvent {
+    /// A checkpoint captured its `(epoch, WAL position)` pair and began
+    /// serializing table data.
+    CheckpointBegin { epoch: u64 },
+    /// A checkpoint image was installed and its WAL prefix dropped.
+    CheckpointEnd { epoch: u64, wall_nanos: u64 },
+    /// The WAL was rewritten to start at `cut_seq` (prefix covered by the
+    /// latest checkpoint dropped).
+    WalRotation { cut_seq: u64 },
+    /// A statement lost a write conflict to a concurrent transaction.
+    TxnConflict { detail: String },
+}
+
+/// Callback for [`Database::set_event_hook`]. Runs synchronously on the
+/// emitting thread; keep it cheap and never call back into the database.
+pub type DbEventHook = Arc<dyn Fn(&DbEvent) + Send + Sync>;
 
 impl Default for Database {
     fn default() -> Self {
@@ -195,6 +224,21 @@ impl Database {
             stats: ExecStats::default(),
             durability: None,
             applied_wal_seq: AtomicU64::new(0),
+            txn_conflicts: AtomicU64::new(0),
+            event_hook: RwLock::new(None),
+        }
+    }
+
+    /// Install (or clear) the operational-event observer. At most one hook
+    /// is active; installing replaces the previous one.
+    pub fn set_event_hook(&self, hook: Option<DbEventHook>) {
+        *self.event_hook.write() = hook;
+    }
+
+    fn emit_event(&self, event: DbEvent) {
+        let hook = self.event_hook.read().clone();
+        if let Some(h) = hook {
+            h(&event);
         }
     }
 
@@ -443,6 +487,7 @@ impl Database {
             ));
         };
         let _gate = d.checkpoint_gate.lock();
+        let started = std::time::Instant::now();
         let (epoch, wal_seq, wal_off, tables, views) = {
             let _commit = self.commit_lock.lock();
             let epoch = self.commit_epoch.load(Ordering::Acquire);
@@ -461,6 +506,7 @@ impl Database {
             }
         }
         let _floor = FloorGuard(&d);
+        self.emit_event(DbEvent::CheckpointBegin { epoch });
         d.crash_gate(CrashPoint::CheckpointBegin)?;
         let mut images = Vec::with_capacity(tables.len());
         for t in &tables {
@@ -481,7 +527,12 @@ impl Database {
         checkpoint::write(&d, &image)?;
         d.last_checkpoint_epoch.store(epoch, Ordering::Release);
         d.rotate(wal_seq, wal_off)?;
+        self.emit_event(DbEvent::WalRotation { cut_seq: wal_seq });
         d.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.emit_event(DbEvent::CheckpointEnd {
+            epoch,
+            wall_nanos: started.elapsed().as_nanos() as u64,
+        });
         Ok(epoch)
     }
 
@@ -560,6 +611,34 @@ impl Database {
     /// worst-case loss of the OS page cache.
     pub fn wal_synced_bytes(&self) -> u64 {
         self.durability.as_ref().map_or(0, |d| d.synced_len.load(Ordering::Acquire))
+    }
+
+    /// Write conflicts surfaced to statements since open.
+    pub fn txn_conflicts(&self) -> u64 {
+        self.txn_conflicts.load(Ordering::Relaxed)
+    }
+
+    /// WAL fsyncs performed since open (0 on non-durable databases).
+    pub fn wal_fsync_count(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.fsync.count())
+    }
+
+    /// Total nanoseconds spent in WAL fsyncs since open.
+    pub fn wal_fsync_sum_nanos(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.fsync.sum_nanos())
+    }
+
+    /// The `q`-quantile of WAL fsync latency in nanoseconds (0 when no
+    /// fsync has run). The SLO monitor samples this to catch a stalling
+    /// disk before commit latency degrades visibly.
+    pub fn wal_fsync_percentile(&self, q: f64) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.fsync.percentile(q))
+    }
+
+    /// Cumulative `(upper_bound_nanos, count)` fsync-latency buckets for
+    /// Prometheus-style exposition (empty when no fsync has run).
+    pub fn wal_fsync_buckets(&self) -> Vec<(u64, u64)> {
+        self.durability.as_ref().map_or_else(Vec::new, |d| d.fsync.cumulative_buckets())
     }
 
     // ---------------------------------------------------------- replication
@@ -843,6 +922,14 @@ impl Database {
         let result = self.execute_stmt_inner(stmt, snap);
         let rows = result.as_ref().map(|rs| rs.rows.len() as u64).unwrap_or(0);
         self.stats.record_execution(rows, start.elapsed().as_nanos() as u64);
+        if let Err(DbError::Txn(detail)) = &result {
+            // `DbError::Txn` also covers BEGIN/COMMIT misuse; only genuine
+            // write-write conflicts (see `Table::write_locked`) are events.
+            if detail.contains("write-locked") {
+                self.txn_conflicts.fetch_add(1, Ordering::Relaxed);
+                self.emit_event(DbEvent::TxnConflict { detail: detail.clone() });
+            }
+        }
         result
     }
 

@@ -140,6 +140,90 @@ pub struct DurabilityCounters {
     pub recovery_truncated_bytes: AtomicU64,
 }
 
+// ------------------------------------------------------- fsync histogram
+
+/// Lock-free log2-bucketed histogram of WAL `sync_data` latency: bucket 0
+/// holds exact zeros, bucket `i >= 1` holds nanos in `[2^(i-1), 2^i)`.
+/// A stalling disk shows up here long before it shows up anywhere else,
+/// which is why the SLO monitor reads it. Mirrors the core crate's
+/// histogram shape (reldb sits below that crate and cannot depend on it).
+#[derive(Debug)]
+pub struct FsyncHistogram {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for FsyncHistogram {
+    fn default() -> FsyncHistogram {
+        FsyncHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl FsyncHistogram {
+    pub fn record(&self, nanos: u64) {
+        let idx = if nanos == 0 { 0 } else { 64 - nanos.leading_zeros() as usize };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile as the upper bound of the bucket containing that
+    /// rank; 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return fsync_bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Cumulative `(upper_bound, count <= upper_bound)` pairs up to the
+    /// highest non-empty bucket, for Prometheus-style exposition.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let last = match counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut running = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(last + 1) {
+            running += c;
+            out.push((fsync_bucket_upper(i), running));
+        }
+        out
+    }
+}
+
+fn fsync_bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
 // ----------------------------------------------------------------- crc32
 
 const fn crc32_table() -> [u32; 256] {
@@ -534,6 +618,9 @@ pub(crate) struct DurabilityState {
     /// truncates a copied WAL to this length to simulate worst-case OS
     /// loss of the page cache.
     pub synced_len: AtomicU64,
+    /// Latency of every WAL `sync_data`, for the serving layer's SLO
+    /// monitor and Prometheus exposition.
+    pub fsync: FsyncHistogram,
 }
 
 /// No checkpoint in progress.
@@ -553,7 +640,16 @@ impl DurabilityState {
             last_checkpoint_epoch: AtomicU64::new(0),
             checkpoint_gate: Mutex::new(()),
             synced_len: AtomicU64::new(synced),
+            fsync: FsyncHistogram::default(),
         }
+    }
+
+    /// `sync_data` on the live WAL file, timed into the fsync histogram.
+    fn timed_sync(&self, file: &File) -> std::io::Result<()> {
+        let start = std::time::Instant::now();
+        let out = file.sync_data();
+        self.fsync.record(start.elapsed().as_nanos() as u64);
+        out
     }
 
     pub fn wal_path(&self) -> PathBuf {
@@ -621,13 +717,13 @@ impl DurabilityState {
         w.len += frame.len() as u64;
         match self.mode {
             Durability::Always => {
-                w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
+                self.timed_sync(&w.file).map_err(|e| io_err("sync wal", e))?;
                 self.synced_len.store(w.len, Ordering::Release);
             }
             Durability::Batch => {
                 w.unsynced += 1;
                 if w.unsynced >= BATCH_SYNC_EVERY {
-                    w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
+                    self.timed_sync(&w.file).map_err(|e| io_err("sync wal", e))?;
                     w.unsynced = 0;
                     self.synced_len.store(w.len, Ordering::Release);
                 }
@@ -727,7 +823,7 @@ impl DurabilityState {
         self.check_alive()?;
         let mut guard = self.wal.lock();
         if let Some(w) = guard.as_mut() {
-            w.file.sync_data().map_err(|e| io_err("sync wal", e))?;
+            self.timed_sync(&w.file).map_err(|e| io_err("sync wal", e))?;
             w.unsynced = 0;
             self.synced_len.store(w.len, Ordering::Release);
         }

@@ -12,11 +12,21 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A complete textual response: status code and body text.
+/// A complete textual response: status code, response headers, and body
+/// text.
 #[derive(Debug)]
 pub struct HttpResponse {
     pub status: u16,
+    /// Response header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
     pub body: String,
+}
+
+impl HttpResponse {
+    /// The first response header named `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
 }
 
 /// A complete response with the body kept as raw bytes (the replication
@@ -24,7 +34,20 @@ pub struct HttpResponse {
 #[derive(Debug)]
 pub struct HttpBytesResponse {
     pub status: u16,
+    /// Response header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
     pub bytes: Vec<u8>,
+}
+
+impl HttpBytesResponse {
+    /// The first response header named `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
+}
+
+fn header_of<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
 }
 
 /// Open a connection, send one request, and read the response (the server
@@ -37,8 +60,33 @@ pub fn http_call(
     body: &str,
     timeout: Duration,
 ) -> std::io::Result<HttpResponse> {
-    let r = http_call_bytes(addr, method, path, body.as_bytes(), timeout)?;
-    Ok(HttpResponse { status: r.status, body: String::from_utf8_lossy(&r.bytes).into_owned() })
+    http_call_with_headers(addr, method, path, body, &[], timeout)
+}
+
+/// [`http_call`] with extra request headers (e.g. a caller-chosen
+/// `X-Request-Id`, or `Accept: text/plain` for the Prometheus form of
+/// `/metrics`). Header names and values must be wire-safe (no CR/LF).
+pub fn http_call_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    request_headers: &[(&str, &str)],
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
+    let r = http_call_bytes_with_headers(
+        addr,
+        method,
+        path,
+        body.as_bytes(),
+        request_headers,
+        timeout,
+    )?;
+    Ok(HttpResponse {
+        status: r.status,
+        headers: r.headers,
+        body: String::from_utf8_lossy(&r.bytes).into_owned(),
+    })
 }
 
 /// [`http_call`] with a binary request body and the response body returned
@@ -50,13 +98,32 @@ pub fn http_call_bytes(
     body: &[u8],
     timeout: Duration,
 ) -> std::io::Result<HttpBytesResponse> {
+    http_call_bytes_with_headers(addr, method, path, body, &[], timeout)
+}
+
+/// The one code path every client call funnels through.
+pub fn http_call_bytes_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    request_headers: &[(&str, &str)],
+    timeout: Duration,
+) -> std::io::Result<HttpBytesResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in request_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     let mut raw = Vec::new();
@@ -84,6 +151,7 @@ fn parse_response(raw: &[u8], method: &str) -> std::io::Result<HttpBytesResponse
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad(format!("bad status line '{status_line}'")))?;
     let mut content_length: Option<usize> = None;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
@@ -94,6 +162,7 @@ fn parse_response(raw: &[u8], method: &str) -> std::io::Result<HttpBytesResponse
                         .map_err(|_| bad(format!("bad content-length '{}'", value.trim())))?,
                 );
             }
+            headers.push((name.trim().to_string(), value.trim().to_string()));
         }
     }
     let bytes = raw[head_end + 4..].to_vec();
@@ -104,7 +173,7 @@ fn parse_response(raw: &[u8], method: &str) -> std::io::Result<HttpBytesResponse
         if !bytes.is_empty() {
             return Err(bad(format!("HEAD response carried {} body bytes", bytes.len())));
         }
-        return Ok(HttpBytesResponse { status, bytes });
+        return Ok(HttpBytesResponse { status, headers, bytes });
     }
     match content_length {
         // The connection closed before the declared body arrived (or a
@@ -116,7 +185,7 @@ fn parse_response(raw: &[u8], method: &str) -> std::io::Result<HttpBytesResponse
         ))),
         // No Content-Length: fall back to read-to-EOF framing (foreign
         // servers; ours always declares it).
-        _ => Ok(HttpBytesResponse { status, bytes }),
+        _ => Ok(HttpBytesResponse { status, headers, bytes }),
     }
 }
 

@@ -35,6 +35,10 @@ pub struct Request {
     /// Raw query string (without the `?`); empty when absent. The service
     /// routes on the path alone, but `/wal` reads its position from here.
     pub query: String,
+    /// Header `(name, value)` pairs in arrival order, names and values
+    /// trimmed. Routing needs only a couple (`X-Request-Id`, `Accept`);
+    /// keeping them all costs one small Vec per request.
+    pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
     /// Total bytes read off the wire (head + body), for ingress metering.
     pub wire_bytes: u64,
@@ -48,6 +52,14 @@ impl Request {
             let (k, v) = kv.split_once('=')?;
             (k == name).then_some(v)
         })
+    }
+
+    /// The first header named `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -138,6 +150,7 @@ pub fn read_request(
     };
 
     let mut content_length: usize = 0;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -151,6 +164,7 @@ pub fn read_request(
                 .parse()
                 .map_err(|_| HttpError::Malformed(format!("bad content-length '{value}'")))?;
         }
+        headers.push((name.trim().to_string(), value.trim().to_string()));
     }
     if content_length > max_body_bytes {
         return Err(HttpError::BodyTooLarge);
@@ -174,7 +188,7 @@ pub fn read_request(
         }
     }
     let wire_bytes = (body_start + body.len()) as u64;
-    Ok(Request { method, path, query, body, wire_bytes })
+    Ok(Request { method, path, query, headers, body, wire_bytes })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -218,13 +232,34 @@ pub fn write_response_raw(
     body: &[u8],
     head_only: bool,
 ) -> std::io::Result<u64> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, body, head_only, &[])
+}
+
+/// [`write_response_raw`] with extra response headers (e.g. the
+/// `X-Request-Id` correlation header). Header values must already be
+/// wire-safe: no CR/LF.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    head_only: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<u64> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason(status),
         content_type,
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     if head_only {
         stream.flush()?;

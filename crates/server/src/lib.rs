@@ -32,26 +32,32 @@ pub mod client;
 pub mod gjson;
 pub mod http;
 pub mod metrics;
+pub mod monitor;
+pub mod promtext;
 pub mod replica;
 pub mod vacuum;
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use db2graph_core::json::Json;
-use db2graph_core::{Db2Graph, GraphError};
+use db2graph_core::{Db2Graph, EventLog, GraphError};
 
 use crate::gjson::gvalue_to_json;
 use crate::http::{HttpError, Request};
 use crate::metrics::ServerMetrics;
+use crate::monitor::{Health, MonitorDaemon, SloTargets};
 use crate::replica::{ReplicaDaemon, ReplicaMetrics};
 use crate::vacuum::VacuumDaemon;
 
-pub use crate::client::{http_call, http_call_bytes, post_query, HttpBytesResponse, HttpResponse};
+pub use crate::client::{
+    http_call, http_call_bytes, http_call_bytes_with_headers, http_call_with_headers, post_query,
+    HttpBytesResponse, HttpResponse,
+};
 
 /// Serving knobs. `Default` is production-shaped; [`ServerConfig::from_env`]
 /// layers the `DB2GRAPH_*` environment on top.
@@ -106,6 +112,23 @@ pub struct ServerConfig {
     /// records (while behind it streams without pausing).
     /// Env: `DB2GRAPH_REPLICA_POLL_MS`.
     pub replica_poll: Duration,
+    /// Mirror every operational event to this JSONL file (size-rotated);
+    /// `None` keeps events in the in-memory ring only.
+    /// Env: `DB2GRAPH_EVENT_LOG`.
+    pub event_log_path: Option<String>,
+    /// Rotate the event log file once it reaches this many bytes.
+    /// Env: `DB2GRAPH_EVENT_LOG_ROTATE_BYTES`.
+    pub event_log_rotate_bytes: u64,
+    /// SLO targets for the health monitor; the monitor daemon runs only
+    /// when at least one is set. Envs: `DB2GRAPH_SLO_P99_MS`,
+    /// `DB2GRAPH_SLO_ERROR_PCT`, `DB2GRAPH_MAX_REPLICA_LAG`,
+    /// `DB2GRAPH_SLO_FSYNC_P99_MS`.
+    pub slo: SloTargets,
+    /// Monitor evaluation period. Env: `DB2GRAPH_MONITOR_MS`.
+    pub monitor_interval: Duration,
+    /// Rolling window the SLOs are evaluated over.
+    /// Env: `DB2GRAPH_MONITOR_WINDOW_MS`.
+    pub monitor_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +148,11 @@ impl Default for ServerConfig {
             sql_endpoint: false,
             replica_of: None,
             replica_poll: Duration::from_millis(100),
+            event_log_path: None,
+            event_log_rotate_bytes: db2graph_core::DEFAULT_ROTATE_BYTES,
+            slo: SloTargets::default(),
+            monitor_interval: Duration::from_millis(500),
+            monitor_window: Duration::from_secs(60),
         }
     }
 }
@@ -133,8 +161,13 @@ impl ServerConfig {
     /// Defaults overridden by `DB2GRAPH_HTTP_ADDR`, `DB2GRAPH_MAX_INFLIGHT`,
     /// `DB2GRAPH_QUERY_TIMEOUT_MS`, `DB2GRAPH_DATA_DIR`,
     /// `DB2GRAPH_DURABILITY`, `DB2GRAPH_CHECKPOINT_MS`,
-    /// `DB2GRAPH_SQL_ENDPOINT`, `DB2GRAPH_REPLICA_OF`, and
-    /// `DB2GRAPH_REPLICA_POLL_MS`.
+    /// `DB2GRAPH_SQL_ENDPOINT`, `DB2GRAPH_REPLICA_OF`,
+    /// `DB2GRAPH_REPLICA_POLL_MS`, `DB2GRAPH_EVENT_LOG`,
+    /// `DB2GRAPH_EVENT_LOG_ROTATE_BYTES`, the SLO targets
+    /// (`DB2GRAPH_SLO_P99_MS`, `DB2GRAPH_SLO_ERROR_PCT`,
+    /// `DB2GRAPH_MAX_REPLICA_LAG`, `DB2GRAPH_SLO_FSYNC_P99_MS`), and the
+    /// monitor cadence (`DB2GRAPH_MONITOR_MS`,
+    /// `DB2GRAPH_MONITOR_WINDOW_MS`).
     pub fn from_env() -> ServerConfig {
         let mut c = ServerConfig::default();
         if let Ok(addr) = std::env::var("DB2GRAPH_HTTP_ADDR") {
@@ -172,6 +205,24 @@ impl ServerConfig {
         if let Some(ms) = env_parse::<u64>("DB2GRAPH_REPLICA_POLL_MS") {
             c.replica_poll = Duration::from_millis(ms.max(1));
         }
+        if let Ok(path) = std::env::var("DB2GRAPH_EVENT_LOG") {
+            if !path.is_empty() {
+                c.event_log_path = Some(path);
+            }
+        }
+        if let Some(n) = env_parse::<u64>("DB2GRAPH_EVENT_LOG_ROTATE_BYTES") {
+            c.event_log_rotate_bytes = n.max(1024);
+        }
+        c.slo.p99_ms = env_parse::<f64>("DB2GRAPH_SLO_P99_MS");
+        c.slo.error_pct = env_parse::<f64>("DB2GRAPH_SLO_ERROR_PCT");
+        c.slo.max_replica_lag = env_parse::<u64>("DB2GRAPH_MAX_REPLICA_LAG");
+        c.slo.fsync_p99_ms = env_parse::<f64>("DB2GRAPH_SLO_FSYNC_P99_MS");
+        if let Some(ms) = env_parse::<u64>("DB2GRAPH_MONITOR_MS") {
+            c.monitor_interval = Duration::from_millis(ms.max(10));
+        }
+        if let Some(ms) = env_parse::<u64>("DB2GRAPH_MONITOR_WINDOW_MS") {
+            c.monitor_window = Duration::from_millis(ms.max(100));
+        }
         c
     }
 
@@ -203,29 +254,64 @@ fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
 /// Follower identity, present only when serving as a read replica: who
 /// the primary is (for 403 redirects and metrics labels) and the apply
 /// loop's counters.
-struct ReplicaInfo {
-    primary: String,
-    metrics: Arc<ReplicaMetrics>,
+pub(crate) struct ReplicaInfo {
+    pub(crate) primary: String,
+    pub(crate) metrics: Arc<ReplicaMetrics>,
 }
 
-/// State shared by the acceptor, the workers, and the handle.
-struct Shared {
-    graph: Arc<Db2Graph>,
-    config: ServerConfig,
-    metrics: ServerMetrics,
+/// State shared by the acceptor, the workers, the daemons, and the
+/// handle.
+pub(crate) struct Shared {
+    pub(crate) graph: Arc<Db2Graph>,
+    pub(crate) config: ServerConfig,
+    pub(crate) metrics: ServerMetrics,
     /// `Some` when this server is a log-shipping follower.
-    replica: Option<ReplicaInfo>,
+    pub(crate) replica: Option<ReplicaInfo>,
+    /// The structured operational event log (ring + optional JSONL file),
+    /// served by `GET /events`.
+    pub(crate) events: Arc<EventLog>,
+    /// The SLO monitor's current verdict, served by `GET /readyz`.
+    /// Default (never evaluated) is "ready".
+    pub(crate) health: Mutex<Health>,
+    /// Process start, for `uptime_seconds`.
+    pub(crate) started: Instant,
+    /// Request-id prefix: server start time in unix millis, hex. Makes
+    /// generated ids unique across restarts, not just within a process.
+    pub(crate) request_epoch: u64,
+    /// Monotonic suffix for generated request ids.
+    pub(crate) request_seq: AtomicU64,
     /// Admitted connections waiting for a worker.
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
+    pub(crate) queue: Mutex<VecDeque<TcpStream>>,
+    pub(crate) queue_cv: Condvar,
     /// Once true: the acceptor exits, workers drain the queue and exit.
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// Live `http-shed` courtesy threads (bounded; see [`shed`]).
-    shedding: AtomicUsize,
+    pub(crate) shedding: AtomicUsize,
     /// Join handles for shed threads, pruned as they finish; shutdown
     /// joins the stragglers so in-flight 429s complete before the
     /// [`DrainReport`] is final.
-    shed_threads: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) shed_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// The request's correlation id: the client's `X-Request-Id` when it
+    /// sent a usable one, else a generated `{epoch_hex}-{seq}`. Client
+    /// ids are sanitized (header-safe charset, bounded length) because
+    /// they are echoed into a response header and logs.
+    pub(crate) fn request_id(&self, req: Option<&Request>) -> String {
+        if let Some(claimed) = req.and_then(|r| r.header("x-request-id")) {
+            let cleaned: String = claimed
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+                .take(64)
+                .collect();
+            if !cleaned.is_empty() {
+                return cleaned;
+            }
+        }
+        let seq = self.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        format!("{:x}-{seq}", self.request_epoch)
+    }
 }
 
 /// The graph query service. [`GraphServer::start`] binds, spawns the
@@ -236,10 +322,55 @@ impl GraphServer {
     pub fn start(graph: Arc<Db2Graph>, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // The event log first: the daemons and the database hook all
+        // write into it. An unopenable sink file degrades to ring-only
+        // (with a stderr note) rather than refusing to serve.
+        let events = match &config.event_log_path {
+            Some(path) => {
+                match EventLog::new().with_file_sink(path, config.event_log_rotate_bytes) {
+                    Ok(log) => Arc::new(log),
+                    Err(e) => {
+                        eprintln!(
+                            "db2graph-server: cannot open event log '{path}': {e}; \
+                             keeping events in memory only"
+                        );
+                        Arc::new(EventLog::new())
+                    }
+                }
+            }
+            None => Arc::new(EventLog::new()),
+        };
+        // Storage-level happenings (checkpoints, WAL rotation, write
+        // conflicts) surface through the database's event hook; this
+        // adapter translates them into the server's event stream.
+        {
+            let sink = events.clone();
+            graph.database().set_event_hook(Some(Arc::new(move |e: &reldb::DbEvent| {
+                let _ = match e {
+                    reldb::DbEvent::CheckpointBegin { epoch } => {
+                        sink.emit("checkpoint_begin", vec![("epoch", Json::u64(*epoch))])
+                    }
+                    reldb::DbEvent::CheckpointEnd { epoch, wall_nanos } => sink.emit(
+                        "checkpoint_end",
+                        vec![
+                            ("epoch", Json::u64(*epoch)),
+                            ("wall_nanos", Json::u64(*wall_nanos)),
+                        ],
+                    ),
+                    reldb::DbEvent::WalRotation { cut_seq } => {
+                        sink.emit("wal_rotation", vec![("cut_seq", Json::u64(*cut_seq))])
+                    }
+                    reldb::DbEvent::TxnConflict { detail } => {
+                        sink.emit("txn_conflict", vec![("detail", Json::str(detail.clone()))])
+                    }
+                };
+            })));
+        }
         let vacuum = config.vacuum_interval.map(|interval| {
             VacuumDaemon::start(
                 graph.database().clone(),
                 graph.dialect().registry().clone(),
+                events.clone(),
                 interval,
                 config.checkpoint_interval,
             )
@@ -253,23 +384,51 @@ impl GraphServer {
                 primary,
                 config.replica_poll,
                 config.read_timeout,
+                events.clone(),
             )
         });
         let replica = replica_daemon.as_ref().map(|d| ReplicaInfo {
             primary: d.primary().to_string(),
             metrics: d.metrics().clone(),
         });
+        let request_epoch = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
         let shared = Arc::new(Shared {
             graph,
             config: config.clone(),
             metrics: ServerMetrics::default(),
             replica,
+            events,
+            health: Mutex::new(Health::default()),
+            started: Instant::now(),
+            request_epoch,
+            request_seq: AtomicU64::new(0),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             shedding: AtomicUsize::new(0),
             shed_threads: Mutex::new(Vec::new()),
         });
+        let monitor = config.slo.any().then(|| {
+            MonitorDaemon::start(
+                shared.clone(),
+                config.slo.clone(),
+                config.monitor_interval,
+                config.monitor_window,
+            )
+        });
+        shared.events.emit(
+            "server_started",
+            vec![
+                ("addr", Json::str(addr.to_string())),
+                (
+                    "role",
+                    Json::str(if shared.replica.is_some() { "replica" } else { "primary" }),
+                ),
+            ],
+        );
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
                 let shared = shared.clone();
@@ -286,7 +445,16 @@ impl GraphServer {
                 .spawn(move || accept_loop(&listener, &shared))
                 .expect("spawn acceptor")
         };
-        Ok(ServerHandle { shared, addr, acceptor: Some(acceptor), workers, vacuum, replica_daemon })
+        Ok(ServerHandle {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            vacuum,
+            replica_daemon,
+            monitor,
+            drained: false,
+        })
     }
 }
 
@@ -299,6 +467,10 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
     vacuum: Option<VacuumDaemon>,
     replica_daemon: Option<ReplicaDaemon>,
+    monitor: Option<MonitorDaemon>,
+    /// Whether `shutdown_impl` has already run (it is called from both
+    /// the explicit shutdown and `Drop`).
+    drained: bool,
 }
 
 impl ServerHandle {
@@ -310,6 +482,11 @@ impl ServerHandle {
     /// The serving-layer counters (admission, shedding, bytes).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.shared.metrics
+    }
+
+    /// The structured operational event log (also served by `/events`).
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.shared.events
     }
 
     /// Block until the acceptor thread exits (it never does on its own —
@@ -337,6 +514,10 @@ impl ServerHandle {
     }
 
     fn shutdown_impl(&mut self) {
+        if self.drained {
+            return;
+        }
+        self.drained = true;
         // Store the flag while holding the queue mutex. A worker decides
         // to wait only after checking the flag under this same lock, so
         // once the store below completes, any worker that read `false` has
@@ -372,12 +553,29 @@ impl ServerHandle {
         for h in stragglers {
             let _ = h.join();
         }
+        if let Some(m) = self.monitor.take() {
+            m.stop();
+        }
         if let Some(v) = self.vacuum.take() {
             v.stop();
         }
         if let Some(r) = self.replica_daemon.take() {
             r.stop();
         }
+        // Everything is down; the counters are final. Log the drain
+        // outcome, then detach the database hook so a db that outlives
+        // this server stops writing into a dead server's event log.
+        let m = &self.shared.metrics;
+        self.shared.events.emit(
+            "drain_report",
+            vec![
+                ("admitted", Json::u64(m.admitted())),
+                ("completed", Json::u64(m.completed())),
+                ("rejected", Json::u64(m.rejected())),
+                ("query_timeouts", Json::u64(m.query_timeouts())),
+            ],
+        );
+        self.shared.graph.database().set_event_hook(None);
     }
 }
 
@@ -408,7 +606,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 }
                 // A persistent accept error (e.g. EMFILE under an fd
                 // flood) would otherwise spin this loop at 100% CPU;
-                // pause briefly before retrying.
+                // count it, then pause briefly before retrying.
+                shared.metrics.record_accept_error();
                 std::thread::sleep(Duration::from_millis(50));
                 continue;
             }
@@ -472,8 +671,9 @@ fn shed(shared: &Arc<Shared>, stream: TcpStream) {
 fn answer_429(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
     // Consume the request (bounded by the same limits and total read
-    // deadline as real requests) so the close below is clean; ignore
-    // whatever it contained.
+    // deadline as real requests) so the close below is clean; keep only
+    // what correlation needs (the path and any client request id).
+    let mut shed_req = None;
     if let Ok(req) = http::read_request(
         &mut stream,
         shared.config.max_header_bytes,
@@ -481,16 +681,39 @@ fn answer_429(shared: &Shared, mut stream: TcpStream) {
         shared.config.read_timeout,
     ) {
         shared.metrics.record_bytes_in(req.wire_bytes);
+        shed_req = Some(req);
     }
+    let request_id = shared.request_id(shed_req.as_ref());
     let body = Json::obj(vec![
         ("error", Json::str("server saturated, retry later")),
         ("rejected", Json::Bool(true)),
+        ("request_id", Json::str(request_id.clone())),
     ])
     .to_compact();
-    if let Ok(n) = http::write_response(&mut stream, 429, &body) {
+    if let Ok(n) = http::write_response_with(
+        &mut stream,
+        429,
+        "application/json",
+        body.as_bytes(),
+        false,
+        &[("X-Request-Id", &request_id)],
+    ) {
         shared.metrics.record_bytes_out(n);
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
+    shared.events.emit(
+        "request_shed",
+        vec![
+            ("request_id", Json::str(request_id)),
+            (
+                "path",
+                match &shed_req {
+                    Some(r) => Json::str(r.path.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ],
+    );
 }
 
 fn worker_loop(shared: &Shared) {
@@ -522,11 +745,29 @@ enum Payload {
     Bytes { content_type: &'static str, data: Vec<u8> },
 }
 
+/// Normalize a request path to a bounded endpoint label for the
+/// per-endpoint latency histograms and events. Unknown paths are
+/// client-controlled strings, so they fold into one bucket rather than
+/// growing the label set.
+fn endpoint_label(path: &str) -> &str {
+    match path {
+        "/query" | "/explain" | "/profile" | "/sql" | "/metrics" | "/slow-queries"
+        | "/workload" | "/healthz" | "/readyz" | "/events" | "/wal" | "/checkpoint" => path,
+        _ => "<other>",
+    }
+}
+
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _gauge = shared.metrics.enter();
+    let started = Instant::now();
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut head_only = false;
+    let mut request_id = None;
+    let mut method = String::new();
+    // Requests that die before parsing still get a latency sample and an
+    // event, under a reserved label.
+    let mut endpoint = "<unparsed>".to_string();
     let (status, payload) = match http::read_request(
         &mut stream,
         shared.config.max_header_bytes,
@@ -536,7 +777,12 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         Ok(req) => {
             shared.metrics.record_bytes_in(req.wire_bytes);
             head_only = req.method == "HEAD";
-            route(shared, &req)
+            method = req.method.clone();
+            endpoint = endpoint_label(&req.path).to_string();
+            let rid = shared.request_id(Some(&req));
+            let out = route(shared, &req, &rid);
+            request_id = Some(rid);
+            out
         }
         Err(HttpError::Closed) => {
             // Nothing arrived; nothing to answer.
@@ -558,15 +804,55 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             (status, Payload::Json(Json::obj(vec![("error", Json::str(msg))])))
         }
     };
+    let request_id = request_id.unwrap_or_else(|| shared.request_id(None));
+    // A graph-deadline 503 carries `"timeout": true`; surface it (and the
+    // read-timeout 408) as a distinct event kind.
+    let timed_out = status == 408
+        || matches!(&payload, Payload::Json(j) if status == 503 && j.get("timeout").is_some());
+    // Every error response carries the correlation id in its JSON body as
+    // well as the header, so a copy-pasted error alone is traceable.
+    let payload = if status >= 400 {
+        shared.metrics.record_error_response();
+        match payload {
+            Payload::Json(Json::Obj(mut fields)) => {
+                if !fields.iter().any(|(k, _)| k == "request_id") {
+                    fields.push(("request_id".into(), Json::str(request_id.clone())));
+                }
+                Payload::Json(Json::Obj(fields))
+            }
+            other => other,
+        }
+    } else {
+        payload
+    };
     let (content_type, body) = match payload {
         Payload::Json(j) => ("application/json", j.to_compact().into_bytes()),
         Payload::Bytes { content_type, data } => (content_type, data),
     };
-    if let Ok(n) = http::write_response_raw(&mut stream, status, content_type, &body, head_only) {
+    if let Ok(n) = http::write_response_with(
+        &mut stream,
+        status,
+        content_type,
+        &body,
+        head_only,
+        &[("X-Request-Id", &request_id)],
+    ) {
         shared.metrics.record_bytes_out(n);
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
     shared.metrics.record_completed();
+    let latency_nanos = started.elapsed().as_nanos() as u64;
+    shared.metrics.record_endpoint_latency(&endpoint, latency_nanos);
+    shared.events.emit(
+        if timed_out { "request_timed_out" } else { "request_completed" },
+        vec![
+            ("request_id", Json::str(request_id)),
+            ("method", Json::str(method)),
+            ("endpoint", Json::str(endpoint)),
+            ("status", Json::u64(status as u64)),
+            ("latency_nanos", Json::u64(latency_nanos)),
+        ],
+    );
 }
 
 /// Pull the Gremlin script out of a request body: either a JSON object
@@ -615,7 +901,7 @@ fn graph_error_response(shared: &Shared, e: GraphError) -> (u16, Json) {
     (status, Json::obj(fields))
 }
 
-fn route(shared: &Shared, req: &Request) -> (u16, Payload) {
+fn route(shared: &Shared, req: &Request, request_id: &str) -> (u16, Payload) {
     // HEAD is answered as a headers-only GET: same status and
     // Content-Length as the GET would carry, no body bytes
     // (`handle_connection` suppresses them).
@@ -623,11 +909,47 @@ fn route(shared: &Shared, req: &Request) -> (u16, Payload) {
     match (method, req.path.as_str()) {
         ("GET", "/wal") => route_wal(shared, req),
         ("GET", "/checkpoint") => route_checkpoint(shared),
+        ("GET", "/metrics") if wants_prometheus(req) => (
+            200,
+            Payload::Bytes {
+                content_type: "text/plain; version=0.0.4",
+                data: render_prometheus(shared).into_bytes(),
+            },
+        ),
         _ => {
-            let (status, json) = route_json(shared, req, method);
+            let (status, json) = route_json(shared, req, method, request_id);
             (status, Payload::Json(json))
         }
     }
+}
+
+/// Content negotiation for `/metrics`: Prometheus scrapers send
+/// `Accept: text/plain`; `?format=prometheus` forces it for curl.
+fn wants_prometheus(req: &Request) -> bool {
+    if req.query_param("format") == Some("prometheus") {
+        return true;
+    }
+    req.header("accept").is_some_and(|a| a.contains("text/plain"))
+}
+
+/// The Prometheus rendering of `/metrics`, built from the *same* JSON
+/// sections the JSON form serves (see [`promtext::render`]).
+fn render_prometheus(shared: &Shared) -> String {
+    let queued = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let graph_json = shared.graph.metrics().to_json();
+    let server_json = shared.metrics.to_json(queued);
+    let replication_json =
+        shared.replica.as_ref().map(|rep| (rep.primary.as_str(), rep.metrics.to_json(&rep.primary)));
+    promtext::render(
+        &graph_json,
+        &server_json,
+        replication_json.as_ref().map(|(p, j)| (*p, j)),
+        shared.graph.dialect().registry().as_ref(),
+        &shared.metrics,
+        shared.graph.database().as_ref(),
+        shared.events.as_ref(),
+        shared.started.elapsed().as_secs(),
+    )
 }
 
 /// Primary side of log shipping: ship committed WAL frames from
@@ -704,12 +1026,13 @@ fn route_checkpoint(shared: &Shared) -> (u16, Payload) {
 }
 
 /// Every JSON endpoint. `method` is the request method with HEAD already
-/// normalized to GET.
-fn route_json(shared: &Shared, req: &Request, method: &str) -> (u16, Json) {
+/// normalized to GET; `request_id` is the correlation id the query
+/// observability chain (trace root span, slow-query log) records.
+fn route_json(shared: &Shared, req: &Request, method: &str, request_id: &str) -> (u16, Json) {
     let deadline = shared.config.query_timeout.map(|t| Instant::now() + t);
     match (method, req.path.as_str()) {
         ("POST", "/query") => match extract_gremlin(&req.body) {
-            Ok(g) => match shared.graph.run_with_deadline(&g, deadline) {
+            Ok(g) => match shared.graph.run_for_request(&g, deadline, Some(request_id)) {
                 Ok(values) => {
                     let results: Vec<Json> = values.iter().map(gvalue_to_json).collect();
                     (
@@ -732,7 +1055,7 @@ fn route_json(shared: &Shared, req: &Request, method: &str) -> (u16, Json) {
             Err(m) => bad_request(shared, m),
         },
         ("POST", "/profile") => match extract_gremlin(&req.body) {
-            Ok(g) => match shared.graph.profile_with_deadline(&g, deadline) {
+            Ok(g) => match shared.graph.profile_for_request(&g, deadline, Some(request_id)) {
                 Ok((values, report)) => {
                     let results: Vec<Json> = values.iter().map(gvalue_to_json).collect();
                     (
@@ -824,6 +1147,10 @@ fn route_json(shared: &Shared, req: &Request, method: &str) -> (u16, Json) {
             (200, Json::obj(vec![("slow_queries", shared.graph.slow_queries_json())]))
         }
         ("GET", "/workload") => (200, shared.graph.workload_report().to_json()),
+        ("GET", "/events") => {
+            let since = req.query_param("since").and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+            (200, shared.events.since_json(since))
+        }
         ("GET", "/healthz") => (
             200,
             Json::obj(vec![
@@ -834,10 +1161,20 @@ fn route_json(shared: &Shared, req: &Request, method: &str) -> (u16, Json) {
                 ),
                 ("commit_epoch", Json::u64(shared.graph.database().commit_epoch())),
                 ("in_flight", Json::u64(shared.metrics.in_flight())),
+                ("uptime_seconds", Json::u64(shared.started.elapsed().as_secs())),
             ]),
         ),
+        ("GET", "/readyz") => {
+            // Liveness (`/healthz`) says "the process answers"; readiness
+            // consults the SLO monitor's verdict so load balancers stop
+            // sending traffic to a degraded node — and resume when the
+            // rolling window recovers, no restart needed.
+            let health = shared.health.lock().unwrap_or_else(|e| e.into_inner());
+            let status = if health.degraded { 503 } else { 200 };
+            (status, health.to_json())
+        }
         (_, "/query" | "/sql" | "/explain" | "/profile" | "/metrics" | "/slow-queries"
-        | "/workload" | "/healthz" | "/wal" | "/checkpoint") => (
+        | "/workload" | "/healthz" | "/readyz" | "/events" | "/wal" | "/checkpoint") => (
             405,
             Json::obj(vec![("error", Json::str(format!("method {} not allowed", req.method)))]),
         ),

@@ -5,6 +5,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use db2graph_core::json::Json;
+use db2graph_core::HistogramSet;
+
+/// Key-set cap for the per-endpoint latency histograms: the endpoint
+/// namespace is fixed and tiny, so anything past this is `<other>`.
+const ENDPOINT_HISTOGRAM_KEYS: usize = 32;
 
 /// Atomic counters shared by the acceptor, every worker, and `/metrics`.
 #[derive(Debug, Default)]
@@ -29,11 +34,49 @@ pub struct ServerMetrics {
     bytes_out: AtomicU64,
     /// Gauge: requests currently being handled by workers.
     in_flight: AtomicU64,
+    /// `accept()` calls that failed (fd exhaustion, transient network
+    /// errors) — previously only backed off, never counted.
+    accept_errors: AtomicU64,
+    /// Responses written with a 4xx/5xx status (shed 429s count under
+    /// `rejected`, not here). The SLO monitor's error rate reads this.
+    error_responses: AtomicU64,
+    /// Wall-time latency per endpoint path, for per-endpoint p99 SLOs and
+    /// the Prometheus exposition.
+    endpoints: EndpointHistograms,
+}
+
+/// Wrapper so `ServerMetrics` can stay `Default` while bounding the
+/// endpoint key set.
+#[derive(Debug)]
+struct EndpointHistograms(HistogramSet);
+
+impl Default for EndpointHistograms {
+    fn default() -> EndpointHistograms {
+        EndpointHistograms(HistogramSet::new(ENDPOINT_HISTOGRAM_KEYS))
+    }
 }
 
 impl ServerMetrics {
     pub fn record_accepted(&self) {
         self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_error_response(&self) {
+        self.error_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one served request's wall time against its endpoint path.
+    pub fn record_endpoint_latency(&self, endpoint: &str, nanos: u64) {
+        self.endpoints.0.record(endpoint, nanos);
+    }
+
+    /// The per-endpoint latency histograms (path → log2 histogram).
+    pub fn endpoint_histograms(&self) -> &HistogramSet {
+        &self.endpoints.0
     }
 
     pub fn record_admitted(&self) {
@@ -99,6 +142,14 @@ impl ServerMetrics {
         self.in_flight.load(Ordering::Relaxed)
     }
 
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    pub fn error_responses(&self) -> u64 {
+        self.error_responses.load(Ordering::Relaxed)
+    }
+
     /// JSON for the `server` section of `/metrics`. `queued` is passed in
     /// by the caller, which owns the admission queue.
     pub fn to_json(&self, queued: usize) -> Json {
@@ -113,6 +164,9 @@ impl ServerMetrics {
             ("bytes_out", Json::u64(self.bytes_out.load(Ordering::Relaxed))),
             ("in_flight", Json::u64(self.in_flight())),
             ("queued", Json::u64(queued as u64)),
+            ("accept_errors", Json::u64(self.accept_errors())),
+            ("error_responses", Json::u64(self.error_responses())),
+            ("endpoint_latency", self.endpoints.0.to_json()),
         ])
     }
 }

@@ -1,0 +1,254 @@
+//! Hand-rolled Prometheus text exposition (format version 0.0.4) for
+//! `GET /metrics` with `Accept: text/plain` or `?format=prometheus`.
+//!
+//! The JSON form of `/metrics` stays the source of truth and its schema
+//! is untouched; this module *re-renders* the same numbers so a stock
+//! Prometheus scraper can consume them without a sidecar exporter — the
+//! paper's retrofit argument applied to operations: the graph layer must
+//! plug into the host fleet's standard monitoring, not ship its own.
+//!
+//! Mapping rules:
+//! * every numeric leaf of a JSON section becomes
+//!   `db2graph_<section>_<key>` (so a metric added to the JSON later is
+//!   automatically exposed here — coverage can't silently drift);
+//! * the log2 latency histograms become native Prometheus histograms in
+//!   seconds: cumulative `le` buckets (bucket upper bounds are the
+//!   `2^i - 1` nanosecond boundaries), terminated by `+Inf`, plus `_sum`
+//!   and `_count`;
+//! * keyed histogram sets (`sql_templates`, `step_kinds`, per-endpoint
+//!   latency) become one labeled histogram series each.
+
+use db2graph_core::json::Json;
+use db2graph_core::{EventLog, Histogram, HistogramSet, MetricsRegistry};
+
+use crate::metrics::ServerMetrics;
+
+/// Gauge-typed metric names (per section); everything else numeric is
+/// exposed as a counter. Misclassifying a name costs only the `# TYPE`
+/// annotation, never the value.
+fn is_gauge(key: &str) -> bool {
+    matches!(
+        key,
+        "in_flight"
+            | "queued"
+            | "commit_epoch"
+            | "snapshot_horizon"
+            | "active_snapshots"
+            | "trace_spans"
+            | "replica_applied_epoch"
+            | "replication_lag_records"
+            | "uptime_seconds"
+    ) || key.ends_with("_nanos")
+}
+
+/// Escape a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_metric(out: &mut String, name: &str, kind: &str, value: f64) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&fmt_f64(value));
+    out.push('\n');
+}
+
+/// Render every numeric leaf of a `/metrics` JSON section as
+/// `db2graph_<section>_<key>`. Nested objects are skipped — those are the
+/// keyed histograms, exposed natively by the callers below.
+fn push_section(out: &mut String, section: &str, json: &Json) {
+    let Some(fields) = json.as_object() else { return };
+    for (key, value) in fields {
+        if let Json::Num(n) = value {
+            let name = format!("db2graph_{section}_{key}");
+            push_metric(out, &name, if is_gauge(key) { "gauge" } else { "counter" }, *n);
+        }
+    }
+}
+
+/// One histogram exposed in seconds from cumulative nanosecond buckets.
+fn push_histogram_buckets(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    buckets: &[(u64, u64)],
+    count: u64,
+    sum_nanos: u64,
+) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (upper, cum) in buckets {
+        // The top bucket's upper bound is u64::MAX nanos — effectively
+        // unbounded; folding it into +Inf keeps `le` values meaningful.
+        if *upper == u64::MAX {
+            continue;
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cum}\n",
+            fmt_f64(*upper as f64 / 1e9)
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {count}\n"));
+    if labels.is_empty() {
+        out.push_str(&format!("{name}_sum {}\n", fmt_f64(sum_nanos as f64 / 1e9)));
+        out.push_str(&format!("{name}_count {count}\n"));
+    } else {
+        out.push_str(&format!("{name}_sum{{{labels}}} {}\n", fmt_f64(sum_nanos as f64 / 1e9)));
+        out.push_str(&format!("{name}_count{{{labels}}} {count}\n"));
+    }
+}
+
+fn push_histogram(out: &mut String, name: &str, hist: &Histogram) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    push_histogram_buckets(out, name, "", &hist.cumulative_buckets(), hist.count(), hist.sum());
+}
+
+fn push_histogram_set(out: &mut String, name: &str, label: &str, set: &HistogramSet) {
+    let entries = set.entries();
+    if entries.is_empty() {
+        return;
+    }
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    for (key, hist) in entries {
+        let labels = format!("{label}=\"{}\"", escape_label(&key));
+        push_histogram_buckets(
+            out,
+            name,
+            &labels,
+            &hist.cumulative_buckets(),
+            hist.count(),
+            hist.sum(),
+        );
+    }
+}
+
+/// Everything `/metrics` knows, in Prometheus text format. `graph_json`,
+/// `server_json`, and `replication_json` are the exact JSON sections the
+/// JSON form serves, so the two formats can never disagree on a value's
+/// name or meaning.
+#[allow(clippy::too_many_arguments)]
+pub fn render(
+    graph_json: &Json,
+    server_json: &Json,
+    replication_json: Option<(&str, &Json)>,
+    registry: &MetricsRegistry,
+    server: &ServerMetrics,
+    db: &reldb::Database,
+    events: &EventLog,
+    uptime_seconds: u64,
+) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    push_section(&mut out, "graph", graph_json);
+    push_section(&mut out, "server", server_json);
+    if let Some((primary, json)) = replication_json {
+        push_section(&mut out, "replication", json);
+        out.push_str("# TYPE db2graph_replication_info gauge\n");
+        out.push_str(&format!(
+            "db2graph_replication_info{{primary=\"{}\"}} 1\n",
+            escape_label(primary)
+        ));
+    }
+    push_metric(&mut out, "db2graph_server_uptime_seconds", "gauge", uptime_seconds as f64);
+    push_metric(&mut out, "db2graph_events_emitted_total", "counter", events.emitted() as f64);
+    push_metric(
+        &mut out,
+        "db2graph_events_dropped_writes_total",
+        "counter",
+        events.dropped_writes() as f64,
+    );
+    push_metric(&mut out, "db2graph_txn_conflicts_total", "counter", db.txn_conflicts() as f64);
+
+    push_histogram(&mut out, "db2graph_query_latency_seconds", registry.query_latency());
+    push_histogram(&mut out, "db2graph_sql_latency_seconds", registry.sql_latency());
+    push_histogram_set(
+        &mut out,
+        "db2graph_sql_template_latency_seconds",
+        "template",
+        registry.sql_templates(),
+    );
+    push_histogram_set(&mut out, "db2graph_step_latency_seconds", "step", registry.step_kinds());
+    push_histogram_set(
+        &mut out,
+        "db2graph_http_request_latency_seconds",
+        "endpoint",
+        server.endpoint_histograms(),
+    );
+    // WAL fsync latency straight from the durability layer (empty — just
+    // the +Inf bucket — on in-memory databases).
+    out.push_str("# TYPE db2graph_wal_fsync_latency_seconds histogram\n");
+    push_histogram_buckets(
+        &mut out,
+        "db2graph_wal_fsync_latency_seconds",
+        "",
+        &db.wal_fsync_buckets(),
+        db.wal_fsync_count(),
+        db.wal_fsync_sum_nanos(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_render_numeric_leaves_and_skip_nested() {
+        let json = Json::obj(vec![
+            ("traversals", Json::u64(7)),
+            ("in_flight", Json::u64(2)),
+            ("nested", Json::obj(vec![("x", Json::u64(1))])),
+            ("name", Json::str("not a number")),
+        ]);
+        let mut out = String::new();
+        push_section(&mut out, "graph", &json);
+        assert!(out.contains("# TYPE db2graph_graph_traversals counter\n"), "{out}");
+        assert!(out.contains("db2graph_graph_traversals 7\n"), "{out}");
+        assert!(out.contains("# TYPE db2graph_graph_in_flight gauge\n"), "{out}");
+        assert!(!out.contains("nested"), "{out}");
+        assert!(!out.contains("not a number"), "{out}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 700, 9_000_000] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        push_histogram(&mut out, "test_seconds", &h);
+        let bucket_counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("test_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]), "{out}");
+        assert!(out.contains("le=\"+Inf\"} 5\n"), "{out}");
+        assert!(out.contains("test_seconds_count 5\n"), "{out}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -30,6 +30,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use db2graph_core::json::Json;
+use db2graph_core::EventLog;
 use reldb::{Database, WalTail};
 
 use crate::client::http_call_bytes;
@@ -265,6 +266,7 @@ impl ReplicaDaemon {
         primary: String,
         poll: Duration,
         timeout: Duration,
+        events: Arc<EventLog>,
     ) -> ReplicaDaemon {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let metrics = Arc::new(ReplicaMetrics::default());
@@ -277,35 +279,72 @@ impl ReplicaDaemon {
                 .spawn(move || {
                     let (lock, cv) = &*stop;
                     let mut backoff = poll;
+                    // Emit the reconnect event only on the healthy→down
+                    // edge, not every backoff retry while down.
+                    let mut was_connected = true;
                     loop {
                         let wait = match replicate_step(&db, &primary, timeout, &metrics) {
                             // Still behind (or just bootstrapped): keep
                             // streaming without a pause.
                             Ok(StepOutcome::Applied { records, .. }) if records > 0 => {
+                                was_connected = true;
                                 backoff = poll;
                                 Duration::ZERO
                             }
                             Ok(StepOutcome::Bootstrapped) => {
+                                events.emit(
+                                    "replica_bootstrap",
+                                    vec![
+                                        ("primary", Json::str(primary.clone())),
+                                        ("applied_epoch", Json::u64(db.commit_epoch())),
+                                    ],
+                                );
+                                was_connected = true;
                                 backoff = poll;
                                 Duration::ZERO
                             }
                             Ok(StepOutcome::Applied { .. }) => {
+                                was_connected = true;
                                 backoff = poll;
                                 poll
                             }
                             Err(e) => {
                                 metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+                                if was_connected {
+                                    events.emit(
+                                        "replica_reconnect",
+                                        vec![
+                                            ("primary", Json::str(primary.clone())),
+                                            ("error", Json::str(e.to_string())),
+                                        ],
+                                    );
+                                }
+                                was_connected = false;
                                 backoff = (backoff * 2).min(MAX_BACKOFF);
                                 // A protocol error means identical retries
                                 // are useless: drop our position so the
                                 // next round re-bootstraps from the
                                 // checkpoint instead of looping on a
                                 // poisoned stream.
-                                if let StepError::Protocol(_) = e {
+                                if let StepError::Protocol(detail) = &e {
+                                    events.emit(
+                                        "replica_gap",
+                                        vec![
+                                            ("primary", Json::str(primary.clone())),
+                                            ("detail", Json::str(detail.clone())),
+                                        ],
+                                    );
                                     if let Err(e) = bootstrap(&db, &primary, timeout) {
                                         let _ = e; // primary still down; backoff covers it
                                     } else {
                                         metrics.bootstraps.fetch_add(1, Ordering::Relaxed);
+                                        events.emit(
+                                            "replica_bootstrap",
+                                            vec![
+                                                ("primary", Json::str(primary.clone())),
+                                                ("applied_epoch", Json::u64(db.commit_epoch())),
+                                            ],
+                                        );
                                     }
                                 }
                                 backoff

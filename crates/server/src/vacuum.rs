@@ -16,7 +16,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use db2graph_core::MetricsRegistry;
+use db2graph_core::json::Json;
+use db2graph_core::{EventLog, MetricsRegistry};
 use reldb::Database;
 
 /// Periodically calls [`Database::vacuum`] (and, on its own slower
@@ -34,6 +35,7 @@ impl VacuumDaemon {
     pub fn start(
         db: Arc<Database>,
         registry: Arc<MetricsRegistry>,
+        events: Arc<EventLog>,
         interval: Duration,
         checkpoint_interval: Option<Duration>,
     ) -> VacuumDaemon {
@@ -57,6 +59,14 @@ impl VacuumDaemon {
                             let n = db.vacuum() as u64;
                             registry.record_vacuum(n);
                             reclaimed.fetch_add(n, Ordering::Relaxed);
+                            // Idle ticks reclaim nothing; logging them
+                            // would only drown real events.
+                            if n > 0 {
+                                events.emit(
+                                    "vacuum_run",
+                                    vec![("reclaimed_versions", Json::u64(n))],
+                                );
+                            }
                             if let Some(every) = checkpoint_interval {
                                 if final_pass || last_checkpoint.elapsed() >= every {
                                     // A checkpoint failure (disk full, or a

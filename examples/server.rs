@@ -60,6 +60,6 @@ fn main() {
         }
     };
     println!("db2graph server listening on http://{}", handle.addr());
-    println!("endpoints: POST /query /explain /profile (/sql if DB2GRAPH_SQL_ENDPOINT=1) · GET /metrics /slow-queries /workload /healthz /wal /checkpoint");
+    println!("endpoints: POST /query /explain /profile (/sql if DB2GRAPH_SQL_ENDPOINT=1) · GET /metrics /slow-queries /workload /healthz /readyz /events /wal /checkpoint");
     handle.wait();
 }
