@@ -5,6 +5,11 @@
 //! (the RDBMS engine, and now the service in front of it, is good at
 //! handling concurrent queries).
 //!
+//! Every shape runs twice: `close` mode (a fresh TCP connection per
+//! request, the pre-keep-alive serving path) and `keepalive` mode (each
+//! client reuses one persistent connection) — the delta is what the
+//! persistent-connection request loop saves in dial/teardown churn.
+//!
 //! Knobs: `SRV_CLIENTS` (default 2x cores), `SRV_REQUESTS` (per client,
 //! default 200), `SRV_ACCOUNTS` (dataset size, default 1 000),
 //! `DB2GRAPH_THREADS` (intra-query fan-out).
@@ -15,7 +20,7 @@ use std::time::{Duration, Instant};
 use bench::report::BenchReport;
 use db2graph_core::json::Json;
 use db2graph_core::{Db2Graph, GraphOptions, Histogram, OverlayConfig, VTableConfig};
-use db2graph_server::{http_call, GraphServer, ServerConfig};
+use db2graph_server::{http_call, GraphServer, HttpClient, ServerConfig};
 use reldb::Database;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -76,57 +81,69 @@ fn main() {
         ("filter + count", "g.V().has('balance', 105).count()"),
     ];
     for (name, gremlin) in shapes {
-        let hist = Histogram::default();
-        let errors = std::sync::atomic::AtomicUsize::new(0);
-        let started = Instant::now();
-        std::thread::scope(|s| {
-            for _ in 0..clients {
-                s.spawn(|| {
-                    for _ in 0..requests {
-                        let t = Instant::now();
-                        match http_call(addr, "POST", "/query", gremlin, Duration::from_secs(30))
-                        {
-                            Ok(r) if r.status == 200 => {
-                                hist.record(t.elapsed().as_nanos() as u64)
-                            }
-                            _ => {
+        for keepalive in [false, true] {
+            let mode = if keepalive { "keepalive" } else { "close" };
+            let hist = Histogram::default();
+            let errors = std::sync::atomic::AtomicUsize::new(0);
+            let started = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..clients {
+                    s.spawn(|| {
+                        let mut client = HttpClient::new(addr, Duration::from_secs(30));
+                        for _ in 0..requests {
+                            let t = Instant::now();
+                            let ok = if keepalive {
+                                matches!(client.call("POST", "/query", gremlin),
+                                         Ok(r) if r.status == 200)
+                            } else {
+                                matches!(
+                                    http_call(addr, "POST", "/query", gremlin,
+                                              Duration::from_secs(30)),
+                                    Ok(r) if r.status == 200
+                                )
+                            };
+                            if ok {
+                                hist.record(t.elapsed().as_nanos() as u64);
+                            } else {
                                 errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             }
                         }
-                    }
-                });
-            }
-        });
-        let wall = started.elapsed();
-        let (p50, p90, p99) = hist.percentiles();
-        let total = clients * requests;
-        let req_per_sec = total as f64 / wall.as_secs_f64();
-        let failed = errors.load(std::sync::atomic::Ordering::Relaxed);
-        println!(
-            "{name:>15}: {:>8.0} req/s | p50 {:>7.3} ms | p90 {:>7.3} ms | p99 {:>7.3} ms | {} ok, {} failed",
-            req_per_sec,
-            p50 as f64 / 1e6,
-            p90 as f64 / 1e6,
-            p99 as f64 / 1e6,
-            hist.count(),
-            failed,
-        );
-        report.push(Json::obj(vec![
-            ("shape", Json::str(*name)),
-            ("req_per_sec", Json::num(req_per_sec)),
-            ("p50_ms", Json::num(p50 as f64 / 1e6)),
-            ("p90_ms", Json::num(p90 as f64 / 1e6)),
-            ("p99_ms", Json::num(p99 as f64 / 1e6)),
-            ("ok", Json::u64(hist.count())),
-            ("failed", Json::u64(failed as u64)),
-        ]));
+                    });
+                }
+            });
+            let wall = started.elapsed();
+            let (p50, p90, p99) = hist.percentiles();
+            let total = clients * requests;
+            let req_per_sec = total as f64 / wall.as_secs_f64();
+            let failed = errors.load(std::sync::atomic::Ordering::Relaxed);
+            println!(
+                "{name:>15} [{mode:>9}]: {:>8.0} req/s | p50 {:>7.3} ms | p90 {:>7.3} ms | p99 {:>7.3} ms | {} ok, {} failed",
+                req_per_sec,
+                p50 as f64 / 1e6,
+                p90 as f64 / 1e6,
+                p99 as f64 / 1e6,
+                hist.count(),
+                failed,
+            );
+            report.push(Json::obj(vec![
+                ("shape", Json::str(*name)),
+                ("mode", Json::str(mode)),
+                ("req_per_sec", Json::num(req_per_sec)),
+                ("p50_ms", Json::num(p50 as f64 / 1e6)),
+                ("p90_ms", Json::num(p90 as f64 / 1e6)),
+                ("p99_ms", Json::num(p99 as f64 / 1e6)),
+                ("ok", Json::u64(hist.count())),
+                ("failed", Json::u64(failed as u64)),
+            ]));
+        }
     }
     report.write();
 
+    let reuses = handle.metrics().keepalive_reuses();
     let report = handle.shutdown();
     println!(
-        "\nserver drained: {} admitted, {} completed, {} shed with 429\n",
-        report.admitted, report.completed, report.rejected
+        "\nserver drained: {} admitted, {} completed, {} shed with 429, {} keep-alive reuses\n",
+        report.admitted, report.completed, report.rejected, reuses
     );
     assert_eq!(report.admitted, report.completed, "drain invariant");
 }

@@ -9,7 +9,8 @@
 //! survives until the snapshot is dropped (vacuum computes its horizon from
 //! the registry). See `docs/CONSISTENCY.md` for the full model.
 
-use std::collections::{BTreeMap, HashSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -60,6 +61,13 @@ struct SnapshotTracker {
 #[derive(Clone)]
 pub struct Snapshot {
     epoch: u64,
+    /// The uncommitted-marker stamp this snapshot additionally sees (0 =
+    /// none). Nonzero only for snapshots pinned inside a session
+    /// transaction: the session's own uncommitted writes stay visible to
+    /// its queries — including clones handed to parallel fan-out workers
+    /// on other threads, which is exactly why the stamp rides the
+    /// snapshot instead of a thread-local.
+    stamp: u64,
     /// Held only for its drop (the tracker deregistration); never read.
     #[allow(dead_code)]
     guard: Arc<SnapshotGuard>,
@@ -75,13 +83,19 @@ struct SnapshotGuard {
 impl Snapshot {
     /// Wrap an epoch whose tracker count [`Database::snapshot`] has
     /// already incremented; the guard's drop performs the one decrement.
-    fn register_preincremented(epoch: u64, tracker: Arc<SnapshotTracker>) -> Snapshot {
-        Snapshot { epoch, guard: Arc::new(SnapshotGuard { epoch, tracker }) }
+    fn register_preincremented(epoch: u64, stamp: u64, tracker: Arc<SnapshotTracker>) -> Snapshot {
+        Snapshot { epoch, stamp, guard: Arc::new(SnapshotGuard { epoch, tracker }) }
     }
 
     /// The commit epoch this snapshot is pinned to.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The uncommitted-marker stamp this snapshot sees in addition to its
+    /// epoch (0 outside session transactions).
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 }
 
@@ -134,6 +148,15 @@ pub struct Database {
     views: RwLock<BTreeMap<String, ViewDef>>,
     functions: RwLock<BTreeMap<String, Arc<dyn TableFunction>>>,
     active_txn: Mutex<Option<TxnState>>,
+    /// Session transactions: multi-statement transactions that outlive a
+    /// single thread's attention, keyed by their stamp (the session
+    /// token). `None` marks a checked-out entry — some thread has adopted
+    /// it via [`Database::with_session_txn`] and is executing inside it
+    /// right now, so commit/rollback/reap must wait (they error with
+    /// "busy" rather than block). Unlike `active_txn`, any number of
+    /// session transactions may be open concurrently; writes race under
+    /// the same first-writer-wins conflict rules as auto-commit units.
+    session_txns: Mutex<HashMap<u64, Option<TxnState>>>,
     /// Serializes engine-level transactions (`transaction()` blocks here
     /// while another writer's closure runs, instead of erroring).
     txn_gate: Mutex<()>,
@@ -206,6 +229,57 @@ impl std::fmt::Debug for Database {
     }
 }
 
+// ------------------------------------------------- session transactions
+//
+// A session transaction lives in `Database::session_txns` between network
+// requests and is *adopted* by whichever worker thread executes the next
+// request (`Database::with_session_txn`). Adoption parks the transaction's
+// state in this thread-local so the ordinary owner-aware paths
+// (`current_stamp`, `begin_stmt_write`, `record_write`) route reads and
+// writes to it without consulting thread identity — the registry slot
+// holds `None` while adopted, so commit/rollback/reap observe "busy"
+// instead of racing an in-flight request.
+thread_local! {
+    static ADOPTED: RefCell<Option<Adopted>> = const { RefCell::new(None) };
+}
+
+struct Adopted {
+    /// Identity of the adopting database (its address), so two databases
+    /// used from one thread can never confuse each other's sessions.
+    db: usize,
+    token: u64,
+    state: TxnState,
+}
+
+/// Returns an adopted session transaction to its registry slot when the
+/// `with_session_txn` closure exits — by any path, including a panic, so
+/// a crashed request leaves the session intact for an explicit rollback
+/// or the reaper rather than stranding it checked-out forever.
+struct AdoptionGuard<'a> {
+    db: &'a Database,
+}
+
+impl Drop for AdoptionGuard<'_> {
+    fn drop(&mut self) {
+        let ident = self.db.ident();
+        let adopted = ADOPTED.with(|a| {
+            let mut slot = a.borrow_mut();
+            if slot.as_ref().is_some_and(|ad| ad.db == ident) { slot.take() } else { None }
+        });
+        if let Some(ad) = adopted {
+            if let Some(slot) = self.db.session_txns.lock().get_mut(&ad.token) {
+                *slot = Some(ad.state);
+            } else {
+                // The registry entry vanished while adopted — impossible
+                // through the public API (commit/rollback/reap refuse busy
+                // sessions) — but settle the log anyway rather than strand
+                // permanent uncommitted markers.
+                let _ = self.db.rollback_ops(ad.state.log, ad.state.stamp);
+            }
+        }
+    }
+}
+
 impl Database {
     pub fn new() -> Database {
         Database {
@@ -213,6 +287,7 @@ impl Database {
             views: RwLock::new(BTreeMap::new()),
             functions: RwLock::new(BTreeMap::new()),
             active_txn: Mutex::new(None),
+            session_txns: Mutex::new(HashMap::new()),
             txn_gate: Mutex::new(()),
             commit_lock: Mutex::new(()),
             commit_epoch: AtomicU64::new(0),
@@ -266,7 +341,11 @@ impl Database {
         let epoch = self.commit_epoch.load(Ordering::Acquire);
         *active.entry(epoch).or_insert(0) += 1;
         drop(active);
-        Snapshot::register_preincremented(epoch, tracker)
+        // A snapshot pinned while a transaction is open on this thread
+        // (a session adoption, or a thread-owned txn) carries the txn's
+        // stamp, so pinned reads — including fan-out clones — keep seeing
+        // the transaction's own uncommitted writes.
+        Snapshot::register_preincremented(epoch, self.current_stamp(), tracker)
     }
 
     /// The highest published commit epoch.
@@ -308,8 +387,13 @@ impl Database {
     /// The open transaction's stamp — but only for its owning thread.
     /// Any other thread gets 0 (matching no uncommitted marker), so a
     /// concurrent plain read never observes a foreign transaction's
-    /// uncommitted writes.
+    /// uncommitted writes. A thread that has adopted a session
+    /// transaction (see [`Database::with_session_txn`]) gets that
+    /// session's stamp.
     fn current_stamp(&self) -> u64 {
+        if let Some(stamp) = self.adopted_stamp() {
+            return stamp;
+        }
         let me = std::thread::current().id();
         self.active_txn.lock().as_ref().filter(|t| t.owner == me).map_or(0, |t| t.stamp)
     }
@@ -937,7 +1021,10 @@ impl Database {
         match stmt {
             Stmt::Select(q) => {
                 let view = match snap {
-                    Some(s) => ReadView::committed(s.epoch()),
+                    // The snapshot's stamp (nonzero inside a session
+                    // transaction) keeps the transaction's own writes
+                    // visible to its pinned reads.
+                    Some(s) => ReadView { snap: s.epoch(), stamp: s.stamp() },
                     None => self.read_view(),
                 };
                 execute_select(self, q, &view)
@@ -1041,6 +1128,11 @@ impl Database {
             }
             Stmt::Delete { table, where_clause } => self.run_delete(table, where_clause.as_ref()),
             Stmt::Begin => {
+                if self.adopted_stamp().is_some() {
+                    return Err(DbError::Txn(
+                        "BEGIN is not allowed inside a session transaction".into(),
+                    ));
+                }
                 let mut txn = self.active_txn.lock();
                 if txn.is_some() {
                     return Err(DbError::Txn("transaction already in progress".into()));
@@ -1049,6 +1141,13 @@ impl Database {
                 Ok(count_result(0))
             }
             Stmt::Commit => {
+                if self.adopted_stamp().is_some() {
+                    return Err(DbError::Txn(
+                        "COMMIT is not allowed inside a session transaction; \
+                         end the session instead"
+                            .into(),
+                    ));
+                }
                 let st = self.take_owned_txn("COMMIT")?;
                 match self.commit_ops(&st.log, st.stamp) {
                     Ok(()) => Ok(count_result(0)),
@@ -1056,6 +1155,13 @@ impl Database {
                 }
             }
             Stmt::Rollback => {
+                if self.adopted_stamp().is_some() {
+                    return Err(DbError::Txn(
+                        "ROLLBACK is not allowed inside a session transaction; \
+                         end the session instead"
+                            .into(),
+                    ));
+                }
                 let st = self.take_owned_txn("ROLLBACK")?;
                 self.rollback_ops(st.log, st.stamp)?;
                 Ok(count_result(0))
@@ -1079,7 +1185,9 @@ impl Database {
     /// already holds a transaction (including an open SQL `BEGIN`) errors.
     pub fn transaction<T>(&self, f: impl FnOnce(&Database) -> DbResult<T>) -> DbResult<T> {
         let me = std::thread::current().id();
-        if self.active_txn.lock().as_ref().is_some_and(|t| t.owner == me) {
+        if self.adopted_stamp().is_some()
+            || self.active_txn.lock().as_ref().is_some_and(|t| t.owner == me)
+        {
             return Err(DbError::Txn("transaction already in progress".into()));
         }
         let _gate = self.txn_gate.lock();
@@ -1124,6 +1232,124 @@ impl Database {
             ))),
             Some(_) => Ok(txn.take().expect("checked above")),
         }
+    }
+
+    // ------------------------------------------------ session transactions
+
+    fn ident(&self) -> usize {
+        self as *const Database as usize
+    }
+
+    /// The stamp of the session transaction this thread has adopted from
+    /// *this* database, if any.
+    fn adopted_stamp(&self) -> Option<u64> {
+        let ident = self.ident();
+        ADOPTED
+            .with(|a| a.borrow().as_ref().filter(|ad| ad.db == ident).map(|ad| ad.state.stamp))
+    }
+
+    /// Begin a session transaction: one that lives *between* calls in a
+    /// registry rather than on a thread, so a network session can stretch
+    /// a single transaction across requests served by different worker
+    /// threads. Returns the token (== the transaction's stamp) naming it
+    /// for [`Database::with_session_txn`] /
+    /// [`Database::commit_session_txn`] /
+    /// [`Database::rollback_session_txn`]. Any number may be open
+    /// concurrently; conflicting writers settle first-writer-wins exactly
+    /// like thread-owned transactions.
+    pub fn begin_session_txn(&self) -> u64 {
+        let stamp = self.alloc_stamp();
+        self.session_txns.lock().insert(stamp, Some(TxnState::new(stamp)));
+        stamp
+    }
+
+    /// Run `f` with session transaction `token` adopted onto this thread:
+    /// statements `f` executes join the session's transaction — its reads
+    /// see the session's uncommitted writes, its writes land in the
+    /// session's undo log. Errors if the token is unknown (already
+    /// committed, rolled back, or reaped), if the session is busy on
+    /// another thread, or if this thread already has any transaction open
+    /// (no nesting).
+    pub fn with_session_txn<R>(&self, token: u64, f: impl FnOnce(&Database) -> R) -> DbResult<R> {
+        let me = std::thread::current().id();
+        if self.adopted_stamp().is_some()
+            || self.active_txn.lock().as_ref().is_some_and(|t| t.owner == me)
+        {
+            return Err(DbError::Txn(
+                "cannot adopt a session transaction inside another transaction".into(),
+            ));
+        }
+        let state = {
+            let mut map = self.session_txns.lock();
+            match map.get_mut(&token) {
+                None => return Err(DbError::Txn(format!("no session transaction {token}"))),
+                Some(slot) => match slot.take() {
+                    None => {
+                        return Err(DbError::Txn(format!(
+                            "session transaction {token} is busy on another thread"
+                        )))
+                    }
+                    Some(state) => state,
+                },
+            }
+        };
+        ADOPTED.with(|a| *a.borrow_mut() = Some(Adopted { db: self.ident(), token, state }));
+        let _guard = AdoptionGuard { db: self };
+        Ok(f(self))
+    }
+
+    /// Remove session transaction `token` from the registry for
+    /// commit/rollback/reap. Errors if unknown or currently adopted by an
+    /// in-flight request — ending a session never races its own work.
+    fn take_session_txn(&self, token: u64, verb: &str) -> DbResult<TxnState> {
+        let mut map = self.session_txns.lock();
+        match map.get(&token) {
+            None => Err(DbError::Txn(format!("no session transaction {token}"))),
+            Some(None) => Err(DbError::Txn(format!(
+                "{verb}: session transaction {token} is busy on another thread"
+            ))),
+            Some(Some(_)) => Ok(map.remove(&token).flatten().expect("checked above")),
+        }
+    }
+
+    /// Commit session transaction `token`, publishing its writes as one
+    /// atomic epoch. On a commit failure the writes are rolled back — the
+    /// session is over either way.
+    pub fn commit_session_txn(&self, token: u64) -> DbResult<()> {
+        let st = self.take_session_txn(token, "commit")?;
+        match self.commit_ops(&st.log, st.stamp) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.rollback_preserving(st.log, st.stamp, e)),
+        }
+    }
+
+    /// Roll back session transaction `token`, undoing every write it made.
+    pub fn rollback_session_txn(&self, token: u64) -> DbResult<()> {
+        let st = self.take_session_txn(token, "rollback")?;
+        self.rollback_ops(st.log, st.stamp)
+    }
+
+    /// Number of open session transactions (parked or adopted).
+    pub fn session_txn_count(&self) -> usize {
+        self.session_txns.lock().len()
+    }
+
+    /// Move `op` into the adopted session transaction's log if this thread
+    /// has adopted one with `stamp`; hand the op back otherwise. (An
+    /// explicit `Option` round-trip: a closure cannot both move the op and
+    /// fall through with it.)
+    fn try_record_adopted(&self, stamp: u64, op: UndoOp) -> Option<UndoOp> {
+        let ident = self.ident();
+        ADOPTED.with(|a| {
+            let mut slot = a.borrow_mut();
+            match slot.as_mut() {
+                Some(ad) if ad.db == ident && ad.state.stamp == stamp => {
+                    ad.state.log.record(op);
+                    None
+                }
+                _ => Some(op),
+            }
+        })
     }
 
     /// Publish a transaction's writes: under the commit lock, seal the
@@ -1217,6 +1443,11 @@ impl Database {
     /// this thread has open if any, otherwise start an auto-commit unit
     /// with a fresh stamp.
     fn begin_stmt_write(&self) -> WriteCtx {
+        if let Some(stamp) = self.adopted_stamp() {
+            // Joined to the adopted session transaction; `record_write`
+            // routes the ops into its log.
+            return WriteCtx { stamp, joined: true, local: UndoLog::default() };
+        }
         let me = std::thread::current().id();
         let txn = self.active_txn.lock();
         match txn.as_ref().filter(|t| t.owner == me) {
@@ -1231,12 +1462,18 @@ impl Database {
     /// transaction log when joined, the statement-private log otherwise.
     fn record_write(&self, ctx: &mut WriteCtx, op: UndoOp) {
         if ctx.joined {
+            let op = match self.try_record_adopted(ctx.stamp, op) {
+                None => return,
+                Some(op) => op,
+            };
             if let Some(st) = self.active_txn.lock().as_mut() {
                 if st.stamp == ctx.stamp {
                     st.log.record(op);
                     return;
                 }
             }
+            ctx.local.record(op);
+            return;
         }
         ctx.local.record(op);
     }
@@ -2005,6 +2242,84 @@ mod tests {
         db.execute("BEGIN").unwrap();
         assert!(db.transaction(|_| Ok(())).is_err());
         db.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn session_txn_spans_threads_and_commits_atomically() {
+        let db = setup();
+        let token = db.begin_session_txn();
+        assert_eq!(db.session_txn_count(), 1);
+        // Two writes adopted on two different threads, one transaction.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                db.with_session_txn(token, |db| {
+                    db.execute("UPDATE Patient SET address = '1 Session Way' WHERE patientID = 1")
+                        .unwrap();
+                })
+                .unwrap();
+            });
+        });
+        db.with_session_txn(token, |db| {
+            db.execute("INSERT INTO Patient VALUES (4, 'Dave', NULL, NULL)").unwrap();
+            // Reads inside the session see both uncommitted writes.
+            let rs = db
+                .execute("SELECT address FROM Patient WHERE patientID = 1")
+                .unwrap();
+            assert_eq!(rs.scalar(), Some(&Value::Varchar("1 Session Way".into())));
+            assert_eq!(db.execute("SELECT * FROM Patient").unwrap().len(), 4);
+        })
+        .unwrap();
+        // Outside the session, nothing is visible yet.
+        assert_eq!(db.execute("SELECT * FROM Patient").unwrap().len(), 3);
+        db.commit_session_txn(token).unwrap();
+        assert_eq!(db.session_txn_count(), 0);
+        assert_eq!(db.execute("SELECT * FROM Patient").unwrap().len(), 4);
+        let rs = db.execute("SELECT address FROM Patient WHERE patientID = 1").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Varchar("1 Session Way".into())));
+        // The token died with the commit.
+        assert!(db.with_session_txn(token, |_| ()).is_err());
+    }
+
+    #[test]
+    fn session_txn_rollback_discards_and_refuses_nesting() {
+        let db = setup();
+        let token = db.begin_session_txn();
+        db.with_session_txn(token, |db| {
+            db.execute("DELETE FROM HasDisease WHERE patientID = 1").unwrap();
+            // No transactional nesting inside a session: neither the
+            // closure API nor SQL BEGIN/COMMIT/ROLLBACK.
+            assert!(db.transaction(|_| Ok(())).is_err());
+            assert!(db.execute("BEGIN").is_err());
+            assert!(db.execute("COMMIT").is_err());
+        })
+        .unwrap();
+        db.rollback_session_txn(token).unwrap();
+        assert_eq!(db.execute("SELECT * FROM HasDisease").unwrap().len(), 3);
+        // A dead token cannot be committed either.
+        assert!(db.commit_session_txn(token).is_err());
+    }
+
+    #[test]
+    fn concurrent_sessions_stay_isolated() {
+        let db = setup();
+        let a = db.begin_session_txn();
+        let b = db.begin_session_txn();
+        db.with_session_txn(a, |db| {
+            db.execute("UPDATE Patient SET name = 'A' WHERE patientID = 1").unwrap();
+        })
+        .unwrap();
+        db.with_session_txn(b, |db| {
+            // Session b sees neither a's write nor its own absence of one.
+            let rs = db.execute("SELECT name FROM Patient WHERE patientID = 1").unwrap();
+            assert_eq!(rs.scalar(), Some(&Value::Varchar("Alice".into())));
+            db.execute("UPDATE Patient SET name = 'B' WHERE patientID = 2").unwrap();
+        })
+        .unwrap();
+        db.rollback_session_txn(b).unwrap();
+        db.commit_session_txn(a).unwrap();
+        let rs = db.execute("SELECT name FROM Patient ORDER BY patientID").unwrap();
+        assert_eq!(rs.get(0, "name"), Some(&Value::Varchar("A".into())));
+        assert_eq!(rs.get(1, "name"), Some(&Value::Varchar("Bob".into())));
     }
 
     #[test]

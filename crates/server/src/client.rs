@@ -10,7 +10,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A complete textual response: status code, response headers, and body
 /// text.
@@ -101,7 +101,9 @@ pub fn http_call_bytes(
     http_call_bytes_with_headers(addr, method, path, body, &[], timeout)
 }
 
-/// The one code path every client call funnels through.
+/// The one code path every one-shot client call funnels through. Sends
+/// `Connection: close`, so the server tears the connection down after the
+/// exchange; [`HttpClient`] is the keep-alive counterpart.
 pub fn http_call_bytes_with_headers(
     addr: SocketAddr,
     method: &str,
@@ -110,13 +112,38 @@ pub fn http_call_bytes_with_headers(
     request_headers: &[(&str, &str)],
     timeout: Duration,
 ) -> std::io::Result<HttpBytesResponse> {
+    // One deadline for the whole exchange. A per-read socket timeout
+    // would let a hostile server drip one byte per `timeout` and renew
+    // the clock forever — the reverse of the slow-loris the server side
+    // already defends against.
+    let deadline = Instant::now() + timeout;
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
+    write_request(&mut stream, addr, method, path, body, request_headers, true)?;
+    read_one_response(&mut stream, deadline, method)
+}
+
+/// POST a Gremlin script to `/query` (the common case in tests/benches).
+pub fn post_query(addr: SocketAddr, gremlin: &str, timeout: Duration) -> std::io::Result<HttpResponse> {
+    http_call(addr, "POST", "/query", gremlin, timeout)
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    request_headers: &[(&str, &str)],
+    close: bool,
+) -> std::io::Result<()> {
     let mut head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n",
         body.len()
     );
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
     for (name, value) in request_headers {
         head.push_str(name);
         head.push_str(": ");
@@ -126,14 +153,176 @@ pub fn http_call_bytes_with_headers(
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
+    stream.flush()
+}
+
+/// One `read()` charged against the exchange's total deadline (the
+/// client-side mirror of the server's `read_some` budget).
+fn deadline_read(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+) -> std::io::Result<usize> {
+    let timed_out =
+        || std::io::Error::new(std::io::ErrorKind::TimedOut, "response deadline exceeded");
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(timed_out());
+    }
+    stream.set_read_timeout(Some(remaining))?;
+    match stream.read(chunk) {
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(timed_out())
+        }
+        other => other,
+    }
+}
+
+/// Read exactly one response off the stream — framed by `Content-Length`
+/// so a kept-alive connection stays positioned at the next response, or
+/// by EOF when the header is absent (foreign close-framed servers).
+fn read_one_response(
+    stream: &mut TcpStream,
+    deadline: Instant,
+    method: &str,
+) -> std::io::Result<HttpBytesResponse> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
     let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(p) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p;
+        }
+        match deadline_read(stream, &mut chunk, deadline)? {
+            0 => return Err(bad("connection closed before response head")),
+            n => raw.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let content_length: Option<usize> = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    });
+    if method.eq_ignore_ascii_case("HEAD") {
+        // A HEAD answer is headers-only regardless of Content-Length.
+    } else {
+        match content_length {
+            Some(n) => {
+                while raw.len() < head_end + 4 + n {
+                    match deadline_read(stream, &mut chunk, deadline)? {
+                        // Truncation is flagged by `parse_response`.
+                        0 => break,
+                        m => raw.extend_from_slice(&chunk[..m]),
+                    }
+                }
+            }
+            None => loop {
+                match deadline_read(stream, &mut chunk, deadline)? {
+                    0 => break,
+                    m => raw.extend_from_slice(&chunk[..m]),
+                }
+            },
+        }
+    }
     parse_response(&raw, method)
 }
 
-/// POST a Gremlin script to `/query` (the common case in tests/benches).
-pub fn post_query(addr: SocketAddr, gremlin: &str, timeout: Duration) -> std::io::Result<HttpResponse> {
-    http_call(addr, "POST", "/query", gremlin, timeout)
+/// A keep-alive HTTP client: one TCP connection reused across sequential
+/// calls, against the server's persistent-connection loop — the load
+/// driver measures the connection-churn win through this. When the server
+/// closed the connection between calls (request budget, idle deadline),
+/// the next call reconnects and retries once, transparently.
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+impl HttpClient {
+    /// A client for `addr`; connects lazily on the first call. `timeout`
+    /// is the total per-exchange deadline, same meaning as in
+    /// [`http_call`].
+    pub fn new(addr: SocketAddr, timeout: Duration) -> HttpClient {
+        HttpClient { addr, timeout, stream: None }
+    }
+
+    /// Whether the client currently holds a reusable connection.
+    pub fn connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// Send one request on the kept-alive connection and read its
+    /// response.
+    pub fn call(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        let r = self.call_bytes_with_headers(method, path, body.as_bytes(), &[])?;
+        Ok(HttpResponse {
+            status: r.status,
+            headers: r.headers,
+            body: String::from_utf8_lossy(&r.bytes).into_owned(),
+        })
+    }
+
+    /// [`HttpClient::call`] with extra request headers (e.g.
+    /// `X-Db2Graph-Session`) and a raw-bytes response.
+    pub fn call_bytes_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        request_headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpBytesResponse> {
+        let mut on_reused = self.stream.is_some();
+        loop {
+            let mut stream = match self.stream.take() {
+                Some(s) => s,
+                None => self.connect()?,
+            };
+            let deadline = Instant::now() + self.timeout;
+            let result =
+                write_request(&mut stream, self.addr, method, path, body, request_headers, false)
+                    .and_then(|()| read_one_response(&mut stream, deadline, method));
+            match result {
+                Ok(resp) => {
+                    // Keep the connection unless the server said close or
+                    // left the response EOF-framed (no Content-Length).
+                    let closing = resp
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                        || (resp.header("content-length").is_none()
+                            && !method.eq_ignore_ascii_case("HEAD"));
+                    if !closing {
+                        self.stream = Some(stream);
+                    }
+                    return Ok(resp);
+                }
+                // A reused connection may have died under us (the
+                // server's idle deadline or request budget); one retry on
+                // a fresh connection. Errors on a fresh one are real.
+                Err(e) => {
+                    if !on_reused {
+                        return Err(e);
+                    }
+                    on_reused = false;
+                }
+            }
+        }
+    }
 }
 
 fn parse_response(raw: &[u8], method: &str) -> std::io::Result<HttpBytesResponse> {

@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod promtext;
 pub mod replica;
+pub mod session;
 pub mod vacuum;
 
 use std::collections::VecDeque;
@@ -52,11 +53,12 @@ use crate::http::{HttpError, Request};
 use crate::metrics::ServerMetrics;
 use crate::monitor::{Health, MonitorDaemon, SloTargets};
 use crate::replica::{ReplicaDaemon, ReplicaMetrics};
+use crate::session::{SessionError, SessionManager, SessionReaper};
 use crate::vacuum::VacuumDaemon;
 
 pub use crate::client::{
     http_call, http_call_bytes, http_call_bytes_with_headers, http_call_with_headers, post_query,
-    HttpBytesResponse, HttpResponse,
+    HttpBytesResponse, HttpClient, HttpResponse,
 };
 
 /// Serving knobs. `Default` is production-shaped; [`ServerConfig::from_env`]
@@ -83,6 +85,19 @@ pub struct ServerConfig {
     pub max_header_bytes: usize,
     /// Request body budget (413 beyond it).
     pub max_body_bytes: usize,
+    /// Requests one keep-alive connection may serve before the server
+    /// closes it (clamped ≥ 1; 1 restores one-request-per-connection).
+    /// The budget — together with `keepalive_idle` — keeps a persistent
+    /// connection from squatting a worker forever.
+    /// Env: `DB2GRAPH_KEEPALIVE_REQUESTS`.
+    pub keepalive_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it. Env: `DB2GRAPH_KEEPALIVE_IDLE_MS`.
+    pub keepalive_idle: Duration,
+    /// How long an HTTP session (an open cross-request transaction) may
+    /// sit idle before the reaper rolls it back.
+    /// Env: `DB2GRAPH_SESSION_IDLE_MS`.
+    pub session_idle: Duration,
     /// Vacuum daemon period; `None` disables the daemon.
     pub vacuum_interval: Option<Duration>,
     /// Checkpoint cadence, driven by the vacuum daemon; `None` disables
@@ -141,6 +156,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             max_header_bytes: 8 * 1024,
             max_body_bytes: 1024 * 1024,
+            keepalive_requests: 1000,
+            keepalive_idle: Duration::from_secs(5),
+            session_idle: Duration::from_secs(30),
             vacuum_interval: Some(Duration::from_secs(1)),
             checkpoint_interval: Some(Duration::from_secs(60)),
             data_dir: None,
@@ -194,6 +212,15 @@ impl ServerConfig {
         if let Some(ms) = env_parse::<u64>("DB2GRAPH_CHECKPOINT_MS") {
             c.checkpoint_interval = (ms > 0).then(|| Duration::from_millis(ms));
         }
+        if let Some(n) = env_parse::<usize>("DB2GRAPH_KEEPALIVE_REQUESTS") {
+            c.keepalive_requests = n.max(1);
+        }
+        if let Some(ms) = env_parse::<u64>("DB2GRAPH_KEEPALIVE_IDLE_MS") {
+            c.keepalive_idle = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = env_parse::<u64>("DB2GRAPH_SESSION_IDLE_MS") {
+            c.session_idle = Duration::from_millis(ms.max(1));
+        }
         if let Ok(v) = std::env::var("DB2GRAPH_SQL_ENDPOINT") {
             c.sql_endpoint = matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
         }
@@ -217,6 +244,7 @@ impl ServerConfig {
         c.slo.error_pct = env_parse::<f64>("DB2GRAPH_SLO_ERROR_PCT");
         c.slo.max_replica_lag = env_parse::<u64>("DB2GRAPH_MAX_REPLICA_LAG");
         c.slo.fsync_p99_ms = env_parse::<f64>("DB2GRAPH_SLO_FSYNC_P99_MS");
+        c.slo.max_sessions = env_parse::<u64>("DB2GRAPH_SLO_MAX_SESSIONS");
         if let Some(ms) = env_parse::<u64>("DB2GRAPH_MONITOR_MS") {
             c.monitor_interval = Duration::from_millis(ms.max(10));
         }
@@ -285,6 +313,8 @@ pub(crate) struct Shared {
     pub(crate) queue_cv: Condvar,
     /// Once true: the acceptor exits, workers drain the queue and exit.
     pub(crate) shutdown: AtomicBool,
+    /// Open HTTP transaction sessions (id → reldb session transaction).
+    pub(crate) sessions: SessionManager,
     /// Live `http-shed` courtesy threads (bounded; see [`shed`]).
     pub(crate) shedding: AtomicUsize,
     /// Join handles for shed threads, pruned as they finish; shutdown
@@ -407,6 +437,7 @@ impl GraphServer {
             request_seq: AtomicU64::new(0),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
+            sessions: SessionManager::new(config.session_idle, request_epoch),
             shutdown: AtomicBool::new(false),
             shedding: AtomicUsize::new(0),
             shed_threads: Mutex::new(Vec::new()),
@@ -419,6 +450,12 @@ impl GraphServer {
                 config.monitor_window,
             )
         });
+        // The session reaper ticks a few times per idle window so an
+        // abandoned transaction outlives its deadline only briefly.
+        let session_reaper = SessionReaper::start(
+            shared.clone(),
+            (config.session_idle / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)),
+        );
         shared.events.emit(
             "server_started",
             vec![
@@ -453,6 +490,7 @@ impl GraphServer {
             vacuum,
             replica_daemon,
             monitor,
+            session_reaper: Some(session_reaper),
             drained: false,
         })
     }
@@ -468,6 +506,7 @@ pub struct ServerHandle {
     vacuum: Option<VacuumDaemon>,
     replica_daemon: Option<ReplicaDaemon>,
     monitor: Option<MonitorDaemon>,
+    session_reaper: Option<SessionReaper>,
     /// Whether `shutdown_impl` has already run (it is called from both
     /// the explicit shutdown and `Drop`).
     drained: bool,
@@ -555,6 +594,13 @@ impl ServerHandle {
         }
         if let Some(m) = self.monitor.take() {
             m.stop();
+        }
+        // The reaper's final pass rolls back every remaining session —
+        // before the vacuum daemon's final pass, so the freed versions
+        // are reclaimable and a final checkpoint sees no uncommitted
+        // markers.
+        if let Some(s) = self.session_reaper.take() {
+            s.stop();
         }
         if let Some(v) = self.vacuum.take() {
             v.stop();
@@ -679,24 +725,32 @@ fn answer_429(shared: &Shared, mut stream: TcpStream) {
         shared.config.max_header_bytes,
         shared.config.max_body_bytes,
         shared.config.read_timeout,
+        &mut Vec::new(),
     ) {
         shared.metrics.record_bytes_in(req.wire_bytes);
         shed_req = Some(req);
     }
     let request_id = shared.request_id(shed_req.as_ref());
+    // The honest part of the shed: when to come back, from the queue's
+    // observed drain rate, as both a header and a JSON field.
+    let queued = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let retry_after = shared.metrics.retry_after_secs(queued as u64);
     let body = Json::obj(vec![
         ("error", Json::str("server saturated, retry later")),
         ("rejected", Json::Bool(true)),
+        ("retry_after_seconds", Json::u64(retry_after)),
         ("request_id", Json::str(request_id.clone())),
     ])
     .to_compact();
+    let retry_after = retry_after.to_string();
     if let Ok(n) = http::write_response_with(
         &mut stream,
         429,
         "application/json",
         body.as_bytes(),
         false,
-        &[("X-Request-Id", &request_id)],
+        true,
+        &[("X-Request-Id", &request_id), ("Retry-After", &retry_after)],
     ) {
         shared.metrics.record_bytes_out(n);
     }
@@ -752,49 +806,166 @@ enum Payload {
 fn endpoint_label(path: &str) -> &str {
     match path {
         "/query" | "/explain" | "/profile" | "/sql" | "/metrics" | "/slow-queries"
-        | "/workload" | "/healthz" | "/readyz" | "/events" | "/wal" | "/checkpoint" => path,
+        | "/workload" | "/healthz" | "/readyz" | "/events" | "/wal" | "/checkpoint"
+        | "/session" | "/session/commit" | "/session/rollback" => path,
         _ => "<other>",
     }
 }
 
+/// The `Allow` header value for a known path, for 405 responses. `None`
+/// for unknown paths (those 404 instead).
+fn allowed_methods(path: &str) -> Option<&'static str> {
+    match path {
+        "/query" | "/explain" | "/profile" | "/sql" | "/session" | "/session/commit"
+        | "/session/rollback" => Some("POST"),
+        "/metrics" | "/slow-queries" | "/workload" | "/healthz" | "/readyz" | "/events"
+        | "/wal" | "/checkpoint" => Some("GET, HEAD"),
+        _ => None,
+    }
+}
+
+/// Why the keep-alive idle wait ended.
+enum IdleWait {
+    /// Bytes are waiting: serve the next request.
+    Ready,
+    /// The connection must close: idle deadline, peer hangup, or server
+    /// shutdown.
+    Close,
+}
+
+/// Wait for the first byte of the next request on a kept-alive
+/// connection, bounded by `keepalive_idle`. The wait `peek`s in ≤100 ms
+/// slices so a shutdown is noticed promptly even while a connection
+/// squats idle — a worker parked here must not stall the drain.
+fn wait_for_next_request(shared: &Shared, stream: &mut TcpStream) -> IdleWait {
+    let deadline = Instant::now() + shared.config.keepalive_idle;
+    let mut byte = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return IdleWait::Close;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return IdleWait::Close;
+        }
+        let _ = stream.set_read_timeout(Some(remaining.min(Duration::from_millis(100))));
+        match stream.peek(&mut byte) {
+            Ok(0) => return IdleWait::Close,
+            Ok(_) => return IdleWait::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return IdleWait::Close,
+        }
+    }
+}
+
+/// The persistent-connection request loop: serve requests off one
+/// connection until the client asks to close, the per-connection budget
+/// runs out, the idle window lapses, or an error makes the stream's
+/// framing untrustworthy.
+///
+/// Admission accounting is per *request*: the queue admission that got
+/// this connection here pays for its first request; every further
+/// request on the same connection increments `admitted` (and
+/// `keepalive_reuses`) as it arrives, so the drain invariant
+/// `completed == admitted` holds at request grain.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _gauge = shared.metrics.enter();
-    let started = Instant::now();
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_nodelay(true);
+    let budget = shared.config.keepalive_requests.max(1);
+    let mut carry: Vec<u8> = Vec::new();
+    let mut served: usize = 0;
+    loop {
+        // Between requests (not before the first: it was admitted because
+        // bytes were on the way), wait for the next one — unless the
+        // client already pipelined it into the carry buffer.
+        if served > 0 && carry.is_empty() {
+            match wait_for_next_request(shared, &mut stream) {
+                IdleWait::Ready => {}
+                IdleWait::Close => break,
+            }
+        }
+        if !serve_one(shared, &mut stream, &mut carry, served, budget) {
+            break;
+        }
+        served += 1;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Read, route, and answer one request on the connection. Returns whether
+/// the connection should serve another.
+fn serve_one(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    served: usize,
+    budget: usize,
+) -> bool {
+    let started = Instant::now();
     let mut head_only = false;
     let mut request_id = None;
     let mut method = String::new();
     // Requests that die before parsing still get a latency sample and an
     // event, under a reserved label.
     let mut endpoint = "<unparsed>".to_string();
+    // Close after this response when the budget is spent or the server is
+    // draining; the request itself (Connection: close, framing errors)
+    // can also force it below.
+    let mut close = served + 1 >= budget || shared.shutdown.load(Ordering::SeqCst);
+    let mut allow: Option<&'static str> = None;
     let (status, payload) = match http::read_request(
-        &mut stream,
+        stream,
         shared.config.max_header_bytes,
         shared.config.max_body_bytes,
         shared.config.read_timeout,
+        carry,
     ) {
         Ok(req) => {
+            if served > 0 {
+                shared.metrics.record_admitted();
+                shared.metrics.record_keepalive_reuse();
+            }
             shared.metrics.record_bytes_in(req.wire_bytes);
             head_only = req.method == "HEAD";
             method = req.method.clone();
             endpoint = endpoint_label(&req.path).to_string();
+            close |= req.close;
             let rid = shared.request_id(Some(&req));
             let out = route(shared, &req, &rid);
+            if out.0 == 405 {
+                allow = allowed_methods(&req.path);
+            }
             request_id = Some(rid);
             out
         }
         Err(HttpError::Closed) => {
-            // Nothing arrived; nothing to answer.
-            shared.metrics.record_completed();
-            return;
+            // Nothing arrived. The first request was pre-paid by the
+            // queue admission, so balance it; a reused connection going
+            // quiet costs nothing.
+            if served == 0 {
+                shared.metrics.record_completed();
+            }
+            return false;
         }
         Err(e) => {
+            // A read-layer failure leaves the stream's framing unknown;
+            // the connection cannot be reused.
+            close = true;
+            if served > 0 {
+                shared.metrics.record_admitted();
+                shared.metrics.record_keepalive_reuse();
+            }
             let (status, msg) = match e {
                 HttpError::Timeout => (408, "request read timed out".to_string()),
                 HttpError::HeadersTooLarge => (431, "request head too large".to_string()),
                 HttpError::BodyTooLarge => (413, "request body too large".to_string()),
                 HttpError::Malformed(m) => (400, m),
+                HttpError::Unsupported(m) => (501, m),
                 HttpError::Io(e) => (400, format!("transport error: {e}")),
                 HttpError::Closed => unreachable!("handled above"),
             };
@@ -829,17 +1000,27 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         Payload::Json(j) => ("application/json", j.to_compact().into_bytes()),
         Payload::Bytes { content_type, data } => (content_type, data),
     };
-    if let Ok(n) = http::write_response_with(
-        &mut stream,
-        status,
-        content_type,
-        &body,
-        head_only,
-        &[("X-Request-Id", &request_id)],
-    ) {
-        shared.metrics.record_bytes_out(n);
+    let mut extra: Vec<(&str, &str)> = vec![("X-Request-Id", &request_id)];
+    if let Some(methods) = allow {
+        extra.push(("Allow", methods));
     }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
+    // Overload answers are honest about when to come back: every 429/503
+    // carries a Retry-After computed from the queue's observed drain
+    // rate. (429s from this path are rare — most sheds happen in
+    // `answer_429` — but a loaded `/readyz` 503 takes the same hint.)
+    let retry_after;
+    if status == 429 || status == 503 {
+        let queued = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+        retry_after = shared.metrics.retry_after_secs(queued as u64).to_string();
+        extra.push(("Retry-After", &retry_after));
+    }
+    let mut keep = !close;
+    match http::write_response_with(stream, status, content_type, &body, head_only, close, &extra)
+    {
+        Ok(n) => shared.metrics.record_bytes_out(n),
+        // A client that vanished mid-response cannot be served further.
+        Err(_) => keep = false,
+    }
     shared.metrics.record_completed();
     let latency_nanos = started.elapsed().as_nanos() as u64;
     shared.metrics.record_endpoint_latency(&endpoint, latency_nanos);
@@ -853,6 +1034,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             ("latency_nanos", Json::u64(latency_nanos)),
         ],
     );
+    keep
 }
 
 /// Pull the Gremlin script out of a request body: either a JSON object
@@ -1032,19 +1214,21 @@ fn route_json(shared: &Shared, req: &Request, method: &str, request_id: &str) ->
     let deadline = shared.config.query_timeout.map(|t| Instant::now() + t);
     match (method, req.path.as_str()) {
         ("POST", "/query") => match extract_gremlin(&req.body) {
-            Ok(g) => match shared.graph.run_for_request(&g, deadline, Some(request_id)) {
-                Ok(values) => {
-                    let results: Vec<Json> = values.iter().map(gvalue_to_json).collect();
-                    (
-                        200,
-                        Json::obj(vec![
-                            ("count", Json::u64(results.len() as u64)),
-                            ("result", Json::arr(results)),
-                        ]),
-                    )
+            Ok(g) => in_session(shared, req, || {
+                match shared.graph.run_for_request(&g, deadline, Some(request_id)) {
+                    Ok(values) => {
+                        let results: Vec<Json> = values.iter().map(gvalue_to_json).collect();
+                        (
+                            200,
+                            Json::obj(vec![
+                                ("count", Json::u64(results.len() as u64)),
+                                ("result", Json::arr(results)),
+                            ]),
+                        )
+                    }
+                    Err(e) => graph_error_response(shared, e),
                 }
-                Err(e) => graph_error_response(shared, e),
-            },
+            }),
             Err(m) => bad_request(shared, m),
         },
         ("POST", "/explain") => match extract_gremlin(&req.body) {
@@ -1055,20 +1239,22 @@ fn route_json(shared: &Shared, req: &Request, method: &str, request_id: &str) ->
             Err(m) => bad_request(shared, m),
         },
         ("POST", "/profile") => match extract_gremlin(&req.body) {
-            Ok(g) => match shared.graph.profile_for_request(&g, deadline, Some(request_id)) {
-                Ok((values, report)) => {
-                    let results: Vec<Json> = values.iter().map(gvalue_to_json).collect();
-                    (
-                        200,
-                        Json::obj(vec![
-                            ("count", Json::u64(results.len() as u64)),
-                            ("result", Json::arr(results)),
-                            ("profile", report.to_json()),
-                        ]),
-                    )
+            Ok(g) => in_session(shared, req, || {
+                match shared.graph.profile_for_request(&g, deadline, Some(request_id)) {
+                    Ok((values, report)) => {
+                        let results: Vec<Json> = values.iter().map(gvalue_to_json).collect();
+                        (
+                            200,
+                            Json::obj(vec![
+                                ("count", Json::u64(results.len() as u64)),
+                                ("result", Json::arr(results)),
+                                ("profile", report.to_json()),
+                            ]),
+                        )
+                    }
+                    Err(e) => graph_error_response(shared, e),
                 }
-                Err(e) => graph_error_response(shared, e),
-            },
+            }),
             Err(m) => bad_request(shared, m),
         },
         ("POST", "/sql") => {
@@ -1111,7 +1297,7 @@ fn route_json(shared: &Shared, req: &Request, method: &str, request_id: &str) ->
             if sql.trim().is_empty() {
                 return bad_request(shared, "empty SQL body".into());
             }
-            match shared.graph.database().execute_script(sql) {
+            in_session(shared, req, || match shared.graph.database().execute_script(sql) {
                 Ok(rs) => {
                     let columns: Vec<Json> =
                         rs.columns.iter().map(|c| Json::str(c.clone())).collect();
@@ -1130,6 +1316,61 @@ fn route_json(shared: &Shared, req: &Request, method: &str, request_id: &str) ->
                     )
                 }
                 Err(e) => bad_request(shared, e.to_string()),
+            })
+        }
+        ("POST", "/session") => {
+            if let Some(rep) = &shared.replica {
+                // A session is a write transaction waiting to happen; a
+                // follower cannot host one.
+                return (
+                    403,
+                    Json::obj(vec![
+                        (
+                            "error",
+                            Json::str(format!(
+                                "read-only replica: open sessions on the primary at {}",
+                                rep.primary
+                            )),
+                        ),
+                        ("primary", Json::str(rep.primary.clone())),
+                    ]),
+                );
+            }
+            let sid = shared.sessions.begin(shared.graph.database());
+            shared.metrics.record_session_began();
+            shared.events.emit("session_began", vec![("session", Json::str(sid.clone()))]);
+            (200, Json::obj(vec![("session", Json::str(sid))]))
+        }
+        ("POST", "/session/commit" | "/session/rollback") => {
+            let commit = req.path.ends_with("/commit");
+            let Some(sid) = req.header("x-db2graph-session") else {
+                return bad_request(
+                    shared,
+                    "session endpoints require the X-Db2Graph-Session header".into(),
+                );
+            };
+            match shared.sessions.end(sid, shared.graph.database(), commit) {
+                Err(e) => session_error_response(e),
+                Ok(Ok(())) => {
+                    let (kind, field) = if commit {
+                        shared.metrics.record_session_committed();
+                        ("session_committed", "committed")
+                    } else {
+                        shared.metrics.record_session_rolled_back();
+                        ("session_rolled_back", "rolled_back")
+                    };
+                    shared.events.emit(kind, vec![("session", Json::str(sid.to_string()))]);
+                    (200, Json::obj(vec![(field, Json::Bool(true))]))
+                }
+                Ok(Err(e)) => {
+                    // The transaction is over either way: a failed commit
+                    // rolled its writes back.
+                    shared.metrics.record_session_rolled_back();
+                    shared
+                        .events
+                        .emit("session_rolled_back", vec![("session", Json::str(sid.to_string()))]);
+                    (500, Json::obj(vec![("error", Json::str(e.to_string()))]))
+                }
             }
         }
         ("GET", "/metrics") => {
@@ -1174,7 +1415,8 @@ fn route_json(shared: &Shared, req: &Request, method: &str, request_id: &str) ->
             (status, health.to_json())
         }
         (_, "/query" | "/sql" | "/explain" | "/profile" | "/metrics" | "/slow-queries"
-        | "/workload" | "/healthz" | "/readyz" | "/events" | "/wal" | "/checkpoint") => (
+        | "/workload" | "/healthz" | "/readyz" | "/events" | "/wal" | "/checkpoint"
+        | "/session" | "/session/commit" | "/session/rollback") => (
             405,
             Json::obj(vec![("error", Json::str(format!("method {} not allowed", req.method)))]),
         ),
@@ -1187,6 +1429,42 @@ fn route_json(shared: &Shared, req: &Request, method: &str, request_id: &str) ->
 fn bad_request(shared: &Shared, msg: String) -> (u16, Json) {
     shared.metrics.record_bad_request();
     (400, Json::obj(vec![("error", Json::str(msg))]))
+}
+
+/// Execute `f` inside the transaction named by the request's
+/// `X-Db2Graph-Session` header — its reads see the session's uncommitted
+/// writes, its writes join the session's undo log — or plainly when the
+/// header is absent.
+fn in_session(shared: &Shared, req: &Request, f: impl FnOnce() -> (u16, Json)) -> (u16, Json) {
+    match req.header("x-db2graph-session") {
+        None => f(),
+        Some(sid) => match shared.sessions.with(sid, shared.graph.database(), f) {
+            Ok(out) => out,
+            Err(e) => session_error_response(e),
+        },
+    }
+}
+
+/// Map a session registry refusal to a response: an id that doesn't
+/// resolve is 404 (ended, reaped, or never begun); a session already
+/// executing a request is 409 — sessions serialize their own requests.
+fn session_error_response(e: SessionError) -> (u16, Json) {
+    match e {
+        SessionError::Unknown => (
+            404,
+            Json::obj(vec![(
+                "error",
+                Json::str("no such session: never begun, already ended, or reaped as idle"),
+            )]),
+        ),
+        SessionError::Busy => (
+            409,
+            Json::obj(vec![(
+                "error",
+                Json::str("session is busy serving another request"),
+            )]),
+        ),
+    }
 }
 
 fn sql_value_to_json(v: &reldb::Value) -> Json {

@@ -3,6 +3,8 @@
 //! bytes), not query execution.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use db2graph_core::json::Json;
 use db2graph_core::HistogramSet;
@@ -43,7 +45,44 @@ pub struct ServerMetrics {
     /// Wall-time latency per endpoint path, for per-endpoint p99 SLOs and
     /// the Prometheus exposition.
     endpoints: EndpointHistograms,
+    /// Requests served on an already-used connection (request ≥ 2 of a
+    /// keep-alive connection) — the churn the persistent loop saves.
+    keepalive_reuses: AtomicU64,
+    /// 429/503 sheds that carried a computed `Retry-After` hint (every
+    /// shed should; a gap between this and `rejected` is a bug).
+    retry_after_hints: AtomicU64,
+    /// Sessions begun via `POST /session`.
+    sessions_began: AtomicU64,
+    /// Sessions ended by an explicit commit.
+    sessions_committed: AtomicU64,
+    /// Sessions ended by an explicit rollback.
+    sessions_rolled_back: AtomicU64,
+    /// Abandoned sessions the idle reaper rolled back.
+    sessions_reaped: AtomicU64,
+    /// Gauge: sessions currently open (begun, not yet ended).
+    sessions_open: AtomicU64,
+    /// Completion-rate sample backing the `Retry-After` estimate.
+    drain: Mutex<Option<DrainSample>>,
 }
+
+/// One observation of the completion counter, plus the rate derived from
+/// the previous observation — the queue's measured drain rate.
+#[derive(Debug, Clone, Copy)]
+struct DrainSample {
+    at: Instant,
+    completed: u64,
+    /// Requests completed per second over the last sampling window; 0.0
+    /// until a window with progress has been observed.
+    rate: f64,
+}
+
+/// Minimum spacing between drain-rate samples: shorter windows are noise.
+const DRAIN_SAMPLE_MIN: f64 = 0.25;
+
+/// `Retry-After` is clamped to this range: at least 1 (the smallest
+/// honest integer hint), at most 60 (past a minute the estimate is
+/// guesswork and clients should just re-poll).
+const RETRY_AFTER_MAX_SECS: u64 = 60;
 
 /// Wrapper so `ServerMetrics` can stay `Default` while bounding the
 /// endpoint key set.
@@ -107,6 +146,69 @@ impl ServerMetrics {
         self.bytes_out.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_session_began(&self) {
+        self.sessions_began.fetch_add(1, Ordering::Relaxed);
+        self.sessions_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_session_committed(&self) {
+        self.sessions_committed.fetch_add(1, Ordering::Relaxed);
+        self.sessions_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn record_session_rolled_back(&self) {
+        self.sessions_rolled_back.fetch_add(1, Ordering::Relaxed);
+        self.sessions_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn record_session_reaped(&self) {
+        self.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+        self.sessions_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Compute the `Retry-After` hint for one shed, against the queue
+    /// depth the caller observed, and count the hint.
+    ///
+    /// The estimate is the observed backlog (`queued` + requests mid-
+    /// execution + this one) divided by the queue's measured drain rate —
+    /// the completion counter's slope over the last ≥250 ms window —
+    /// clamped to `[1, 60]` seconds. Before any drain has been observed
+    /// (cold start, or a fully wedged pool) the honest answer is "soon,
+    /// try again": 1 second, rather than a fabricated larger number.
+    pub fn retry_after_secs(&self, queued: u64) -> u64 {
+        self.retry_after_hints.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let completed = self.completed();
+        let mut slot = self.drain.lock().unwrap_or_else(|e| e.into_inner());
+        let rate = match *slot {
+            None => {
+                *slot = Some(DrainSample { at: now, completed, rate: 0.0 });
+                0.0
+            }
+            Some(prev) => {
+                let elapsed = now.saturating_duration_since(prev.at).as_secs_f64();
+                if elapsed >= DRAIN_SAMPLE_MIN {
+                    let drained = completed.saturating_sub(prev.completed);
+                    let rate = drained as f64 / elapsed;
+                    *slot = Some(DrainSample { at: now, completed, rate });
+                    rate
+                } else {
+                    prev.rate
+                }
+            }
+        };
+        drop(slot);
+        let backlog = queued + self.in_flight() + 1;
+        if rate <= 0.0 {
+            return 1;
+        }
+        ((backlog as f64 / rate).ceil() as u64).clamp(1, RETRY_AFTER_MAX_SECS)
+    }
+
     /// RAII in-flight gauge increment; decrements on drop so early
     /// returns and write failures can't leak the gauge.
     pub fn enter(&self) -> InFlight<'_> {
@@ -150,6 +252,34 @@ impl ServerMetrics {
         self.error_responses.load(Ordering::Relaxed)
     }
 
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    pub fn retry_after_hints(&self) -> u64 {
+        self.retry_after_hints.load(Ordering::Relaxed)
+    }
+
+    pub fn sessions_began(&self) -> u64 {
+        self.sessions_began.load(Ordering::Relaxed)
+    }
+
+    pub fn sessions_committed(&self) -> u64 {
+        self.sessions_committed.load(Ordering::Relaxed)
+    }
+
+    pub fn sessions_rolled_back(&self) -> u64 {
+        self.sessions_rolled_back.load(Ordering::Relaxed)
+    }
+
+    pub fn sessions_reaped(&self) -> u64 {
+        self.sessions_reaped.load(Ordering::Relaxed)
+    }
+
+    pub fn sessions_open(&self) -> u64 {
+        self.sessions_open.load(Ordering::Relaxed)
+    }
+
     /// JSON for the `server` section of `/metrics`. `queued` is passed in
     /// by the caller, which owns the admission queue.
     pub fn to_json(&self, queued: usize) -> Json {
@@ -166,6 +296,13 @@ impl ServerMetrics {
             ("queued", Json::u64(queued as u64)),
             ("accept_errors", Json::u64(self.accept_errors())),
             ("error_responses", Json::u64(self.error_responses())),
+            ("keepalive_reuses", Json::u64(self.keepalive_reuses())),
+            ("retry_after_hints", Json::u64(self.retry_after_hints())),
+            ("sessions_began", Json::u64(self.sessions_began())),
+            ("sessions_committed", Json::u64(self.sessions_committed())),
+            ("sessions_rolled_back", Json::u64(self.sessions_rolled_back())),
+            ("sessions_reaped", Json::u64(self.sessions_reaped())),
+            ("sessions_open", Json::u64(self.sessions_open())),
             ("endpoint_latency", self.endpoints.0.to_json()),
         ])
     }

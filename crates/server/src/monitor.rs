@@ -39,6 +39,11 @@ pub struct SloTargets {
     pub max_replica_lag: Option<u64>,
     /// WAL fsync p99 ceiling, milliseconds (`DB2GRAPH_SLO_FSYNC_P99_MS`).
     pub fsync_p99_ms: Option<f64>,
+    /// Open-session ceiling (`DB2GRAPH_SLO_MAX_SESSIONS`): a pile-up of
+    /// open transactions pins the vacuum horizon, so it is a readiness
+    /// signal like replica lag — a level, not a rate, read directly off
+    /// the gauge rather than windowed.
+    pub max_sessions: Option<u64>,
 }
 
 impl SloTargets {
@@ -48,6 +53,7 @@ impl SloTargets {
             || self.error_pct.is_some()
             || self.max_replica_lag.is_some()
             || self.fsync_p99_ms.is_some()
+            || self.max_sessions.is_some()
     }
 }
 
@@ -196,6 +202,14 @@ fn evaluate(shared: &Shared, targets: &SloTargets, now: &Sample, base: &Sample) 
                     rep.primary
                 ));
             }
+        }
+    }
+    if let Some(limit) = targets.max_sessions {
+        let open = shared.metrics.sessions_open();
+        if open > limit {
+            violations.push(format!(
+                "DB2GRAPH_SLO_MAX_SESSIONS: {open} open sessions > {limit}"
+            ));
         }
     }
     if let Some(limit_ms) = targets.fsync_p99_ms {

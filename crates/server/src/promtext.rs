@@ -38,6 +38,7 @@ fn is_gauge(key: &str) -> bool {
             | "replica_applied_epoch"
             | "replication_lag_records"
             | "uptime_seconds"
+            | "sessions_open"
     ) || key.ends_with("_nanos")
 }
 

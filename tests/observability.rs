@@ -218,6 +218,13 @@ const SERVER_KEYS: &[&str] = &[
     "queued",
     "accept_errors",
     "error_responses",
+    "keepalive_reuses",
+    "retry_after_hints",
+    "sessions_began",
+    "sessions_committed",
+    "sessions_rolled_back",
+    "sessions_reaped",
+    "sessions_open",
     "endpoint_latency",
 ];
 

@@ -189,14 +189,24 @@ fn saturated_server_sheds_excess_clients_with_429() {
     let hold_queue = TcpStream::connect(addr).unwrap();
     std::thread::sleep(Duration::from_millis(200));
 
-    // Worker busy + queue full ⇒ every further arrival is shed.
+    // Worker busy + queue full ⇒ every further arrival is shed — and
+    // every shed carries an honest, finite `Retry-After` hint.
     for i in 0..5 {
         let r = http_call(addr, "POST", "/query", "g.V().count()", TIMEOUT)
             .unwrap_or_else(|e| panic!("shed client {i} got no response: {e}"));
         assert_eq!(r.status, 429, "client {i}: {}", r.body);
-        assert!(Json::parse(&r.body).unwrap().get("error").is_some());
+        let body = Json::parse(&r.body).unwrap();
+        assert!(body.get("error").is_some());
+        let hint: u64 = r
+            .header("retry-after")
+            .unwrap_or_else(|| panic!("shed client {i} got no Retry-After header"))
+            .parse()
+            .expect("Retry-After is an integer number of seconds");
+        assert!((1..=60).contains(&hint), "Retry-After {hint} outside [1, 60]");
+        assert_eq!(body.get("retry_after_seconds").and_then(Json::as_u64), Some(hint));
     }
     assert!(handle.metrics().rejected() >= 5);
+    assert!(handle.metrics().retry_after_hints() >= 5, "every shed computed a hint");
 
     // Once the stalled connections age out, capacity returns.
     drop(hold_worker);

@@ -186,7 +186,8 @@ fn head_is_answered_as_a_headers_only_get() {
     // …and on the raw wire: a nonzero Content-Length, nothing after the
     // blank line.
     let mut s = std::net::TcpStream::connect(addr).unwrap();
-    s.write_all(b"HEAD /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n").unwrap();
+    s.write_all(b"HEAD /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+        .unwrap();
     let mut raw = String::new();
     s.read_to_string(&mut raw).unwrap();
     assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
@@ -394,6 +395,24 @@ fn ci_smoke_artifacts_are_valid() {
         .collect();
     assert_eq!(names, ["Alice", "Bob"], "healthcare overlay answered over HTTP");
 
+    // The session leg: the in-session read observed the session's own
+    // uncommitted write, and the commit answered affirmatively.
+    let session_query =
+        Json::parse(&read("session_query.json")).expect("session query is valid JSON");
+    let addresses: Vec<&str> = session_query
+        .get("result")
+        .and_then(|r| r.as_array())
+        .expect("session query result array")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert!(
+        addresses.contains(&"Session Ave"),
+        "in-session read sees the session's write: {addresses:?}"
+    );
+    let commit = Json::parse(&read("session_commit.json")).expect("commit is valid JSON");
+    assert_eq!(commit.get("committed").and_then(Json::as_bool), Some(true));
+
     let metrics = Json::parse(&read("metrics.json")).expect("metrics is valid JSON");
     let graph = metrics.get("graph").expect("graph metrics section");
     assert!(graph.get("traversals").and_then(Json::as_u64).unwrap() >= 1);
@@ -402,4 +421,11 @@ fn ci_smoke_artifacts_are_valid() {
     let server = metrics.get("server").expect("server metrics section");
     assert!(server.get("completed").and_then(Json::as_u64).unwrap() >= 1);
     assert_eq!(server.get("rejected").and_then(Json::as_u64), Some(0));
+    // The three --next-chained session requests rode one connection.
+    assert!(
+        server.get("keepalive_reuses").and_then(Json::as_u64).unwrap() >= 2,
+        "curl --next reused its connection"
+    );
+    assert!(server.get("sessions_committed").and_then(Json::as_u64).unwrap() >= 1);
+    assert_eq!(server.get("sessions_open").and_then(Json::as_u64), Some(0));
 }
