@@ -61,6 +61,15 @@ fn main() {
         );
         env.print_metrics_snapshot();
         env.print_parallel_speedup(scale.iters / 8 + 1);
+        let (cold, warm) = env.print_cache_speedup(scale.iters / 8 + 1);
+        report.push(Json::obj(vec![
+            ("dataset", Json::str(dataset.name())),
+            ("query", Json::str("frontier_out_count")),
+            ("system", Json::str("db2graph")),
+            ("cold_cache_ms", Json::num(cold.as_secs_f64() * 1e3)),
+            ("warm_cache_ms", Json::num(warm.as_secs_f64() * 1e3)),
+            ("cache_speedup", Json::num(cold.as_secs_f64() / warm.as_secs_f64().max(1e-12))),
+        ]));
         println!();
     }
     println!("Paper reference: Db2 Graph is the clear winner in all cases, beating GDB-X up");

@@ -364,6 +364,60 @@ impl BenchEnv {
         );
     }
 
+    /// Cold vs warm adjacency-cache latency on a two-hop expansion
+    /// (32 seed ids, unlabeled `out().out()` across all ten edge
+    /// tables — the first hop is strategy-fused into an edge scan, the
+    /// second expands a real frontier through the Graph Structure
+    /// module's adjacency path): `cold` opens the overlay with the cache
+    /// disabled (`adj_cache_mb = 0`), `warm` opens it with the default
+    /// budget and eagerly builds complete CSR segments via
+    /// `warm_adjacency_cache()` before measuring, so the frontier
+    /// expansion is served from memory with zero SQL. Prints one
+    /// comparison line and returns `(cold, warm)` mean latencies for the
+    /// figure report.
+    pub fn print_cache_speedup(&self, iters: usize) -> (Duration, Duration) {
+        let cold = Db2Graph::open_with_options(
+            self.db.clone(),
+            &overlay_config(),
+            GraphOptions { adj_cache_mb: Some(0), ..Default::default() },
+        )
+        .expect("open cache-off overlay");
+        let warm =
+            Db2Graph::open_with_options(self.db.clone(), &overlay_config(), Default::default())
+                .expect("open cached overlay");
+        warm.warm_adjacency_cache().expect("warm adjacency cache");
+        let ids: Vec<i64> = self.data.nodes.iter().map(|n| n.id).collect();
+        let query_at = |i: usize| {
+            let k = 32.min(ids.len().max(1));
+            let picked: Vec<String> =
+                (0..k).map(|j| ids[(i * 31 + j * 7) % ids.len()].to_string()).collect();
+            format!("g.V({}).out().out().count()", picked.join(", "))
+        };
+        let measure = |g: &Db2Graph| {
+            for i in 0..(iters / 10 + 1) {
+                g.run(&query_at(i)).expect("warmup query");
+            }
+            let start = Instant::now();
+            for i in 0..iters {
+                g.run(&query_at(i)).expect("bench query");
+            }
+            start.elapsed() / iters.max(1) as u32
+        };
+        let cold_lat = measure(&cold);
+        let warm_lat = measure(&warm);
+        let m = warm.metrics();
+        println!(
+            "db2graph adjacency cache [{}]: 2-hop out().out().count(): cold {} vs warm {} ({:.2}x speedup, {} hits, {} bytes cached)",
+            self.dataset.name(),
+            fmt_duration(cold_lat),
+            fmt_duration(warm_lat),
+            cold_lat.as_secs_f64() / warm_lat.as_secs_f64().max(1e-12),
+            m.adj_cache_hits,
+            m.adj_cache_bytes,
+        );
+        (cold_lat, warm_lat)
+    }
+
     /// Throughput (queries/sec) with `threads` concurrent clients running
     /// `iters` queries each.
     pub fn measure_throughput(

@@ -218,6 +218,61 @@ impl Default for EventLog {
     }
 }
 
+/// An environment knob whose value could not be parsed and was replaced
+/// by a fallback. Historically these fell back *silently* — a typo'd
+/// `DB2GRAPH_THREADS=eight` ran single-knob defaults with no trace. Now
+/// every such decision is recorded here and surfaced as a typed
+/// `config_warning` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigWarning {
+    /// The environment variable name, e.g. `DB2GRAPH_THREADS`.
+    pub knob: String,
+    /// The raw value that failed to parse.
+    pub raw: String,
+    /// Human-readable description of the fallback that was used instead.
+    pub fallback: String,
+}
+
+static CONFIG_WARNINGS: Mutex<Vec<ConfigWarning>> = Mutex::new(Vec::new());
+
+/// Record that `knob` was set to the unparseable `raw` and `fallback` was
+/// used instead. Config parsing happens before (or without) any
+/// [`EventLog`], so warnings buffer in a process-global queue; an embedder
+/// with a log drains them via [`EventLog::emit_config_warnings`]. Also
+/// printed to stderr immediately so library users see it regardless.
+pub fn record_config_warning(knob: &str, raw: &str, fallback: &str) {
+    eprintln!("db2graph: ignoring invalid {knob}={raw:?}; using {fallback}");
+    CONFIG_WARNINGS.lock().unwrap().push(ConfigWarning {
+        knob: knob.to_string(),
+        raw: raw.to_string(),
+        fallback: fallback.to_string(),
+    });
+}
+
+/// Take (and clear) all buffered configuration warnings.
+pub fn drain_config_warnings() -> Vec<ConfigWarning> {
+    std::mem::take(&mut *CONFIG_WARNINGS.lock().unwrap())
+}
+
+impl EventLog {
+    /// Drain the buffered configuration warnings into this log as typed
+    /// `config_warning` events; returns how many were emitted.
+    pub fn emit_config_warnings(&self) -> usize {
+        let warnings = drain_config_warnings();
+        for w in &warnings {
+            self.emit(
+                "config_warning",
+                vec![
+                    ("knob", Json::str(w.knob.clone())),
+                    ("raw", Json::str(w.raw.clone())),
+                    ("fallback", Json::str(w.fallback.clone())),
+                ],
+            );
+        }
+        warnings.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +302,27 @@ mod tests {
         assert_eq!(all[0].seq, 8);
         assert_eq!(all[2].seq, 10);
         assert_eq!(log.emitted(), 10);
+    }
+
+    #[test]
+    fn config_warnings_buffer_then_emit_as_events() {
+        let log = EventLog::with_capacity(8);
+        record_config_warning("DB2GRAPH_TEST_KNOB", "eight", "autodetect (4)");
+        let emitted = log.emit_config_warnings();
+        assert!(emitted >= 1);
+        let events = log.since(0);
+        let w = events
+            .iter()
+            .find(|e| {
+                e.kind == "config_warning"
+                    && e.fields.iter().any(|(k, v)| {
+                        k == "knob" && v.to_compact().contains("DB2GRAPH_TEST_KNOB")
+                    })
+            })
+            .expect("config_warning event present");
+        assert!(w.to_json().to_compact().contains("eight"));
+        // Drained: a second pass emits nothing new for this knob.
+        assert_eq!(drain_config_warnings(), Vec::new());
     }
 
     #[test]

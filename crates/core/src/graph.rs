@@ -9,8 +9,10 @@ use gremlin::structure::{Element, GValue};
 use gremlin::ScriptRunner;
 use reldb::{DataType, Database, DbError, DbResult, RowSet, TableFunction, Value};
 
+use crate::adjcache::{AdjCache, ADJ_CACHE_MB_ENV, DEFAULT_ADJ_CACHE_MB};
 use crate::config::OverlayConfig;
 use crate::error::{from_gremlin, GraphError, GraphResult};
+use crate::events::record_config_warning;
 use crate::graph_structure::{to_value, Db2GraphBackend};
 use crate::metrics::{
     step_kind, ExplainReport, MetricsSnapshot, ProfileReport, Profiler, SlowQueryEntry,
@@ -56,6 +58,10 @@ pub struct GraphOptions {
     /// Durability mode for the data directory. `None` defers to
     /// `DB2GRAPH_DURABILITY` (`always`/`batch`/`off`), then `always`.
     pub durability: Option<reldb::Durability>,
+    /// Byte budget (MiB) for the columnar adjacency cache; `Some(0)`
+    /// disables it. `None` defers to `DB2GRAPH_ADJ_CACHE_MB`, then
+    /// [`DEFAULT_ADJ_CACHE_MB`].
+    pub adj_cache_mb: Option<usize>,
 }
 
 impl GraphOptions {
@@ -73,7 +79,16 @@ impl GraphOptions {
         let mode = self
             .durability
             .or_else(|| {
-                std::env::var("DB2GRAPH_DURABILITY").ok().and_then(|s| reldb::Durability::parse(&s))
+                let raw = std::env::var("DB2GRAPH_DURABILITY").ok()?;
+                let parsed = reldb::Durability::parse(&raw);
+                if parsed.is_none() {
+                    record_config_warning(
+                        "DB2GRAPH_DURABILITY",
+                        &raw,
+                        "default durability (always)",
+                    );
+                }
+                parsed
             })
             .unwrap_or_default();
         Ok(Arc::new(Database::open_with(dir, mode)?))
@@ -99,6 +114,8 @@ pub struct Db2Graph {
     trace_path: Option<String>,
     /// Present when a slow-query threshold is configured.
     slow_log: Option<Arc<SlowQueryLog>>,
+    /// The columnar adjacency cache, when enabled (budget > 0).
+    adj_cache: Option<Arc<AdjCache>>,
 }
 
 impl Db2Graph {
@@ -124,7 +141,28 @@ impl Db2Graph {
         if let Some(n) = options.threads {
             backend = backend.with_threads(n);
         }
-        let backend = Arc::new(backend);
+        // Adjacency-cache budget: explicit option wins, then the
+        // environment, then the default. 0 MiB disables the cache.
+        let adj_cache_mb = options.adj_cache_mb.unwrap_or_else(|| {
+            match std::env::var(ADJ_CACHE_MB_ENV) {
+                Ok(raw) => match raw.trim().parse::<usize>() {
+                    Ok(mb) => mb,
+                    Err(_) => {
+                        record_config_warning(
+                            ADJ_CACHE_MB_ENV,
+                            &raw,
+                            &format!("default budget ({DEFAULT_ADJ_CACHE_MB} MiB)"),
+                        );
+                        DEFAULT_ADJ_CACHE_MB
+                    }
+                },
+                Err(_) => DEFAULT_ADJ_CACHE_MB,
+            }
+        });
+        let adj_cache = (adj_cache_mb > 0).then(|| {
+            AdjCache::new(db.clone(), adj_cache_mb, backend.registry().clone())
+        });
+        let backend = Arc::new(backend.with_adj_cache(adj_cache.clone()));
         let mut registry = StrategyRegistry::new();
         registry.add(Arc::new(IdentityRemoval));
         for s in options.strategies.build() {
@@ -143,10 +181,18 @@ impl Db2Graph {
         });
         let trace_path = options.trace_path.clone().or(env_trace_path);
         let slow_query_nanos = options.slow_query_nanos.or_else(|| {
-            std::env::var("DB2GRAPH_SLOW_QUERY_MS")
-                .ok()
-                .and_then(|s| s.trim().parse::<u64>().ok())
-                .map(|ms| ms.saturating_mul(1_000_000))
+            let raw = std::env::var("DB2GRAPH_SLOW_QUERY_MS").ok()?;
+            match raw.trim().parse::<u64>() {
+                Ok(ms) => Some(ms.saturating_mul(1_000_000)),
+                Err(_) => {
+                    record_config_warning(
+                        "DB2GRAPH_SLOW_QUERY_MS",
+                        &raw,
+                        "no slow-query log",
+                    );
+                    None
+                }
+            }
         });
         let slow_log = slow_query_nanos.map(|threshold| {
             Arc::new(SlowQueryLog::new(
@@ -162,6 +208,7 @@ impl Db2Graph {
             sink,
             trace_path,
             slow_log,
+            adj_cache,
         }))
     }
 
@@ -213,7 +260,26 @@ impl Db2Graph {
         snap.wal_bytes = self.db.wal_bytes();
         snap.checkpoints = self.db.checkpoints();
         snap.recovery_replayed_epochs = self.db.recovery_replayed_epochs();
+        // Adjacency-cache residency gauge (the hit/miss/eviction/
+        // invalidation counters flow through the registry).
+        snap.adj_cache_bytes = self.adj_cache.as_ref().map_or(0, |c| c.bytes() as u64);
         snap
+    }
+
+    /// The columnar adjacency cache, when enabled.
+    pub fn adj_cache(&self) -> Option<&Arc<AdjCache>> {
+        self.adj_cache.as_ref()
+    }
+
+    /// Eagerly build complete adjacency-cache segments for every edge
+    /// table by scanning them once at a fresh snapshot (the explicit warm
+    /// call; lazy population happens on every plain query anyway).
+    /// Returns the number of edges cached — 0 when the cache is disabled.
+    pub fn warm_adjacency_cache(&self) -> GraphResult<usize> {
+        if self.adj_cache.is_none() {
+            return Ok(0);
+        }
+        self.backend.with_snapshot(Some(self.db.snapshot())).warm_adj_cache()
     }
 
     /// True when every query runs through the observing pipeline (tracing

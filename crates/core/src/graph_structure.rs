@@ -34,6 +34,7 @@ use gremlin::structure::{Edge, Element, ElementId, GValue, Vertex};
 use gremlin::GResult;
 use reldb::{Database, DataType, Row, RowSet, Snapshot, Value};
 
+use crate::adjcache::{AdjCache, EdgeRef, Probe};
 use crate::error::{to_gremlin, GraphError, GraphResult};
 use crate::ids::{implicit_edge_id, split_implicit_edge_id, EdgeIdDef, IdDef};
 use crate::metrics::{MetricsRegistry, Profiler, TableAction, TableExplain, TablePlan};
@@ -106,6 +107,11 @@ pub struct Db2GraphBackend {
     /// query by [`Db2Graph::run_with_deadline`]; the serving layer uses it
     /// to shed requests that outlive their budget.
     pub(crate) deadline: Option<std::time::Instant>,
+    /// Columnar CSR adjacency cache consulted before generating adjacency
+    /// SQL (`None` = disabled). Shared across all shallow clones; only
+    /// plain runs pinned to an unstamped snapshot use it — see
+    /// `docs/VECTORIZED.md`.
+    pub(crate) adj_cache: Option<Arc<AdjCache>>,
 }
 
 impl Db2GraphBackend {
@@ -120,6 +126,7 @@ impl Db2GraphBackend {
             threads: pool::configured_threads(),
             read_view: None,
             deadline: None,
+            adj_cache: None,
         }
     }
 
@@ -134,6 +141,7 @@ impl Db2GraphBackend {
             threads: self.threads,
             read_view: self.read_view.clone(),
             deadline: self.deadline,
+            adj_cache: self.adj_cache.clone(),
         }
     }
 
@@ -150,6 +158,7 @@ impl Db2GraphBackend {
             threads: self.threads,
             read_view: snapshot,
             deadline: self.deadline,
+            adj_cache: self.adj_cache.clone(),
         }
     }
 
@@ -165,7 +174,54 @@ impl Db2GraphBackend {
             threads: self.threads,
             read_view: self.read_view.clone(),
             deadline,
+            adj_cache: self.adj_cache.clone(),
         }
+    }
+
+    /// Attach (or detach) the columnar adjacency cache. Installed once by
+    /// [`crate::graph::Db2Graph`] at open; per-query shallow clones then
+    /// share the one instance.
+    pub fn with_adj_cache(mut self, cache: Option<Arc<AdjCache>>) -> Db2GraphBackend {
+        self.adj_cache = cache;
+        self
+    }
+
+    /// The attached adjacency cache, if any.
+    pub fn adj_cache(&self) -> Option<&Arc<AdjCache>> {
+        self.adj_cache.as_ref()
+    }
+
+    /// Eagerly build *complete* cache segments (both directions) for every
+    /// edge table by scanning them once at this backend's pinned snapshot.
+    /// Complete segments answer even never-probed sources (absent = empty
+    /// adjacency). Returns the number of edges cached, or 0 when the
+    /// cache is disabled or the backend is unpinned/stamped.
+    pub fn warm_adj_cache(&self) -> GraphResult<usize> {
+        let Some(cache) = &self.adj_cache else { return Ok(0) };
+        let Some(snap) = &self.read_view else { return Ok(0) };
+        if snap.stamp() != 0 || self.profiler.is_enabled() {
+            return Ok(0);
+        }
+        let epoch = snap.epoch();
+        let filter = ElementFilter::default();
+        let mut cached = 0usize;
+        for (ei, et) in self.topo.edge_tables.iter().enumerate() {
+            let edges: Vec<Edge> = match self.query_edge_table(et, &filter)? {
+                TableResult::Elements(es) => es
+                    .into_iter()
+                    .filter_map(|el| match el {
+                        Element::Edge(e) => Some(e),
+                        _ => None,
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            let refs: Vec<&Edge> = edges.iter().collect();
+            cache.insert_complete(ei, true, &et.name, &refs, epoch);
+            cache.insert_complete(ei, false, &et.name, &refs, epoch);
+            cached += edges.len();
+        }
+        Ok(cached)
     }
 
     /// Cooperative cancellation check, called on every SQL-issuing path
@@ -1556,6 +1612,30 @@ impl Db2GraphBackend {
         let edge_filter_preds: Vec<PropPred> =
             if to == ElementKind::Edges { filter.predicates.clone() } else { Vec::new() };
 
+        // Adjacency-cache context. The CSR cache is consulted (and fed)
+        // only for plain runs pinned to an unstamped snapshot: profiled
+        // runs must reproduce the exact SQL-path profile at any thread
+        // count, and stamped snapshots observe session-private writes the
+        // shared cache must not hold. `epoch` is the snapshot's pin — the
+        // cache's validity rule keys off it (docs/VECTORIZED.md).
+        let cache_ctx: Option<(Arc<AdjCache>, u64)> = match (&self.adj_cache, &self.read_view) {
+            (Some(c), Some(snap)) if snap.stamp() == 0 && !self.profiler.is_enabled() => {
+                Some((c.clone(), snap.epoch()))
+            }
+            _ => None,
+        };
+        // A probe context is cacheable only when its SQL is unconstrained
+        // beyond the frontier ids — then each probed id's rows are its
+        // *complete* adjacency, so the cached entry can serve any later
+        // query without post-filtering. A label filter stays cacheable
+        // only through fixed-label tables (the candidate list already did
+        // the elimination; the SQL adds no row constraint there).
+        let ctx_cacheable = cache_ctx.is_some()
+            && (to == ElementKind::Vertices
+                || (edge_filter_preds.is_empty()
+                    && filter.src_ids.is_none()
+                    && filter.dst_ids.is_none()));
+
         struct FoundEdge {
             edge: Edge,
             et_idx: usize,
@@ -1565,12 +1645,29 @@ impl Db2GraphBackend {
         // Phase 1 (sequential, cheap): expand the probe space —
         // (edge table × source-table group × direction × frontier chunk) —
         // recording the pruning decisions on the coordinator thread so the
-        // profile stream is ordered like sequential execution.
+        // profile stream is ordered like sequential execution. Each
+        // (table × group × direction) becomes one *unit*: its cache-hit
+        // sources expand in memory, its misses fall back to the batched
+        // SQL path with the exact chunking the pure-SQL path uses.
         struct ProbeSpec {
             et_idx: usize,
-            via_out: bool,
             sub: ElementFilter,
         }
+        struct Unit {
+            et_idx: usize,
+            via_out: bool,
+            /// Cache-hit adjacency spans, one per hit source, frontier
+            /// order. Expanded on work-stealing morsels — no SQL.
+            hits: Vec<Vec<EdgeRef>>,
+            /// Frontier ids that missed, chunked exactly like the pure
+            /// SQL path chunks them; aligned 1:1 with this unit's probes.
+            miss_chunks: Vec<Vec<ElementId>>,
+            /// This unit's probes are `probes[probe_start..][..miss_chunks.len()]`.
+            probe_start: usize,
+            /// Feed this unit's SQL results back into the cache.
+            populate: bool,
+        }
+        let mut units: Vec<Unit> = Vec::new();
         let mut probes: Vec<ProbeSpec> = Vec::new();
         for &ei in &candidates {
             let et = &self.topo.edge_tables[ei];
@@ -1608,10 +1705,32 @@ impl Db2GraphBackend {
                         }
                         continue;
                     }
+                    // Serve what the cache can: hit sources expand without
+                    // SQL, miss sources continue to the probe path below.
+                    let unit_cacheable = ctx_cacheable
+                        && (label_filter.is_none() || et.fixed_label().is_some());
+                    let (hits, remaining): (Vec<Vec<EdgeRef>>, Vec<ElementId>) =
+                        match (&cache_ctx, unit_cacheable) {
+                            (Some((cache, epoch)), true) => {
+                                let mut hits = Vec::new();
+                                let mut miss = Vec::new();
+                                let served = cache.lookup(ei, dir_out, ids, *epoch);
+                                for (id, probe) in ids.iter().zip(served) {
+                                    match probe {
+                                        Probe::Hit(refs) => hits.push(refs),
+                                        Probe::Miss => miss.push(id.clone()),
+                                    }
+                                }
+                                (hits, miss)
+                            }
+                            _ => (Vec::new(), ids.clone()),
+                        };
+                    let probe_start = probes.len();
+                    let mut miss_chunks: Vec<Vec<ElementId>> = Vec::new();
                     // Chunked so one statement never exceeds the template
                     // bucket ceiling; chunks partition the ids, so an edge
                     // matches exactly one chunk per direction.
-                    for chunk in ids.chunks(MAX_FRONTIER_CHUNK) {
+                    for chunk in remaining.chunks(MAX_FRONTIER_CHUNK) {
                         let mut sub = ElementFilter {
                             labels: label_filter.clone(),
                             predicates: edge_filter_preds.clone(),
@@ -1635,41 +1754,93 @@ impl Db2GraphBackend {
                         } else {
                             intersect(&mut sub.dst_ids);
                         }
-                        probes.push(ProbeSpec { et_idx: ei, via_out: dir_out, sub });
+                        probes.push(ProbeSpec { et_idx: ei, sub });
+                        miss_chunks.push(chunk.to_vec());
                     }
+                    units.push(Unit {
+                        et_idx: ei,
+                        via_out: dir_out,
+                        hits,
+                        miss_chunks,
+                        probe_start,
+                        populate: unit_cacheable,
+                    });
                 }
             }
         }
 
-        // Phase 2 (parallel): run the independent probes; results merge in
-        // probe order, so `found` is ordered exactly as the sequential
-        // loops produced it.
-        let results = self.fan_out(
-            probes
-                .iter()
-                .map(|p| {
-                    move |be: &Db2GraphBackend| {
-                        be.query_edge_table(&be.topo.edge_tables[p.et_idx], &p.sub)
-                    }
-                })
-                .collect(),
-        )?;
-        let mut found: Vec<FoundEdge> = Vec::new();
-        for (p, r) in probes.iter().zip(results) {
-            match r {
-                TableResult::Pruned => {}
-                TableResult::Elements(es) => {
-                    for el in es {
-                        if let Element::Edge(e) = el {
-                            found.push(FoundEdge {
-                                edge: e,
-                                et_idx: p.et_idx,
-                                via_out: p.via_out,
-                            });
+        // Phase 2 (parallel): run the independent cache-miss probes;
+        // results come back in probe order.
+        let mut results: Vec<Option<TableResult>> = self
+            .fan_out(
+                probes
+                    .iter()
+                    .map(|p| {
+                        move |be: &Db2GraphBackend| {
+                            be.query_edge_table(&be.topo.edge_tables[p.et_idx], &p.sub)
                         }
+                    })
+                    .collect(),
+            )?
+            .into_iter()
+            .map(Some)
+            .collect();
+
+        // Phase 3: merge — units in probe nesting order; within a unit,
+        // cache hits (expanded in-memory on work-stealing morsels, no
+        // SQL) before its SQL-probe results. Each source's edges come
+        // wholly from one hit span or one SQL chunk, in SQL row order
+        // either way, so every per-source group below is identical to the
+        // pure SQL path's — the cache changes *where* a group's edges come
+        // from, never their content or order.
+        let mut found: Vec<FoundEdge> = Vec::new();
+        for unit in &units {
+            if !unit.hits.is_empty() {
+                let expanded: Vec<Edge> = pool::run_morsels(
+                    self.threads,
+                    &unit.hits,
+                    pool::morsel_size(unit.hits.len()),
+                    |_, spans| {
+                        spans
+                            .iter()
+                            .flat_map(|refs| refs.iter().map(EdgeRef::materialize))
+                            .collect()
+                    },
+                );
+                found.extend(expanded.into_iter().map(|edge| FoundEdge {
+                    edge,
+                    et_idx: unit.et_idx,
+                    via_out: unit.via_out,
+                }));
+            }
+            for (k, chunk) in unit.miss_chunks.iter().enumerate() {
+                let r = results[unit.probe_start + k].take().expect("probe result consumed once");
+                let edges: Vec<Edge> = match r {
+                    // A pruned unconstrained probe means the chunk's ids
+                    // cannot exist in this table: their adjacency here is
+                    // known empty, which is itself cacheable.
+                    TableResult::Pruned => Vec::new(),
+                    TableResult::Elements(es) => es
+                        .into_iter()
+                        .filter_map(|el| match el {
+                            Element::Edge(e) => Some(e),
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => unreachable!("no projection/aggregate in sub-filter"),
+                };
+                if unit.populate {
+                    if let Some((cache, epoch)) = &cache_ctx {
+                        let refs: Vec<&Edge> = edges.iter().collect();
+                        let table = &self.topo.edge_tables[unit.et_idx].name;
+                        cache.insert(unit.et_idx, unit.via_out, table, chunk, &refs, *epoch);
                     }
                 }
-                _ => unreachable!("no projection/aggregate in sub-filter"),
+                found.extend(edges.into_iter().map(|edge| FoundEdge {
+                    edge,
+                    et_idx: unit.et_idx,
+                    via_out: unit.via_out,
+                }));
             }
         }
 

@@ -61,6 +61,7 @@
 //! assert_eq!(out, vec![GValue::Str("type 2 diabetes".into())]);
 //! ```
 
+pub mod adjcache;
 pub mod auto_overlay;
 pub mod config;
 pub mod error;
@@ -77,10 +78,14 @@ pub mod strategies;
 pub mod topology;
 pub mod trace;
 
+pub use adjcache::{AdjCache, ADJ_CACHE_MB_ENV, DEFAULT_ADJ_CACHE_MB};
 pub use auto_overlay::{auto_overlay, generate_overlay, identify_tables};
 pub use config::{ETableConfig, OverlayConfig, VTableConfig};
 pub use error::{GraphError, GraphResult};
-pub use events::{Event, EventLog, DEFAULT_EVENT_CAPACITY, DEFAULT_ROTATE_BYTES};
+pub use events::{
+    drain_config_warnings, record_config_warning, ConfigWarning, Event, EventLog,
+    DEFAULT_EVENT_CAPACITY, DEFAULT_ROTATE_BYTES,
+};
 pub use graph::{Db2Graph, GraphOptions};
 pub use graph_structure::Db2GraphBackend;
 pub use metrics::{

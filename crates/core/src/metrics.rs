@@ -1002,6 +1002,10 @@ pub struct MetricsRegistry {
     slow_queries: AtomicU64,
     vacuum_runs: AtomicU64,
     vacuumed_versions: AtomicU64,
+    adj_cache_hits: AtomicU64,
+    adj_cache_misses: AtomicU64,
+    adj_cache_evictions: AtomicU64,
+    adj_cache_invalidations: AtomicU64,
     query_latency: Histogram,
     sql_latency: Histogram,
     sql_templates: HistogramSet,
@@ -1060,6 +1064,29 @@ impl MetricsRegistry {
 
     pub fn record_slow_query(&self) {
         self.slow_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` frontier sources served straight from the adjacency cache (no
+    /// SQL generated).
+    pub fn record_adj_cache_hits(&self, n: u64) {
+        self.adj_cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` frontier sources that missed the adjacency cache and fell back
+    /// to the batched-SQL path.
+    pub fn record_adj_cache_misses(&self, n: u64) {
+        self.adj_cache_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` cache segments dropped to stay within the byte budget.
+    pub fn record_adj_cache_evictions(&self, n: u64) {
+        self.adj_cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` cache segments dropped because a commit or DDL statement made
+    /// them stale (MVCC epoch / schema-generation invalidation).
+    pub fn record_adj_cache_invalidations(&self, n: u64) {
+        self.adj_cache_invalidations.fetch_add(n, Ordering::Relaxed);
     }
 
     /// One `Database::vacuum` pass reclaimed `versions` dead row versions
@@ -1132,6 +1159,11 @@ impl MetricsRegistry {
             tables_considered: overlay.tables_considered,
             tables_pruned: overlay.tables_pruned,
             vertices_from_edges: overlay.vertices_from_edges,
+            adj_cache_hits: self.adj_cache_hits.load(Ordering::Relaxed),
+            adj_cache_misses: self.adj_cache_misses.load(Ordering::Relaxed),
+            adj_cache_evictions: self.adj_cache_evictions.load(Ordering::Relaxed),
+            adj_cache_invalidations: self.adj_cache_invalidations.load(Ordering::Relaxed),
+            adj_cache_bytes: 0,
         }
     }
 }
@@ -1192,6 +1224,17 @@ pub struct MetricsSnapshot {
     pub tables_considered: u64,
     pub tables_pruned: u64,
     pub vertices_from_edges: u64,
+    /// Frontier sources expanded straight from the adjacency cache.
+    pub adj_cache_hits: u64,
+    /// Frontier sources that fell back to the batched-SQL path.
+    pub adj_cache_misses: u64,
+    /// Cache segments dropped to stay within the byte budget.
+    pub adj_cache_evictions: u64,
+    /// Cache segments dropped as stale (commit epoch or schema change).
+    pub adj_cache_invalidations: u64,
+    /// Gauge: resident adjacency-cache bytes (filled by
+    /// [`Db2Graph::metrics`]; 0 from a bare registry snapshot).
+    pub adj_cache_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -1231,6 +1274,12 @@ impl MetricsSnapshot {
             tables_considered: self.tables_considered - earlier.tables_considered,
             tables_pruned: self.tables_pruned - earlier.tables_pruned,
             vertices_from_edges: self.vertices_from_edges - earlier.vertices_from_edges,
+            adj_cache_hits: self.adj_cache_hits - earlier.adj_cache_hits,
+            adj_cache_misses: self.adj_cache_misses - earlier.adj_cache_misses,
+            adj_cache_evictions: self.adj_cache_evictions - earlier.adj_cache_evictions,
+            adj_cache_invalidations: self.adj_cache_invalidations
+                - earlier.adj_cache_invalidations,
+            adj_cache_bytes: self.adj_cache_bytes,
         }
     }
 
@@ -1266,6 +1315,11 @@ impl MetricsSnapshot {
             ("tables_considered", Json::u64(self.tables_considered)),
             ("tables_pruned", Json::u64(self.tables_pruned)),
             ("vertices_from_edges", Json::u64(self.vertices_from_edges)),
+            ("adj_cache_hits", Json::u64(self.adj_cache_hits)),
+            ("adj_cache_misses", Json::u64(self.adj_cache_misses)),
+            ("adj_cache_evictions", Json::u64(self.adj_cache_evictions)),
+            ("adj_cache_invalidations", Json::u64(self.adj_cache_invalidations)),
+            ("adj_cache_bytes", Json::u64(self.adj_cache_bytes)),
         ])
     }
 }

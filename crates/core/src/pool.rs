@@ -40,12 +40,22 @@ pub const THREADS_ENV: &str = "DB2GRAPH_THREADS";
 /// `DB2GRAPH_THREADS` if set and parseable, otherwise the machine's
 /// available parallelism (at least 1).
 pub fn configured_threads() -> usize {
+    let auto = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        match v.trim().parse::<usize>() {
+            Ok(n) => return n.max(1),
+            Err(_) => {
+                let fallback = auto();
+                crate::events::record_config_warning(
+                    THREADS_ENV,
+                    &v,
+                    &format!("available parallelism ({fallback})"),
+                );
+                return fallback;
+            }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    auto()
 }
 
 /// Run `jobs` on up to `threads` scoped worker threads, returning results
@@ -106,6 +116,60 @@ enum JobCell<T, F> {
     Done(T),
 }
 
+/// Morsel size for a frontier of `n` items: a function of the frontier
+/// *only* (never the thread count), so the morsel boundaries — and with
+/// them every per-morsel result vector — are identical at any thread
+/// count. Targets ~64 morsels per frontier for stealable granularity,
+/// clamped so tiny frontiers aren't over-split and huge ones don't
+/// produce unboundedly large claims.
+pub fn morsel_size(n: usize) -> usize {
+    (n / 64).clamp(16, 1024)
+}
+
+/// Morsel-driven execution over a frontier: workers pull contiguous
+/// `[start, start+morsel)` ranges of `items` from one shared atomic
+/// cursor (work stealing: a fast worker takes more morsels, a slow one is
+/// never waited on mid-frontier), run `f(start, slice)` on each, and the
+/// per-morsel outputs are concatenated **in morsel order** — so the
+/// result is byte-identical to running `f` over the whole frontier
+/// inline, at any thread count. With `threads <= 1` or a single-morsel
+/// frontier, runs inline with zero threading overhead.
+pub fn run_morsels<T, R, F>(threads: usize, items: &[T], morsel: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = morsel.max(1);
+    if threads <= 1 || n <= m {
+        return f(0, items);
+    }
+    let slots = n.div_ceil(m);
+    let results: Vec<Mutex<Option<Vec<R>>>> = (0..slots).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(slots) {
+            scope.spawn(|| loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= slots {
+                    break;
+                }
+                let start = k * m;
+                let end = (start + m).min(n);
+                *results[k].lock() = Some(f(start, &items[start..end]));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .flat_map(|c| c.into_inner().expect("morsel pool joined with unfinished morsel"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +227,45 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn morsel_size_is_thread_independent_and_clamped() {
+        assert_eq!(morsel_size(0), 16);
+        assert_eq!(morsel_size(100), 16);
+        assert_eq!(morsel_size(6400), 100);
+        assert_eq!(morsel_size(1 << 20), 1024);
+    }
+
+    #[test]
+    fn morsels_merge_in_item_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let expect: Vec<usize> = items.iter().map(|v| v * 3).collect();
+        for threads in [1, 2, 8] {
+            let out = run_morsels(threads, &items, morsel_size(items.len()), |start, slice| {
+                assert_eq!(slice[0], start);
+                slice.iter().map(|v| v * 3).collect()
+            });
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn morsels_allow_variable_output_cardinality() {
+        // A morsel's output need not be one-per-item (adjacency fans out).
+        let items: Vec<usize> = (0..100).collect();
+        let out = run_morsels(4, &items, 16, |_, slice| {
+            slice.iter().flat_map(|&v| std::iter::repeat(v).take(v % 3)).collect()
+        });
+        let expect: Vec<usize> =
+            items.iter().flat_map(|&v| std::iter::repeat(v).take(v % 3)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_frontier_short_circuits() {
+        let none: Vec<usize> = Vec::new();
+        let out = run_morsels(8, &none, 16, |_, s| s.to_vec());
+        assert!(out.is_empty());
     }
 }

@@ -191,6 +191,13 @@ pub struct Database {
     /// observability crates, so the event vocabulary lives here and the
     /// transport lives above.
     event_hook: RwLock<Option<DbEventHook>>,
+    /// Data-change observers: each hook is told, inside the commit lock,
+    /// which tables every published commit touched and at which epoch.
+    /// Unlike the single `event_hook`, any number of change hooks may be
+    /// registered (caches above the engine each add their own), and they
+    /// are never replaced — holders capture weak state so a dropped
+    /// consumer degenerates to a no-op.
+    change_hooks: RwLock<Vec<ChangeHook>>,
 }
 
 /// Operational events a [`Database`] reports to an installed
@@ -213,6 +220,13 @@ pub enum DbEvent {
 /// Callback for [`Database::set_event_hook`]. Runs synchronously on the
 /// emitting thread; keep it cheap and never call back into the database.
 pub type DbEventHook = Arc<dyn Fn(&DbEvent) + Send + Sync>;
+
+/// Callback for [`Database::add_change_hook`]: `(epoch, touched_tables)`
+/// for every published commit — both local commits and replicated WAL
+/// applies. Table names are lowercased (catalog-key form). Runs
+/// synchronously *inside the commit lock*, so invocations are totally
+/// ordered by epoch; keep it cheap and never call back into the database.
+pub type ChangeHook = Arc<dyn Fn(u64, &[String]) + Send + Sync>;
 
 impl Default for Database {
     fn default() -> Self {
@@ -301,6 +315,7 @@ impl Database {
             applied_wal_seq: AtomicU64::new(0),
             txn_conflicts: AtomicU64::new(0),
             event_hook: RwLock::new(None),
+            change_hooks: RwLock::new(Vec::new()),
         }
     }
 
@@ -308,6 +323,21 @@ impl Database {
     /// is active; installing replaces the previous one.
     pub fn set_event_hook(&self, hook: Option<DbEventHook>) {
         *self.event_hook.write() = hook;
+    }
+
+    /// Register a data-change observer (see [`ChangeHook`]). Hooks
+    /// accumulate — every registered hook sees every published commit.
+    pub fn add_change_hook(&self, hook: ChangeHook) {
+        self.change_hooks.write().push(hook);
+    }
+
+    /// Notify every change hook of a published commit. Must be called with
+    /// the commit lock held so notifications arrive in epoch order.
+    fn notify_change(&self, epoch: u64, tables: &[String]) {
+        let hooks = self.change_hooks.read();
+        for h in hooks.iter() {
+            h(epoch, tables);
+        }
     }
 
     fn emit_event(&self, event: DbEvent) {
@@ -804,14 +834,22 @@ impl Database {
                     // epoch atomically, so a reader either sees the whole
                     // commit or none of it.
                     let _commit = self.commit_lock.lock();
+                    let mut touched: Vec<String> = Vec::new();
                     for (table, rid, change) in changes {
                         let Some(t) = self.get_table(&table) else { continue };
                         match change {
                             NetChange::Put(row) => t.apply_put(rid, row, epoch),
                             NetChange::Del => t.apply_del(rid, epoch),
                         }
+                        let key = Self::key(&table);
+                        if !touched.contains(&key) {
+                            touched.push(key);
+                        }
                     }
                     self.commit_epoch.store(epoch, Ordering::Release);
+                    if !self.change_hooks.read().is_empty() {
+                        self.notify_change(epoch, &touched);
+                    }
                 }
                 WalRecord::Ddl { sql } => {
                     // A replayed DDL that fails did so identically on the
@@ -1394,6 +1432,16 @@ impl Database {
                 }
             }
             self.commit_epoch.store(epoch, Ordering::Release);
+            if !self.change_hooks.read().is_empty() {
+                let mut touched: Vec<String> = Vec::new();
+                for op in log.ops() {
+                    let key = Self::key(op.table());
+                    if !touched.contains(&key) {
+                        touched.push(key);
+                    }
+                }
+                self.notify_change(epoch, &touched);
+            }
         }
         let garbage = log.ops().iter().filter(|op| op.creates_garbage()).count();
         if garbage > 0

@@ -51,7 +51,7 @@ pub mod storage;
 pub mod txn;
 pub mod value;
 
-pub use db::{Database, DbEvent, DbEventHook, Snapshot, ViewDef};
+pub use db::{ChangeHook, Database, DbEvent, DbEventHook, Snapshot, ViewDef};
 pub use durability::{CrashHook, CrashPoint, Durability, NetChange, WalTail, WalTailResult};
 pub use error::{DbError, DbResult};
 pub use func::TableFunction;

@@ -205,8 +205,13 @@ impl ServerConfig {
             }
         }
         if let Ok(mode) = std::env::var("DB2GRAPH_DURABILITY") {
-            if let Some(m) = reldb::Durability::parse(&mode) {
-                c.durability = m;
+            match reldb::Durability::parse(&mode) {
+                Some(m) => c.durability = m,
+                None => db2graph_core::record_config_warning(
+                    "DB2GRAPH_DURABILITY",
+                    &mode,
+                    "default durability (always)",
+                ),
             }
         }
         if let Some(ms) = env_parse::<u64>("DB2GRAPH_CHECKPOINT_MS") {
@@ -275,8 +280,17 @@ impl ServerConfig {
     }
 }
 
+/// Parse an environment knob, recording a typed `config_warning` (instead
+/// of silently falling back) when the value is set but unparseable.
 fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
-    std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            db2graph_core::record_config_warning(name, &raw, "built-in default");
+            None
+        }
+    }
 }
 
 /// Follower identity, present only when serving as a read replica: who
@@ -456,6 +470,10 @@ impl GraphServer {
             shared.clone(),
             (config.session_idle / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)),
         );
+        // Surface config-parse fallbacks (typed, queryable) before the
+        // first request: anything the core or server env parsing rejected
+        // since process start lands in the event stream here.
+        shared.events.emit_config_warnings();
         shared.events.emit(
             "server_started",
             vec![

@@ -39,6 +39,7 @@ fn is_gauge(key: &str) -> bool {
             | "replication_lag_records"
             | "uptime_seconds"
             | "sessions_open"
+            | "adj_cache_bytes"
     ) || key.ends_with("_nanos")
 }
 

@@ -279,13 +279,24 @@ fn count_links_is_one_aggregate_query() {
 fn strategies_off_still_correct() {
     let db = healthcare_db();
     let cfg = db2graph_core::OverlayConfig::from_json(healthcare_example_json()).unwrap();
+    // Adjacency cache off on both sides: the SQL-count comparison below
+    // measures the *strategy* savings, which warm cache hits would mask.
     let g_off = Db2Graph::open_with_options(
         db.clone(),
         &cfg,
-        GraphOptions { strategies: StrategyConfig::none(), ..Default::default() },
+        GraphOptions {
+            strategies: StrategyConfig::none(),
+            adj_cache_mb: Some(0),
+            ..Default::default()
+        },
     )
     .unwrap();
-    let g_on = open(&db);
+    let g_on = Db2Graph::open_with_options(
+        db.clone(),
+        &cfg,
+        GraphOptions { adj_cache_mb: Some(0), ..Default::default() },
+    )
+    .unwrap();
     for q in [
         "g.V().hasLabel('patient').count()",
         "g.V('patient::1').outE('hasDisease').count()",

@@ -203,6 +203,11 @@ const GRAPH_KEYS: &[&str] = &[
     "tables_considered",
     "tables_pruned",
     "vertices_from_edges",
+    "adj_cache_hits",
+    "adj_cache_misses",
+    "adj_cache_evictions",
+    "adj_cache_invalidations",
+    "adj_cache_bytes",
 ];
 
 const SERVER_KEYS: &[&str] = &[

@@ -89,6 +89,18 @@ fn open_with_threads(db: Arc<Database>, threads: usize) -> Arc<Db2Graph> {
     Db2Graph::open_with_options(db, &social_overlay(), options).unwrap()
 }
 
+/// Like [`open_with_threads`] but with the adjacency cache pinned off —
+/// for tests whose statement-hook harness requires every adjacency probe
+/// to reach SQL.
+fn open_no_cache(db: Arc<Database>, threads: usize) -> Arc<Db2Graph> {
+    let options = GraphOptions {
+        threads: Some(threads),
+        adj_cache_mb: Some(0),
+        ..Default::default()
+    };
+    Db2Graph::open_with_options(db, &social_overlay(), options).unwrap()
+}
+
 /// Queries exercising every fan-out path: GraphStep over all tables,
 /// adjacency in each direction, endpoint resolution, aggregates,
 /// projections, and multi-label scans.
@@ -152,6 +164,66 @@ fn parallel_profile_matches_sequential_modulo_timing() {
                 .collect::<Vec<_>>()
         };
         assert_eq!(stmts(&p1), stmts(&p4), "statement profiles diverge for {q}");
+    }
+}
+
+#[test]
+fn cold_warm_and_disabled_caches_agree_on_corpus() {
+    // The adjacency cache must be invisible to results: every corpus query
+    // returns the same values from a cold cache (lazily populating), a warm
+    // cache (serving from CSR segments), an explicitly warmed cache
+    // (complete segments from a full scan), and no cache at all. Profiled
+    // runs bypass the cache entirely, so `.profile()` reports must also be
+    // identical with the cache on and off — at every thread count.
+    let db = social_db();
+    for threads in [1, 2, 8] {
+        let g_off = open_no_cache(db.clone(), threads);
+        let g_on = open_with_threads(db.clone(), threads);
+        let g_warmed = open_with_threads(db.clone(), threads);
+        assert!(g_warmed.warm_adjacency_cache().unwrap() > 0);
+        for q in CORPUS {
+            let reference = g_off.run(q).unwrap();
+            let cold = g_on.run(q).unwrap();
+            let warm = g_on.run(q).unwrap();
+            let warmed = g_warmed.run(q).unwrap();
+            assert_eq!(cold, reference, "threads={threads}: cold cache diverges for {q}");
+            assert_eq!(warm, reference, "threads={threads}: warm cache diverges for {q}");
+            assert_eq!(warmed, reference, "threads={threads}: warmed cache diverges for {q}");
+
+            let (v_off, p_off) = g_off.profile(q).unwrap();
+            let (v_on, p_on) = g_on.profile(q).unwrap();
+            assert_eq!(v_off, v_on, "threads={threads}: profiled results diverge for {q}");
+            let shape = |p: &db2graph::core::ProfileReport| {
+                (
+                    p.steps
+                        .iter()
+                        .map(|s| (s.index, s.description.clone(), s.in_count, s.out_count))
+                        .collect::<Vec<_>>(),
+                    p.tables
+                        .iter()
+                        .map(|t| (t.table.clone(), t.action.clone()))
+                        .collect::<Vec<_>>(),
+                    p.statements
+                        .iter()
+                        .map(|s| (s.sql.clone(), s.rows))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            assert_eq!(
+                shape(&p_off),
+                shape(&p_on),
+                "threads={threads}: profile diverges between cache off/on for {q}"
+            );
+        }
+        // The warm passes really were served from the cache.
+        let m = g_on.metrics();
+        assert!(m.adj_cache_hits > 0, "threads={threads}: no cache hits recorded: {m:?}");
+        assert!(m.adj_cache_bytes > 0, "threads={threads}: cache reports empty: {m:?}");
+        let m = g_warmed.metrics();
+        assert!(m.adj_cache_hits > 0, "threads={threads}: warmed graph never hit: {m:?}");
+        // ... and the cache-disabled graph never touched a cache.
+        let m = g_off.metrics();
+        assert_eq!(m.adj_cache_hits + m.adj_cache_misses + m.adj_cache_bytes, 0, "{m:?}");
     }
 }
 
@@ -266,7 +338,10 @@ fn writer_commit_mid_traversal_is_invisible_to_the_running_query() {
     use std::sync::atomic::{AtomicBool, Ordering};
     for threads in [1, 2, 8] {
         let db = social_db();
-        let g = open_with_threads(db.clone(), threads);
+        // Cache off: this harness interleaves via the statement hook, so
+        // the second run's adjacency probe must reach SQL. The cached
+        // variant of this scenario lives in stress_consistency.rs.
+        let g = open_no_cache(db.clone(), threads);
         let traversal = "g.V().hasLabel('person').out('knows').values('name')";
         let baseline = sorted(g.run(traversal).unwrap());
 
@@ -314,7 +389,8 @@ fn endpoint_delete_mid_traversal_leaves_no_dangling_edges() {
     use std::sync::atomic::{AtomicBool, Ordering};
     for threads in [1, 2, 8] {
         let db = social_db();
-        let g = open_with_threads(db.clone(), threads);
+        // Cache off: the hook below must see this query's own statements.
+        let g = open_no_cache(db.clone(), threads);
         let fired = Arc::new(AtomicBool::new(false));
         let hook_db = db.clone();
         let hook_fired = fired.clone();

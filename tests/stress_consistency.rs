@@ -278,3 +278,224 @@ fn tree_invariant_holds_at_every_snapshot_under_churn() {
     assert_eq!(n, e + 1);
     db.vacuum();
 }
+
+// --------------------------------------------------- adjacency-cache validity
+
+/// Deterministic cached-path variant of the writer-interleaving tests in
+/// `tests/parallel_exec.rs`: the adjacency cache is warmed, a traversal
+/// pins its snapshot, and a writer commits a new edge *between* the
+/// traversal's vertex scan and its adjacency expansion (interleaved via
+/// the dialect's statement hook — the vertex scan always reaches SQL even
+/// when adjacency is fully cached). The commit advances the cache's
+/// per-table watermark past the traversal's snapshot, so the warmed
+/// segment must be dropped and the expansion re-probed through SQL at the
+/// pinned snapshot: the running query must NOT see the new edge — neither
+/// from SQL nor, crucially, from a stale cache segment — while a fresh
+/// query must.
+#[test]
+fn commit_mid_traversal_invalidates_cached_adjacency_without_leaks() {
+    for threads in [1usize, 2, 8] {
+        let db = Arc::new(Database::new());
+        db.execute_script(
+            "CREATE TABLE Node (nid BIGINT PRIMARY KEY, val BIGINT);
+             CREATE TABLE Edge (src BIGINT, dst BIGINT);
+             INSERT INTO Node VALUES (0, 0), (1, 1), (2, 2);
+             INSERT INTO Edge VALUES (0, 1), (0, 2);",
+        )
+        .unwrap();
+        let overlay = tree_overlay();
+        let g = open_with_threads(db.clone(), &overlay, threads);
+        assert!(g.warm_adjacency_cache().unwrap() > 0);
+
+        // Sanity: the warmed cache serves this adjacency without SQL.
+        let before = g.metrics();
+        assert_eq!(g.run("g.V().out().count()").unwrap(), vec![GValue::Long(2)]);
+        assert!(
+            g.metrics().adj_cache_hits > before.adj_cache_hits,
+            "warmed lookup did not hit the cache (threads={threads})"
+        );
+
+        let fired = Arc::new(AtomicBool::new(false));
+        let hook_db = db.clone();
+        let hook_fired = fired.clone();
+        g.dialect().set_statement_hook(Some(Arc::new(move |template: &str| {
+            if template.contains("FROM Node") && !hook_fired.swap(true, Ordering::SeqCst) {
+                hook_db
+                    .transaction(|db| {
+                        db.execute("INSERT INTO Node VALUES (99, 99)")?;
+                        db.execute("INSERT INTO Edge VALUES (0, 99)")?;
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        })));
+        let out = g.run("g.V().out().count()").unwrap();
+        g.dialect().set_statement_hook(None);
+        assert!(fired.load(Ordering::SeqCst), "the writer never ran (threads={threads})");
+        assert_eq!(
+            out,
+            vec![GValue::Long(2)],
+            "a post-snapshot edge leaked into a pinned traversal (threads={threads})"
+        );
+        assert!(
+            g.metrics().adj_cache_invalidations >= 1,
+            "the commit did not invalidate the warmed segment (threads={threads})"
+        );
+        // A fresh query pins a snapshot after the commit: it must see the
+        // new edge (and may repopulate the cache at the new watermark).
+        assert_eq!(g.run("g.V().out().count()").unwrap(), vec![GValue::Long(3)]);
+    }
+}
+
+fn churn_overlay() -> OverlayConfig {
+    let edge = |table: &str, label: &str| ETableConfig {
+        table_name: table.into(),
+        src_v_table: Some("Node".into()),
+        src_v: "'node'::src".into(),
+        dst_v_table: Some("Node".into()),
+        dst_v: "'node'::dst".into(),
+        prefixed_edge_id: false,
+        implicit_edge_id: true,
+        id: None,
+        fix_label: true,
+        label: format!("'{label}'"),
+        properties: None,
+    };
+    OverlayConfig {
+        v_tables: vec![VTableConfig {
+            table_name: "Node".into(),
+            prefixed_id: true,
+            id: "'node'::nid".into(),
+            fix_label: true,
+            label: "'node'".into(),
+            properties: Some(vec!["val".into()]),
+        }],
+        e_tables: vec![edge("Stable", "stable"), edge("Churn", "churn")],
+    }
+}
+
+/// Writer churn against a cached adjacency: two edge tables hang off one
+/// vertex table — `Stable` is never written (so its warmed segment stays
+/// valid and every read of it must be a cache hit) and `Churn` takes a
+/// stream of transactional edge-pair inserts/deletes (so its segments are
+/// invalidated over and over). Readers at several fan-out widths assert
+/// two conserved invariants on every single read:
+///
+/// * the stable out-degree of the root is always exactly 4;
+/// * the churned out-degree is always even, because writers only ever
+///   commit edge *pairs* atomically — an odd count means a lookup mixed a
+///   cache segment from one committed state with SQL from another.
+///
+/// This is the workload behind the `adjcache-stress` CI job; set
+/// `DB2GRAPH_METRICS_SNAPSHOT_PATH` to export the 8-thread graph's final
+/// metrics snapshot as a JSON artifact.
+#[test]
+fn cached_adjacency_stays_consistent_under_writer_churn() {
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE Node (nid BIGINT PRIMARY KEY, val BIGINT);
+         CREATE TABLE Stable (src BIGINT, dst BIGINT);
+         CREATE TABLE Churn (src BIGINT, dst BIGINT, tag BIGINT);
+         INSERT INTO Node VALUES (0, 0), (1, 1), (2, 2), (3, 3), (4, 4);
+         INSERT INTO Stable VALUES (0, 1), (0, 2), (0, 3), (0, 4);",
+    )
+    .unwrap();
+
+    let overlay = churn_overlay();
+    let graphs: Vec<Arc<Db2Graph>> =
+        [1, 2, 8].iter().map(|&t| open_with_threads(db.clone(), &overlay, t)).collect();
+    for g in &graphs {
+        // Warm both edge tables (Churn warms to a complete-but-empty
+        // segment), so the very first post-commit read must invalidate.
+        assert!(g.warm_adjacency_cache().unwrap() > 0);
+    }
+
+    let count_of = |g: &Db2Graph, q: &str| -> i64 {
+        match g.run(q).unwrap()[..] {
+            [GValue::Long(n)] => n,
+            ref v => panic!("expected a single count, got {v:?}"),
+        }
+    };
+
+    const WRITERS: usize = 3;
+    let rounds = stress_rounds();
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Each commit inserts or deletes a *pair* of churn edges, so the
+        // root's churned out-degree is even in every committed state.
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let db = db.clone();
+                s.spawn(move || {
+                    for r in 0..rounds {
+                        let tag = 1_000_000 * (w as i64 + 1) + r as i64;
+                        db.transaction(|db| {
+                            db.execute(&format!(
+                                "INSERT INTO Churn VALUES (0, 1, {tag}), (0, 2, {tag})"
+                            ))?;
+                            Ok(())
+                        })
+                        .unwrap();
+                        if r % 2 == 0 {
+                            db.transaction(|db| {
+                                db.execute(&format!("DELETE FROM Churn WHERE tag = {tag}"))?;
+                                Ok(())
+                            })
+                            .unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for g in &graphs {
+            let g = g.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut looked = false;
+                while !looked || !stop.load(Ordering::Relaxed) {
+                    let stable = count_of(&g, "g.V().out('stable').count()");
+                    assert_eq!(
+                        stable,
+                        4,
+                        "the never-written table changed under a reader (threads={})",
+                        g.threads()
+                    );
+                    let churn = count_of(&g, "g.V().out('churn').count()");
+                    assert_eq!(
+                        churn % 2,
+                        0,
+                        "a read mixed two committed states: odd churn degree {churn} \
+                         (threads={})",
+                        g.threads()
+                    );
+                    looked = true;
+                }
+            });
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    for g in &graphs {
+        // One quiesced read per graph: if no reader happened to probe the
+        // churn table after the last commit, this read finds the stale
+        // segment and invalidates it now.
+        let churn = count_of(g, "g.V().out('churn').count()");
+        assert_eq!(churn % 2, 0);
+        assert_eq!(count_of(g, "g.V().out('stable').count()"), 4);
+        let m = g.metrics();
+        assert!(m.adj_cache_hits > 0, "no cache hits under churn (threads={})", g.threads());
+        assert!(
+            m.adj_cache_invalidations >= 1,
+            "writer churn never invalidated a segment (threads={})",
+            g.threads()
+        );
+        assert!(m.adj_cache_bytes > 0, "cache empty after churn (threads={})", g.threads());
+    }
+    if let Ok(path) = std::env::var("DB2GRAPH_METRICS_SNAPSHOT_PATH") {
+        let snap = graphs[2].metrics().to_json().to_string();
+        std::fs::write(&path, snap).unwrap();
+    }
+}
